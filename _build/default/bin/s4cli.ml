@@ -1,0 +1,249 @@
+(* s4cli: operate a self-securing drive stored in a host-file image.
+
+   The drive, its history pool and audit log live inside the image, so
+   the security properties can be explored interactively:
+
+     s4cli format -i disk.img --size-mb 64
+     s4cli write  -i disk.img /etc/passwd --data "root:x:0:0"
+     s4cli write  -i disk.img /etc/passwd --data "TAMPERED"
+     s4cli log    -i disk.img
+     s4cli versions -i disk.img /etc/passwd
+     s4cli cat    -i disk.img /etc/passwd --at <ns>
+     s4cli restore -i disk.img /etc --at <ns>
+     s4cli fsck   -i disk.img *)
+
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+module Drive = S4.Drive
+module Rpc = S4.Rpc
+module Audit = S4.Audit
+module N = S4_nfs.Nfs_types
+module Translator = S4_nfs.Translator
+module History = S4_tools.History
+module Recovery = S4_tools.Recovery
+module Log = S4_seglog.Log
+
+open Cmdliner
+
+let image_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "i"; "image" ] ~docv:"FILE" ~doc:"Disk image file.")
+
+let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH")
+
+let at_arg =
+  Arg.(
+    value
+    & opt (some int64) None
+    & info [ "at" ] ~docv:"NS"
+        ~doc:"Simulated time (ns) for history-pool access; see $(b,versions).")
+
+let user_arg =
+  Arg.(value & opt int 1 & info [ "user" ] ~docv:"UID" ~doc:"Acting user id (admin tools ignore this).")
+
+type session = {
+  clock : Simclock.t;
+  disk : Sim_disk.t;
+  drive : Drive.t;
+  tr : Translator.t;
+}
+
+let open_session image user =
+  let clock, disk = S4_tools.Disk_image.load image in
+  let drive = Drive.attach disk in
+  let tr = Translator.mount ~cred:(Rpc.user_cred ~user ~client:1) (Translator.Local drive) in
+  (* Each CLI invocation is a new instant. *)
+  Simclock.advance clock (Simclock.of_seconds 1.0);
+  { clock; disk; drive; tr }
+
+let close_session image s =
+  (match Drive.handle s.drive Rpc.admin_cred Rpc.Sync with Rpc.R_unit -> () | _ -> ());
+  Audit.flush (Drive.audit s.drive);
+  Log.sync (Drive.log s.drive);
+  S4_tools.Disk_image.save image s.clock s.disk
+
+let or_die = function
+  | Ok v -> v
+  | Error m ->
+    prerr_endline ("error: " ^ m);
+    exit 1
+
+let nfs_die = function
+  | Error e ->
+    Format.eprintf "error: %a@." N.pp_error e;
+    exit 1
+  | Ok v -> v
+
+(* --- commands --------------------------------------------------------- *)
+
+let cmd_format =
+  let size_mb = Arg.(value & opt int 64 & info [ "size-mb" ] ~docv:"MB") in
+  let window_days =
+    Arg.(value & opt float 7.0 & info [ "window-days" ] ~doc:"Guaranteed detection window.")
+  in
+  let run image size_mb window_days =
+    let clock = Simclock.create () in
+    let disk =
+      Sim_disk.create
+        ~geometry:(Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(size_mb * 1024 * 1024))
+        clock
+    in
+    let config =
+      { Drive.default_config with Drive.window = Simclock.of_seconds (window_days *. 86400.0) }
+    in
+    let drive = Drive.format ~config disk in
+    let tr = Translator.mount (Translator.Local drive) in
+    ignore tr;
+    Audit.flush (Drive.audit drive);
+    Log.sync (Drive.log drive);
+    S4_tools.Disk_image.save image clock disk;
+    Printf.printf "formatted %s: %d MB self-securing drive, %.1f-day window\n" image size_mb
+      window_days
+  in
+  Cmd.v (Cmd.info "format" ~doc:"Create a fresh self-securing drive image.")
+    Term.(const run $ image_arg $ size_mb $ window_days)
+
+let cmd_write =
+  let data = Arg.(value & opt (some string) None & info [ "data" ] ~docv:"STRING") in
+  let run image user path data =
+    let s = open_session image user in
+    let contents =
+      match data with
+      | Some d -> Bytes.of_string d
+      | None -> Bytes.of_string (In_channel.input_all In_channel.stdin)
+    in
+    let _fh = nfs_die (Translator.write_file s.tr path contents) in
+    Printf.printf "wrote %d bytes to %s at t=%Ld\n" (Bytes.length contents) path
+      (Simclock.now s.clock);
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "write" ~doc:"Write a file (creating parents); content from --data or stdin.")
+    Term.(const run $ image_arg $ user_arg $ path_arg $ data)
+
+let cmd_cat =
+  let run image user path at =
+    let s = open_session image user in
+    (match at with
+     | None -> print_bytes (nfs_die (Translator.read_file s.tr path))
+     | Some at ->
+       let h = History.create s.drive in
+       print_bytes (or_die (History.cat_path h ~at path)));
+    print_newline ();
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "cat" ~doc:"Print a file's contents, optionally as of a past instant (admin).")
+    Term.(const run $ image_arg $ user_arg $ path_arg $ at_arg)
+
+let cmd_ls =
+  let run image user path at =
+    let s = open_session image user in
+    let h = History.create s.drive in
+    let dir = or_die (History.resolve h ?at path) in
+    let entries = or_die (History.ls h ?at dir) in
+    List.iter
+      (fun ((e : N.dirent), (a : N.attr)) ->
+        Printf.printf "%c %8d  %-30s oid=%Ld\n"
+          (match a.N.ftype with N.Fdir -> 'd' | N.Freg -> '-' | N.Flnk -> 'l')
+          a.N.size e.N.name e.N.fh)
+      entries;
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "ls" ~doc:"List a directory, optionally as of a past instant.")
+    Term.(const run $ image_arg $ user_arg $ path_arg $ at_arg)
+
+let cmd_rm =
+  let run image user path =
+    let s = open_session image user in
+    let dir, _ = nfs_die (Translator.lookup_path s.tr (Filename.dirname path)) in
+    (match Translator.handle s.tr (N.Remove { dir; name = Filename.basename path }) with
+     | N.R_unit -> Printf.printf "removed %s (the versions remain in the history pool)\n" path
+     | N.R_error e ->
+       Format.eprintf "error: %a@." N.pp_error e;
+       exit 1
+     | _ -> ());
+    close_session image s
+  in
+  Cmd.v (Cmd.info "rm" ~doc:"Remove a file.") Term.(const run $ image_arg $ user_arg $ path_arg)
+
+let cmd_versions =
+  let run image path =
+    let s = open_session image 0 in
+    let h = History.create s.drive in
+    let fh = or_die (History.resolve h path) in
+    let entries = History.versions_of h fh in
+    Printf.printf "%d retained journal entries for %s (oid %Ld):\n" (List.length entries) path fh;
+    List.iter (fun e -> Format.printf "  %a@." S4_store.Entry.pp e) entries;
+    Printf.printf "version instants (pass to --at):\n";
+    List.iter (fun t -> Printf.printf "  %Ld\n" t) (History.version_times h fh);
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "versions" ~doc:"Show the retained version history of a file (admin).")
+    Term.(const run $ image_arg $ path_arg)
+
+let cmd_log =
+  let run image =
+    let s = open_session image 0 in
+    (match Drive.handle s.drive Rpc.admin_cred (Rpc.Read_audit { since = 0L; until = Int64.max_int }) with
+     | Rpc.R_audit records ->
+       Printf.printf "%d audit records:\n" (List.length records);
+       List.iter
+         (fun (r : Audit.record) ->
+           Printf.printf "  t=%-14Ld user=%-3d client=%-3d %-12s oid=%-4Ld %s%s\n" r.Audit.at
+             r.Audit.user r.Audit.client r.Audit.op r.Audit.oid r.Audit.info
+             (if r.Audit.ok then "" else "  DENIED"))
+         records
+     | r -> Format.eprintf "error: %a@." Rpc.pp_resp r);
+    close_session image s
+  in
+  Cmd.v (Cmd.info "log" ~doc:"Dump the drive's audit log (admin).") Term.(const run $ image_arg)
+
+let cmd_restore =
+  let at_req =
+    Arg.(required & opt (some int64) None & info [ "at" ] ~docv:"NS" ~doc:"Restore point.")
+  in
+  let run image path at =
+    let s = open_session image 0 in
+    let rec_ = Recovery.create s.drive in
+    let report = or_die (Recovery.restore_tree rec_ ~at ~path) in
+    Format.printf "%a@." Recovery.pp_report report;
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "restore" ~doc:"Restore a subtree to a past instant (admin; copy-forward).")
+    Term.(const run $ image_arg $ path_arg $ at_req)
+
+let cmd_fsck =
+  let run image =
+    let s = open_session image 0 in
+    (match Drive.fsck s.drive with
+     | [] -> print_endline "clean: all cross-layer invariants hold"
+     | errs ->
+       List.iter print_endline errs;
+       exit 1);
+    close_session image s
+  in
+  Cmd.v (Cmd.info "fsck" ~doc:"Check drive invariants.") Term.(const run $ image_arg)
+
+let cmd_info =
+  let run image =
+    let s = open_session image 0 in
+    Format.printf "%a@." Drive.pp_stats s.drive;
+    Format.printf "%a@." Sim_disk.pp_stats s.disk;
+    Printf.printf "simulated time: %Ld ns (%.2f days)\n" (Simclock.now s.clock)
+      (Simclock.seconds s.clock /. 86400.0);
+    close_session image s
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show drive statistics.") Term.(const run $ image_arg)
+
+let () =
+  let doc = "operate a simulated self-securing (S4) storage drive" in
+  let info = Cmd.info "s4cli" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ cmd_format; cmd_write; cmd_cat; cmd_ls; cmd_rm; cmd_versions; cmd_log; cmd_restore; cmd_fsck; cmd_info ]))

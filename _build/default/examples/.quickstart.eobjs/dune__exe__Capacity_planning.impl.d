@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Float Format List Printf S4_analysis S4_workload

@@ -1,0 +1,1 @@
+examples/dos_throttling.ml: Bytes Int64 Printf S4 S4_disk S4_util

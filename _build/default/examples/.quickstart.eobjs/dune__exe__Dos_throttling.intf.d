@@ -1,0 +1,1 @@
+examples/dos_throttling.mli:

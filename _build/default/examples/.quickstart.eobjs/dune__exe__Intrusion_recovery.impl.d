@@ -1,0 +1,1 @@
+examples/intrusion_recovery.ml: Bytes Format Int64 List Printf S4 S4_disk S4_nfs S4_tools S4_util

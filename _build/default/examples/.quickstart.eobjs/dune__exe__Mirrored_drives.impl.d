@@ -1,0 +1,1 @@
+examples/mirrored_drives.ml: Bytes Format Printf S4 S4_disk S4_multi S4_util String

@@ -1,0 +1,1 @@
+examples/mirrored_drives.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Int64 List Printf S4 S4_disk S4_util String

@@ -1,0 +1,1 @@
+examples/versioned_nfs.ml: Bytes Format List Printf S4 S4_disk S4_nfs S4_tools S4_util String

@@ -1,0 +1,1 @@
+lib/analysis/capacity.ml: Format List S4_workload

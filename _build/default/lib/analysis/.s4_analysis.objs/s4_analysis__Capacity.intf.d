@@ -1,0 +1,1 @@
+lib/analysis/capacity.mli: Format S4_workload

@@ -1,0 +1,1 @@
+lib/analysis/diffstudy.ml: Bytes Format List S4_compress S4_util S4_workload

@@ -1,0 +1,1 @@
+lib/analysis/diffstudy.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/report.ml: Array Float List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/snapshots.ml: Array Float List S4_util

@@ -1,0 +1,36 @@
+module Daily = S4_workload.Daily
+
+type projection = {
+  p_study : string;
+  daily_write_bytes : int;
+  pool_bytes : int;
+  baseline_days : float;
+  differenced_days : float;
+  compressed_days : float;
+}
+
+let default_pool_bytes = 10 * 1024 * 1024 * 1024
+let paper_differencing_factor = 3.0
+let paper_compression_factor = 5.0
+
+let project ?(pool_bytes = default_pool_bytes) ?(diff_factor = paper_differencing_factor)
+    ?(comp_factor = paper_compression_factor) (study : Daily.study) =
+  if diff_factor < 1.0 || comp_factor < diff_factor then invalid_arg "Capacity.project";
+  let baseline = float_of_int pool_bytes /. float_of_int study.Daily.daily_write_bytes in
+  {
+    p_study = study.Daily.study_name;
+    daily_write_bytes = study.Daily.daily_write_bytes;
+    pool_bytes;
+    baseline_days = baseline;
+    differenced_days = baseline *. diff_factor;
+    compressed_days = baseline *. comp_factor;
+  }
+
+let project_all ?pool_bytes ?diff_factor ?comp_factor () =
+  List.map (project ?pool_bytes ?diff_factor ?comp_factor) Daily.all
+
+let pp_projection ppf p =
+  Format.fprintf ppf "%-7s %7.1f MB/day -> baseline %6.1f d | +diff %6.1f d | +diff+comp %6.1f d"
+    p.p_study
+    (float_of_int p.daily_write_bytes /. 1048576.0)
+    p.baseline_days p.differenced_days p.compressed_days

@@ -1,0 +1,46 @@
+(** Detection-window capacity projection (the paper's Figure 7 and
+    Section 5.2 arithmetic).
+
+    Given a history-pool budget (the paper uses 10 GB — 20% of a
+    50 GB disk) and a workload's daily write volume, project how many
+    days of comprehensive history fit: as raw versions, after
+    cross-version differencing, and after differencing plus
+    compression. The paper's multipliers, measured with Xdelta on
+    daily snapshots of the S4 tree, were ~3x for differencing and ~5x
+    with compression on top; ours are measured by
+    {!Diffstudy.run} and can be substituted. *)
+
+type projection = {
+  p_study : string;
+  daily_write_bytes : int;
+  pool_bytes : int;
+  baseline_days : float;
+  differenced_days : float;  (** with cross-version differencing *)
+  compressed_days : float;  (** differencing + compression *)
+}
+
+val default_pool_bytes : int
+(** 10 GB: 20% of the paper's 50 GB state-of-the-art disk. *)
+
+val paper_differencing_factor : float
+(** 3.0 — the paper's "space efficiency increased by 200%". *)
+
+val paper_compression_factor : float
+(** 5.0 — "+200% more for a total of 500%". *)
+
+val project :
+  ?pool_bytes:int ->
+  ?diff_factor:float ->
+  ?comp_factor:float ->
+  S4_workload.Daily.study ->
+  projection
+
+val project_all :
+  ?pool_bytes:int ->
+  ?diff_factor:float ->
+  ?comp_factor:float ->
+  unit ->
+  projection list
+(** All three studies (AFS, NT, Santry). *)
+
+val pp_projection : Format.formatter -> projection -> unit

@@ -1,0 +1,70 @@
+module Rng = S4_util.Rng
+module Source_tree = S4_workload.Source_tree
+module Delta = S4_compress.Delta
+module Lz = S4_compress.Lz
+
+type day = { day_index : int; tree_bytes : int; delta_bytes : int; delta_lz_bytes : int }
+
+type result = {
+  days : day list;
+  total_raw : int;
+  total_delta : int;
+  total_delta_lz : int;
+  diff_efficiency : float;
+  comp_efficiency : float;
+}
+
+(* Delta a snapshot against its predecessor file by file (files absent
+   yesterday are stored whole, as xdelta would). *)
+let day_delta ~prev ~cur =
+  List.fold_left
+    (fun (d, dlz) (f : Source_tree.file) ->
+      match Source_tree.find prev f.Source_tree.path with
+      | Some old ->
+        let delta = Delta.encode ~source:old ~target:f.Source_tree.content in
+        (d + Bytes.length delta, dlz + Bytes.length (Lz.compress delta))
+      | None ->
+        let fresh = f.Source_tree.content in
+        (d + Bytes.length fresh, dlz + Bytes.length (Lz.compress fresh)))
+    (0, 0) cur
+
+let run ?(seed = 20_000_623) ?(files = 60) ?(days = 7) ?(churn = 0.12) () =
+  if days < 2 then invalid_arg "Diffstudy.run: need at least 2 days";
+  let rng = Rng.create ~seed in
+  let first = Source_tree.generate rng ~files in
+  let rec evolve_days acc prev i =
+    if i >= days then List.rev acc
+    else begin
+      let cur = Source_tree.evolve rng ~churn prev in
+      let d, dlz = day_delta ~prev ~cur in
+      let day =
+        { day_index = i; tree_bytes = Source_tree.total_bytes cur; delta_bytes = d; delta_lz_bytes = dlz }
+      in
+      evolve_days ((day, cur) :: acc) cur (i + 1)
+    end
+  in
+  let first_day =
+    {
+      day_index = 0;
+      tree_bytes = Source_tree.total_bytes first;
+      delta_bytes = Source_tree.total_bytes first;
+      delta_lz_bytes = Bytes.length (Lz.compress (Bytes.concat Bytes.empty (List.map (fun f -> f.Source_tree.content) first)));
+    }
+  in
+  let rest = evolve_days [] first 1 in
+  let days_list = first_day :: List.map fst rest in
+  let total_raw = List.fold_left (fun acc d -> acc + d.tree_bytes) 0 days_list in
+  let total_delta = List.fold_left (fun acc d -> acc + d.delta_bytes) 0 days_list in
+  let total_delta_lz = List.fold_left (fun acc d -> acc + d.delta_lz_bytes) 0 days_list in
+  {
+    days = days_list;
+    total_raw;
+    total_delta;
+    total_delta_lz;
+    diff_efficiency = float_of_int total_raw /. float_of_int total_delta;
+    comp_efficiency = float_of_int total_raw /. float_of_int total_delta_lz;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "raw %d B | delta %d B (%.1fx) | delta+lz %d B (%.1fx)" r.total_raw
+    r.total_delta r.diff_efficiency r.total_delta_lz r.comp_efficiency

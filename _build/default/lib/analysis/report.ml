@@ -1,0 +1,45 @@
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let widths rows =
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 rows in
+  let w = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > w.(i) then w.(i) <- String.length cell))
+    rows;
+  w
+
+let print_row w cells =
+  List.iteri (fun i cell -> Printf.printf "%-*s  " w.(i) cell) cells;
+  print_newline ()
+
+let table ~header rows =
+  let all = header :: rows in
+  let w = widths all in
+  print_row w header;
+  print_row w (List.map (fun n -> String.make n '-') (Array.to_list (Array.sub w 0 (List.length header))));
+  List.iter (print_row w) rows
+
+let bars ?(width = 50) items =
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 items in
+  let lmax = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items in
+  List.iter
+    (fun (label, v) ->
+      let n = if vmax <= 0.0 then 0 else int_of_float (v /. vmax *. float_of_int width) in
+      Printf.printf "%-*s  %s %.2f\n" lmax label (String.make n '#') v)
+    items
+
+let series ?(width = 40) ~x_label ~y_label points =
+  Printf.printf "%-12s %-12s\n" x_label y_label;
+  let vmax = List.fold_left (fun acc (_, y) -> Float.max acc y) 0.0 points in
+  List.iter
+    (fun (x, y) ->
+      let n = if vmax <= 0.0 then 0 else int_of_float (y /. vmax *. float_of_int width) in
+      Printf.printf "%-12.3g %-12.3g %s\n" x y (String.make n '#'))
+    points
+
+let kv pairs =
+  let lmax = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" lmax k v) pairs
+
+let note s = Printf.printf "  (%s)\n" s

@@ -1,0 +1,21 @@
+(** Table/series rendering for the benchmark harness: each experiment
+    prints its figure or table as aligned rows, plus a crude text bar
+    chart for series, so [bench/main.exe] output reads like the paper's
+    figures. *)
+
+val heading : string -> unit
+(** Prints an underlined section heading to stdout. *)
+
+val table : header:string list -> string list list -> unit
+(** Column-aligned table. *)
+
+val bars : ?width:int -> (string * float) list -> unit
+(** Labelled horizontal bars scaled to the maximum value. *)
+
+val series : ?width:int -> x_label:string -> y_label:string -> (float * float) list -> unit
+(** A (x, y) series as rows with bars. *)
+
+val kv : (string * string) list -> unit
+(** Aligned key: value lines. *)
+
+val note : string -> unit

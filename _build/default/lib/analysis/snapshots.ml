@@ -1,0 +1,78 @@
+module Rng = S4_util.Rng
+
+type result = {
+  period_s : float;
+  files_captured : float;
+  short_lived_captured : float;
+  versions_captured : float;
+  mean_loss_window_s : float;
+}
+
+let capture_probability ~period_s ~lifetime_s =
+  if period_s <= 0.0 then invalid_arg "Snapshots.capture_probability";
+  Float.min 1.0 (lifetime_s /. period_s)
+
+let comprehensive =
+  {
+    period_s = 0.0;
+    files_captured = 1.0;
+    short_lived_captured = 1.0;
+    versions_captured = 1.0;
+    mean_loss_window_s = 0.0;
+  }
+
+let simulate ?(seed = 31) ?(events = 20_000) ?(mean_lifetime_s = 600.0)
+    ?(versions_per_file = 4.0) ~period_s () =
+  if period_s <= 0.0 then invalid_arg "Snapshots.simulate";
+  let rng = Rng.create ~seed in
+  let files_seen = ref 0 in
+  let short_total = ref 0 in
+  let short_seen = ref 0 in
+  let versions_total = ref 0 in
+  let versions_seen = ref 0 in
+  let loss_sum = ref 0.0 in
+  let loss_n = ref 0 in
+  for _ = 1 to events do
+    (* File born at a uniformly random phase of the snapshot cycle. *)
+    let birth = Rng.float rng period_s in
+    let lifetime = Rng.exponential rng ~mean:mean_lifetime_s in
+    let death = birth +. lifetime in
+    (* Snapshot instants are at multiples of the period. *)
+    let first_snap = period_s *. Float.of_int (int_of_float (birth /. period_s) + 1) in
+    let seen = first_snap <= death in
+    if seen then incr files_seen;
+    if lifetime < 300.0 then begin
+      incr short_total;
+      if seen then incr short_seen
+    end;
+    (* Modifications spread uniformly over the lifetime; a version is
+       captured iff a snapshot falls between it and the next change
+       (or the file's death). *)
+    let nversions = 1 + Rng.int rng (max 1 (int_of_float (2.0 *. versions_per_file))) in
+    let cuts = Array.init nversions (fun _ -> birth +. Rng.float rng lifetime) in
+    Array.sort compare cuts;
+    for i = 0 to nversions - 1 do
+      incr versions_total;
+      let v_start = cuts.(i) in
+      let v_end = if i = nversions - 1 then death else cuts.(i + 1) in
+      let snap_after = period_s *. Float.of_int (int_of_float (v_start /. period_s) + 1) in
+      if snap_after <= v_end then incr versions_seen
+      else begin
+        (* This version was destroyed before any snapshot saw it: the
+           newest surviving copy is the last snapshotted state, aged by
+           the gap. *)
+        loss_sum := !loss_sum +. (v_end -. (snap_after -. period_s));
+        incr loss_n
+      end
+    done
+  done;
+  {
+    period_s;
+    files_captured = float_of_int !files_seen /. float_of_int events;
+    short_lived_captured =
+      (if !short_total = 0 then 1.0 else float_of_int !short_seen /. float_of_int !short_total);
+    versions_captured = float_of_int !versions_seen /. float_of_int !versions_total;
+    mean_loss_window_s = (if !loss_n = 0 then 0.0 else !loss_sum /. float_of_int !loss_n);
+  }
+
+let sweep ?seed ~periods_s () = List.map (fun p -> simulate ?seed ~period_s:p ()) periods_s

@@ -1,0 +1,50 @@
+(** Versioning vs. snapshots (the paper's Section 6 discussion).
+
+    Self-securing storage could be built on frequent copy-on-write
+    snapshots instead of comprehensive versioning — but snapshots only
+    capture state that survives to a snapshot instant. Short-lived
+    files (exploit tools staged during an intrusion, scratch files) and
+    intermediate versions (individual appends to a system log that were
+    later scrubbed) slip through. Comprehensive versioning is the
+    limit of snapshot frequency: every modification is a snapshot.
+
+    This module quantifies the gap: given a population of file events
+    with realistic lifetimes, what fraction would a snapshot system
+    with period [p] capture, versus the 100% that comprehensive
+    versioning guarantees? Both a closed-form model and a Monte-Carlo
+    simulation (which also measures intermediate-version capture) are
+    provided. *)
+
+type result = {
+  period_s : float;  (** snapshot period, seconds *)
+  files_captured : float;  (** fraction of files visible in >= 1 snapshot *)
+  short_lived_captured : float;  (** same, for files living < 5 minutes *)
+  versions_captured : float;  (** fraction of all intermediate versions *)
+  mean_loss_window_s : float;
+      (** expected age of the newest surviving copy of a legitimate
+          change destroyed right before a snapshot *)
+}
+
+val capture_probability : period_s:float -> lifetime_s:float -> float
+(** Closed form: a file alive [lifetime] with a uniformly random start
+    is seen by a period-[p] snapshot with probability
+    [min 1 (lifetime/p)]. *)
+
+val simulate :
+  ?seed:int ->
+  ?events:int ->
+  ?mean_lifetime_s:float ->
+  ?versions_per_file:float ->
+  period_s:float ->
+  unit ->
+  result
+(** Monte-Carlo over [events] file histories (default 20 000): lifetime
+    exponential with [mean_lifetime_s] (default 600 s — file-lifetime
+    studies put most file lifetimes well under an hour), each file
+    receiving a geometric number of modifications (mean
+    [versions_per_file], default 4) spread over its life. *)
+
+val comprehensive : result
+(** What the S4 history pool guarantees inside the window: everything. *)
+
+val sweep : ?seed:int -> periods_s:float list -> unit -> result list

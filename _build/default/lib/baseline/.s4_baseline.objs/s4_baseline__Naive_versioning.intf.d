@@ -1,0 +1,1 @@
+lib/baseline/naive_versioning.mli:

@@ -1,0 +1,1 @@
+lib/baseline/upfs.ml: Array Bytes Hashtbl Int64 List Option S4_disk S4_nfs S4_store S4_util String

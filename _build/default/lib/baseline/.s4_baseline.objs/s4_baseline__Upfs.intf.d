@@ -1,0 +1,1 @@
+lib/baseline/upfs.mli: S4_disk S4_nfs

@@ -1,0 +1,87 @@
+type stats = {
+  mutable updates : int;
+  mutable data_blocks : int;
+  mutable indirect_blocks : int;
+  mutable inode_blocks : int;
+}
+
+type t = {
+  block_size : int;
+  ppb : int;  (* pointers per indirect block *)
+  direct : int;
+  mutable size : int;
+  s : stats;
+}
+
+let create ?(block_size = 4096) ?(pointers_per_block = 1024) ?(direct = 12) () =
+  {
+    block_size;
+    ppb = pointers_per_block;
+    direct;
+    size = 0;
+    s = { updates = 0; data_blocks = 0; indirect_blocks = 0; inode_blocks = 0 };
+  }
+
+(* Depth of the indirection path for file block index [i]:
+   0 = direct (inode only), 1 = single indirect, ... up to 3. *)
+let depth t i =
+  if i < t.direct then 0
+  else begin
+    let i = i - t.direct in
+    if i < t.ppb then 1
+    else begin
+      let i = i - t.ppb in
+      if i < t.ppb * t.ppb then 2 else 3
+    end
+  end
+
+(* Copy-on-write versioning: an update rewrites every data block it
+   touches, a private copy of each indirect block on each distinct
+   path, and the inode. Indirect blocks shared by several touched data
+   blocks are copied once. *)
+let write t ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Naive_versioning.write";
+  if len > 0 then begin
+    let first = off / t.block_size in
+    let last = (off + len - 1) / t.block_size in
+    t.s.updates <- t.s.updates + 1;
+    t.s.data_blocks <- t.s.data_blocks + (last - first + 1);
+    t.s.inode_blocks <- t.s.inode_blocks + 1;
+    (* Count distinct indirect blocks along the touched paths. *)
+    let touched = Hashtbl.create 8 in
+    for i = first to last do
+      match depth t i with
+      | 0 -> ()
+      | 1 -> Hashtbl.replace touched (1, (i - t.direct) / t.ppb) ()
+      | 2 ->
+        let j = i - t.direct - t.ppb in
+        Hashtbl.replace touched (2, -1) ();
+        (* the double-indirect root *)
+        Hashtbl.replace touched (21, j / t.ppb) ()
+      | _ ->
+        let j = i - t.direct - t.ppb - (t.ppb * t.ppb) in
+        Hashtbl.replace touched (3, -1) ();
+        Hashtbl.replace touched (31, j / (t.ppb * t.ppb)) ();
+        Hashtbl.replace touched (32, j / t.ppb) ()
+    done;
+    t.s.indirect_blocks <- t.s.indirect_blocks + Hashtbl.length touched;
+    t.size <- max t.size (off + len)
+  end
+
+let truncate t ~size =
+  if size < 0 then invalid_arg "Naive_versioning.truncate";
+  t.s.updates <- t.s.updates + 1;
+  t.s.inode_blocks <- t.s.inode_blocks + 1;
+  t.size <- size
+
+let stats t = t.s
+let size t = t.size
+
+let bytes_consumed t =
+  (t.s.data_blocks + t.s.indirect_blocks + t.s.inode_blocks) * t.block_size
+
+let metadata_bytes t = (t.s.indirect_blocks + t.s.inode_blocks) * t.block_size
+
+let metadata_overhead t =
+  if t.s.data_blocks = 0 then 0.0
+  else float_of_int (metadata_bytes t) /. float_of_int (t.s.data_blocks * t.block_size)

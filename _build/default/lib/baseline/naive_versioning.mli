@@ -1,0 +1,42 @@
+(** Conventional-versioning space model (the Figure 2 comparison).
+
+    A versioning system built on an FFS-style inode — 12 direct
+    pointers, then single/double/triple indirect blocks — that creates
+    a version per update the naive way: each update writes the new data
+    blocks {e plus} a fresh copy of every indirect block on the path to
+    them {e plus} a new inode. The paper measured up to 4x disk-usage
+    growth from this, which is precisely what journal-based metadata
+    eliminates (one small journal entry per update instead).
+
+    This module only accounts space (and optionally time); it does not
+    store contents. *)
+
+type t
+
+type stats = {
+  mutable updates : int;
+  mutable data_blocks : int;
+  mutable indirect_blocks : int;
+  mutable inode_blocks : int;
+}
+
+val create : ?block_size:int -> ?pointers_per_block:int -> ?direct:int -> unit -> t
+(** Defaults: 4 KiB blocks, 1024 pointers per indirect block, 12 direct
+    pointers — the classic FFS shape. *)
+
+val write : t -> off:int -> len:int -> unit
+(** One update (one new version). *)
+
+val truncate : t -> size:int -> unit
+val stats : t -> stats
+val size : t -> int
+
+val bytes_consumed : t -> int
+(** Total bytes appended to versioned storage so far. *)
+
+val metadata_bytes : t -> int
+(** Bytes of those that are metadata (indirect + inode copies). *)
+
+val metadata_overhead : t -> float
+(** metadata bytes / data bytes; the Fig. 2 blow-up factor is
+    [1 + metadata_overhead]. *)

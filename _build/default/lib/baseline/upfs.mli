@@ -1,0 +1,42 @@
+(** Update-in-place NFS comparison servers.
+
+    A simplified FFS/ext2-class file server over the simulated disk:
+    cylinder-group block allocation, an in-memory namespace, a large
+    buffer cache, and — the behaviour the paper's comparison hinges on
+    — synchronous in-place writes: every modifying NFSv2 operation
+    forces the data, inode and directory blocks to the disk at their
+    fixed locations, paying positioning costs that S4's log batching
+    avoids.
+
+    Two presets reproduce the paper's comparison servers:
+    - {!ffs}: FreeBSD FFS over NFSv2 — every metadata update is its own
+      synchronous inode/directory write.
+    - {!ext2_sync}: Linux ext2 mounted sync — models the flaw the paper
+      observed ("a much lower number of write I/Os ... due to a flaw in
+      the synchronous mount option under Linux") by coalescing several
+      metadata updates per physical write. *)
+
+type config = {
+  name : string;
+  block_size : int;
+  groups : int;  (** cylinder groups for allocation locality *)
+  metadata_coalesce : int;
+      (** physical inode/dir-block writes happen once per this many
+          metadata updates (1 = strictly synchronous) *)
+  cache_bytes : int;
+  cpu_us_per_op : float;  (** server CPU cost per NFS operation *)
+}
+
+val ffs : config
+val ext2_sync : config
+
+type t
+
+val create : config -> S4_disk.Sim_disk.t -> t
+(** Format the disk as an empty file system with a root directory. *)
+
+val server : t -> S4_nfs.Server.t
+val root : t -> S4_nfs.Nfs_types.fh
+val handle : t -> S4_nfs.Nfs_types.req -> S4_nfs.Nfs_types.resp
+val metadata_writes : t -> int
+val data_writes : t -> int

@@ -1,0 +1,1 @@
+lib/compress/delta.ml: Bytes Char Hashtbl Int32 List Option Printf S4_util

@@ -1,0 +1,1 @@
+lib/compress/lz.ml: Array Buffer Bytes Char S4_util

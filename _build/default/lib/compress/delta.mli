@@ -1,0 +1,30 @@
+(** Cross-version differencing (xdelta-style).
+
+    Encodes a [target] byte string as a sequence of [Copy] ranges from
+    a [source] (the previous version) and [Insert] literals, using a
+    rolling hash over fixed-size source blocks with greedy forward and
+    backward extension. This is the technology Section 5.2 of the paper
+    evaluates (via Xdelta) for shrinking the history pool, and what the
+    cleaner's differencing mode uses.
+
+    The encoded delta is self-describing and includes the expected
+    source and target lengths plus a CRC of the target for apply-time
+    verification. *)
+
+type instruction =
+  | Copy of { src_off : int; len : int }
+  | Insert of Bytes.t
+
+val encode : source:Bytes.t -> target:Bytes.t -> Bytes.t
+(** Delta that rebuilds [target] from [source]. *)
+
+val apply : source:Bytes.t -> delta:Bytes.t -> Bytes.t
+(** @raise S4_util.Bcodec.Decode_error on malformed or mismatched
+    input (including CRC failure). *)
+
+val instructions : delta:Bytes.t -> instruction list
+(** Decoded instruction stream, for inspection and tests. *)
+
+val saved : source:Bytes.t -> target:Bytes.t -> float
+(** Fraction of [target] bytes avoided: [1 - |delta| / |target|]
+    (may be negative for adversarial inputs). *)

@@ -1,0 +1,146 @@
+module Bcodec = S4_util.Bcodec
+
+let magic = 0x5A4C (* "LZ" *)
+let window = 1 lsl 16
+let min_match = 4
+let max_match = min_match + 255
+let hash_bits = 15
+let hash_size = 1 lsl hash_bits
+
+(* Hash of the 4 bytes starting at [i]. *)
+let hash4 b i =
+  let v =
+    Char.code (Bytes.unsafe_get b i)
+    lor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 8)
+    lor (Char.code (Bytes.unsafe_get b (i + 2)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get b (i + 3)) lsl 24)
+  in
+  (v * 2654435761) lsr (31 - hash_bits) land (hash_size - 1)
+
+let match_length b i j limit =
+  let n = ref 0 in
+  while !n < limit && Bytes.unsafe_get b (i + !n) = Bytes.unsafe_get b (j + !n) do
+    incr n
+  done;
+  !n
+
+let compress input =
+  let n = Bytes.length input in
+  let w = Bcodec.writer ~capacity:(n / 2 + 16) () in
+  Bcodec.w_u16 w magic;
+  Bcodec.w_int w n;
+  (* head.(h): most recent position with hash h; chain.(pos mod window):
+     previous position with the same hash. *)
+  let head = Array.make hash_size (-1) in
+  let chain = Array.make window (-1) in
+  let flags = Buffer.create 1 in
+  let group = Buffer.create 64 in
+  let nflags = ref 0 in
+  let flagbyte = ref 0 in
+  let flush_group () =
+    if !nflags > 0 then begin
+      Bcodec.w_u8 w !flagbyte;
+      Bcodec.w_raw w (Buffer.to_bytes group);
+      Buffer.clear group;
+      flagbyte := 0;
+      nflags := 0
+    end
+  in
+  ignore flags;
+  let add_literal c =
+    Buffer.add_char group c;
+    incr nflags;
+    if !nflags = 8 then flush_group ()
+  in
+  let add_match ~offset ~len =
+    flagbyte := !flagbyte lor (1 lsl !nflags);
+    Buffer.add_char group (Char.chr (offset land 0xFF));
+    Buffer.add_char group (Char.chr ((offset lsr 8) land 0xFF));
+    Buffer.add_char group (Char.chr (len - min_match));
+    incr nflags;
+    if !nflags = 8 then flush_group ()
+  in
+  let insert pos =
+    if pos + min_match <= n then begin
+      let h = hash4 input pos in
+      chain.(pos land (window - 1)) <- head.(h);
+      head.(h) <- pos
+    end
+  in
+  let find_match pos =
+    if pos + min_match > n then None
+    else begin
+      let h = hash4 input pos in
+      let limit = min max_match (n - pos) in
+      let best_len = ref 0 and best_off = ref 0 in
+      let cand = ref head.(h) in
+      let tries = ref 32 in
+      while !cand >= 0 && !tries > 0 do
+        if pos - !cand < window && pos - !cand > 0 then begin
+          let len = match_length input !cand pos limit in
+          if len > !best_len then begin
+            best_len := len;
+            best_off := pos - !cand
+          end
+        end;
+        let next = chain.(!cand land (window - 1)) in
+        cand := if next < !cand then next else -1;
+        decr tries
+      done;
+      if !best_len >= min_match then Some (!best_off, !best_len) else None
+    end
+  in
+  let pos = ref 0 in
+  while !pos < n do
+    (match find_match !pos with
+     | Some (offset, len) ->
+       add_match ~offset ~len;
+       for p = !pos to !pos + len - 1 do
+         insert p
+       done;
+       pos := !pos + len
+     | None ->
+       add_literal (Bytes.get input !pos);
+       insert !pos;
+       incr pos)
+  done;
+  flush_group ();
+  Bcodec.contents w
+
+let decompress input =
+  let r = Bcodec.reader input in
+  let m = Bcodec.r_u16 r in
+  if m <> magic then raise (Bcodec.Decode_error "Lz: bad magic");
+  let n = Bcodec.r_int r in
+  let out = Bytes.create n in
+  let opos = ref 0 in
+  while !opos < n do
+    let flagbyte = Bcodec.r_u8 r in
+    let i = ref 0 in
+    while !i < 8 && !opos < n do
+      if flagbyte land (1 lsl !i) <> 0 then begin
+        let lo = Bcodec.r_u8 r in
+        let hi = Bcodec.r_u8 r in
+        let len = Bcodec.r_u8 r + min_match in
+        let offset = lo lor (hi lsl 8) in
+        if offset = 0 || offset > !opos || !opos + len > n then
+          raise (Bcodec.Decode_error "Lz: bad match");
+        (* Byte-by-byte copy: matches may overlap themselves. *)
+        for k = 0 to len - 1 do
+          Bytes.unsafe_set out (!opos + k) (Bytes.unsafe_get out (!opos - offset + k))
+        done;
+        opos := !opos + len
+      end
+      else begin
+        Bytes.set out !opos (Char.chr (Bcodec.r_u8 r));
+        incr opos
+      end;
+      incr i
+    done
+  done;
+  out
+
+let ratio input =
+  let n = Bytes.length input in
+  if n = 0 then 1.0
+  else float_of_int (Bytes.length (compress input)) /. float_of_int n

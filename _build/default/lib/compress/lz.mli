@@ -1,0 +1,22 @@
+(** LZSS-family byte-oriented compressor.
+
+    Used by the cleaner's history-pool compaction and by the
+    Section 5.2 differencing + compression study. The format is
+    self-contained: a short header carrying the uncompressed length,
+    then flag-byte groups of literals and (offset, length) matches over
+    a 64 KiB window.
+
+    This is not zlib, but it captures the same behaviour class (LZ77
+    matching), which is all the paper's space-efficiency analysis
+    depends on. *)
+
+val compress : Bytes.t -> Bytes.t
+(** Never fails; incompressible input grows by ~1/8 plus header. *)
+
+val decompress : Bytes.t -> Bytes.t
+(** Inverse of {!compress}.
+    @raise S4_util.Bcodec.Decode_error on malformed input. *)
+
+val ratio : Bytes.t -> float
+(** [compressed_size / original_size] for the given input (1.0 for
+    empty input). *)

@@ -1,0 +1,1 @@
+lib/core/acl.ml: Bytes Format List S4_util

@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Bytes Int32 Int64 List S4_seglog S4_util

@@ -1,0 +1,1 @@
+lib/core/audit.mli: Bytes S4_seglog

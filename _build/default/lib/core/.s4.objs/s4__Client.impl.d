@@ -1,0 +1,1 @@
+lib/core/client.ml: Drive Format Rpc S4_disk

@@ -1,0 +1,1 @@
+lib/core/client.mli: Drive Rpc S4_disk

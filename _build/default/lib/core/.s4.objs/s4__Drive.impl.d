@@ -1,0 +1,1 @@
+lib/core/drive.ml: Acl Audit Bytes Format Int64 List Option Rpc S4_disk S4_seglog S4_store S4_util String Throttle

@@ -1,0 +1,1 @@
+lib/core/drive.mli: Audit Format Rpc S4_disk S4_seglog S4_store S4_util Throttle

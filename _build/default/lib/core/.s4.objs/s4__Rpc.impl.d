@@ -1,0 +1,1 @@
+lib/core/rpc.ml: Acl Audit Bytes Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/rpc.mli: Acl Audit Bytes Format

@@ -1,0 +1,1 @@
+lib/core/throttle.ml: Hashtbl Int64 List S4_util

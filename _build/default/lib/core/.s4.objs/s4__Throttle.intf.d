@@ -1,0 +1,1 @@
+lib/core/throttle.mli: S4_util

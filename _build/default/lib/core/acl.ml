@@ -1,0 +1,91 @@
+module Bcodec = S4_util.Bcodec
+
+type perm =
+  | Read
+  | Write
+  | Delete
+  | Set_attr
+  | Set_acl
+
+type entry = { user : int; client : int; perms : perm list; recovery : bool }
+type t = entry list
+
+let any_user = -1
+let any_client = -1
+let all_perms = [ Read; Write; Delete; Set_attr; Set_acl ]
+let owner_entry ~user = { user; client = any_client; perms = all_perms; recovery = true }
+let public_read = { user = any_user; client = any_client; perms = [ Read ]; recovery = false }
+let default ~owner = [ owner_entry ~user:owner ]
+
+let matches e ~user ~client =
+  (e.user = any_user || e.user = user) && (e.client = any_client || e.client = client)
+
+let allows t ~user ~client perm =
+  List.exists (fun e -> matches e ~user ~client && List.mem perm e.perms) t
+
+let allows_recovery t ~user ~client =
+  List.exists (fun e -> matches e ~user ~client && e.recovery) t
+
+let find_by_user t ~user = List.find_opt (fun e -> e.user = user) t
+let nth t i = List.nth_opt t i
+
+let set_nth t i entry =
+  if i >= List.length t then t @ [ entry ]
+  else List.mapi (fun j e -> if j = i then entry else e) t
+
+let perm_bit = function
+  | Read -> 1
+  | Write -> 2
+  | Delete -> 4
+  | Set_attr -> 8
+  | Set_acl -> 16
+
+let perms_of_bits bits =
+  List.filter (fun p -> bits land perm_bit p <> 0) all_perms
+
+let encode t =
+  let w = Bcodec.writer () in
+  Bcodec.w_int w (List.length t);
+  List.iter
+    (fun e ->
+      Bcodec.w_int w (e.user + 1);
+      Bcodec.w_int w (e.client + 1);
+      Bcodec.w_u8 w (List.fold_left (fun acc p -> acc lor perm_bit p) 0 e.perms);
+      Bcodec.w_u8 w (if e.recovery then 1 else 0))
+    t;
+  Bcodec.contents w
+
+let decode b =
+  if Bytes.length b = 0 then []
+  else begin
+    let r = Bcodec.reader b in
+    let n = Bcodec.r_int r in
+    List.init n (fun _ ->
+        let user = Bcodec.r_int r - 1 in
+        let client = Bcodec.r_int r - 1 in
+        let perms = perms_of_bits (Bcodec.r_u8 r) in
+        let recovery = Bcodec.r_u8 r = 1 in
+        { user; client; perms; recovery })
+  end
+
+let pp_perm ppf = function
+  | Read -> Format.pp_print_char ppf 'r'
+  | Write -> Format.pp_print_char ppf 'w'
+  | Delete -> Format.pp_print_char ppf 'd'
+  | Set_attr -> Format.pp_print_char ppf 'a'
+  | Set_acl -> Format.pp_print_char ppf 'c'
+
+let pp_entry ppf e =
+  let pr ppf = function
+    | -1 -> Format.pp_print_char ppf '*'
+    | v -> Format.pp_print_int ppf v
+  in
+  Format.fprintf ppf "user=%a client=%a perms=%a%s" pr e.user pr e.client
+    (fun ppf ps -> List.iter (pp_perm ppf) ps)
+    e.perms
+    (if e.recovery then "+recovery" else "")
+
+let pp ppf t =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_entry)
+    t

@@ -1,0 +1,57 @@
+(** Object access-control lists.
+
+    Each object carries a small table of entries granting rights to
+    principals (users, optionally scoped to a client machine). Beyond
+    the traditional flags, each entry has the paper's {b Recovery}
+    flag: whether that principal may read versions of the object from
+    the history pool after they have been overwritten or deleted. When
+    clear, only the device administrator can see old versions —
+    letting users decide, file by file, how sensitive their history
+    is. *)
+
+type perm =
+  | Read
+  | Write
+  | Delete
+  | Set_attr
+  | Set_acl
+
+type entry = {
+  user : int;  (** principal; {!any_user} matches everyone *)
+  client : int;  (** client machine; {!any_client} matches all *)
+  perms : perm list;
+  recovery : bool;  (** may resurrect old versions of this object *)
+}
+
+type t = entry list
+(** Ordered table; entries are addressed by index (GetACLByIndex). *)
+
+val any_user : int
+val any_client : int
+
+val owner_entry : user:int -> entry
+(** All permissions plus recovery, any client. *)
+
+val public_read : entry
+(** Read-only for everyone, no recovery. *)
+
+val default : owner:int -> t
+(** Owner entry only. *)
+
+val allows : t -> user:int -> client:int -> perm -> bool
+val allows_recovery : t -> user:int -> client:int -> bool
+
+val find_by_user : t -> user:int -> entry option
+(** First entry whose [user] field matches exactly (GetACLByUser). *)
+
+val nth : t -> int -> entry option
+val set_nth : t -> int -> entry -> t
+(** Replace or append ([index >= length] appends). *)
+
+val encode : t -> Bytes.t
+val decode : Bytes.t -> t
+(** @raise S4_util.Bcodec.Decode_error on corrupt input. Decoding
+    [Bytes.empty] yields the empty table. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

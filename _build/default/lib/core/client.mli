@@ -1,0 +1,23 @@
+(** Client-side RPC stub.
+
+    Connects a client machine to a network-attached S4 drive
+    (Figure 1a): each call pays the modelled network round trip for its
+    request and response sizes, then executes inside the drive's
+    security perimeter. For the combined-server configuration
+    (Figure 1b), bypass this module and call {!Drive.handle}
+    directly. *)
+
+type t
+
+val connect : S4_disk.Net.t -> Drive.t -> t
+val net : t -> S4_disk.Net.t
+val drive : t -> Drive.t
+
+val call : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
+(** One RPC: request transfer, drive processing, response transfer. *)
+
+val call_exn : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
+(** Like {!call} but raises [Failure] on an [R_error] response; for
+    tests and examples where errors are unexpected. *)
+
+val rpc_count : t -> int

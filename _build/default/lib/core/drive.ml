@@ -1,0 +1,393 @@
+module Bcodec = S4_util.Bcodec
+module Simclock = S4_util.Simclock
+module Sim_disk = S4_disk.Sim_disk
+module Log = S4_seglog.Log
+module Store = S4_store.Obj_store
+module Cleaner = S4_store.Cleaner
+
+type config = {
+  store : Store.config;
+  window : int64;
+  audit_enabled : bool;
+  throttle : Throttle.config option;
+  history_reserve : float;
+  cleaner_live_threshold : float;
+  cleaner_max_segments : int;
+  cpu_us_per_rpc : float;
+}
+
+let day_ns = Int64.mul 86_400L 1_000_000_000L
+
+let default_config =
+  {
+    store = Store.default_config;
+    window = Int64.mul 7L day_ns;
+    audit_enabled = true;
+    throttle = Some Throttle.default_config;
+    history_reserve = 0.5;
+    cleaner_live_threshold = 0.75;
+    cleaner_max_segments = 8;
+    cpu_us_per_rpc = 550.0;
+  }
+
+type t = {
+  cfg : config;
+  log : Log.t;
+  store : Store.t;
+  audit : Audit.t;
+  cleaner : Cleaner.t;
+  throttle : Throttle.t option;
+  mutable ptable_oid : int64;
+  mutable ops : int;
+  mutable last_clean_at : int64;
+  mutable last_clean_busy : int64;
+}
+
+let clock t = Store.clock t.store
+let store t = t.store
+let log t = t.log
+let audit t = t.audit
+let cleaner t = t.cleaner
+let throttle t = t.throttle
+let window t = Cleaner.window t.cleaner
+let ops_handled t = t.ops
+let now t = Simclock.now (clock t)
+
+let detection_cutoff t =
+  let c = Int64.sub (now t) (window t) in
+  if Int64.compare c 0L < 0 then 0L else c
+
+(* ------------------------------------------------------------------ *)
+(* Superblock                                                          *)
+
+let superblock_magic = 0x5342_3453 (* "S4SB" *)
+
+let write_superblock t =
+  let w = Bcodec.writer () in
+  Bcodec.w_u32 w superblock_magic;
+  Bcodec.w_u8 w 1 (* version *);
+  Bcodec.w_i64 w t.ptable_oid;
+  Bcodec.w_i64 w (window t);
+  Log.write_superblock t.log (Bcodec.contents w)
+
+let read_superblock log =
+  let b = Log.read_superblock log in
+  let r = Bcodec.reader b in
+  if Bcodec.r_u32 r <> superblock_magic then None
+  else begin
+    let _version = Bcodec.r_u8 r in
+    let ptable_oid = Bcodec.r_i64 r in
+    let window = Bcodec.r_i64 r in
+    Some (ptable_oid, window)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Partition (named object) table — itself a versioned object.        *)
+
+let encode_ptable entries =
+  let w = Bcodec.writer () in
+  Bcodec.w_int w (List.length entries);
+  List.iter
+    (fun (name, oid) ->
+      Bcodec.w_string w name;
+      Bcodec.w_i64 w oid)
+    entries;
+  Bcodec.contents w
+
+let decode_ptable b =
+  if Bytes.length b = 0 then []
+  else begin
+    let r = Bcodec.reader b in
+    let n = Bcodec.r_int r in
+    List.init n (fun _ ->
+        let name = Bcodec.r_string r in
+        let oid = Bcodec.r_i64 r in
+        (name, oid))
+  end
+
+let read_ptable t ?at () =
+  let size = Store.size t.store ?at t.ptable_oid in
+  if size = 0 then []
+  else decode_ptable (Store.read t.store ?at t.ptable_oid ~off:0 ~len:size)
+
+let write_ptable t entries =
+  let data = encode_ptable entries in
+  let len = Bytes.length data in
+  Store.write t.store t.ptable_oid ~off:0 ~data ~len ();
+  if Store.size t.store t.ptable_oid > len then Store.truncate t.store t.ptable_oid ~size:len
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let build cfg log store ~ptable_oid =
+  let cleaner =
+    Cleaner.create ~window:cfg.window ~live_threshold:cfg.cleaner_live_threshold
+      ~max_segments_per_run:cfg.cleaner_max_segments store
+  in
+  let audit = Audit.create ~enabled:cfg.audit_enabled log in
+  Cleaner.set_on_audit_move cleaner (fun old_addr new_addr -> Audit.on_move audit ~old_addr ~new_addr);
+  let throttle = Option.map (fun tc -> Throttle.create ~config:tc (Log.clock log)) cfg.throttle in
+  {
+    cfg;
+    log;
+    store;
+    audit;
+    cleaner;
+    throttle;
+    ptable_oid;
+    ops = 0;
+    last_clean_at = 0L;
+    last_clean_busy = 0L;
+  }
+
+let format ?(config = default_config) disk =
+  let log = Log.create disk in
+  let store = Store.create ~config:config.store log in
+  let ptable_oid = Store.create_object store in
+  Store.set_acl_raw store ptable_oid (Acl.encode (Acl.default ~owner:0));
+  let t = build config log store ~ptable_oid in
+  write_superblock t;
+  Store.sync store;
+  t
+
+let attach ?(config = default_config) disk =
+  let log = Log.reattach disk in
+  let store = Store.recover ~config:config.store log in
+  let ptable_oid, window =
+    match read_superblock log with
+    | Some (oid, w) -> (oid, w)
+    | None -> invalid_arg "Drive.attach: no valid superblock"
+  in
+  let t = build { config with window } log store ~ptable_oid in
+  Audit.recover t.audit;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Pool pressure / throttling                                          *)
+
+let history_budget_blocks t =
+  int_of_float (t.cfg.history_reserve *. float_of_int (Log.usable_blocks t.log))
+
+let pool_pressure t =
+  let budget = max 1 (history_budget_blocks t) in
+  let history = Store.history_block_count t.store in
+  min 1.0 (float_of_int history /. float_of_int budget)
+
+let refresh_pressure t =
+  match t.throttle with
+  | Some th -> Throttle.set_pool_pressure th (pool_pressure t)
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request processing                                                  *)
+
+let oid_of_req : Rpc.req -> int64 = function
+  | Rpc.Delete { oid }
+  | Rpc.Read { oid; _ }
+  | Rpc.Write { oid; _ }
+  | Rpc.Append { oid; _ }
+  | Rpc.Truncate { oid; _ }
+  | Rpc.Get_attr { oid; _ }
+  | Rpc.Set_attr { oid; _ }
+  | Rpc.Get_acl_by_user { oid; _ }
+  | Rpc.Get_acl_by_index { oid; _ }
+  | Rpc.Set_acl { oid; _ }
+  | Rpc.Flush_object { oid; _ } ->
+    oid
+  | Rpc.P_create { oid; _ } -> oid
+  | Rpc.Create _ | Rpc.P_delete _ | Rpc.P_list _ | Rpc.P_mount _ | Rpc.Sync | Rpc.Flush _
+  | Rpc.Set_window _ | Rpc.Read_audit _ ->
+    0L
+
+exception Denied
+
+let current_acl t oid = Acl.decode (Store.current_acl_raw t.store oid)
+
+let require t (cred : Rpc.credential) oid perm =
+  if not cred.Rpc.admin then begin
+    let acl = current_acl t oid in
+    if not (Acl.allows acl ~user:cred.Rpc.user ~client:cred.Rpc.client perm) then raise Denied
+  end
+
+(* Reading a version from the history pool once it has been superseded
+   or deleted additionally requires the Recovery flag (or admin). *)
+let require_history t (cred : Rpc.credential) oid =
+  if not cred.Rpc.admin then begin
+    let acl = current_acl t oid in
+    if not (Acl.allows_recovery acl ~user:cred.Rpc.user ~client:cred.Rpc.client) then raise Denied
+  end
+
+let note_growth t (cred : Rpc.credential) bytes =
+  match t.throttle with
+  | Some th -> Throttle.note_write th ~client:cred.Rpc.client ~bytes
+  | None -> ()
+
+let exec t (cred : Rpc.credential) (req : Rpc.req) : Rpc.resp =
+  let st = t.store in
+  match req with
+  | Rpc.Create { acl } ->
+    let oid = Store.create_object st in
+    let acl = if acl = [] then Acl.default ~owner:cred.Rpc.user else acl in
+    Store.set_acl_raw st oid (Acl.encode acl);
+    note_growth t cred 256;
+    Rpc.R_oid oid
+  | Rpc.Delete { oid } ->
+    require t cred oid Acl.Delete;
+    Store.delete_object st oid;
+    note_growth t cred 256;
+    Rpc.R_unit
+  | Rpc.Read { oid; off; len; at } ->
+    require t cred oid Acl.Read;
+    (match at with None -> () | Some _ -> require_history t cred oid);
+    Rpc.R_data (Store.read st ?at oid ~off ~len)
+  | Rpc.Write { oid; off; len; data } ->
+    require t cred oid Acl.Write;
+    Store.write st oid ~off ?data ~len ();
+    note_growth t cred len;
+    Rpc.R_unit
+  | Rpc.Append { oid; len; data } ->
+    require t cred oid Acl.Write;
+    Store.append st oid ?data ~len ();
+    note_growth t cred len;
+    Rpc.R_unit
+  | Rpc.Truncate { oid; size } ->
+    require t cred oid Acl.Write;
+    Store.truncate st oid ~size;
+    note_growth t cred 256;
+    Rpc.R_unit
+  | Rpc.Get_attr { oid; at } ->
+    require t cred oid Acl.Read;
+    (match at with None -> () | Some _ -> require_history t cred oid);
+    Rpc.R_attr (Store.get_attr st ?at oid)
+  | Rpc.Set_attr { oid; attr } ->
+    require t cred oid Acl.Set_attr;
+    Store.set_attr st oid attr;
+    note_growth t cred (Bytes.length attr);
+    Rpc.R_unit
+  | Rpc.Get_acl_by_user { oid; acl_user; at } ->
+    require t cred oid Acl.Read;
+    (match at with None -> () | Some _ -> require_history t cred oid);
+    let acl = Acl.decode (Store.get_acl_raw st ?at oid) in
+    (match Acl.find_by_user acl ~user:acl_user with
+     | Some e -> Rpc.R_acl e
+     | None -> Rpc.R_error Rpc.Not_found)
+  | Rpc.Get_acl_by_index { oid; index; at } ->
+    require t cred oid Acl.Read;
+    (match at with None -> () | Some _ -> require_history t cred oid);
+    let acl = Acl.decode (Store.get_acl_raw st ?at oid) in
+    (match Acl.nth acl index with
+     | Some e -> Rpc.R_acl e
+     | None -> Rpc.R_error Rpc.Not_found)
+  | Rpc.Set_acl { oid; index; entry } ->
+    require t cred oid Acl.Set_acl;
+    let acl = current_acl t oid in
+    Store.set_acl_raw st oid (Acl.encode (Acl.set_nth acl index entry));
+    note_growth t cred 64;
+    Rpc.R_unit
+  | Rpc.P_create { name; oid } ->
+    let entries = read_ptable t () in
+    if List.mem_assoc name entries then Rpc.R_error (Rpc.Bad_request "partition exists")
+    else begin
+      write_ptable t ((name, oid) :: entries);
+      note_growth t cred (String.length name + 16);
+      Rpc.R_unit
+    end
+  | Rpc.P_delete { name } ->
+    let entries = read_ptable t () in
+    if not (List.mem_assoc name entries) then Rpc.R_error Rpc.Not_found
+    else begin
+      write_ptable t (List.remove_assoc name entries);
+      Rpc.R_unit
+    end
+  | Rpc.P_list { at } ->
+    (match at with None -> () | Some _ -> if not cred.Rpc.admin then raise Denied);
+    Rpc.R_names (List.map fst (read_ptable t ?at ()))
+  | Rpc.P_mount { name; at } ->
+    (match at with None -> () | Some _ -> if not cred.Rpc.admin then raise Denied);
+    (match List.assoc_opt name (read_ptable t ?at ()) with
+     | Some oid -> Rpc.R_oid oid
+     | None -> Rpc.R_error Rpc.Not_found)
+  | Rpc.Sync ->
+    Store.sync st;
+    Rpc.R_unit
+  | Rpc.Flush { until } ->
+    if not cred.Rpc.admin then raise Denied;
+    let until = min until (now t) in
+    Store.expire st ~cutoff:until;
+    ignore (Audit.expire t.audit ~cutoff:until);
+    ignore (Log.reclaim_dead_segments t.log);
+    Rpc.R_unit
+  | Rpc.Flush_object { oid; until } ->
+    if not cred.Rpc.admin then raise Denied;
+    let until = min until (now t) in
+    Store.expire_one st oid ~cutoff:until;
+    ignore (Log.reclaim_dead_segments t.log);
+    Rpc.R_unit
+  | Rpc.Set_window { window } ->
+    if not cred.Rpc.admin then raise Denied;
+    Cleaner.set_window t.cleaner window;
+    write_superblock t;
+    Rpc.R_unit
+  | Rpc.Read_audit { since; until } ->
+    if not cred.Rpc.admin then raise Denied;
+    Rpc.R_audit (Audit.records t.audit ~since ~until ())
+
+let handle t (cred : Rpc.credential) ?(sync = false) req =
+  t.ops <- t.ops + 1;
+  Simclock.advance (clock t) (Simclock.of_us t.cfg.cpu_us_per_rpc);
+  (* DoS defence: penalise clients abusing the history pool. *)
+  (match t.throttle with
+   | Some th ->
+     let p = Throttle.penalty th ~client:cred.Rpc.client in
+     if Int64.compare p 0L > 0 then Simclock.advance (clock t) p
+   | None -> ());
+  let resp =
+    try exec t cred req with
+    | Denied -> Rpc.R_error Rpc.Permission_denied
+    | Store.No_such_object _ -> Rpc.R_error Rpc.Not_found
+    | Store.Is_deleted _ -> Rpc.R_error Rpc.Object_deleted
+    | Log.Log_full -> Rpc.R_error Rpc.No_space
+    | Invalid_argument m -> Rpc.R_error (Rpc.Bad_request m)
+  in
+  let ok = match resp with Rpc.R_error _ -> false | _ -> true in
+  Audit.append t.audit
+    {
+      Audit.at = now t;
+      user = cred.Rpc.user;
+      client = cred.Rpc.client;
+      op = Rpc.op_name req;
+      oid = oid_of_req req;
+      info = Rpc.op_info req;
+      ok;
+    };
+  if sync && ok then Store.sync t.store;
+  if t.ops land 1023 = 0 then refresh_pressure t;
+  resp
+
+let run_cleaner t =
+  (* Idle disk time accumulated since the last cleaner run: available
+     to an overlapped (background) cleaner for free. *)
+  let disk = Log.disk t.log in
+  let busy = (Sim_disk.stats disk).Sim_disk.busy_ns in
+  let elapsed = Int64.sub (now t) t.last_clean_at in
+  let busy_delta = Int64.sub busy t.last_clean_busy in
+  let idle_ns =
+    let i = Int64.sub elapsed busy_delta in
+    if Int64.compare i 0L > 0 then i else 0L
+  in
+  let report = Cleaner.run ~idle_ns t.cleaner in
+  t.last_clean_at <- now t;
+  t.last_clean_busy <- (Sim_disk.stats disk).Sim_disk.busy_ns;
+  ignore (Audit.expire t.audit ~cutoff:(Cleaner.cutoff t.cleaner));
+  ignore (Log.reclaim_dead_segments t.log);
+  refresh_pressure t;
+  report
+
+let fsck t =
+  Store.check ~extra_live:(Audit.block_addrs t.audit) t.store
+
+let pp_stats ppf t =
+  Format.fprintf ppf "drive: %d ops, window %.1f days, pressure %.2f, audit %d records@.%a@.%a"
+    t.ops
+    (Int64.to_float (window t) /. Int64.to_float day_ns)
+    (pool_pressure t) (Audit.record_count t.audit) Store.pp_stats t.store Log.pp_stats t.log

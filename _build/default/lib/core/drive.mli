@@ -1,0 +1,75 @@
+(** The S4 drive: a self-securing storage device.
+
+    This is the security perimeter of the paper. The drive is a
+    single-purpose device exporting only the Table-1 RPC interface; it
+    verifies every command against the caller's credential and the
+    target object's ACL, audits every request (including rejected
+    ones), versions every modification, and guarantees that versions
+    survive for the detection window regardless of what commands the —
+    possibly compromised — host sends. Administrative commands need the
+    separate admin credential, modelling a physical switch or
+    well-protected key.
+
+    The drive owns the object store, the cleaner, the audit log, the
+    partition (named-object) table — itself an ordinary versioned
+    object, per the paper — and the DoS throttle. *)
+
+type t
+
+type config = {
+  store : S4_store.Obj_store.config;
+  window : int64;  (** guaranteed detection window, ns *)
+  audit_enabled : bool;
+  throttle : Throttle.config option;  (** [None] disables throttling *)
+  history_reserve : float;
+      (** fraction of capacity budgeted for the history pool, used to
+          compute pool pressure for the throttle *)
+  cleaner_live_threshold : float;
+  cleaner_max_segments : int;
+  cpu_us_per_rpc : float;
+      (** drive firmware processing cost per request (600 MHz-era
+          user-level server) *)
+}
+
+val default_config : config
+
+val format : ?config:config -> S4_disk.Sim_disk.t -> t
+(** Initialise a fresh self-securing drive on the disk: lays out the
+    segment log, creates the partition-table object and writes the
+    superblock. *)
+
+val attach : ?config:config -> S4_disk.Sim_disk.t -> t
+(** Crash recovery: rebuild the drive from on-disk state (segment
+    summaries, journal blocks, checkpoints, audit blocks,
+    superblock). Unsynced pre-crash state is lost. *)
+
+val handle : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
+(** Process one RPC inside the perimeter: throttle check, permission
+    check, execution, audit. [?sync] models the drive's op+sync
+    batching: the modification and its stability sync count as one
+    request. Never raises. *)
+
+val clock : t -> S4_util.Simclock.t
+val store : t -> S4_store.Obj_store.t
+val log : t -> S4_seglog.Log.t
+val audit : t -> Audit.t
+val cleaner : t -> S4_store.Cleaner.t
+val throttle : t -> Throttle.t option
+
+val window : t -> int64
+val detection_cutoff : t -> int64
+(** Oldest time guaranteed recoverable right now ([now - window]). *)
+
+val run_cleaner : t -> S4_store.Cleaner.report
+(** One background-cleaner pass (expire + reclaim + compact). Keeps
+    the audit index consistent across relocations and refreshes pool
+    pressure. *)
+
+val pool_pressure : t -> float
+(** History-pool pressure in 0..1 (1 = reserve exhausted). *)
+
+val fsck : t -> string list
+(** Full cross-layer invariant check; empty = healthy. *)
+
+val ops_handled : t -> int
+val pp_stats : Format.formatter -> t -> unit

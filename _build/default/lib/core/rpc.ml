@@ -1,0 +1,153 @@
+type credential = { user : int; client : int; admin : bool }
+
+let user_cred ~user ~client = { user; client; admin = false }
+let admin_cred = { user = 0; client = 0; admin = true }
+
+type req =
+  | Create of { acl : Acl.t }
+  | Delete of { oid : int64 }
+  | Read of { oid : int64; off : int; len : int; at : int64 option }
+  | Write of { oid : int64; off : int; len : int; data : Bytes.t option }
+  | Append of { oid : int64; len : int; data : Bytes.t option }
+  | Truncate of { oid : int64; size : int }
+  | Get_attr of { oid : int64; at : int64 option }
+  | Set_attr of { oid : int64; attr : Bytes.t }
+  | Get_acl_by_user of { oid : int64; acl_user : int; at : int64 option }
+  | Get_acl_by_index of { oid : int64; index : int; at : int64 option }
+  | Set_acl of { oid : int64; index : int; entry : Acl.entry }
+  | P_create of { name : string; oid : int64 }
+  | P_delete of { name : string }
+  | P_list of { at : int64 option }
+  | P_mount of { name : string; at : int64 option }
+  | Sync
+  | Flush of { until : int64 }
+  | Flush_object of { oid : int64; until : int64 }
+  | Set_window of { window : int64 }
+  | Read_audit of { since : int64; until : int64 }
+
+type error =
+  | Not_found
+  | Permission_denied
+  | Object_deleted
+  | No_space
+  | Bad_request of string
+
+type resp =
+  | R_unit
+  | R_oid of int64
+  | R_data of Bytes.t
+  | R_size of int
+  | R_attr of Bytes.t
+  | R_acl of Acl.entry
+  | R_names of string list
+  | R_audit of Audit.record list
+  | R_error of error
+
+let op_name = function
+  | Create _ -> "create"
+  | Delete _ -> "delete"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Append _ -> "append"
+  | Truncate _ -> "truncate"
+  | Get_attr _ -> "getattr"
+  | Set_attr _ -> "setattr"
+  | Get_acl_by_user _ -> "getacl_user"
+  | Get_acl_by_index _ -> "getacl_index"
+  | Set_acl _ -> "setacl"
+  | P_create _ -> "pcreate"
+  | P_delete _ -> "pdelete"
+  | P_list _ -> "plist"
+  | P_mount _ -> "pmount"
+  | Sync -> "sync"
+  | Flush _ -> "flush"
+  | Flush_object _ -> "flusho"
+  | Set_window _ -> "setwindow"
+  | Read_audit _ -> "readaudit"
+
+let at_info = function None -> "" | Some t -> Printf.sprintf " at=%Ld" t
+
+let op_info = function
+  | Create _ -> ""
+  | Delete { oid } -> Printf.sprintf "oid=%Ld" oid
+  | Read { oid; off; len; at } -> Printf.sprintf "oid=%Ld off=%d len=%d%s" oid off len (at_info at)
+  | Write { oid; off; len; _ } -> Printf.sprintf "oid=%Ld off=%d len=%d" oid off len
+  | Append { oid; len; _ } -> Printf.sprintf "oid=%Ld len=%d" oid len
+  | Truncate { oid; size } -> Printf.sprintf "oid=%Ld size=%d" oid size
+  | Get_attr { oid; at } -> Printf.sprintf "oid=%Ld%s" oid (at_info at)
+  | Set_attr { oid; attr } -> Printf.sprintf "oid=%Ld attr_len=%d" oid (Bytes.length attr)
+  | Get_acl_by_user { oid; acl_user; at } ->
+    Printf.sprintf "oid=%Ld user=%d%s" oid acl_user (at_info at)
+  | Get_acl_by_index { oid; index; at } -> Printf.sprintf "oid=%Ld index=%d%s" oid index (at_info at)
+  | Set_acl { oid; index; _ } -> Printf.sprintf "oid=%Ld index=%d" oid index
+  | P_create { name; oid } -> Printf.sprintf "name=%s oid=%Ld" name oid
+  | P_delete { name } -> Printf.sprintf "name=%s" name
+  | P_list { at } -> String.trim (at_info at)
+  | P_mount { name; at } -> Printf.sprintf "name=%s%s" name (at_info at)
+  | Sync -> ""
+  | Flush { until } -> Printf.sprintf "until=%Ld" until
+  | Flush_object { oid; until } -> Printf.sprintf "oid=%Ld until=%Ld" oid until
+  | Set_window { window } -> Printf.sprintf "window=%Ld" window
+  | Read_audit { since; until } -> Printf.sprintf "since=%Ld until=%Ld" since until
+
+let is_admin_op = function
+  | Flush _ | Flush_object _ | Set_window _ | Read_audit _ -> true
+  | Create _ | Delete _ | Read _ | Write _ | Append _ | Truncate _ | Get_attr _ | Set_attr _
+  | Get_acl_by_user _ | Get_acl_by_index _ | Set_acl _ | P_create _ | P_delete _ | P_list _
+  | P_mount _ | Sync ->
+    false
+
+(* Wire-size model: a fixed header (credential, op code, xid) plus
+   payload. We do not serialise requests bit-for-bit — the network
+   model only needs sizes. *)
+let header = 40
+
+let req_wire_bytes = function
+  | Create { acl } -> header + Bytes.length (Acl.encode acl)
+  | Delete _ -> header + 8
+  | Read _ -> header + 24
+  | Write { len; _ } -> header + 24 + len
+  | Append { len; _ } -> header + 16 + len
+  | Truncate _ -> header + 16
+  | Get_attr _ -> header + 16
+  | Set_attr { attr; _ } -> header + 8 + Bytes.length attr
+  | Get_acl_by_user _ | Get_acl_by_index _ -> header + 20
+  | Set_acl _ -> header + 24
+  | P_create { name; _ } -> header + 8 + String.length name
+  | P_delete { name } -> header + String.length name
+  | P_list _ -> header + 8
+  | P_mount { name; _ } -> header + 8 + String.length name
+  | Sync -> header
+  | Flush _ -> header + 8
+  | Flush_object _ -> header + 16
+  | Set_window _ -> header + 8
+  | Read_audit _ -> header + 16
+
+let resp_wire_bytes = function
+  | R_unit -> header
+  | R_oid _ -> header + 8
+  | R_data b -> header + Bytes.length b
+  | R_size n -> header + n  (* synthetic data still crosses the wire *)
+  | R_attr b -> header + Bytes.length b
+  | R_acl _ -> header + 16
+  | R_names names -> header + List.fold_left (fun acc n -> acc + String.length n + 4) 0 names
+  | R_audit rs -> header + (64 * List.length rs)
+  | R_error _ -> header + 4
+
+let pp_error ppf = function
+  | Not_found -> Format.fprintf ppf "not found"
+  | Permission_denied -> Format.fprintf ppf "permission denied"
+  | Object_deleted -> Format.fprintf ppf "object deleted"
+  | No_space -> Format.fprintf ppf "no space"
+  | Bad_request m -> Format.fprintf ppf "bad request: %s" m
+
+let pp_resp ppf = function
+  | R_unit -> Format.fprintf ppf "ok"
+  | R_oid oid -> Format.fprintf ppf "oid %Ld" oid
+  | R_data b -> Format.fprintf ppf "%d bytes" (Bytes.length b)
+  | R_size n -> Format.fprintf ppf "%d bytes (synthetic)" n
+  | R_attr b -> Format.fprintf ppf "attr (%d bytes)" (Bytes.length b)
+  | R_acl e -> Acl.pp_entry ppf e
+  | R_names names -> Format.fprintf ppf "names [%s]" (String.concat "; " names)
+  | R_audit rs -> Format.fprintf ppf "%d audit records" (List.length rs)
+  | R_error e -> Format.fprintf ppf "error: %a" pp_error e

@@ -1,0 +1,80 @@
+module Simclock = S4_util.Simclock
+
+type config = {
+  pressure_threshold : float;
+  share_threshold : float;
+  max_penalty_ms : float;
+  halflife : int64;
+}
+
+let default_config =
+  {
+    pressure_threshold = 0.8;
+    share_threshold = 0.5;
+    max_penalty_ms = 50.0;
+    halflife = 10_000_000_000L (* 10 simulated seconds *);
+  }
+
+type counter = { mutable value : float; mutable stamp : int64 }
+
+type t = {
+  clock : Simclock.t;
+  cfg : config;
+  clients : (int, counter) Hashtbl.t;
+  mutable pressure : float;
+}
+
+let create ?(config = default_config) clock =
+  { clock; cfg = config; clients = Hashtbl.create 16; pressure = 0.0 }
+
+(* Exponential decay since the counter was last touched. *)
+let decayed t c =
+  let dt = Int64.to_float (Int64.sub (Simclock.now t.clock) c.stamp) in
+  let hl = Int64.to_float t.cfg.halflife in
+  if dt <= 0.0 then c.value else c.value *. (0.5 ** (dt /. hl))
+
+let note_write t ~client ~bytes =
+  let c =
+    match Hashtbl.find_opt t.clients client with
+    | Some c -> c
+    | None ->
+      let c = { value = 0.0; stamp = Simclock.now t.clock } in
+      Hashtbl.replace t.clients client c;
+      c
+  in
+  c.value <- decayed t c +. float_of_int bytes;
+  c.stamp <- Simclock.now t.clock
+
+let pool_pressure t = t.pressure
+
+let set_pool_pressure t p =
+  if p < 0.0 then invalid_arg "Throttle.set_pool_pressure";
+  t.pressure <- min p 1.0
+
+let total t = Hashtbl.fold (fun _ c acc -> acc +. decayed t c) t.clients 0.0
+
+let client_share t ~client =
+  match Hashtbl.find_opt t.clients client with
+  | None -> 0.0
+  | Some c ->
+    let total = total t in
+    if total <= 0.0 then 0.0 else decayed t c /. total
+
+let is_throttled t ~client =
+  t.pressure >= t.cfg.pressure_threshold && client_share t ~client >= t.cfg.share_threshold
+
+let penalty t ~client =
+  if not (is_throttled t ~client) then 0L
+  else begin
+    (* Penalty scales with how far past the threshold the pool is. *)
+    let over =
+      (t.pressure -. t.cfg.pressure_threshold) /. (1.0 -. t.cfg.pressure_threshold)
+    in
+    let ms = t.cfg.max_penalty_ms *. max 0.1 over in
+    Simclock.of_ms ms
+  end
+
+let throttled_clients t =
+  Hashtbl.fold (fun client _ acc -> if is_throttled t ~client then client :: acc else acc)
+    t.clients []
+  |> List.sort compare

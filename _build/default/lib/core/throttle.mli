@@ -1,0 +1,44 @@
+(** History-pool exhaustion defence (Section 3.3's hybrid approach).
+
+    Deliberately filling the history pool cannot be prevented outright;
+    instead the drive detects probable abuse and slows the offending
+    source machines down, buying time for human intervention while
+    well-behaved clients keep working.
+
+    The detector keeps a decaying per-client count of bytes pushed into
+    the history pool. When pool pressure (history blocks relative to
+    the space reserved for them) crosses a threshold, clients
+    responsible for a disproportionate share of recent history growth
+    are penalised with a latency that grows with pressure. *)
+
+type t
+
+type config = {
+  pressure_threshold : float;
+      (** pool pressure above which throttling engages (0..1) *)
+  share_threshold : float;
+      (** fraction of recent history growth that singles a client out *)
+  max_penalty_ms : float;  (** penalty at 100% pressure *)
+  halflife : int64;  (** decay half-life of the per-client counters, ns *)
+}
+
+val default_config : config
+val create : ?config:config -> S4_util.Simclock.t -> t
+
+val note_write : t -> client:int -> bytes:int -> unit
+(** Record history-pool growth caused by a client's request. *)
+
+val pool_pressure : t -> float
+val set_pool_pressure : t -> float -> unit
+(** Updated by the drive from live store statistics. *)
+
+val penalty : t -> client:int -> int64
+(** Extra latency (ns) to impose on this client's next request; 0 when
+    the pool is healthy or the client is not a significant
+    contributor. *)
+
+val is_throttled : t -> client:int -> bool
+val client_share : t -> client:int -> float
+(** This client's decayed share of recent history growth (0..1). *)
+
+val throttled_clients : t -> int list

@@ -1,0 +1,1 @@
+lib/disk/net.ml: Format Int64 S4_util

@@ -1,0 +1,1 @@
+lib/disk/net.mli: Format S4_util

@@ -1,0 +1,1 @@
+lib/disk/sim_disk.ml: Bytes Format Geometry Hashtbl Int64 Printf S4_util

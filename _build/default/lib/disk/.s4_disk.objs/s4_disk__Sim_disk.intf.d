@@ -1,0 +1,1 @@
+lib/disk/sim_disk.mli: Bytes Format Geometry S4_util

@@ -1,0 +1,62 @@
+type t = {
+  name : string;
+  sector_size : int;
+  sectors : int;
+  rpm : int;
+  track_sectors : int;
+  min_seek_ms : float;
+  avg_seek_ms : float;
+  max_seek_ms : float;
+  transfer_mb_s : float;
+}
+
+let cheetah_9gb =
+  {
+    name = "Seagate Cheetah 9LP (9GB, 10kRPM)";
+    sector_size = 512;
+    sectors = 17_783_240;
+    rpm = 10_000;
+    track_sectors = 334;
+    min_seek_ms = 0.6;
+    avg_seek_ms = 5.4;
+    max_seek_ms = 10.5;
+    transfer_mb_s = 21.0;
+  }
+
+let with_capacity t ~bytes =
+  { t with sectors = (bytes + t.sector_size - 1) / t.sector_size }
+
+let cheetah_2gb =
+  { (with_capacity cheetah_9gb ~bytes:(2 * 1024 * 1024 * 1024)) with
+    name = "Cheetah mechanics, 2GB address space" }
+
+let modern_50gb =
+  {
+    name = "Modern 50GB (2000-era) drive";
+    sector_size = 512;
+    sectors = 97_656_250;
+    rpm = 7200;
+    track_sectors = 500;
+    min_seek_ms = 0.8;
+    avg_seek_ms = 8.5;
+    max_seek_ms = 17.0;
+    transfer_mb_s = 29.0;
+  }
+
+let capacity_bytes t = t.sectors * t.sector_size
+let rotation_ms t = 60_000.0 /. float_of_int t.rpm
+
+let seek_ms t ~distance_sectors =
+  if distance_sectors = 0 then 0.0
+  else begin
+    let frac = float_of_int distance_sectors /. float_of_int t.sectors in
+    let frac = if frac > 1.0 then 1.0 else frac in
+    t.min_seek_ms +. ((t.max_seek_ms -. t.min_seek_ms) *. sqrt frac)
+  end
+
+let transfer_ms t ~bytes = float_of_int bytes /. (t.transfer_mb_s *. 1_000_000.0) *. 1000.0
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d sectors x %dB, %d RPM, seek %.1f/%.1f/%.1f ms, %.0f MB/s"
+    t.name t.sectors t.sector_size t.rpm t.min_seek_ms t.avg_seek_ms t.max_seek_ms
+    t.transfer_mb_s

@@ -1,0 +1,53 @@
+module Simclock = S4_util.Simclock
+
+type stats = {
+  mutable rpcs : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable wire_ns : int64;
+}
+
+type t = {
+  clock : Simclock.t;
+  latency_us : float;
+  bandwidth_mb_s : float;
+  s : stats;
+}
+
+let create ?(latency_us = 120.0) ?(bandwidth_mb_s = 12.5) clock =
+  {
+    clock;
+    latency_us;
+    bandwidth_mb_s;
+    s = { rpcs = 0; bytes_sent = 0; bytes_received = 0; wire_ns = 0L };
+  }
+
+let transfer_us t bytes = float_of_int bytes /. t.bandwidth_mb_s (* B / (MB/s) = us *)
+
+let account t us =
+  let ns = Simclock.of_us us in
+  Simclock.advance t.clock ns;
+  t.s.wire_ns <- Int64.add t.s.wire_ns ns
+
+let rpc t ~req_bytes ~resp_bytes =
+  t.s.rpcs <- t.s.rpcs + 1;
+  t.s.bytes_sent <- t.s.bytes_sent + req_bytes;
+  t.s.bytes_received <- t.s.bytes_received + resp_bytes;
+  account t ((2.0 *. t.latency_us) +. transfer_us t req_bytes +. transfer_us t resp_bytes)
+
+let oneway t ~bytes =
+  t.s.bytes_sent <- t.s.bytes_sent + bytes;
+  account t (t.latency_us +. transfer_us t bytes)
+
+let stats t = t.s
+
+let reset_stats t =
+  t.s.rpcs <- 0;
+  t.s.bytes_sent <- 0;
+  t.s.bytes_received <- 0;
+  t.s.wire_ns <- 0L
+
+let pp_stats ppf t =
+  Format.fprintf ppf "net: %d rpcs, %d B out, %d B in, wire %.3f s" t.s.rpcs t.s.bytes_sent
+    t.s.bytes_received
+    (Int64.to_float t.s.wire_ns /. 1e9)

@@ -1,0 +1,33 @@
+(** Network cost model for RPC traffic.
+
+    Models the paper's setup: a 100 Mb/s switched Ethernet between one
+    client and one server. Each RPC pays fixed per-message latency both
+    ways plus serialisation time for the request and response bodies.
+    Like the disk, it advances the shared simulated clock. *)
+
+type t
+
+type stats = {
+  mutable rpcs : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  mutable wire_ns : int64;
+}
+
+val create :
+  ?latency_us:float ->
+  ?bandwidth_mb_s:float ->
+  S4_util.Simclock.t ->
+  t
+(** Defaults: 120 us one-way latency (switched 100 Mb Ethernet + stack),
+    12.5 MB/s line rate. *)
+
+val rpc : t -> req_bytes:int -> resp_bytes:int -> unit
+(** Account one round trip. *)
+
+val oneway : t -> bytes:int -> unit
+(** Account a single unacknowledged message (e.g. an async callback). *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+module Simclock = S4_util.Simclock
+module Histogram = S4_util.Histogram
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable seeks : int;
+  mutable sequential : int;
+  mutable busy_ns : int64;
+  read_latency : Histogram.t;
+  write_latency : Histogram.t;
+}
+
+let fresh_stats () =
+  {
+    reads = 0;
+    writes = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    seeks = 0;
+    sequential = 0;
+    busy_ns = 0L;
+    read_latency = Histogram.create ();
+    write_latency = Histogram.create ();
+  }
+
+type t = {
+  geometry : Geometry.t;
+  clock : Simclock.t;
+  contents : (int, Bytes.t) Hashtbl.t;  (* sector lba -> 512 bytes *)
+  mutable head : int;  (* lba just past the last request *)
+  mutable stats : stats;
+  mutable phantom : bool;
+  mutable phantom_ns : int64;
+}
+
+let create ?(geometry = Geometry.cheetah_9gb) clock =
+  {
+    geometry;
+    clock;
+    contents = Hashtbl.create 4096;
+    head = 0;
+    stats = fresh_stats ();
+    phantom = false;
+    phantom_ns = 0L;
+  }
+
+let geometry t = t.geometry
+let clock t = t.clock
+let capacity_sectors t = t.geometry.Geometry.sectors
+let capacity_bytes t = Geometry.capacity_bytes t.geometry
+let stats t = t.stats
+let reset_stats t = t.stats <- fresh_stats ()
+let busy_seconds t = Int64.to_float t.stats.busy_ns /. 1e9
+
+let check_range t ~lba ~sectors =
+  if lba < 0 || sectors <= 0 || lba + sectors > capacity_sectors t then
+    invalid_arg
+      (Printf.sprintf "Sim_disk: range [%d, %d) outside [0, %d)" lba (lba + sectors)
+         (capacity_sectors t))
+
+(* Service time in ms for a request at [lba] of [sectors], given the
+   current head position. Sequential continuation pays transfer only;
+   everything else pays seek (distance-dependent) plus average
+   rotational latency (half a revolution) plus transfer. *)
+let service_ms t ~tcq ~lba ~sectors =
+  let g = t.geometry in
+  let bytes = sectors * g.Geometry.sector_size in
+  let transfer = Geometry.transfer_ms g ~bytes in
+  if lba = t.head then (transfer, true)
+  else begin
+    let distance = abs (lba - t.head) in
+    let seek = Geometry.seek_ms g ~distance_sectors:distance in
+    let rotation = Geometry.rotation_ms g /. 2.0 in
+    let rotation = if tcq then rotation /. 2.0 else rotation in
+    (seek +. rotation +. transfer, false)
+  end
+
+let account t ?(tcq = false) ~lba ~sectors ~is_read () =
+  let ms, sequential = service_ms t ~tcq ~lba ~sectors in
+  let ns = Simclock.of_ms ms in
+  if t.phantom then begin
+    t.phantom_ns <- Int64.add t.phantom_ns ns;
+    t.head <- lba + sectors
+  end
+  else begin
+  Simclock.advance t.clock ns;
+  let s = t.stats in
+  s.busy_ns <- Int64.add s.busy_ns ns;
+  if sequential then s.sequential <- s.sequential + 1 else s.seeks <- s.seeks + 1;
+  if is_read then begin
+    s.reads <- s.reads + 1;
+    s.sectors_read <- s.sectors_read + sectors;
+    Histogram.add s.read_latency ms
+  end
+  else begin
+    s.writes <- s.writes + 1;
+    s.sectors_written <- s.sectors_written + sectors;
+    Histogram.add s.write_latency ms
+  end;
+  t.head <- lba + sectors
+  end
+
+let read t ~lba ~sectors =
+  check_range t ~lba ~sectors;
+  account t ~lba ~sectors ~is_read:true ()
+
+let store_data t ~lba ~sectors data =
+  let ss = t.geometry.Geometry.sector_size in
+  match data with
+  | None ->
+    for i = lba to lba + sectors - 1 do
+      Hashtbl.remove t.contents i
+    done
+  | Some b ->
+    if Bytes.length b <> sectors * ss then
+      invalid_arg "Sim_disk.write: data length mismatch";
+    for i = 0 to sectors - 1 do
+      Hashtbl.replace t.contents (lba + i) (Bytes.sub b (i * ss) ss)
+    done
+
+let write t ?tcq ?data ~lba ~sectors () =
+  check_range t ~lba ~sectors;
+  store_data t ~lba ~sectors data;
+  account t ?tcq ~lba ~sectors ~is_read:false ()
+
+let peek t ~lba ~sectors =
+  check_range t ~lba ~sectors;
+  let ss = t.geometry.Geometry.sector_size in
+  let out = Bytes.make (sectors * ss) '\000' in
+  for i = 0 to sectors - 1 do
+    match Hashtbl.find_opt t.contents (lba + i) with
+    | Some sector -> Bytes.blit sector 0 out (i * ss) ss
+    | None -> ()
+  done;
+  out
+
+let poke t ~lba ~data =
+  let ss = t.geometry.Geometry.sector_size in
+  if Bytes.length data mod ss <> 0 then invalid_arg "Sim_disk.poke: not sector aligned";
+  let sectors = Bytes.length data / ss in
+  check_range t ~lba ~sectors;
+  store_data t ~lba ~sectors (Some data)
+
+let read_bytes t ~lba ~sectors =
+  read t ~lba ~sectors;
+  peek t ~lba ~sectors
+
+let set_phantom t v = t.phantom <- v
+let phantom_ns t = t.phantom_ns
+let reset_phantom t = t.phantom_ns <- 0L
+
+let pp_stats ppf t =
+  let s = t.stats in
+  Format.fprintf ppf
+    "disk: %d reads (%d sect), %d writes (%d sect), %d seeks, %d seq, busy %.3f s"
+    s.reads s.sectors_read s.writes s.sectors_written s.seeks s.sequential
+    (busy_seconds t)

@@ -1,0 +1,1 @@
+lib/multi/mirror.ml: Bytes Digest Format List S4 S4_disk S4_seglog S4_store

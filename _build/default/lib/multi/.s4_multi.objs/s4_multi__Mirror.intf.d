@@ -1,0 +1,1 @@
+lib/multi/mirror.mli: S4

@@ -1,0 +1,126 @@
+module Rpc = S4.Rpc
+module Drive = S4.Drive
+module Store = S4_store.Obj_store
+module Sim_disk = S4_disk.Sim_disk
+module Log = S4_seglog.Log
+
+type replica = Primary | Secondary
+
+type t = {
+  primary : Drive.t;
+  secondary : Drive.t;
+  mutable primary_failed : bool;
+  mutable secondary_failed : bool;
+  mutable missed : (Rpc.credential * bool * Rpc.req) list;  (* newest first *)
+  mutable lagging : replica option;  (* who the missed mutations are for *)
+}
+
+let create primary secondary =
+  (* Mirrored writes happen in parallel: only the primary's disk time
+     is charged to the shared clock. *)
+  Sim_disk.set_phantom (Log.disk (Drive.log secondary)) true;
+  { primary; secondary; primary_failed = false; secondary_failed = false; missed = []; lagging = None }
+
+let drive t = function Primary -> t.primary | Secondary -> t.secondary
+let is_failed t = function Primary -> t.primary_failed | Secondary -> t.secondary_failed
+
+let set_failed t r v =
+  match r with
+  | Primary -> t.primary_failed <- v
+  | Secondary -> t.secondary_failed <- v
+
+let lag t = List.length t.missed
+
+let is_mutation : Rpc.req -> bool = function
+  | Rpc.Create _ | Rpc.Delete _ | Rpc.Write _ | Rpc.Append _ | Rpc.Truncate _ | Rpc.Set_attr _
+  | Rpc.Set_acl _ | Rpc.P_create _ | Rpc.P_delete _ | Rpc.Sync | Rpc.Flush _ | Rpc.Flush_object _
+  | Rpc.Set_window _ ->
+    true
+  | Rpc.Read _ | Rpc.Get_attr _ | Rpc.Get_acl_by_user _ | Rpc.Get_acl_by_index _ | Rpc.P_list _
+  | Rpc.P_mount _ | Rpc.Read_audit _ ->
+    false
+
+(* Responses must agree in kind and payload (oids in particular). *)
+let agree (a : Rpc.resp) (b : Rpc.resp) =
+  match (a, b) with
+  | Rpc.R_audit _, Rpc.R_audit _ -> true  (* timestamps differ benignly *)
+  | _ -> a = b
+
+let handle t cred ?(sync = false) req =
+  if is_mutation req then begin
+    match (t.primary_failed, t.secondary_failed) with
+    | true, true -> Rpc.R_error (Rpc.Bad_request "mirror: no live replica")
+    | false, false ->
+      let r1 = Drive.handle t.primary cred ~sync req in
+      let r2 = Drive.handle t.secondary cred ~sync req in
+      if agree r1 r2 then r1
+      else begin
+        (* Split brain: drop the secondary and flag the request. *)
+        t.secondary_failed <- true;
+        t.lagging <- Some Secondary;
+        t.missed <- (cred, sync, req) :: t.missed;
+        Rpc.R_error (Rpc.Bad_request "mirror: replica divergence detected")
+      end
+    | false, true ->
+      t.lagging <- Some Secondary;
+      t.missed <- (cred, sync, req) :: t.missed;
+      Drive.handle t.primary cred ~sync req
+    | true, false ->
+      t.lagging <- Some Primary;
+      t.missed <- (cred, sync, req) :: t.missed;
+      Drive.handle t.secondary cred ~sync req
+  end
+  else begin
+    match (t.primary_failed, t.secondary_failed) with
+    | false, _ -> Drive.handle t.primary cred ~sync req
+    | true, false -> Drive.handle t.secondary cred ~sync req
+    | true, true -> Rpc.R_error (Rpc.Bad_request "mirror: no live replica")
+  end
+
+let resync t =
+  if t.primary_failed && t.secondary_failed then Error "mirror: no live replica to resync from"
+  else
+    match t.lagging with
+    | None -> Ok 0
+    | Some r when is_failed t r ->
+      Error "mirror resync: repair the failed replica first (set_failed _ false)"
+    | Some r ->
+      let target = drive t r in
+      let replay = List.rev t.missed in
+      let rec go n = function
+        | [] ->
+          t.missed <- [];
+          t.lagging <- None;
+          Ok n
+        | (cred, sync, req) :: rest ->
+          (match Drive.handle target cred ~sync req with
+           | Rpc.R_error e ->
+             Error (Format.asprintf "mirror resync: %s failed: %a" (Rpc.op_name req) Rpc.pp_error e)
+           | _ -> go (n + 1) rest)
+      in
+      go 0 replay
+
+let divergence t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let s1 = Drive.store t.primary and s2 = Drive.store t.secondary in
+  let o1 = Store.list_all s1 and o2 = Store.list_all s2 in
+  if o1 <> o2 then err "object sets differ: %d vs %d" (List.length o1) (List.length o2)
+  else
+    List.iter
+      (fun oid ->
+        let e1 = Store.exists s1 oid and e2 = Store.exists s2 oid in
+        if e1 <> e2 then err "oid %Ld existence differs" oid
+        else if e1 then begin
+          let z1 = Store.size s1 oid and z2 = Store.size s2 oid in
+          if z1 <> z2 then err "oid %Ld size %d vs %d" oid z1 z2
+          else begin
+            let d1 = Digest.bytes (Store.read s1 oid ~off:0 ~len:z1) in
+            let d2 = Digest.bytes (Store.read s2 oid ~off:0 ~len:z2) in
+            if d1 <> d2 then err "oid %Ld contents differ" oid
+          end;
+          if not (Bytes.equal (Store.get_attr s1 oid) (Store.get_attr s2 oid)) then
+            err "oid %Ld attrs differ" oid
+        end)
+      o1;
+  List.rev !errs

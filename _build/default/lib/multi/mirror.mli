@@ -1,0 +1,52 @@
+(** Mirrored self-securing drives (the paper's Section 6 multi-device
+    coordination).
+
+    Two S4 drives process the same mutation stream, so both hold the
+    full current state {e and} the full history pool — recovery
+    operations coordinate old versions simply because both devices have
+    them. Because drive-assigned ObjectIDs are a deterministic function
+    of the mutation history, identical streams yield identical ids and
+    either replica can serve any request, including time-based reads.
+
+    When a replica fails, the mirror keeps running on the survivor and
+    journals the missed mutations; {!resync} replays them when the
+    replica returns. Divergence (e.g. after injected faults) is
+    detectable with {!divergence}.
+
+    The secondary's disk runs in phantom mode: mirrored writes proceed
+    in parallel on real hardware, so only the primary's service time
+    advances the simulated clock. *)
+
+type t
+
+type replica = Primary | Secondary
+
+val create : S4.Drive.t -> S4.Drive.t -> t
+(** Both drives must be freshly formatted with identical
+    configurations (identical mutation history so far). *)
+
+val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
+(** Mutations are applied to every live replica (responses must agree
+    — a mismatch is reported as a [Bad_request] error and the
+    secondary is dropped as failed); reads are served by the first
+    live replica. *)
+
+val set_failed : t -> replica -> bool -> unit
+(** Fault injection / repair. While a replica is failed its missed
+    mutations are journalled for {!resync}. *)
+
+val is_failed : t -> replica -> bool
+val lag : t -> int
+(** Journalled mutations awaiting resync. *)
+
+val resync : t -> (int, string) result
+(** Replay missed mutations to the (repaired) lagging replica; returns
+    how many were replayed. Fails if both replicas were failed or a
+    replayed response diverges. *)
+
+val divergence : t -> string list
+(** Compare the replicas' object stores (existence, size, content
+    digest of every object, current and audit record counts); empty
+    means the replicas agree. *)
+
+val drive : t -> replica -> S4.Drive.t

@@ -1,0 +1,1 @@
+lib/nfs/nfs_types.ml: Bytes Char Format List Printf S4_util String

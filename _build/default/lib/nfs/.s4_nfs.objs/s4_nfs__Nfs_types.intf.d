@@ -1,0 +1,1 @@
+lib/nfs/nfs_types.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/nfs/server.ml: Bytes Format List Nfs_types S4_disk String Translator Xdr

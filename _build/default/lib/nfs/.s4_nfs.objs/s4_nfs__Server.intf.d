@@ -1,0 +1,1 @@
+lib/nfs/server.mli: Nfs_types S4_disk Translator

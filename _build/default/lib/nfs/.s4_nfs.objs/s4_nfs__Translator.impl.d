@@ -1,0 +1,1 @@
+lib/nfs/translator.ml: Array Bytes Hashtbl List Nfs_types S4 S4_seglog S4_store S4_util String

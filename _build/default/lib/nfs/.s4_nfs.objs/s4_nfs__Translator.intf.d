@@ -1,0 +1,1 @@
+lib/nfs/translator.mli: Bytes Nfs_types S4

@@ -1,0 +1,1 @@
+lib/nfs/xdr.ml: Buffer Bytes Format Int32 Int64 List Nfs_types Option S4_util String

@@ -1,0 +1,1 @@
+lib/nfs/xdr.mli: Bytes Nfs_types

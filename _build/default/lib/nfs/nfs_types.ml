@@ -1,0 +1,172 @@
+module Bcodec = S4_util.Bcodec
+
+type fh = int64
+type ftype = Freg | Fdir | Flnk
+
+type attr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  mtime : int64;
+  ctime : int64;
+  atime : int64;
+}
+
+let fresh_attr ftype ~uid ~now =
+  {
+    ftype;
+    mode = (match ftype with Fdir -> 0o755 | Freg | Flnk -> 0o644);
+    nlink = (match ftype with Fdir -> 2 | Freg | Flnk -> 1);
+    uid;
+    gid = uid;
+    size = 0;
+    mtime = now;
+    ctime = now;
+    atime = now;
+  }
+
+let ftype_code = function Freg -> 0 | Fdir -> 1 | Flnk -> 2
+
+let ftype_of_code = function
+  | 0 -> Freg
+  | 1 -> Fdir
+  | 2 -> Flnk
+  | c -> raise (Bcodec.Decode_error (Printf.sprintf "nfs attr: bad ftype %d" c))
+
+let encode_attr a =
+  let w = Bcodec.writer ~capacity:48 () in
+  Bcodec.w_u8 w (ftype_code a.ftype);
+  Bcodec.w_u32 w a.mode;
+  Bcodec.w_int w a.nlink;
+  Bcodec.w_int w a.uid;
+  Bcodec.w_int w a.gid;
+  Bcodec.w_int w a.size;
+  Bcodec.w_i64 w a.mtime;
+  Bcodec.w_i64 w a.ctime;
+  Bcodec.w_i64 w a.atime;
+  Bcodec.contents w
+
+let decode_attr b =
+  let r = Bcodec.reader b in
+  let ftype = ftype_of_code (Bcodec.r_u8 r) in
+  let mode = Bcodec.r_u32 r in
+  let nlink = Bcodec.r_int r in
+  let uid = Bcodec.r_int r in
+  let gid = Bcodec.r_int r in
+  let size = Bcodec.r_int r in
+  let mtime = Bcodec.r_i64 r in
+  let ctime = Bcodec.r_i64 r in
+  let atime = Bcodec.r_i64 r in
+  { ftype; mode; nlink; uid; gid; size; mtime; ctime; atime }
+
+type dirent = { name : string; fh : fh }
+
+let slot_size = 64
+let max_name = 54
+
+let encode_slot = function
+  | None -> Bytes.make slot_size '\000'
+  | Some e ->
+    let n = String.length e.name in
+    if n = 0 || n > max_name then invalid_arg "nfs dir: name length";
+    let b = Bytes.make slot_size '\000' in
+    Bytes.set b 0 (Char.chr n);
+    Bytes.blit_string e.name 0 b 1 n;
+    Bcodec.set_i64 b (slot_size - 8) e.fh;
+    b
+
+let decode_slot b ~pos =
+  let n = Char.code (Bytes.get b pos) in
+  if n = 0 then None
+  else if n > max_name then raise (Bcodec.Decode_error "nfs dir: bad slot")
+  else begin
+    let name = Bytes.sub_string b (pos + 1) n in
+    let fh = Bcodec.get_i64 b (pos + slot_size - 8) in
+    Some { name; fh }
+  end
+
+let encode_dir entries =
+  let b = Bytes.create (slot_size * List.length entries) in
+  List.iteri (fun i e -> Bytes.blit (encode_slot (Some e)) 0 b (i * slot_size) slot_size) entries;
+  b
+
+let decode_dir_slots b =
+  let nslots = Bytes.length b / slot_size in
+  let acc = ref [] in
+  for i = nslots - 1 downto 0 do
+    match decode_slot b ~pos:(i * slot_size) with
+    | Some e -> acc := (e, i) :: !acc
+    | None -> ()
+  done;
+  (!acc, nslots)
+
+let decode_dir b = List.map fst (fst (decode_dir_slots b))
+
+type error =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Eacces
+  | Enotempty
+  | Enospc
+  | Eio of string
+
+let pp_error ppf = function
+  | Enoent -> Format.fprintf ppf "ENOENT"
+  | Eexist -> Format.fprintf ppf "EEXIST"
+  | Enotdir -> Format.fprintf ppf "ENOTDIR"
+  | Eisdir -> Format.fprintf ppf "EISDIR"
+  | Eacces -> Format.fprintf ppf "EACCES"
+  | Enotempty -> Format.fprintf ppf "ENOTEMPTY"
+  | Enospc -> Format.fprintf ppf "ENOSPC"
+  | Eio m -> Format.fprintf ppf "EIO(%s)" m
+
+type req =
+  | Getattr of fh
+  | Setattr of { fh : fh; mode : int option; size : int option }
+  | Lookup of { dir : fh; name : string }
+  | Readlink of fh
+  | Read of { fh : fh; off : int; len : int }
+  | Write of { fh : fh; off : int; data : Bytes.t }
+  | Create of { dir : fh; name : string; mode : int }
+  | Remove of { dir : fh; name : string }
+  | Rename of { from_dir : fh; from_name : string; to_dir : fh; to_name : string }
+  | Mkdir of { dir : fh; name : string; mode : int }
+  | Rmdir of { dir : fh; name : string }
+  | Readdir of fh
+  | Symlink of { dir : fh; name : string; target : string }
+  | Statfs
+
+type resp =
+  | R_attr of attr
+  | R_fh of fh * attr
+  | R_data of Bytes.t
+  | R_entries of dirent list
+  | R_link of string
+  | R_unit
+  | R_statfs of { total_bytes : int; free_bytes : int }
+  | R_error of error
+
+let req_name = function
+  | Getattr _ -> "getattr"
+  | Setattr _ -> "setattr"
+  | Lookup _ -> "lookup"
+  | Readlink _ -> "readlink"
+  | Read _ -> "read"
+  | Write _ -> "write"
+  | Create _ -> "create"
+  | Remove _ -> "remove"
+  | Rename _ -> "rename"
+  | Mkdir _ -> "mkdir"
+  | Rmdir _ -> "rmdir"
+  | Readdir _ -> "readdir"
+  | Symlink _ -> "symlink"
+  | Statfs -> "statfs"
+
+let is_modifying = function
+  | Setattr _ | Write _ | Create _ | Remove _ | Rename _ | Mkdir _ | Rmdir _ | Symlink _ -> true
+  | Getattr _ | Lookup _ | Readlink _ | Read _ | Readdir _ | Statfs -> false

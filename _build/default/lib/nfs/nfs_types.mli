@@ -1,0 +1,96 @@
+(** NFSv2-level types: file handles, attributes, directory entries and
+    the request/response vocabulary used by the translator and the
+    comparison servers.
+
+    File handles wrap the S4 ObjectID directly (the paper: "the NFS
+    file handle can be directly hashed into the ObjectID"). Attributes
+    mirror the NFSv2 [fattr] structure closely enough for the
+    workloads; they live in the opaque per-object attribute space on
+    the drive. *)
+
+type fh = int64
+(** NFS file handle = S4 ObjectID. *)
+
+type ftype = Freg | Fdir | Flnk
+
+type attr = {
+  ftype : ftype;
+  mode : int;
+  nlink : int;
+  uid : int;
+  gid : int;
+  size : int;
+  mtime : int64;  (** simulated ns *)
+  ctime : int64;
+  atime : int64;
+}
+
+val fresh_attr : ftype -> uid:int -> now:int64 -> attr
+val encode_attr : attr -> Bytes.t
+val decode_attr : Bytes.t -> attr
+(** @raise S4_util.Bcodec.Decode_error on corrupt input. *)
+
+type dirent = { name : string; fh : fh }
+
+(** Directory objects are arrays of fixed 64-byte slots (name up to
+    {!max_name} bytes + handle), so namespace updates touch a single
+    slot — one small write — rather than rewriting the directory. An
+    all-zero slot is free. *)
+
+val slot_size : int
+val max_name : int
+
+val encode_slot : dirent option -> Bytes.t
+val decode_slot : Bytes.t -> pos:int -> dirent option
+val encode_dir : dirent list -> Bytes.t
+(** Dense slot array. *)
+
+val decode_dir : Bytes.t -> dirent list
+(** All occupied slots, in slot order. *)
+
+val decode_dir_slots : Bytes.t -> (dirent * int) list * int
+(** Occupied slots with their indexes, plus the total slot count. *)
+
+type error =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Eacces
+  | Enotempty
+  | Enospc
+  | Eio of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** NFSv2 procedures (v2 because its lack of client write caching lets
+    the drive see and audit every operation, as the paper argues). *)
+type req =
+  | Getattr of fh
+  | Setattr of { fh : fh; mode : int option; size : int option }
+  | Lookup of { dir : fh; name : string }
+  | Readlink of fh
+  | Read of { fh : fh; off : int; len : int }
+  | Write of { fh : fh; off : int; data : Bytes.t }
+  | Create of { dir : fh; name : string; mode : int }
+  | Remove of { dir : fh; name : string }
+  | Rename of { from_dir : fh; from_name : string; to_dir : fh; to_name : string }
+  | Mkdir of { dir : fh; name : string; mode : int }
+  | Rmdir of { dir : fh; name : string }
+  | Readdir of fh
+  | Symlink of { dir : fh; name : string; target : string }
+  | Statfs
+
+type resp =
+  | R_attr of attr
+  | R_fh of fh * attr
+  | R_data of Bytes.t
+  | R_entries of dirent list
+  | R_link of string
+  | R_unit
+  | R_statfs of { total_bytes : int; free_bytes : int }
+  | R_error of error
+
+val req_name : req -> string
+val is_modifying : req -> bool
+(** Whether NFSv2 stability semantics require a sync before reply. *)

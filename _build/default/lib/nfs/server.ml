@@ -1,0 +1,67 @@
+module N = Nfs_types
+module Net = S4_disk.Net
+
+type t = {
+  name : string;
+  root : N.fh;
+  handle : N.req -> N.resp;
+  reset_caches : unit -> unit;
+}
+
+let of_translator ~name tr =
+  {
+    name;
+    root = Translator.root tr;
+    handle = Translator.handle tr;
+    reset_caches = (fun () -> Translator.invalidate_caches tr);
+  }
+
+(* NFSv2-over-UDP message sizes: exact XDR encoding plus UDP/IP/
+   Ethernet framing. *)
+let framing = 42
+let header = 100
+
+let nfs_req_bytes = function
+  | N.Getattr _ -> header + 32
+  | N.Setattr _ -> header + 64
+  | N.Lookup { name; _ } -> header + 32 + String.length name
+  | N.Readlink _ -> header + 32
+  | N.Read _ -> header + 48
+  | N.Write { data; _ } -> header + 48 + Bytes.length data
+  | N.Create { name; _ } -> header + 64 + String.length name
+  | N.Remove { name; _ } -> header + 32 + String.length name
+  | N.Rename { from_name; to_name; _ } ->
+    header + 64 + String.length from_name + String.length to_name
+  | N.Mkdir { name; _ } -> header + 64 + String.length name
+  | N.Rmdir { name; _ } -> header + 32 + String.length name
+  | N.Readdir _ -> header + 40
+  | N.Symlink { name; target; _ } -> header + 64 + String.length name + String.length target
+  | N.Statfs -> header
+
+let nfs_resp_bytes = function
+  | N.R_attr _ -> header + 68
+  | N.R_fh _ -> header + 100
+  | N.R_data b -> header + Bytes.length b
+  | N.R_entries entries ->
+    header + List.fold_left (fun acc e -> acc + 24 + String.length e.N.name) 0 entries
+  | N.R_link s -> header + String.length s
+  | N.R_unit -> header
+  | N.R_statfs _ -> header + 20
+  | N.R_error _ -> header + 4
+
+let over_net net t =
+  {
+    t with
+    handle =
+      (fun req ->
+        let resp = t.handle req in
+        Net.rpc net
+          ~req_bytes:(framing + Xdr.req_wire_bytes req)
+          ~resp_bytes:(framing + Xdr.resp_wire_bytes resp);
+        resp);
+  }
+
+let handle_exn t req =
+  match t.handle req with
+  | N.R_error e -> failwith (Format.asprintf "%s: %s failed: %a" t.name (N.req_name req) N.pp_error e)
+  | resp -> resp

@@ -1,0 +1,28 @@
+(** Uniform NFS server handle.
+
+    Benchmarks and examples drive every system under test — the two S4
+    configurations and the comparison servers — through this one
+    record, so a workload is written once and runs against all four
+    experimental setups of the paper. *)
+
+type t = {
+  name : string;
+  root : Nfs_types.fh;
+  handle : Nfs_types.req -> Nfs_types.resp;
+  reset_caches : unit -> unit;  (** model a cold client/server cache *)
+}
+
+val of_translator : name:string -> Translator.t -> t
+
+val over_net : S4_disk.Net.t -> t -> t
+(** Interpose the network: every NFS request/response pays modelled
+    wire time (used when the translator lives server-side, Fig. 1b,
+    and for the kernel-NFS comparison servers). *)
+
+val nfs_req_bytes : Nfs_types.req -> int
+val nfs_resp_bytes : Nfs_types.resp -> int
+(** Quick size estimates; {!over_net} itself uses the exact
+    {!Xdr} encoding. *)
+
+val handle_exn : t -> Nfs_types.req -> Nfs_types.resp
+(** Raises [Failure] on [R_error]; for tests and workload setup. *)

@@ -1,0 +1,419 @@
+module N = Nfs_types
+
+exception Err = S4_util.Bcodec.Decode_error
+
+let fail fmt = Format.kasprintf (fun s -> raise (Err s)) fmt
+
+(* --- XDR primitives (big-endian 4-byte words) ----------------------- *)
+
+type w = Buffer.t
+
+let w_u32 (b : w) v =
+  Buffer.add_int32_be b (Int32.of_int (v land 0xFFFFFFFF))
+
+let w_opaque_fixed b bytes n =
+  Buffer.add_bytes b bytes;
+  let pad = (4 - (Bytes.length bytes mod 4)) mod 4 in
+  ignore n;
+  Buffer.add_string b (String.make pad '\000')
+
+let w_opaque b bytes =
+  w_u32 b (Bytes.length bytes);
+  w_opaque_fixed b bytes (Bytes.length bytes)
+
+let w_string b s = w_opaque b (Bytes.unsafe_of_string s)
+
+type r = { buf : Bytes.t; mutable pos : int }
+
+let r_u32 r =
+  if r.pos + 4 > Bytes.length r.buf then fail "xdr: truncated u32";
+  let v = Int32.to_int (Bytes.get_int32_be r.buf r.pos) land 0xFFFFFFFF in
+  r.pos <- r.pos + 4;
+  v
+
+let r_opaque_fixed r n =
+  if r.pos + n > Bytes.length r.buf then fail "xdr: truncated opaque";
+  let b = Bytes.sub r.buf r.pos n in
+  r.pos <- r.pos + n + ((4 - (n mod 4)) mod 4);
+  b
+
+let r_opaque r =
+  let n = r_u32 r in
+  r_opaque_fixed r n
+
+let r_string r = Bytes.unsafe_to_string (r_opaque r)
+
+(* --- NFSv2 structures ------------------------------------------------ *)
+
+(* 32-byte opaque fhandle: the ObjectID in the first 8 bytes. *)
+let w_fh b (fh : N.fh) =
+  let h = Bytes.make 32 '\000' in
+  Bytes.set_int64_be h 0 fh;
+  Buffer.add_bytes b h
+
+let r_fh r =
+  let h = r_opaque_fixed r 32 in
+  Bytes.get_int64_be h 0
+
+let ftype_code = function N.Freg -> 1 | N.Fdir -> 2 | N.Flnk -> 5
+
+let ftype_of_code = function
+  | 1 -> N.Freg
+  | 2 -> N.Fdir
+  | 5 -> N.Flnk
+  | c -> fail "xdr: bad ftype %d" c
+
+let split_time ns = (Int64.to_int (Int64.div ns 1_000_000_000L), Int64.to_int (Int64.rem ns 1_000_000_000L) / 1000)
+let join_time (s, us) = Int64.add (Int64.mul (Int64.of_int s) 1_000_000_000L) (Int64.of_int (us * 1000))
+
+(* fattr: type, mode, nlink, uid, gid, size, blocksize, rdev, blocks,
+   fsid, fileid, atime, mtime, ctime (each time = 2 words). *)
+let w_fattr b (a : N.attr) ~fileid =
+  w_u32 b (ftype_code a.N.ftype);
+  w_u32 b a.N.mode;
+  w_u32 b a.N.nlink;
+  w_u32 b a.N.uid;
+  w_u32 b a.N.gid;
+  w_u32 b a.N.size;
+  w_u32 b 4096;
+  w_u32 b 0;
+  w_u32 b ((a.N.size + 511) / 512);
+  w_u32 b 1;
+  w_u32 b (Int64.to_int fileid land 0xFFFFFFFF);
+  let at_s, at_us = split_time a.N.atime in
+  w_u32 b at_s;
+  w_u32 b at_us;
+  let mt_s, mt_us = split_time a.N.mtime in
+  w_u32 b mt_s;
+  w_u32 b mt_us;
+  let ct_s, ct_us = split_time a.N.ctime in
+  w_u32 b ct_s;
+  w_u32 b ct_us
+
+let r_fattr r =
+  let ftype = ftype_of_code (r_u32 r) in
+  let mode = r_u32 r in
+  let nlink = r_u32 r in
+  let uid = r_u32 r in
+  let gid = r_u32 r in
+  let size = r_u32 r in
+  let _bsize = r_u32 r in
+  let _rdev = r_u32 r in
+  let _blocks = r_u32 r in
+  let _fsid = r_u32 r in
+  let _fileid = r_u32 r in
+  let at_s = r_u32 r in
+  let at_us = r_u32 r in
+  let mt_s = r_u32 r in
+  let mt_us = r_u32 r in
+  let ct_s = r_u32 r in
+  let ct_us = r_u32 r in
+  {
+    N.ftype;
+    mode;
+    nlink;
+    uid;
+    gid;
+    size;
+    atime = join_time (at_s, at_us);
+    mtime = join_time (mt_s, mt_us);
+    ctime = join_time (ct_s, ct_us);
+  }
+
+(* NFSv2 status codes for our error type. *)
+let status_of_error = function
+  | N.Enoent -> 2
+  | N.Eio _ -> 5
+  | N.Eacces -> 13
+  | N.Eexist -> 17
+  | N.Enotdir -> 20
+  | N.Eisdir -> 21
+  | N.Enospc -> 28
+  | N.Enotempty -> 66
+
+let error_of_status = function
+  | 2 -> N.Enoent
+  | 5 -> N.Eio "remote"
+  | 13 -> N.Eacces
+  | 17 -> N.Eexist
+  | 20 -> N.Enotdir
+  | 21 -> N.Eisdir
+  | 28 -> N.Enospc
+  | 66 -> N.Enotempty
+  | c -> fail "xdr: unknown nfsstat %d" c
+
+(* --- procedures ------------------------------------------------------- *)
+
+let proc_number : N.req -> int = function
+  | N.Getattr _ -> 1
+  | N.Setattr _ -> 2
+  | N.Lookup _ -> 4
+  | N.Readlink _ -> 5
+  | N.Read _ -> 6
+  | N.Write _ -> 8
+  | N.Create _ -> 9
+  | N.Remove _ -> 10
+  | N.Rename _ -> 11
+  | N.Symlink _ -> 13
+  | N.Mkdir _ -> 14
+  | N.Rmdir _ -> 15
+  | N.Readdir _ -> 16
+  | N.Statfs -> 17
+
+let nfs_prog = 100_003
+let nfs_vers = 2
+
+(* RPC call header: xid, CALL, rpcvers=2, prog, vers, proc, null cred,
+   null verf. *)
+let w_call_header b ~xid ~proc =
+  w_u32 b xid;
+  w_u32 b 0;
+  w_u32 b 2;
+  w_u32 b nfs_prog;
+  w_u32 b nfs_vers;
+  w_u32 b proc;
+  w_u32 b 0;
+  w_u32 b 0;
+  (* AUTH_NULL cred *)
+  w_u32 b 0;
+  w_u32 b 0
+(* AUTH_NULL verf *)
+
+let r_call_header r =
+  let xid = r_u32 r in
+  let mtype = r_u32 r in
+  if mtype <> 0 then fail "xdr: not a CALL";
+  let rpcvers = r_u32 r in
+  if rpcvers <> 2 then fail "xdr: bad rpc version";
+  let prog = r_u32 r in
+  if prog <> nfs_prog then fail "xdr: not NFS";
+  let vers = r_u32 r in
+  if vers <> nfs_vers then fail "xdr: not NFSv2";
+  let proc = r_u32 r in
+  let _cred_flavor = r_u32 r in
+  let _cred_len = r_u32 r in
+  let _verf_flavor = r_u32 r in
+  let _verf_len = r_u32 r in
+  (xid, proc)
+
+(* sattr: mode,uid,gid,size,atime,mtime; -1 (0xFFFFFFFF) = don't set. *)
+let w_sattr b ~mode ~size =
+  w_u32 b (Option.value ~default:0xFFFFFFFF mode);
+  w_u32 b 0xFFFFFFFF;
+  w_u32 b 0xFFFFFFFF;
+  w_u32 b (Option.value ~default:0xFFFFFFFF size);
+  w_u32 b 0xFFFFFFFF;
+  w_u32 b 0xFFFFFFFF;
+  w_u32 b 0xFFFFFFFF;
+  w_u32 b 0xFFFFFFFF
+
+let r_sattr r =
+  let unset v = if v = 0xFFFFFFFF then None else Some v in
+  let mode = unset (r_u32 r) in
+  let _uid = r_u32 r in
+  let _gid = r_u32 r in
+  let size = unset (r_u32 r) in
+  let _ = r_u32 r and _ = r_u32 r and _ = r_u32 r and _ = r_u32 r in
+  (mode, size)
+
+let encode_req ~xid req =
+  let b = Buffer.create 128 in
+  w_call_header b ~xid ~proc:(proc_number req);
+  (match req with
+   | N.Getattr fh | N.Readlink fh | N.Readdir fh -> w_fh b fh
+   | N.Setattr { fh; mode; size } ->
+     w_fh b fh;
+     w_sattr b ~mode ~size
+   | N.Lookup { dir; name } | N.Remove { dir; name } | N.Rmdir { dir; name } ->
+     w_fh b dir;
+     w_string b name
+   | N.Read { fh; off; len } ->
+     w_fh b fh;
+     w_u32 b off;
+     w_u32 b len;
+     w_u32 b 0
+   | N.Write { fh; off; data } ->
+     w_fh b fh;
+     w_u32 b 0;
+     w_u32 b off;
+     w_u32 b 0;
+     w_opaque b data
+   | N.Create { dir; name; mode } | N.Mkdir { dir; name; mode } ->
+     w_fh b dir;
+     w_string b name;
+     w_sattr b ~mode:(Some mode) ~size:(Some 0)
+   | N.Rename { from_dir; from_name; to_dir; to_name } ->
+     w_fh b from_dir;
+     w_string b from_name;
+     w_fh b to_dir;
+     w_string b to_name
+   | N.Symlink { dir; name; target } ->
+     w_fh b dir;
+     w_string b name;
+     w_string b target;
+     w_sattr b ~mode:(Some 0o777) ~size:None
+   | N.Statfs -> w_fh b 0L);
+  Buffer.to_bytes b
+
+let decode_req buf =
+  let r = { buf; pos = 0 } in
+  let xid, proc = r_call_header r in
+  let req =
+    match proc with
+    | 1 -> N.Getattr (r_fh r)
+    | 2 ->
+      let fh = r_fh r in
+      let mode, size = r_sattr r in
+      N.Setattr { fh; mode; size }
+    | 4 ->
+      let dir = r_fh r in
+      N.Lookup { dir; name = r_string r }
+    | 5 -> N.Readlink (r_fh r)
+    | 6 ->
+      let fh = r_fh r in
+      let off = r_u32 r in
+      let len = r_u32 r in
+      let _total = r_u32 r in
+      N.Read { fh; off; len }
+    | 8 ->
+      let fh = r_fh r in
+      let _begin_off = r_u32 r in
+      let off = r_u32 r in
+      let _total = r_u32 r in
+      N.Write { fh; off; data = r_opaque r }
+    | 9 | 14 ->
+      let dir = r_fh r in
+      let name = r_string r in
+      let mode, _ = r_sattr r in
+      let mode = Option.value ~default:0o644 mode in
+      if proc = 9 then N.Create { dir; name; mode } else N.Mkdir { dir; name; mode }
+    | 10 ->
+      let dir = r_fh r in
+      N.Remove { dir; name = r_string r }
+    | 11 ->
+      let from_dir = r_fh r in
+      let from_name = r_string r in
+      let to_dir = r_fh r in
+      let to_name = r_string r in
+      N.Rename { from_dir; from_name; to_dir; to_name }
+    | 13 ->
+      let dir = r_fh r in
+      let name = r_string r in
+      let target = r_string r in
+      let _ = r_sattr r in
+      N.Symlink { dir; name; target }
+    | 15 ->
+      let dir = r_fh r in
+      N.Rmdir { dir; name = r_string r }
+    | 16 -> N.Readdir (r_fh r)
+    | 17 ->
+      let _ = r_fh r in
+      N.Statfs
+    | p -> fail "xdr: unknown procedure %d" p
+  in
+  (xid, req)
+
+(* RPC reply header: xid, REPLY, MSG_ACCEPTED, null verf, SUCCESS. *)
+let w_reply_header b ~xid =
+  w_u32 b xid;
+  w_u32 b 1;
+  w_u32 b 0;
+  w_u32 b 0;
+  w_u32 b 0;
+  w_u32 b 0
+
+let r_reply_header r =
+  let xid = r_u32 r in
+  let mtype = r_u32 r in
+  if mtype <> 1 then fail "xdr: not a REPLY";
+  let _accepted = r_u32 r in
+  let _verf_flavor = r_u32 r in
+  let _verf_len = r_u32 r in
+  let _accept_stat = r_u32 r in
+  xid
+
+let encode_resp ~xid ~proc resp =
+  let b = Buffer.create 128 in
+  w_reply_header b ~xid;
+  (match resp with
+   | N.R_error e -> w_u32 b (status_of_error e)
+   | _ ->
+     w_u32 b 0 (* NFS_OK *);
+     (match (resp, proc) with
+      | N.R_attr a, _ -> w_fattr b a ~fileid:0L
+      | N.R_fh (fh, a), _ ->
+        w_fh b fh;
+        w_fattr b a ~fileid:fh
+      | N.R_data data, 6 ->
+        w_fattr b (N.fresh_attr N.Freg ~uid:0 ~now:0L) ~fileid:0L;
+        w_opaque b data
+      | N.R_data data, _ -> w_opaque b data
+      | N.R_link s, _ -> w_string b s
+      | N.R_entries entries, _ ->
+        List.iteri
+          (fun i (e : N.dirent) ->
+            w_u32 b 1 (* value follows *);
+            w_u32 b (Int64.to_int e.N.fh land 0xFFFFFFFF);
+            w_string b e.N.name;
+            w_u32 b (i + 1) (* cookie *))
+          entries;
+        w_u32 b 0 (* no more *);
+        w_u32 b 1 (* eof *)
+      | N.R_unit, _ -> ()
+      | N.R_statfs { total_bytes; free_bytes }, _ ->
+        w_u32 b 8192;
+        w_u32 b 4096;
+        w_u32 b (total_bytes / 4096);
+        w_u32 b (free_bytes / 4096);
+        w_u32 b (free_bytes / 4096)
+      | N.R_error _, _ -> assert false (* handled above *)));
+  Buffer.to_bytes b
+
+let decode_resp ~proc buf =
+  let r = { buf; pos = 0 } in
+  let xid = r_reply_header r in
+  let status = r_u32 r in
+  if status <> 0 then (xid, N.R_error (error_of_status status))
+  else begin
+    let resp =
+      match proc with
+      | 1 | 2 | 8 -> N.R_attr (r_fattr r)
+      | 4 | 9 | 14 ->
+        let fh = r_fh r in
+        N.R_fh (fh, r_fattr r)
+      | 5 -> N.R_link (r_string r)
+      | 6 ->
+        let _attr = r_fattr r in
+        N.R_data (r_opaque r)
+      | 10 | 11 | 13 | 15 -> N.R_unit
+      | 16 ->
+        let rec entries acc =
+          if r_u32 r = 1 then begin
+            let fileid = r_u32 r in
+            let name = r_string r in
+            let _cookie = r_u32 r in
+            entries ({ N.name; fh = Int64.of_int fileid } :: acc)
+          end
+          else List.rev acc
+        in
+        let es = entries [] in
+        let _eof = r_u32 r in
+        N.R_entries es
+      | 17 ->
+        let _tsize = r_u32 r in
+        let bsize = r_u32 r in
+        let blocks = r_u32 r in
+        let _bfree = r_u32 r in
+        let bavail = r_u32 r in
+        N.R_statfs { total_bytes = blocks * bsize; free_bytes = bavail * bsize }
+      | p -> fail "xdr: unknown reply procedure %d" p
+    in
+    (xid, resp)
+  end
+
+let req_wire_bytes req = Bytes.length (encode_req ~xid:0 req)
+let resp_wire_bytes resp =
+  (* Size does not depend on the procedure except for READ replies,
+     which prepend attributes; use proc 6 for data replies. *)
+  let proc = match resp with N.R_data _ -> 6 | _ -> 0 in
+  Bytes.length (encode_resp ~xid:0 ~proc resp)

@@ -1,0 +1,23 @@
+(** XDR (RFC 1014) marshalling for the NFSv2 procedures used here.
+
+    The simulator mostly needs message *sizes*, but encoding for real
+    keeps the network model honest (RPC header, 32-byte opaque file
+    handles, 4-byte alignment, padded strings) and gives the test suite
+    a wire format to round-trip. Layouts follow RFC 1094; the RPC
+    header is a fixed null-auth call/reply. *)
+
+val proc_number : Nfs_types.req -> int
+(** NFSv2 procedure number (GETATTR=1 ... STATFS=17). *)
+
+val encode_req : xid:int -> Nfs_types.req -> Bytes.t
+val decode_req : Bytes.t -> int * Nfs_types.req
+(** Returns (xid, request).
+    @raise S4_util.Bcodec.Decode_error on malformed input. *)
+
+val encode_resp : xid:int -> proc:int -> Nfs_types.resp -> Bytes.t
+val decode_resp : proc:int -> Bytes.t -> int * Nfs_types.resp
+(** The reply body layout depends on the procedure, as in ONC RPC. *)
+
+val req_wire_bytes : Nfs_types.req -> int
+val resp_wire_bytes : Nfs_types.resp -> int
+(** Exact encoded sizes (encoding then measuring). *)

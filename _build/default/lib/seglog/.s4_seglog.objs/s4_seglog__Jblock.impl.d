@@ -1,0 +1,1 @@
+lib/seglog/jblock.ml: Bytes Int32 Int64 List S4_util

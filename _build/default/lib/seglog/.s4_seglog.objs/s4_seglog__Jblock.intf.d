@@ -1,0 +1,1 @@
+lib/seglog/jblock.mli: Bytes

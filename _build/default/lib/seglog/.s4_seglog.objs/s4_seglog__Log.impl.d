@@ -1,0 +1,1 @@
+lib/seglog/log.ml: Array Bytes Char Format Hashtbl Jblock List Option Printf S4_disk Stdlib Summary Tag

@@ -1,0 +1,1 @@
+lib/seglog/log.mli: Bytes Format Jblock S4_disk S4_util Tag

@@ -1,0 +1,1 @@
+lib/seglog/summary.ml: Array Bytes Int32 S4_util Tag

@@ -1,0 +1,1 @@
+lib/seglog/summary.mli: Bytes Tag

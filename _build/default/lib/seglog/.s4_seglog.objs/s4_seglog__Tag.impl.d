@@ -1,0 +1,1 @@
+lib/seglog/tag.ml: Format Printf S4_util

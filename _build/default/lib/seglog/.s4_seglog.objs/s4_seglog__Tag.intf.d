@@ -1,0 +1,1 @@
+lib/seglog/tag.mli: Format S4_util

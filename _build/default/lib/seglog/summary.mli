@@ -1,0 +1,14 @@
+(** Segment summary codec.
+
+    A summary records, for every block slot of a segment, what was
+    written there (its {!Tag.t}), plus the segment's allocation epoch —
+    a monotonically increasing counter that lets crash recovery replay
+    segments in the order they were filled. The summary occupies the
+    last block slot of its segment and is written when the segment
+    closes. *)
+
+type t = { epoch : int; tags : Tag.t array }
+
+val encode : block_size:int -> t -> Bytes.t
+val decode : Bytes.t -> t option
+(** [None] if the block is not a valid summary (magic/CRC). *)

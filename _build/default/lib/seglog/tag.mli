@@ -1,0 +1,33 @@
+(** Identity of a log block, recorded in segment summaries.
+
+    Every block written to the log carries a tag saying what it is and,
+    where applicable, which object and file offset it belongs to. The
+    cleaner uses tags to relocate live blocks; crash recovery uses them
+    to find journal and checkpoint blocks. *)
+
+type t =
+  | Data of { oid : int64; fblock : int }
+      (** object data; [fblock] is the block index within the object *)
+  | Journal  (** packed journal entries (possibly several objects) *)
+  | Checkpoint of { oid : int64 }
+      (** dedicated (multi-block) metadata image for one large object *)
+  | Ckpack  (** packed checkpoint block: many small objects' images *)
+  | Objmap
+      (** reserved for a persistent object map; the store recovers by
+          scanning self-identifying blocks instead, so this tag is
+          currently unused *)
+  | Audit  (** audit-log block (reserved object) *)
+  | Summary  (** segment summary block *)
+  | Unknown
+      (** assigned by crash-recovery probing to non-empty blocks it
+          cannot identify (e.g. audit blocks in a segment whose summary
+          was never written); their owners re-identify and re-tag them
+          via [mark_live] *)
+
+val equal : t -> t -> bool
+val encode : S4_util.Bcodec.writer -> t -> unit
+val decode : S4_util.Bcodec.reader -> t
+val pp : Format.formatter -> t -> unit
+
+val oid : t -> int64 option
+(** Owning object, when the tag has one. *)

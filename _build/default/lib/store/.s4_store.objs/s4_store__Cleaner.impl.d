@@ -1,0 +1,1 @@
+lib/store/cleaner.ml: Array Bytes Entry Fun Int64 List Obj_store S4_compress S4_disk S4_seglog S4_util

@@ -1,0 +1,1 @@
+lib/store/cleaner.mli: Obj_store

@@ -1,0 +1,1 @@
+lib/store/entry.ml: Bytes Format List Printf S4_seglog S4_util

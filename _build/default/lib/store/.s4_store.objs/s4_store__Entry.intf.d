@@ -1,0 +1,1 @@
+lib/store/entry.mli: Bytes Format S4_seglog

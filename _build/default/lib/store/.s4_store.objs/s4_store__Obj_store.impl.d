@@ -1,0 +1,1 @@
+lib/store/obj_store.ml: Array Bytes Entry Format Hashtbl Int32 Int64 List Lru Option S4_seglog S4_util

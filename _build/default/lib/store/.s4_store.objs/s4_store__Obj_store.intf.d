@@ -1,0 +1,1 @@
+lib/store/obj_store.mli: Bytes Entry Format S4_seglog S4_util

@@ -1,0 +1,215 @@
+module Log = S4_seglog.Log
+module Simclock = S4_util.Simclock
+module Delta = S4_compress.Delta
+module Lz = S4_compress.Lz
+
+type report = {
+  expired_entries : int;
+  expired_blocks : int;
+  expired_objects : int;
+  segments_reclaimed : int;
+  segments_compacted : int;
+  blocks_moved : int;
+  free_segments_before : int;
+  free_segments_after : int;
+}
+
+let empty_report =
+  {
+    expired_entries = 0;
+    expired_blocks = 0;
+    expired_objects = 0;
+    segments_reclaimed = 0;
+    segments_compacted = 0;
+    blocks_moved = 0;
+    free_segments_before = 0;
+    free_segments_after = 0;
+  }
+
+type mode =
+  | Charged
+  | Free
+  | Overlapped
+
+type t = {
+  store : Obj_store.t;
+  mutable window : int64;
+  live_threshold : float;
+  max_segments_per_run : int;
+  mutable mode : mode;
+  mutable on_audit_move : Obj_store.addr -> Obj_store.addr -> unit;
+  mutable totals : report;
+}
+
+let day_ns = Int64.mul 86_400L 1_000_000_000L
+
+let create ?(window = Int64.mul 7L day_ns) ?(live_threshold = 0.75)
+    ?(max_segments_per_run = 8) store =
+  {
+    store;
+    window;
+    live_threshold;
+    max_segments_per_run;
+    mode = Charged;
+    on_audit_move = (fun _ _ -> ());
+    totals = empty_report;
+  }
+
+let window t = t.window
+let set_window t w = if Int64.compare w 0L < 0 then invalid_arg "Cleaner.set_window" else t.window <- w
+let set_mode t m = t.mode <- m
+let mode t = t.mode
+let set_charged t v = t.mode <- (if v then Charged else Free)
+let set_on_audit_move t f = t.on_audit_move <- f
+
+let cutoff t =
+  let now = Simclock.now (Obj_store.clock t.store) in
+  let c = Int64.sub now t.window in
+  if Int64.compare c 0L < 0 then 0L else c
+
+let add_totals t r =
+  t.totals <-
+    {
+      expired_entries = t.totals.expired_entries + r.expired_entries;
+      expired_blocks = t.totals.expired_blocks + r.expired_blocks;
+      expired_objects = t.totals.expired_objects + r.expired_objects;
+      segments_reclaimed = t.totals.segments_reclaimed + r.segments_reclaimed;
+      segments_compacted = t.totals.segments_compacted + r.segments_compacted;
+      blocks_moved = t.totals.blocks_moved + r.blocks_moved;
+      free_segments_before = r.free_segments_before;
+      free_segments_after = r.free_segments_after;
+    }
+
+let totals t = t.totals
+
+(* Closed segments worth compacting, emptiest first. *)
+let victims t log =
+  Log.segments log
+  |> Array.to_list
+  |> List.filter_map (fun info ->
+         if info.Log.seg_state = Log.Closed && info.Log.seg_written > 0 then begin
+           let ratio =
+             float_of_int info.Log.seg_live /. float_of_int (Log.blocks_per_segment log - 1)
+           in
+           if ratio > 0.0 && ratio < t.live_threshold then Some (info.Log.seg_index, ratio)
+           else None
+         end
+         else None)
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+  |> List.filteri (fun i _ -> i < t.max_segments_per_run)
+  |> List.map fst
+
+let run ?(idle_ns = 0L) t =
+  let log = Obj_store.log t.store in
+  let disk = S4_disk.Sim_disk.clock (Log.disk log) in
+  ignore disk;
+  let stats = Obj_store.stats t.store in
+  let before_entries = stats.Obj_store.entries_expired in
+  let before_blocks = stats.Obj_store.blocks_expired in
+  let before_objects = stats.Obj_store.objects_expired in
+  let free_segments_before = Log.free_segments log in
+  (match t.mode with
+   | Charged -> ()
+   | Free -> Log.charge_io log false
+   | Overlapped ->
+     S4_disk.Sim_disk.reset_phantom (Log.disk log);
+     S4_disk.Sim_disk.set_phantom (Log.disk log) true);
+  Fun.protect
+    ~finally:(fun () ->
+      match t.mode with
+      | Charged -> ()
+      | Free -> Log.charge_io log true
+      | Overlapped ->
+        let d = Log.disk log in
+        S4_disk.Sim_disk.set_phantom d false;
+        let cost = S4_disk.Sim_disk.phantom_ns d in
+        S4_disk.Sim_disk.reset_phantom d;
+        (* The background cleaner absorbs foreground idle disk time;
+           only the excess delays the foreground. *)
+        let excess = Int64.sub cost idle_ns in
+        if Int64.compare excess 0L > 0 then
+          S4_util.Simclock.advance (Log.clock log) excess)
+    (fun () ->
+      Obj_store.expire t.store ~cutoff:(cutoff t);
+      let reclaimed = Log.reclaim_dead_segments log in
+      let compacted = ref 0 in
+      let moved = ref 0 in
+      List.iter
+        (fun seg ->
+          (* Compaction consumes log head space; keep a reserve so the
+             cleaner cannot wedge the log itself. *)
+          if Log.free_segments log > 2 then begin
+            match Obj_store.compact_segment t.store ~seg ~on_audit_move:t.on_audit_move () with
+            | Ok n ->
+              incr compacted;
+              moved := !moved + n
+            | Error _ -> ()
+          end;
+          ignore (Log.reclaim_dead_segments log))
+        (victims t log);
+      Obj_store.sync t.store;
+      let reclaimed = reclaimed + Log.reclaim_dead_segments log in
+      let r =
+        {
+          expired_entries = stats.Obj_store.entries_expired - before_entries;
+          expired_blocks = stats.Obj_store.blocks_expired - before_blocks;
+          expired_objects = stats.Obj_store.objects_expired - before_objects;
+          segments_reclaimed = reclaimed;
+          segments_compacted = !compacted;
+          blocks_moved = !moved;
+          free_segments_before;
+          free_segments_after = Log.free_segments log;
+        }
+      in
+      add_totals t r;
+      r)
+
+let run_if_needed t ~min_free_segments =
+  let log = Obj_store.log t.store in
+  if Log.free_segments log < min_free_segments then Some (run t) else None
+
+type differencing = {
+  history_blocks : int;
+  history_bytes : int;
+  delta_bytes : int;
+  delta_compressed_bytes : int;
+}
+
+let measure_differencing t =
+  let store = t.store in
+  let log = Obj_store.log store in
+  let block_size = Log.block_size log in
+  let history_blocks = ref 0 in
+  let delta_bytes = ref 0 in
+  let delta_compressed_bytes = ref 0 in
+  let consider_pair ~old_addr ~succ_addr =
+    if old_addr <> Log.none && Log.is_live log old_addr then begin
+      incr history_blocks;
+      let target = Log.peek log old_addr in
+      let source =
+        if succ_addr <> Log.none then Log.peek log succ_addr else Bytes.empty
+      in
+      let d = Delta.encode ~source ~target in
+      delta_bytes := !delta_bytes + Bytes.length d;
+      delta_compressed_bytes := !delta_compressed_bytes + Bytes.length (Lz.compress d)
+    end
+  in
+  let scan_entry (e : Entry.t) =
+    match e.Entry.op with
+    | Entry.Write { blocks; _ } ->
+      List.iter (fun (_, succ, old) -> consider_pair ~old_addr:old ~succ_addr:succ) blocks
+    | Entry.Truncate { freed; _ } ->
+      List.iter (fun (_, old) -> consider_pair ~old_addr:old ~succ_addr:Log.none) freed
+    | Entry.Create | Entry.Set_attr _ | Entry.Set_acl _ | Entry.Delete _
+    | Entry.Checkpoint _ | Entry.Relocate _ ->
+      ()
+  in
+  List.iter
+    (fun oid -> List.iter scan_entry (Obj_store.journal store oid))
+    (Obj_store.list_all store);
+  {
+    history_blocks = !history_blocks;
+    history_bytes = !history_blocks * block_size;
+    delta_bytes = !delta_bytes;
+    delta_compressed_bytes = !delta_compressed_bytes;
+  }

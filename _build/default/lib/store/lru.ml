@@ -1,0 +1,126 @@
+(* Doubly-linked list threaded through a hash table; head = most
+   recently used, tail = eviction victim. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable node_cost : int;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  on_evict : 'k -> 'v -> unit;
+  budget : int;
+  mutable total_cost : int;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(on_evict = fun _ _ -> ()) ~budget () =
+  if budget < 0 then invalid_arg "Lru.create";
+  {
+    table = Hashtbl.create 1024;
+    on_evict;
+    budget;
+    total_cost = 0;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let budget t = t.budget
+let cost t = t.total_cost
+let length t = Hashtbl.length t.table
+let mem t k = Hashtbl.mem t.table k
+let hits t = t.hits
+let misses t = t.misses
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let is_head t n = match t.head with Some h -> h == n | None -> false
+
+let touch t n =
+  if not (is_head t n) then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+    t.hits <- t.hits + 1;
+    touch t n;
+    Some n.value
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table k)
+
+let drop_node t n ~evict =
+  unlink t n;
+  Hashtbl.remove t.table n.key;
+  t.total_cost <- t.total_cost - n.node_cost;
+  if evict then t.on_evict n.key n.value
+
+let rec evict_until_fits t =
+  if t.total_cost > t.budget && Hashtbl.length t.table > 1 then
+    match t.tail with
+    | Some n ->
+      drop_node t n ~evict:true;
+      evict_until_fits t
+    | None -> ()
+(* a single oversized entry is tolerated *)
+
+let insert t k v ~cost =
+  if cost < 0 then invalid_arg "Lru.insert: negative cost";
+  (match Hashtbl.find_opt t.table k with
+   | Some n ->
+     t.total_cost <- t.total_cost - n.node_cost + cost;
+     n.value <- v;
+     n.node_cost <- cost;
+     touch t n
+   | None ->
+     let n = { key = k; value = v; node_cost = cost; prev = None; next = None } in
+     Hashtbl.replace t.table k n;
+     t.total_cost <- t.total_cost + cost;
+     push_front t n);
+  evict_until_fits t
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n -> drop_node t n ~evict:false
+  | None -> ()
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.total_cost <- 0
+
+let flush t =
+  let rec loop () =
+    match t.tail with
+    | Some n ->
+      drop_node t n ~evict:true;
+      loop ()
+    | None -> ()
+  in
+  loop ()
+
+let iter t f = Hashtbl.iter (fun k n -> f k n.value) t.table

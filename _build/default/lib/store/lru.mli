@@ -1,0 +1,40 @@
+(** Generic LRU cache with a cost budget.
+
+    Entries carry an integer cost (bytes, typically); inserting past
+    the budget evicts least-recently-used entries, invoking the
+    eviction callback (used by the object cache to checkpoint dirty
+    metadata before it leaves memory). *)
+
+type ('k, 'v) t
+
+val create : ?on_evict:('k -> 'v -> unit) -> budget:int -> unit -> ('k, 'v) t
+val budget : ('k, 'v) t -> int
+val cost : ('k, 'v) t -> int
+(** Sum of costs of resident entries. *)
+
+val length : ('k, 'v) t -> int
+val mem : ('k, 'v) t -> 'k -> bool
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Touches the entry (moves it to most-recent). *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** No touch. *)
+
+val insert : ('k, 'v) t -> 'k -> 'v -> cost:int -> unit
+(** Adds or replaces; evicts LRU entries until within budget. An entry
+    larger than the whole budget is still admitted alone. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+(** Removes without invoking the eviction callback. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drops everything without invoking the eviction callback. *)
+
+val flush : ('k, 'v) t -> unit
+(** Invokes the eviction callback on everything, then drops it. *)
+
+val hits : ('k, 'v) t -> int
+val misses : ('k, 'v) t -> int
+(** [find] result counters. *)
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/tools/diagnosis.ml: Format Hashtbl Int64 List S4

@@ -1,0 +1,1 @@
+lib/tools/diagnosis.mli: Format S4

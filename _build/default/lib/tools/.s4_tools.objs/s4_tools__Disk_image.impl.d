@@ -1,0 +1,1 @@
+lib/tools/disk_image.ml: Buffer Bytes Fun Int32 Int64 S4_disk S4_util String

@@ -1,0 +1,1 @@
+lib/tools/disk_image.mli: S4_disk S4_util

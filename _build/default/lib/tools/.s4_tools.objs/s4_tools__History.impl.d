@@ -1,0 +1,1 @@
+lib/tools/history.ml: Bytes Format List Result S4 S4_nfs S4_store String

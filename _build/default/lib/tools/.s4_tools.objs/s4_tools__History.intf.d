@@ -1,0 +1,1 @@
+lib/tools/history.mli: Bytes Nfs_fh S4 S4_nfs S4_store

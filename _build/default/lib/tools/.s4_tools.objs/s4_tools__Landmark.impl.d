@@ -1,0 +1,1 @@
+lib/tools/landmark.ml: Bytes Format List S4 S4_util

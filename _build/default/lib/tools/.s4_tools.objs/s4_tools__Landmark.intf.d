@@ -1,0 +1,1 @@
+lib/tools/landmark.mli: Bytes S4

@@ -1,0 +1,1 @@
+lib/tools/nfs_fh.ml:

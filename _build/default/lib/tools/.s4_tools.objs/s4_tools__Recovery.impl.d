@@ -1,0 +1,1 @@
+lib/tools/recovery.ml: Bytes Format History List S4 S4_nfs S4_store

@@ -1,0 +1,1 @@
+lib/tools/recovery.mli: Format Nfs_fh S4

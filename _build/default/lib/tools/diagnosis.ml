@@ -1,0 +1,110 @@
+module Drive = S4.Drive
+module Audit = S4.Audit
+
+type activity = {
+  a_oid : int64;
+  a_reads : int;
+  a_writes : int;
+  a_deleted : bool;
+  a_created : bool;
+  a_acl_changed : bool;
+  a_first : int64;
+  a_last : int64;
+}
+
+let matches ?user ?client (r : Audit.record) =
+  (match user with Some u -> r.Audit.user = u | None -> true)
+  && (match client with Some c -> r.Audit.client = c | None -> true)
+
+let records_in drive ~since ~until =
+  Audit.records (Drive.audit drive) ~since ~until ()
+
+let damage_report ?user ?client ~since ~until drive =
+  let tbl : (int64, activity) Hashtbl.t = Hashtbl.create 64 in
+  let note (r : Audit.record) =
+    if r.Audit.ok && r.Audit.oid <> 0L && matches ?user ?client r then begin
+      let a =
+        match Hashtbl.find_opt tbl r.Audit.oid with
+        | Some a -> a
+        | None ->
+          {
+            a_oid = r.Audit.oid;
+            a_reads = 0;
+            a_writes = 0;
+            a_deleted = false;
+            a_created = false;
+            a_acl_changed = false;
+            a_first = r.Audit.at;
+            a_last = r.Audit.at;
+          }
+      in
+      let a =
+        match r.Audit.op with
+        | "read" | "getattr" | "getacl_user" | "getacl_index" -> { a with a_reads = a.a_reads + 1 }
+        | "write" | "append" | "truncate" | "setattr" -> { a with a_writes = a.a_writes + 1 }
+        | "delete" -> { a with a_deleted = true }
+        | "create" -> { a with a_created = true }
+        | "setacl" -> { a with a_acl_changed = true }
+        | _ -> a
+      in
+      Hashtbl.replace tbl r.Audit.oid { a with a_last = max a.a_last r.Audit.at }
+    end
+  in
+  List.iter note (records_in drive ~since ~until);
+  Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
+  |> List.sort (fun x y -> compare y.a_last x.a_last)
+
+type taint_edge = { src : int64; dst : int64; gap_ns : int64 }
+
+let is_read_op op = op = "read"
+let is_write_op op = op = "write" || op = "append"
+
+let taint_edges ?user ?client ?(horizon_ns = 5_000_000_000L) ~since ~until drive =
+  let records =
+    List.filter (fun r -> r.Audit.ok && matches ?user ?client r) (records_in drive ~since ~until)
+  in
+  let seen = Hashtbl.create 64 in
+  let edges = ref [] in
+  (* For each write, look back for reads by the same principal within
+     the horizon. *)
+  let rec scan_back writes reads =
+    match writes with
+    | [] -> ()
+    | (w : Audit.record) :: rest ->
+      List.iter
+        (fun (r : Audit.record) ->
+          let gap = Int64.sub w.Audit.at r.Audit.at in
+          if
+            Int64.compare gap 0L >= 0
+            && Int64.compare gap horizon_ns <= 0
+            && r.Audit.oid <> w.Audit.oid
+            && r.Audit.user = w.Audit.user
+            && r.Audit.client = w.Audit.client
+            && not (Hashtbl.mem seen (r.Audit.oid, w.Audit.oid))
+          then begin
+            Hashtbl.replace seen (r.Audit.oid, w.Audit.oid) ();
+            edges := { src = r.Audit.oid; dst = w.Audit.oid; gap_ns = gap } :: !edges
+          end)
+        reads;
+      scan_back rest reads
+  in
+  let writes = List.filter (fun r -> is_write_op r.Audit.op) records in
+  let reads = List.filter (fun r -> is_read_op r.Audit.op) records in
+  scan_back writes reads;
+  List.rev !edges
+
+let timeline ~oid ~since ~until drive =
+  List.filter (fun (r : Audit.record) -> r.Audit.oid = oid) (records_in drive ~since ~until)
+
+let suspicious_denials ~since ~until drive =
+  List.filter (fun (r : Audit.record) -> not r.Audit.ok) (records_in drive ~since ~until)
+
+let pp_activity ppf a =
+  Format.fprintf ppf "oid %Ld: %d reads, %d writes%s%s%s" a.a_oid a.a_reads a.a_writes
+    (if a.a_created then ", created" else "")
+    (if a.a_deleted then ", DELETED" else "")
+    (if a.a_acl_changed then ", ACL CHANGED" else "")
+
+let pp_taint_edge ppf e =
+  Format.fprintf ppf "%Ld -> %Ld (read %.2f s before write)" e.src e.dst
+    (Int64.to_float e.gap_ns /. 1e9)

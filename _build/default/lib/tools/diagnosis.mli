@@ -1,0 +1,47 @@
+(** Intrusion diagnosis from the drive's audit log (Section 3.6).
+
+    Given the audit records for the compromise window, these tools
+    answer the administrator's questions: which objects did the
+    suspicious client or account touch, what was the order of events,
+    and where might tainted data have propagated (an object read
+    shortly before another was written is a candidate dependency, e.g.
+    a trojaned source file and the object file compiled from it). *)
+
+type activity = {
+  a_oid : int64;
+  a_reads : int;
+  a_writes : int;  (** writes, appends, truncates *)
+  a_deleted : bool;
+  a_created : bool;
+  a_acl_changed : bool;
+  a_first : int64;
+  a_last : int64;
+}
+
+val damage_report :
+  ?user:int -> ?client:int -> since:int64 -> until:int64 -> S4.Drive.t -> activity list
+(** Per-object summary of what the given principal did in the window,
+    most recently touched first. Omitting both [user] and [client]
+    reports everyone's activity. *)
+
+type taint_edge = {
+  src : int64;  (** object read *)
+  dst : int64;  (** object written shortly after by the same principal *)
+  gap_ns : int64;
+}
+
+val taint_edges :
+  ?user:int -> ?client:int -> ?horizon_ns:int64 ->
+  since:int64 -> until:int64 -> S4.Drive.t -> taint_edge list
+(** Read-before-write dependency candidates within [horizon_ns]
+    (default 5 simulated seconds), deduplicated; an imperfect but
+    useful propagation estimate, as the paper notes. *)
+
+val timeline : oid:int64 -> since:int64 -> until:int64 -> S4.Drive.t -> S4.Audit.record list
+(** Every audited request touching one object, in order. *)
+
+val suspicious_denials : since:int64 -> until:int64 -> S4.Drive.t -> S4.Audit.record list
+(** Rejected requests (permission probes) in the window. *)
+
+val pp_activity : Format.formatter -> activity -> unit
+val pp_taint_edge : Format.formatter -> taint_edge -> unit

@@ -1,0 +1,96 @@
+(* Host-file persistence for simulated disks, so the CLI can operate on
+   a drive across invocations. The image holds the geometry, the
+   simulated clock, and the sparse sector contents. *)
+
+module Bcodec = S4_util.Bcodec
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+
+let magic = "S4IMG1\n"
+
+let save path (clock : Simclock.t) (disk : Sim_disk.t) =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc magic;
+      let g = Sim_disk.geometry disk in
+      let w = Bcodec.writer () in
+      Bcodec.w_string w g.Geometry.name;
+      Bcodec.w_int w g.Geometry.sector_size;
+      Bcodec.w_int w g.Geometry.sectors;
+      Bcodec.w_int w g.Geometry.rpm;
+      Bcodec.w_int w g.Geometry.track_sectors;
+      Bcodec.w_i64 w (Int64.bits_of_float g.Geometry.min_seek_ms);
+      Bcodec.w_i64 w (Int64.bits_of_float g.Geometry.avg_seek_ms);
+      Bcodec.w_i64 w (Int64.bits_of_float g.Geometry.max_seek_ms);
+      Bcodec.w_i64 w (Int64.bits_of_float g.Geometry.transfer_mb_s);
+      Bcodec.w_i64 w (Simclock.now clock);
+      let header = Bcodec.contents w in
+      output_binary_int oc (Bytes.length header);
+      output_bytes oc header;
+      (* Sparse sector dump: scan for sectors with content. *)
+      let ss = g.Geometry.sector_size in
+      let zero = Bytes.make ss '\000' in
+      let count = ref 0 in
+      let payload = Buffer.create (1 lsl 20) in
+      for lba = 0 to g.Geometry.sectors - 1 do
+        let b = Sim_disk.peek disk ~lba ~sectors:1 in
+        if not (Bytes.equal b zero) then begin
+          incr count;
+          Buffer.add_int32_be payload (Int32.of_int lba);
+          Buffer.add_bytes payload b
+        end
+      done;
+      output_binary_int oc !count;
+      Buffer.output_buffer oc payload)
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith (path ^ ": not an S4 image");
+      let hlen = input_binary_int ic in
+      let header = Bytes.create hlen in
+      really_input ic header 0 hlen;
+      let r = Bcodec.reader header in
+      let name = Bcodec.r_string r in
+      let sector_size = Bcodec.r_int r in
+      let sectors = Bcodec.r_int r in
+      let rpm = Bcodec.r_int r in
+      let track_sectors = Bcodec.r_int r in
+      let min_seek_ms = Int64.float_of_bits (Bcodec.r_i64 r) in
+      let avg_seek_ms = Int64.float_of_bits (Bcodec.r_i64 r) in
+      let max_seek_ms = Int64.float_of_bits (Bcodec.r_i64 r) in
+      let transfer_mb_s = Int64.float_of_bits (Bcodec.r_i64 r) in
+      let now = Bcodec.r_i64 r in
+      let geometry =
+        {
+          Geometry.name;
+          sector_size;
+          sectors;
+          rpm;
+          track_sectors;
+          min_seek_ms;
+          avg_seek_ms;
+          max_seek_ms;
+          transfer_mb_s;
+        }
+      in
+      let clock = Simclock.create () in
+      Simclock.set clock now;
+      let disk = Sim_disk.create ~geometry clock in
+      let count = input_binary_int ic in
+      let ss = sector_size in
+      for _ = 1 to count do
+        let lba_buf = Bytes.create 4 in
+        really_input ic lba_buf 0 4;
+        let lba = Int32.to_int (Bytes.get_int32_be lba_buf 0) in
+        let data = Bytes.create ss in
+        really_input ic data 0 ss;
+        Sim_disk.poke disk ~lba ~data
+      done;
+      (clock, disk))

@@ -1,0 +1,12 @@
+(** Host-file persistence for simulated disks.
+
+    Lets tools (notably [bin/s4cli]) keep a whole self-securing drive —
+    geometry, simulated clock, and sparse sector contents — in an
+    ordinary file across process runs, exercising the crash-recovery
+    path ({!S4.Drive.attach}) on every load. *)
+
+val save : string -> S4_util.Simclock.t -> S4_disk.Sim_disk.t -> unit
+
+val load : string -> S4_util.Simclock.t * S4_disk.Sim_disk.t
+(** @raise Failure if the file is not an S4 image;
+    @raise Sys_error on I/O problems. *)

@@ -1,0 +1,40 @@
+(** Time-enhanced file system browsing (the paper's Section 3.6
+    version/administration tools: "time-enhanced versions of standard
+    utilities such as ls and cp").
+
+    These tools bridge the gap between the raw versions the drive
+    stores and a file-level view: they understand the NFS overlay
+    (directory slots, attribute encoding) and use the drive's
+    time-based read interface, so an administrator can explore the
+    file system exactly as it was at any instant inside the detection
+    window. *)
+
+type t
+
+val create : ?cred:S4.Rpc.credential -> S4.Drive.t -> t
+(** Default credential: the administrator (needed to see other users'
+    history and deleted objects). *)
+
+val mount_at : t -> ?at:int64 -> string -> (Nfs_fh.fh, string) result
+(** Root handle of a partition as of [at] (PMount with time). *)
+
+val ls : t -> ?at:int64 -> Nfs_fh.fh -> ((S4_nfs.Nfs_types.dirent * S4_nfs.Nfs_types.attr) list, string) result
+(** Directory listing as of [at]. *)
+
+val resolve : t -> ?at:int64 -> string -> (Nfs_fh.fh, string) result
+(** Resolve a slash path from the "root" partition as of [at]. *)
+
+val cat : t -> ?at:int64 -> Nfs_fh.fh -> (Bytes.t, string) result
+(** Whole-file contents as of [at]. *)
+
+val cat_path : t -> ?at:int64 -> string -> (Bytes.t, string) result
+
+val stat : t -> ?at:int64 -> Nfs_fh.fh -> (S4_nfs.Nfs_types.attr, string) result
+
+val versions_of : t -> Nfs_fh.fh -> S4_store.Entry.t list
+(** Version-creating journal entries of an object, newest first
+    (device-side administrative access). *)
+
+val version_times : t -> Nfs_fh.fh -> int64 list
+(** Distinct times at which the object changed, newest first — the
+    instants worth passing as [?at]. *)

@@ -1,0 +1,144 @@
+module Bcodec = S4_util.Bcodec
+module Rpc = S4.Rpc
+module Drive = S4.Drive
+
+type t = { drive : Drive.t; cred : Rpc.credential; index_oid : int64 }
+
+type landmark = {
+  l_name : string;
+  l_source : int64;
+  l_taken_at : int64;
+  l_object : int64;
+  l_bytes : int;
+}
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+exception Fail of string
+
+let call_exn t req =
+  match Drive.handle t.drive t.cred req with
+  | Rpc.R_error e -> raise (Fail (Format.asprintf "%s: %a" (Rpc.op_name req) Rpc.pp_error e))
+  | resp -> resp
+
+let partition = "landmarks"
+
+let create ?(cred = Rpc.admin_cred) drive =
+  let probe = { drive; cred; index_oid = 0L } in
+  let index_oid =
+    match Drive.handle drive cred (Rpc.P_mount { name = partition; at = None }) with
+    | Rpc.R_oid oid -> oid
+    | Rpc.R_error Rpc.Not_found ->
+      (match call_exn probe (Rpc.Create { acl = [] }) with
+       | Rpc.R_oid oid ->
+         ignore (call_exn probe (Rpc.P_create { name = partition; oid }));
+         oid
+       | _ -> raise (Fail "landmark index creation failed"))
+    | r -> raise (Fail (Format.asprintf "pmount: %a" Rpc.pp_resp r))
+  in
+  { drive; cred; index_oid }
+
+(* --- index codec ------------------------------------------------------ *)
+
+let encode_index landmarks =
+  let w = Bcodec.writer () in
+  Bcodec.w_int w (List.length landmarks);
+  List.iter
+    (fun l ->
+      Bcodec.w_string w l.l_name;
+      Bcodec.w_i64 w l.l_source;
+      Bcodec.w_i64 w l.l_taken_at;
+      Bcodec.w_i64 w l.l_object;
+      Bcodec.w_int w l.l_bytes)
+    landmarks;
+  Bcodec.contents w
+
+let decode_index b =
+  if Bytes.length b = 0 then []
+  else begin
+    let r = Bcodec.reader b in
+    let n = Bcodec.r_int r in
+    List.init n (fun _ ->
+        let l_name = Bcodec.r_string r in
+        let l_source = Bcodec.r_i64 r in
+        let l_taken_at = Bcodec.r_i64 r in
+        let l_object = Bcodec.r_i64 r in
+        let l_bytes = Bcodec.r_int r in
+        { l_name; l_source; l_taken_at; l_object; l_bytes })
+  end
+
+let read_whole t oid =
+  match call_exn t (Rpc.Get_attr { oid; at = None }) with
+  | Rpc.R_attr _ ->
+    let rec read_size guess =
+      match call_exn t (Rpc.Read { oid; off = 0; len = guess; at = None }) with
+      | Rpc.R_data b when Bytes.length b < guess -> b
+      | Rpc.R_data b ->
+        if guess >= 1 lsl 26 then b else read_size (guess * 4)
+      | _ -> raise (Fail "read")
+    in
+    read_size 65536
+  | _ -> raise (Fail "getattr")
+
+let list t =
+  try decode_index (read_whole t t.index_oid) with Fail _ -> []
+
+let write_index t landmarks =
+  let data = encode_index landmarks in
+  ignore (call_exn t (Rpc.Truncate { oid = t.index_oid; size = 0 }));
+  ignore
+    (call_exn t (Rpc.Write { oid = t.index_oid; off = 0; len = Bytes.length data; data = Some data }));
+  match Drive.handle t.drive t.cred Rpc.Sync with _ -> ()
+
+let find t name = List.find_opt (fun l -> l.l_name = name) (list t)
+
+let take t ~name ~at oid =
+  try
+    if find t name <> None then err "landmark %S already exists" name
+    else begin
+      (* Preserve the version's contents and attributes. *)
+      let attr =
+        match call_exn t (Rpc.Get_attr { oid; at = Some at }) with
+        | Rpc.R_attr b -> b
+        | _ -> raise (Fail "getattr at")
+      in
+      let data =
+        match call_exn t (Rpc.Read { oid; off = 0; len = 1 lsl 26; at = Some at }) with
+        | Rpc.R_data b -> b
+        | _ -> raise (Fail "read at")
+      in
+      let archive =
+        match call_exn t (Rpc.Create { acl = [] }) with
+        | Rpc.R_oid o -> o
+        | _ -> raise (Fail "create")
+      in
+      if Bytes.length data > 0 then
+        ignore
+          (call_exn t (Rpc.Write { oid = archive; off = 0; len = Bytes.length data; data = Some data }));
+      if Bytes.length attr > 0 then ignore (call_exn t (Rpc.Set_attr { oid = archive; attr }));
+      let l =
+        { l_name = name; l_source = oid; l_taken_at = at; l_object = archive;
+          l_bytes = Bytes.length data }
+      in
+      write_index t (l :: list t);
+      Ok l
+    end
+  with Fail m -> Error m
+
+let contents t name =
+  match find t name with
+  | None -> err "no landmark %S" name
+  | Some l -> (try Ok (read_whole t l.l_object) with Fail m -> Error m)
+
+let restore_to t name target =
+  match contents t name with
+  | Error m -> Error m
+  | Ok data ->
+    (try
+       ignore (call_exn t (Rpc.Truncate { oid = target; size = 0 }));
+       if Bytes.length data > 0 then
+         ignore
+           (call_exn t (Rpc.Write { oid = target; off = 0; len = Bytes.length data; data = Some data }));
+       ignore (call_exn t Rpc.Sync);
+       Ok (Bytes.length data)
+     with Fail m -> Error m)

@@ -1,0 +1,45 @@
+(** Landmark versioning on top of the history pool (the paper's
+    Section 6: "By combining self-securing storage with long-term
+    landmark versioning, recovery from users' accidents could be
+    enhanced while also maintaining the benefits of intrusion
+    survival").
+
+    The history pool guarantees a bounded window; landmarks preserve
+    chosen versions {e beyond} it, without weakening the pool's
+    security properties: a landmark is a copy-forward of a specific
+    version into a fresh, ordinary object (versioned and audited like
+    everything else), indexed under a name. Expiry can then reclaim
+    the original versions on schedule while the landmark survives
+    indefinitely. *)
+
+type t
+
+type landmark = {
+  l_name : string;
+  l_source : int64;  (** object the landmark was taken of *)
+  l_taken_at : int64;  (** the version instant preserved *)
+  l_object : int64;  (** the archive object holding the copy *)
+  l_bytes : int;
+}
+
+val create : ?cred:S4.Rpc.credential -> S4.Drive.t -> t
+(** Uses (or creates) the drive partition ["landmarks"] as the archive
+    index. Default credential: admin. *)
+
+val take : t -> name:string -> at:int64 -> int64 -> (landmark, string) result
+(** [take t ~name ~at oid] preserves [oid]'s version at time [at]
+    (contents and attributes) under [name]. Fails if the name is
+    already used or the version is no longer in the pool. *)
+
+val list : t -> landmark list
+(** All landmarks, newest first. *)
+
+val find : t -> string -> landmark option
+
+val contents : t -> string -> (Bytes.t, string) result
+(** Read a landmark's preserved contents (a normal current read — no
+    history access needed, which is the point). *)
+
+val restore_to : t -> string -> int64 -> (int, string) result
+(** Copy a landmark's contents forward onto a (live) object; returns
+    bytes written. *)

@@ -1,0 +1,3 @@
+(** Shared alias so tool signatures read naturally. *)
+
+type fh = int64

@@ -1,0 +1,37 @@
+(** Point-in-time restoration from the history pool.
+
+    Restoration is copy-forward: the drive copies an old version into a
+    {e new} current version (the paper's "the old version of the object
+    can be completely restored by requesting that the drive copy
+    forward the old version, thus making a new version"). Nothing is
+    ever rolled back destructively — the intruder's writes remain in
+    the history pool as evidence. *)
+
+type t
+
+type report = {
+  files_restored : int;
+  files_removed : int;  (** entries deleted because they did not exist at the target time *)
+  dirs_restored : int;
+  bytes_restored : int;
+}
+
+val create : ?cred:S4.Rpc.credential -> S4.Drive.t -> t
+
+val restore_file : t -> at:int64 -> Nfs_fh.fh -> (int, string) result
+(** Copy one object's contents and attributes at [at] forward to the
+    current version; returns bytes restored. The object must still
+    exist as an object (possibly deleted-in-window). For deleted
+    objects a fresh object is created and returned through
+    {!restore_tree}'s directory relinking; at this level restoring a
+    deleted object is an error. *)
+
+val restore_tree : t -> at:int64 -> path:string -> (report, string) result
+(** Make the subtree under [path] identical to its state at [at]:
+    files that existed then are restored (recreated if they were
+    deleted — resurrecting "scrubbed" logs and short-lived exploit
+    tools), entries created since are removed, directories are
+    recursed. The restoration itself is versioned and audited like any
+    other client activity. *)
+
+val pp_report : Format.formatter -> report -> unit

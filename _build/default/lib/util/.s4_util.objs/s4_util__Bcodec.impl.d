@@ -1,0 +1,1 @@
+lib/util/bcodec.ml: Buffer Bytes Char Format String

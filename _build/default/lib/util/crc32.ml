@@ -1,0 +1,38 @@
+type t = int32
+
+let polynomial = 0xEDB88320l
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor polynomial (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let init = 0xFFFFFFFFl
+
+let update acc b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.update";
+  let table = Lazy.force table in
+  let acc = ref acc in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !acc (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    acc := Int32.logxor table.(idx) (Int32.shift_right_logical !acc 8)
+  done;
+  !acc
+
+let finish acc = Int32.logxor acc 0xFFFFFFFFl
+
+let sub b ~pos ~len = finish (update init b ~pos ~len)
+let bytes b = sub b ~pos:0 ~len:(Bytes.length b)
+let string s = bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,27 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected) used to protect on-disk
+    structures: segment summaries, journal sectors and checkpoints.
+
+    The implementation is the classic table-driven byte-at-a-time
+    algorithm; it matches the output of POSIX [cksum -o 3] / zlib
+    [crc32]. *)
+
+type t = int32
+
+val init : t
+(** Initial accumulator (all ones, pre-inverted). *)
+
+val update : t -> Bytes.t -> pos:int -> len:int -> t
+(** [update acc b ~pos ~len] folds [len] bytes of [b] starting at [pos]
+    into the accumulator. Raises [Invalid_argument] on bad ranges. *)
+
+val finish : t -> int32
+(** Final inversion. *)
+
+val bytes : Bytes.t -> int32
+(** [bytes b] is the CRC-32 of all of [b]. *)
+
+val string : string -> int32
+(** [string s] is the CRC-32 of all of [s]. *)
+
+val sub : Bytes.t -> pos:int -> len:int -> int32
+(** CRC-32 of a byte range. *)

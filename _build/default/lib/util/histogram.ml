@@ -1,0 +1,71 @@
+(* Buckets are powers of two over the positive floats: bucket i holds
+   samples in [2^(i-64), 2^(i-63)). Index computed from frexp. *)
+
+let buckets = 129
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : float;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () =
+  { counts = Array.make buckets 0; n = 0; sum = 0.0; minv = infinity; maxv = neg_infinity }
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    let i = e + 64 in
+    if i < 0 then 0 else if i >= buckets then buckets - 1 else i
+
+let upper_bound i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 64)
+
+let add t v =
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v;
+  if v < t.minv then t.minv <- v;
+  if v > t.maxv then t.maxv <- v
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+let max_value t = if t.n = 0 then 0.0 else t.maxv
+let min_value t = if t.n = 0 then 0.0 else t.minv
+
+let percentile t p =
+  if t.n = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 in
+    let result = ref (upper_bound (buckets - 1)) in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= target then begin
+           result := upper_bound i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to buckets - 1 do
+    t.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  t.n <- a.n + b.n;
+  t.sum <- a.sum +. b.sum;
+  t.minv <- Float.min a.minv b.minv;
+  t.maxv <- Float.max a.maxv b.maxv;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g" t.n (mean t)
+    (percentile t 50.0) (percentile t 99.0) (max_value t)

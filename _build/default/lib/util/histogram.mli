@@ -1,0 +1,21 @@
+(** Fixed-bucket latency/size histogram with power-of-two buckets.
+
+    Used by the disk simulator and the benchmark harness to summarise
+    distributions without retaining every sample. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+val max_value : t -> float
+val min_value : t -> float
+
+val percentile : t -> float -> float
+(** [percentile t p] for [p] in 0..100; approximate (bucket upper
+    bound). 0 for an empty histogram. *)
+
+val merge : t -> t -> t
+val pp : Format.formatter -> t -> unit

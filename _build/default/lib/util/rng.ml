@@ -1,0 +1,98 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only to expand the integer seed into four non-zero
+   state words, as recommended by the xoshiro authors. *)
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed =
+  let st = ref (Int64.of_int seed) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let st = ref (bits64 t) in
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3 }
+
+(* Top 62 bits as a non-negative OCaml int. *)
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  (* Rejection sampling to avoid modulo bias. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec loop () =
+    let v = bits t in
+    if v >= limit then loop () else v mod bound
+  in
+  loop ()
+
+let int_in t ~min ~max =
+  if max < min then invalid_arg "Rng.int_in";
+  min + int t (max - min + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-300 else u in
+  -.mean *. log u
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (int t 256))
+  done;
+  b
+
+let zipf t ~n ~theta =
+  if n <= 0 then invalid_arg "Rng.zipf";
+  if theta <= 0.0 || theta >= 1.0 then invalid_arg "Rng.zipf theta";
+  (* Power-law approximation: floor(n * u^(1/(1-theta))) is heavily
+     skewed toward 0; adequate for generating skewed file popularity. *)
+  let u = float t 1.0 in
+  let r = int_of_float (float_of_int n *. (u ** (1.0 /. (1.0 -. theta) *. 2.0))) in
+  if r >= n then n - 1 else r

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    All simulation components draw randomness from an explicit [t] so
+    that every benchmark and test run is reproducible. The generator is
+    xoshiro256** seeded through SplitMix64, which has good statistical
+    quality and is trivially portable. *)
+
+type t
+
+val create : seed:int -> t
+(** Fresh generator; equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val split : t -> t
+(** Derive a new, statistically independent generator. The parent
+    stream advances. *)
+
+val bits64 : t -> int64
+(** Next raw 64 random bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be
+    positive. Unbiased via rejection sampling. *)
+
+val int_in : t -> min:int -> max:int -> int
+(** Uniform in the inclusive range [\[min, max\]]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is [n] random bytes. *)
+
+val zipf : t -> n:int -> theta:float -> int
+(** Zipf-like sample in [\[0, n)]: rank 0 most popular. [theta] in
+    (0, 1); higher is more skewed. Uses the standard power
+    approximation, adequate for workload generation. *)

@@ -1,0 +1,28 @@
+type ns = int64
+type t = { mutable now : ns }
+
+let create () = { now = 0L }
+let now t = t.now
+
+let advance t d =
+  if Int64.compare d 0L < 0 then invalid_arg "Simclock.advance: negative";
+  t.now <- Int64.add t.now d
+
+let of_seconds s = Int64.of_float (s *. 1e9)
+let to_seconds ns = Int64.to_float ns /. 1e9
+let of_ms ms = Int64.of_float (ms *. 1e6)
+let of_us us = Int64.of_float (us *. 1e3)
+let advance_s t s = advance t (of_seconds s)
+
+let set t abs =
+  if Int64.compare abs t.now < 0 then invalid_arg "Simclock.set: backward";
+  t.now <- abs
+
+let seconds t = to_seconds t.now
+
+let pp_duration ppf ns =
+  let f = Int64.to_float ns in
+  if f >= 1e9 then Format.fprintf ppf "%.2f s" (f /. 1e9)
+  else if f >= 1e6 then Format.fprintf ppf "%.2f ms" (f /. 1e6)
+  else if f >= 1e3 then Format.fprintf ppf "%.2f us" (f /. 1e3)
+  else Format.fprintf ppf "%Ld ns" ns

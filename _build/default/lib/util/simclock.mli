@@ -1,0 +1,38 @@
+(** Simulated time.
+
+    The whole storage stack is driven by a single simulated clock so
+    experiments are deterministic and independent of host speed. Time
+    is kept in integer nanoseconds since simulation start.
+
+    Components that consume time ({!Sim_disk}, [Net], CPU models in the
+    workloads) call {!advance}; everything else only reads {!now}. *)
+
+type t
+
+type ns = int64
+(** Nanoseconds since simulation start. *)
+
+val create : unit -> t
+(** A clock at time zero. *)
+
+val now : t -> ns
+val advance : t -> ns -> unit
+(** [advance t d] moves the clock forward by [d] >= 0 ns. *)
+
+val advance_s : t -> float -> unit
+(** Advance by a duration in (fractional) seconds. *)
+
+val set : t -> ns -> unit
+(** Jump to an absolute time >= now; used by trace replay to model idle
+    periods. *)
+
+val seconds : t -> float
+(** Current time in seconds. *)
+
+val of_seconds : float -> ns
+val to_seconds : ns -> float
+val of_ms : float -> ns
+val of_us : float -> ns
+
+val pp_duration : Format.formatter -> ns -> unit
+(** Human-readable duration ("3.21 s", "417 us", ...). *)

@@ -1,0 +1,36 @@
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n >= gib then Format.fprintf ppf "%.2f GiB" (f /. float_of_int gib)
+  else if n >= mib then Format.fprintf ppf "%.2f MiB" (f /. float_of_int mib)
+  else if n >= kib then Format.fprintf ppf "%.1f KiB" (f /. float_of_int kib)
+  else Format.fprintf ppf "%d B" n
+
+let pp_rate ppf r =
+  if r >= float_of_int gib then Format.fprintf ppf "%.2f GiB/s" (r /. float_of_int gib)
+  else if r >= float_of_int mib then Format.fprintf ppf "%.2f MiB/s" (r /. float_of_int mib)
+  else if r >= float_of_int kib then Format.fprintf ppf "%.1f KiB/s" (r /. float_of_int kib)
+  else Format.fprintf ppf "%.0f B/s" r
+
+let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let round_to digits x =
+  let m = 10.0 ** float_of_int digits in
+  Float.round (x *. m) /. m
+
+let mean = function
+  | [] -> 0.0
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | l ->
+    let m = mean l in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 l
+      /. float_of_int (List.length l - 1)
+    in
+    sqrt var

@@ -1,0 +1,21 @@
+(** Size parsing/printing and small numeric helpers shared by the
+    reports and benchmark harness. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val pp_bytes : Format.formatter -> int -> unit
+(** "4.0 KiB", "1.2 GiB", ... *)
+
+val pp_rate : Format.formatter -> float -> unit
+(** Bytes-per-second rate, e.g. "12.3 MiB/s". *)
+
+val percent : float -> float -> float
+(** [percent part whole] in 0..100; 0 when [whole] = 0. *)
+
+val round_to : int -> float -> float
+(** [round_to digits x] rounds to that many decimal digits. *)
+
+val mean : float list -> float
+val stddev : float list -> float

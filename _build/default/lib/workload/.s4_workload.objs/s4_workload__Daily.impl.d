@@ -1,0 +1,1 @@
+lib/workload/daily.ml: Bytes Format Int64 List Printf S4 S4_nfs S4_seglog S4_store S4_util Systems

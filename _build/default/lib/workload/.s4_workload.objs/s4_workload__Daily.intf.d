@@ -1,0 +1,1 @@
+lib/workload/daily.mli: Format Systems

@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Array Bytes Format Printf S4_nfs Systems

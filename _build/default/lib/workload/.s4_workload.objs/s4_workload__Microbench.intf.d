@@ -1,0 +1,1 @@
+lib/workload/microbench.mli: Format Systems

@@ -1,0 +1,1 @@
+lib/workload/postmark.ml: Array Bytes Format Printf S4_nfs S4_util Systems

@@ -1,0 +1,1 @@
+lib/workload/postmark.mli: Format Systems

@@ -1,0 +1,1 @@
+lib/workload/source_tree.ml: Array Buffer Bytes Char Filename List Option Printf S4_util String

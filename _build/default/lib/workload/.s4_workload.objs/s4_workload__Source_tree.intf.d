@@ -1,0 +1,1 @@
+lib/workload/source_tree.mli: Bytes S4_util

@@ -1,0 +1,1 @@
+lib/workload/ssh_build.ml: Array Bytes Filename Format List Option Printf S4_nfs S4_util Systems

@@ -1,0 +1,1 @@
+lib/workload/ssh_build.mli: Format Systems

@@ -1,0 +1,1 @@
+lib/workload/systems.ml: Int64 S4 S4_baseline S4_disk S4_nfs S4_seglog S4_store S4_util

@@ -1,0 +1,1 @@
+lib/workload/systems.mli: S4 S4_disk S4_nfs S4_util

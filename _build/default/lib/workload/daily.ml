@@ -1,0 +1,119 @@
+module Rng = S4_util.Rng
+module Simclock = S4_util.Simclock
+module N = S4_nfs.Nfs_types
+module Server = S4_nfs.Server
+module Log = S4_seglog.Log
+module Store = S4_store.Obj_store
+module Drive = S4.Drive
+
+type study = { study_name : string; description : string; daily_write_bytes : int }
+
+let mb = 1024 * 1024
+
+let afs =
+  {
+    study_name = "AFS";
+    description = "Spasojevic & Satyanarayanan wide-area AFS study: ~143 MB/day/server";
+    daily_write_bytes = 143 * mb;
+  }
+
+let nt =
+  {
+    study_name = "NT";
+    description = "Vogels' Windows NT 4.0 file-usage study: ~1 GB/day/server";
+    daily_write_bytes = 1024 * mb;
+  }
+
+let santry =
+  {
+    study_name = "Santry";
+    description = "Santry et al. (Elephant) research group: ~110 MB/day";
+    daily_write_bytes = 110 * mb;
+  }
+
+let all = [ afs; nt; santry ]
+
+type measurement = {
+  m_study : string;
+  days : int;
+  scale : float;
+  history_bytes_per_day : float;
+  scaled_up_bytes_per_day : float;
+  metadata_fraction : float;
+}
+
+let day_ns = Int64.mul 86_400L 1_000_000_000L
+
+let replay ?(seed = 99) ?(scale = 0.01) ?(days = 5) study sys =
+  let drive =
+    match sys.Systems.drive with
+    | Some d -> d
+    | None -> invalid_arg "Daily.replay: needs an S4 system"
+  in
+  let store = Drive.store drive in
+  let log = Drive.log drive in
+  let block = Log.block_size log in
+  let rng = Rng.create ~seed in
+  let handle req = Server.handle_exn sys.Systems.server req in
+  let root = sys.Systems.server.Server.root in
+  let dir =
+    match handle (N.Mkdir { dir = root; name = "daily"; mode = 0o755 }) with
+    | N.R_fh (fh, _) -> fh
+    | _ -> failwith "daily: mkdir"
+  in
+  let daily_bytes = int_of_float (scale *. float_of_int study.daily_write_bytes) in
+  let files = ref [] in
+  let nfiles = ref 0 in
+  let write_some written_target =
+    let written = ref 0 in
+    while !written < written_target do
+      let size = 2_048 + Rng.int rng 30_000 in
+      let overwrite = !nfiles > 20 && Rng.float rng 1.0 < 0.6 in
+      (if overwrite then begin
+         (* Overwrite or append to an existing file: versions pile up. *)
+         let fh, old_size = List.nth !files (Rng.int rng (min 50 !nfiles)) in
+         let off = if Rng.bool rng then 0 else old_size in
+         ignore (handle (N.Write { fh; off; data = Bytes.make size 'd' }))
+       end
+       else begin
+         let name = Printf.sprintf "f%06d" !nfiles in
+         match handle (N.Create { dir; name; mode = 0o644 }) with
+         | N.R_fh (fh, _) ->
+           ignore (handle (N.Write { fh; off = 0; data = Bytes.make size 'd' }));
+           files := (fh, size) :: !files;
+           incr nfiles
+         | _ -> failwith "daily: create"
+       end);
+      written := !written + size
+    done
+  in
+  (* Warm-up day establishes the file population, then measure. *)
+  write_some daily_bytes;
+  Simclock.advance sys.Systems.clock day_ns;
+  let live0 = Log.live_blocks log * block in
+  let meta0 = Store.metadata_block_count store * block in
+  for _ = 1 to days do
+    write_some daily_bytes;
+    ignore (Drive.run_cleaner drive);
+    Simclock.advance sys.Systems.clock day_ns
+  done;
+  let live1 = Log.live_blocks log * block in
+  let meta1 = Store.metadata_block_count store * block in
+  let per_day = float_of_int (live1 - live0) /. float_of_int days in
+  let meta_per_day = float_of_int (meta1 - meta0) /. float_of_int days in
+  {
+    m_study = study.study_name;
+    days;
+    scale;
+    history_bytes_per_day = per_day;
+    scaled_up_bytes_per_day = per_day /. scale;
+    metadata_fraction = (if per_day > 0.0 then meta_per_day /. per_day else 0.0);
+  }
+
+let pp_measurement ppf m =
+  Format.fprintf ppf
+    "%-7s %d days at %.1f%%: %.2f MB/day history at scale (%.0f MB/day full; %.1f%% metadata)"
+    m.m_study m.days (100.0 *. m.scale)
+    (m.history_bytes_per_day /. 1048576.0)
+    (m.scaled_up_bytes_per_day /. 1048576.0)
+    (100.0 *. m.metadata_fraction)

@@ -1,0 +1,40 @@
+(** Daily-write-rate workloads from the three studies the paper's
+    Figure 7 projects from:
+
+    - Spasojevic & Satyanarayanan's AFS study: ~143 MB/day per server;
+    - Vogels' Windows NT study: ~1 GB/day per server;
+    - Santry et al. (Elephant): ~110 MB/day.
+
+    Besides the published rates (used analytically by
+    {!S4_analysis.Capacity}), this module can {e replay} a scaled-down
+    version of a study against a real S4 drive to measure actual
+    history-pool growth per day, including metadata overheads the
+    analytical projection ignores. *)
+
+type study = {
+  study_name : string;
+  description : string;
+  daily_write_bytes : int;
+}
+
+val afs : study
+val nt : study
+val santry : study
+val all : study list
+
+type measurement = {
+  m_study : string;
+  days : int;
+  scale : float;  (** fraction of the study's daily volume replayed *)
+  history_bytes_per_day : float;  (** measured, at replay scale *)
+  scaled_up_bytes_per_day : float;  (** extrapolated to full volume *)
+  metadata_fraction : float;  (** journal+checkpoint share of growth *)
+}
+
+val replay : ?seed:int -> ?scale:float -> ?days:int -> study -> Systems.t -> measurement
+(** Replays [days] (default 5) simulated days at [scale] (default
+    0.01) of the study's write volume — a mix of new files, overwrites
+    and appends — against an S4 system, running the drive cleaner once
+    per simulated day. Requires a system with a drive. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit

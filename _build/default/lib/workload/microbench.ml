@@ -1,0 +1,51 @@
+module N = S4_nfs.Nfs_types
+module Server = S4_nfs.Server
+
+type config = { files : int; directories : int; file_bytes : int; cold_read : bool }
+
+let default = { files = 10_000; directories = 10; file_bytes = 1_024; cold_read = true }
+
+type result = {
+  system : string;
+  create_seconds : float;
+  read_seconds : float;
+  delete_seconds : float;
+}
+
+let run ?(config = default) sys =
+  let handle req = Server.handle_exn sys.Systems.server req in
+  let root = sys.Systems.server.Server.root in
+  let dirs =
+    Array.init config.directories (fun i ->
+        match handle (N.Mkdir { dir = root; name = Printf.sprintf "d%02d" i; mode = 0o755 }) with
+        | N.R_fh (fh, _) -> fh
+        | _ -> failwith "microbench: mkdir")
+  in
+  let data = Bytes.make config.file_bytes 'm' in
+  let files = Array.make config.files (0L, 0L, "") in
+  let create_seconds, () =
+    Systems.elapsed_seconds sys (fun () ->
+        for i = 0 to config.files - 1 do
+          let dir = dirs.(i mod config.directories) in
+          let name = Printf.sprintf "f%05d" i in
+          match handle (N.Create { dir; name; mode = 0o644 }) with
+          | N.R_fh (fh, _) ->
+            ignore (handle (N.Write { fh; off = 0; data }));
+            files.(i) <- (fh, dir, name)
+          | _ -> failwith "microbench: create"
+        done)
+  in
+  if config.cold_read then Systems.drop_all_caches sys;
+  let read_seconds, () =
+    Systems.elapsed_seconds sys (fun () ->
+        Array.iter (fun (fh, _, _) -> ignore (handle (N.Read { fh; off = 0; len = config.file_bytes }))) files)
+  in
+  let delete_seconds, () =
+    Systems.elapsed_seconds sys (fun () ->
+        Array.iter (fun (_, dir, name) -> ignore (handle (N.Remove { dir; name }))) files)
+  in
+  { system = sys.Systems.name; create_seconds; read_seconds; delete_seconds }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-12s create %7.2f s   read %7.2f s   delete %7.2f s" r.system
+    r.create_seconds r.read_seconds r.delete_seconds

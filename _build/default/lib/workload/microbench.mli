@@ -1,0 +1,23 @@
+(** Small-file microbenchmark (the paper's Figure 6 workload):
+    create 10 000 1 KB files split across 10 directories, read them
+    back in creation order from cold caches, then delete them in
+    creation order. Used to isolate the audit-log overhead. *)
+
+type config = {
+  files : int;
+  directories : int;
+  file_bytes : int;
+  cold_read : bool;  (** drop all caches between create and read *)
+}
+
+val default : config
+
+type result = {
+  system : string;
+  create_seconds : float;
+  read_seconds : float;
+  delete_seconds : float;
+}
+
+val run : ?config:config -> Systems.t -> result
+val pp_result : Format.formatter -> result -> unit

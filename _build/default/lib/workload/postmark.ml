@@ -1,0 +1,193 @@
+module Rng = S4_util.Rng
+module N = S4_nfs.Nfs_types
+module Server = S4_nfs.Server
+
+type config = {
+  files : int;
+  transactions : int;
+  subdirectories : int;
+  min_size : int;
+  max_size : int;
+  seed : int;
+  cleaner_every : int option;
+}
+
+let default =
+  {
+    files = 5_000;
+    transactions = 20_000;
+    subdirectories = 10;
+    min_size = 512;
+    max_size = 9_216;
+    seed = 4242;
+    cleaner_every = None;
+  }
+
+type result = {
+  system : string;
+  creation_seconds : float;
+  transaction_seconds : float;
+  files_created : int;
+  files_deleted : int;
+  files_read : int;
+  files_appended : int;
+  bytes_read : int;
+  bytes_written : int;
+  transactions_per_second : float;
+}
+
+(* Live file table with O(1) random removal (swap with last). *)
+type file = { mutable name : string; dir : N.fh; fh : N.fh; mutable size : int }
+
+type state = {
+  sys : Systems.t;
+  rng : Rng.t;
+  cfg : config;
+  dirs : N.fh array;
+  mutable table : file array;
+  mutable count : int;
+  mutable serial : int;
+  buffer : Bytes.t;
+  mutable created : int;
+  mutable deleted : int;
+  mutable reads : int;
+  mutable appends : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+let handle st req = Server.handle_exn st.sys.Systems.server req
+
+let fresh_name st =
+  st.serial <- st.serial + 1;
+  Printf.sprintf "pm%06d" st.serial
+
+let pick_size st = Rng.int_in st.rng ~min:st.cfg.min_size ~max:st.cfg.max_size
+
+let add_file st f =
+  if st.count = Array.length st.table then begin
+    let bigger = Array.make (max 16 (2 * st.count)) f in
+    Array.blit st.table 0 bigger 0 st.count;
+    st.table <- bigger
+  end;
+  st.table.(st.count) <- f;
+  st.count <- st.count + 1
+
+let remove_at st i =
+  let f = st.table.(i) in
+  st.count <- st.count - 1;
+  st.table.(i) <- st.table.(st.count);
+  f
+
+let do_create st =
+  let dir = Rng.pick st.rng st.dirs in
+  let name = fresh_name st in
+  let size = pick_size st in
+  match handle st (N.Create { dir; name; mode = 0o644 }) with
+  | N.R_fh (fh, _) ->
+    ignore (handle st (N.Write { fh; off = 0; data = Bytes.sub st.buffer 0 size }));
+    add_file st { name; dir; fh; size };
+    st.created <- st.created + 1;
+    st.bytes_written <- st.bytes_written + size
+  | _ -> failwith "postmark: create"
+
+let do_delete st =
+  if st.count > 0 then begin
+    let f = remove_at st (Rng.int st.rng st.count) in
+    ignore (handle st (N.Remove { dir = f.dir; name = f.name }));
+    st.deleted <- st.deleted + 1
+  end
+
+let do_read st =
+  if st.count > 0 then begin
+    let f = st.table.(Rng.int st.rng st.count) in
+    (match handle st (N.Read { fh = f.fh; off = 0; len = f.size }) with
+     | N.R_data b -> st.bytes_read <- st.bytes_read + Bytes.length b
+     | _ -> failwith "postmark: read");
+    st.reads <- st.reads + 1
+  end
+
+let do_append st =
+  if st.count > 0 then begin
+    let f = st.table.(Rng.int st.rng st.count) in
+    let len = pick_size st in
+    ignore (handle st (N.Write { fh = f.fh; off = f.size; data = Bytes.sub st.buffer 0 len }));
+    f.size <- f.size + len;
+    st.appends <- st.appends + 1;
+    st.bytes_written <- st.bytes_written + len
+  end
+
+let run ?(config = default) sys =
+  let rng = Rng.create ~seed:config.seed in
+  let dirs =
+    Array.init config.subdirectories (fun i ->
+        match
+          Server.handle_exn sys.Systems.server
+            (N.Mkdir { dir = sys.Systems.server.Server.root; name = Printf.sprintf "s%02d" i; mode = 0o755 })
+        with
+        | N.R_fh (fh, _) -> fh
+        | _ -> failwith "postmark: mkdir")
+  in
+  let st =
+    {
+      sys;
+      rng;
+      cfg = config;
+      dirs;
+      table = Array.make (config.files + 16) { name = ""; dir = 0L; fh = 0L; size = 0 };
+      count = 0;
+      serial = 0;
+      buffer = Bytes.make (config.max_size + 1) 'p';
+      created = 0;
+      deleted = 0;
+      reads = 0;
+      appends = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+    }
+  in
+  st.count <- 0;
+  let creation_seconds, () =
+    Systems.elapsed_seconds sys (fun () ->
+        for i = 1 to config.files do
+          do_create st;
+          (* Directory-block churn builds history during creation too:
+             let the cleaner wake under space pressure. *)
+          (match config.cleaner_every with
+           | Some _ -> if i land 63 = 0 then Systems.ensure_space sys ~min_free_segments:24
+           | None -> ())
+        done)
+  in
+  let transaction_seconds, () =
+    Systems.elapsed_seconds sys (fun () ->
+        for txn = 1 to config.transactions do
+          (* One create-or-delete plus one read-or-append (PostMark's
+             two sub-transactions, equal bias). *)
+          if Rng.bool st.rng then do_create st else do_delete st;
+          if Rng.bool st.rng then do_read st else do_append st;
+          (match config.cleaner_every with
+           | Some n ->
+             if txn mod n = 0 then Systems.run_cleaner sys;
+             (* Space-pressure wakeups between periodic runs. *)
+             if txn land 15 = 0 then Systems.ensure_space sys ~min_free_segments:24
+           | None -> ())
+        done)
+  in
+  {
+    system = sys.Systems.name;
+    creation_seconds;
+    transaction_seconds;
+    files_created = st.created + config.files;
+    files_deleted = st.deleted;
+    files_read = st.reads;
+    files_appended = st.appends;
+    bytes_read = st.bytes_read;
+    bytes_written = st.bytes_written;
+    transactions_per_second =
+      (if transaction_seconds > 0.0 then float_of_int config.transactions /. transaction_seconds
+       else 0.0);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-12s creation %7.2f s   transactions %8.2f s   (%6.1f txn/s)" r.system
+    r.creation_seconds r.transaction_seconds r.transactions_per_second

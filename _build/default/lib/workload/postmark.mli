@@ -1,0 +1,40 @@
+(** The PostMark benchmark (Katcher, 1997), as configured in the
+    paper: many small files (512 B - 9.3 KB), a creation phase, then
+    transactions where each transaction pairs one create-or-delete with
+    one read-or-append, equal biases. The paper's default is 20 000
+    transactions over 5 000 files; Figure 5 uses 50 000 transactions
+    over varying initial sets. *)
+
+type config = {
+  files : int;
+  transactions : int;
+  subdirectories : int;
+  min_size : int;
+  max_size : int;
+  seed : int;
+  cleaner_every : int option;
+      (** run the S4 cleaner after every N transactions (foreground
+          cleaning, Fig. 5); [None] = never *)
+}
+
+val default : config
+(** The paper's configuration: 5 000 files, 20 000 transactions. *)
+
+type result = {
+  system : string;
+  creation_seconds : float;
+  transaction_seconds : float;
+  files_created : int;
+  files_deleted : int;
+  files_read : int;
+  files_appended : int;
+  bytes_read : int;
+  bytes_written : int;
+  transactions_per_second : float;
+}
+
+val run : ?config:config -> Systems.t -> result
+(** Runs both phases on the given system. Deterministic for a fixed
+    seed. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,122 @@
+module Rng = S4_util.Rng
+
+type file = { path : string; content : Bytes.t }
+type t = file list
+
+let words =
+  [|
+    "buffer"; "segment"; "journal"; "version"; "object"; "handle"; "offset"; "length";
+    "client"; "server"; "request"; "response"; "window"; "history"; "audit"; "block";
+    "table"; "entry"; "index"; "cache"; "state"; "write"; "read"; "sync"; "flush";
+  |]
+
+let gen_line rng i =
+  match Rng.int rng 5 with
+  | 0 ->
+    Printf.sprintf "let %s_%d %s %s = %s %s + %d\n" (Rng.pick rng words) i (Rng.pick rng words)
+      (Rng.pick rng words) (Rng.pick rng words) (Rng.pick rng words) (Rng.int rng 1000)
+  | 1 -> Printf.sprintf "  (* %s the %s before the %s is %s *)\n" (Rng.pick rng words)
+           (Rng.pick rng words) (Rng.pick rng words) (Rng.pick rng words)
+  | 2 -> Printf.sprintf "  match %s with Some %s -> %s | None -> %d\n" (Rng.pick rng words)
+           (Rng.pick rng words) (Rng.pick rng words) (Rng.int rng 100)
+  | 3 -> Printf.sprintf "type %s_%d = { %s : int; %s : string }\n" (Rng.pick rng words) i
+           (Rng.pick rng words) (Rng.pick rng words)
+  | _ -> Printf.sprintf "  if %s > %d then %s else %s\n" (Rng.pick rng words) (Rng.int rng 64)
+           (Rng.pick rng words) (Rng.pick rng words)
+
+let gen_source rng ~lines =
+  let buf = Buffer.create (lines * 40) in
+  for i = 0 to lines - 1 do
+    Buffer.add_string buf (gen_line rng i)
+  done;
+  Buffer.to_bytes buf
+
+(* A crude "compiler": derived binaries are a deterministic function
+   of the source so they change exactly when the source changes. *)
+let compile src =
+  let n = Bytes.length src in
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let a = Char.code (Bytes.get src (2 * i)) in
+    let b = Char.code (Bytes.get src ((2 * i) + 1)) in
+    Bytes.set out i (Char.chr (((a * 31) + b) land 0xFF))
+  done;
+  out
+
+let generate rng ~files =
+  let sources =
+    List.init files (fun i ->
+        let lines = 50 + Rng.int rng 400 in
+        { path = Printf.sprintf "src/mod%03d.ml" i; content = gen_source rng ~lines })
+  in
+  let objects =
+    List.map
+      (fun f ->
+        { path = Filename.remove_extension f.path ^ ".o" |> String.map (fun c -> c);
+          content = compile f.content })
+      sources
+  in
+  sources @ objects
+
+let lines_of b = String.split_on_char '\n' (Bytes.to_string b)
+let bytes_of_lines ls = Bytes.of_string (String.concat "\n" ls)
+
+let edit_file rng content =
+  let lines = Array.of_list (lines_of content) in
+  let n = Array.length lines in
+  if n < 3 then content
+  else begin
+    let edits = 1 + Rng.int rng 5 in
+    let out = ref (Array.to_list lines) in
+    for _ = 1 to edits do
+      let lines = Array.of_list !out in
+      let n = Array.length lines in
+      let pos = Rng.int rng n in
+      let fresh = String.trim (Bytes.to_string (gen_source rng ~lines:1)) in
+      out :=
+        (match Rng.int rng 3 with
+         | 0 ->
+           (* replace a line *)
+           Array.to_list (Array.mapi (fun i l -> if i = pos then fresh else l) lines)
+         | 1 ->
+           (* insert a line *)
+           let before = Array.to_list (Array.sub lines 0 pos) in
+           let after = Array.to_list (Array.sub lines pos (n - pos)) in
+           before @ (fresh :: after)
+         | _ ->
+           (* delete a line *)
+           List.filteri (fun i _ -> i <> pos) (Array.to_list lines))
+    done;
+    bytes_of_lines !out
+  end
+
+let is_source path = Filename.check_suffix path ".ml"
+let object_of path = Filename.remove_extension path ^ ".o"
+
+let evolve rng ?(churn = 0.12) t =
+  let sources = List.filter (fun f -> is_source f.path) t in
+  let edited =
+    List.map
+      (fun f ->
+        if Rng.float rng 1.0 < churn then { f with content = edit_file rng f.content } else f)
+      sources
+  in
+  (* Occasionally add a brand new module. *)
+  let edited =
+    if Rng.float rng 1.0 < 0.5 then
+      edited
+      @ [ { path = Printf.sprintf "src/new%04d.ml" (Rng.int rng 10_000);
+            content = gen_source rng ~lines:(30 + Rng.int rng 200) } ]
+    else edited
+  in
+  (* Occasionally drop a module. *)
+  let edited =
+    match edited with
+    | _ :: rest when Rng.float rng 1.0 < 0.15 -> rest
+    | all -> all
+  in
+  let objects = List.map (fun f -> { path = object_of f.path; content = compile f.content }) edited in
+  edited @ objects
+
+let total_bytes t = List.fold_left (fun acc f -> acc + Bytes.length f.content) 0 t
+let find t path = Option.map (fun f -> f.content) (List.find_opt (fun f -> f.path = path) t)

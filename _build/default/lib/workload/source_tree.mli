@@ -1,0 +1,25 @@
+(** Synthetic evolving source tree for the Section 5.2 differencing
+    experiment.
+
+    The paper checked the S4 code base out of CVS once a day for a
+    week, compiled it, and ran Xdelta (+compression) between
+    neighbouring days. We have no CVS repository, so we generate a
+    source tree of realistic, compressible program text and evolve it
+    day by day with localized edits (line changes, function additions,
+    file additions/removals) plus derived "object files" that change
+    whenever their source changes — exercising the same
+    cross-version-differencing code path on the same kind of data. *)
+
+type file = { path : string; content : Bytes.t }
+type t = file list
+
+val generate : S4_util.Rng.t -> files:int -> t
+(** A fresh tree of program-text files (plus derived binaries). *)
+
+val evolve : S4_util.Rng.t -> ?churn:float -> t -> t
+(** One "day" of development: roughly [churn] (default 0.12) of the
+    files receive localized edits; occasionally a file is added or
+    deleted. Derived binaries follow their sources. *)
+
+val total_bytes : t -> int
+val find : t -> string -> Bytes.t option

@@ -1,0 +1,140 @@
+module Rng = S4_util.Rng
+module Simclock = S4_util.Simclock
+module N = S4_nfs.Nfs_types
+module Server = S4_nfs.Server
+
+type config = {
+  seed : int;
+  source_files : int;
+  avg_source_bytes : int;
+  configure_tests : int;
+  compile_ms_per_file : float;
+  configure_ms_per_test : float;
+  unpack_cpu_ms : float;
+  link_ms : float;
+}
+
+let default =
+  {
+    seed = 7;
+    source_files = 160;
+    avg_source_bytes = 22_000;
+    configure_tests = 70;
+    compile_ms_per_file = 700.0;
+    configure_ms_per_test = 250.0;
+    unpack_cpu_ms = 1_500.0;
+    link_ms = 3_000.0;
+  }
+
+type result = {
+  system : string;
+  unpack_seconds : float;
+  configure_seconds : float;
+  build_seconds : float;
+}
+
+let total r = r.unpack_seconds +. r.configure_seconds +. r.build_seconds
+
+let cpu sys ms = Simclock.advance sys.Systems.clock (Simclock.of_ms ms)
+let handle sys req = Server.handle_exn sys.Systems.server req
+
+let mkdir sys ~dir name =
+  match handle sys (N.Mkdir { dir; name; mode = 0o755 }) with
+  | N.R_fh (fh, _) -> fh
+  | _ -> failwith "ssh-build: mkdir"
+
+let create_write sys ~dir name data =
+  match handle sys (N.Create { dir; name; mode = 0o644 }) with
+  | N.R_fh (fh, _) ->
+    ignore (handle sys (N.Write { fh; off = 0; data }));
+    fh
+  | _ -> failwith "ssh-build: create"
+
+let read_whole sys fh len = ignore (handle sys (N.Read { fh; off = 0; len }))
+let remove sys ~dir name = ignore (handle sys (N.Remove { dir; name }))
+
+type tree = {
+  src_dir : N.fh;
+  obj_dir : N.fh;
+  tmp_dir : N.fh;
+  sources : (string * N.fh * int) array;  (* name, handle, size *)
+}
+
+(* Phase 1: unpack - write the whole source tree. *)
+let unpack cfg rng sys =
+  let root = sys.Systems.server.S4_nfs.Server.root in
+  let top = mkdir sys ~dir:root "ssh-1.2.27" in
+  let src_dir = mkdir sys ~dir:top "src" in
+  let obj_dir = mkdir sys ~dir:top "obj" in
+  let tmp_dir = mkdir sys ~dir:top "tmp" in
+  cpu sys cfg.unpack_cpu_ms;
+  let sources =
+    Array.init cfg.source_files (fun i ->
+        let name = Printf.sprintf "file%03d.c" i in
+        let size =
+          max 512 (int_of_float (Rng.exponential rng ~mean:(float_of_int cfg.avg_source_bytes)))
+        in
+        let fh = create_write sys ~dir:src_dir name (Bytes.make size 'c') in
+        (name, fh, size))
+  in
+  { src_dir; obj_dir; tmp_dir; sources }
+
+(* Phase 2: configure - feature tests: write a tiny program, compile
+   it (CPU), write its binary, run it (read), delete both. *)
+let configure cfg _rng sys tree =
+  for i = 0 to cfg.configure_tests - 1 do
+    let cname = Printf.sprintf "conftest%02d.c" i in
+    let bname = Printf.sprintf "conftest%02d" i in
+    let _cfh = create_write sys ~dir:tree.tmp_dir cname (Bytes.make 300 't') in
+    cpu sys cfg.configure_ms_per_test;
+    let bfh = create_write sys ~dir:tree.tmp_dir bname (Bytes.make 12_288 'b') in
+    read_whole sys bfh 12_288;
+    remove sys ~dir:tree.tmp_dir cname;
+    remove sys ~dir:tree.tmp_dir bname
+  done;
+  (* Generated headers and makefiles. *)
+  for i = 0 to 9 do
+    ignore (create_write sys ~dir:tree.src_dir (Printf.sprintf "config%d.h" i) (Bytes.make 4_000 'h'))
+  done
+
+(* Phase 3: build - compile each source (read source, CPU, write .o),
+   then link (read all objects, CPU, write executables), then clean
+   temporaries. *)
+let build cfg _rng sys tree =
+  let objects =
+    Array.map
+      (fun (name, fh, size) ->
+        read_whole sys fh size;
+        cpu sys cfg.compile_ms_per_file;
+        let oname = Filename.remove_extension name ^ ".o" in
+        let osize = (size / 2) + 2_048 in
+        let ofh = create_write sys ~dir:tree.obj_dir oname (Bytes.make osize 'o');
+        in
+        (oname, ofh, osize))
+      tree.sources
+  in
+  (* Link the main binaries. *)
+  Array.iter (fun (_, ofh, osize) -> read_whole sys ofh osize) objects;
+  cpu sys cfg.link_ms;
+  List.iter
+    (fun (name, size) -> ignore (create_write sys ~dir:tree.obj_dir name (Bytes.make size 'x')))
+    [ ("ssh", 1_100_000); ("sshd", 1_200_000); ("scp", 400_000); ("ssh-keygen", 350_000) ];
+  (* Remove temporary files. *)
+  Array.iter (fun (oname, _, _) -> remove sys ~dir:tree.obj_dir oname) objects
+
+let run ?(config = default) sys =
+  let rng = Rng.create ~seed:config.seed in
+  let tree = ref None in
+  let unpack_seconds, () =
+    Systems.elapsed_seconds sys (fun () -> tree := Some (unpack config rng sys))
+  in
+  let tree = Option.get !tree in
+  let configure_seconds, () =
+    Systems.elapsed_seconds sys (fun () -> configure config rng sys tree)
+  in
+  let build_seconds, () = Systems.elapsed_seconds sys (fun () -> build config rng sys tree) in
+  { system = sys.Systems.name; unpack_seconds; configure_seconds; build_seconds }
+
+let pp_result ppf r =
+  Format.fprintf ppf "%-12s unpack %6.2f s   configure %6.2f s   build %7.2f s   total %7.2f s"
+    r.system r.unpack_seconds r.configure_seconds r.build_seconds (total r)

@@ -1,0 +1,38 @@
+(** The SSH-build benchmark (the paper's replacement for the Andrew
+    benchmark): unpack, configure and build SSH 1.2.27.
+
+    The three phases are modelled from the paper's description:
+    - {b unpack} decompresses and writes the source tree (~1 MB
+      archive, a few hundred files) — metadata-heavy;
+    - {b configure} builds and runs many small feature-test programs —
+      small create/write/read/delete cycles plus compiler CPU time;
+    - {b build} compiles every source file and links — CPU-dominated,
+      with object files and executables written along the way.
+
+    CPU costs are charged identically on every system (the client and
+    compiler don't change across servers); only the I/O behaviour
+    differs, as in the paper. *)
+
+type config = {
+  seed : int;
+  source_files : int;  (** .c/.h files in the tree *)
+  avg_source_bytes : int;
+  configure_tests : int;
+  compile_ms_per_file : float;  (** 600 MHz-era compile time *)
+  configure_ms_per_test : float;
+  unpack_cpu_ms : float;
+  link_ms : float;
+}
+
+val default : config
+
+type result = {
+  system : string;
+  unpack_seconds : float;
+  configure_seconds : float;
+  build_seconds : float;
+}
+
+val total : result -> float
+val run : ?config:config -> Systems.t -> result
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,110 @@
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+module Net = S4_disk.Net
+module Drive = S4.Drive
+module Client = S4.Client
+module Store = S4_store.Obj_store
+module Translator = S4_nfs.Translator
+module Server = S4_nfs.Server
+module Upfs = S4_baseline.Upfs
+
+type t = {
+  name : string;
+  server : Server.t;
+  clock : Simclock.t;
+  disk : Sim_disk.t;
+  drive : Drive.t option;
+  translator : Translator.t option;
+}
+
+let benchmark_drive_config =
+  {
+    Drive.default_config with
+    store = { Store.default_config with keep_data = false };
+    throttle = None;
+  }
+
+let content_drive_config =
+  { benchmark_drive_config with store = { Store.default_config with keep_data = true } }
+
+let mk_disk ?disk_mb () =
+  let clock = Simclock.create () in
+  let geometry =
+    match disk_mb with
+    | None -> Geometry.cheetah_9gb
+    | Some mb -> Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
+  in
+  (clock, Sim_disk.create ~geometry clock)
+
+let s4_remote ?disk_mb ?(drive_config = benchmark_drive_config) () =
+  let clock, disk = mk_disk ?disk_mb () in
+  let drive = Drive.format ~config:drive_config disk in
+  let net = Net.create clock in
+  let client = Client.connect net drive in
+  let tr = Translator.mount (Translator.Remote client) in
+  {
+    name = "S4-remote";
+    server = Server.of_translator ~name:"S4-remote" tr;
+    clock;
+    disk;
+    drive = Some drive;
+    translator = Some tr;
+  }
+
+let s4_nfs_server ?disk_mb ?(drive_config = benchmark_drive_config) () =
+  let clock, disk = mk_disk ?disk_mb () in
+  let drive = Drive.format ~config:drive_config disk in
+  let tr = Translator.mount (Translator.Local drive) in
+  let net = Net.create clock in
+  let server = Server.over_net net (Server.of_translator ~name:"S4-NFS" tr) in
+  { name = "S4-NFS"; server; clock; disk; drive = Some drive; translator = Some tr }
+
+let baseline name cfg ?disk_mb () =
+  let clock, disk = mk_disk ?disk_mb () in
+  let fs = Upfs.create cfg disk in
+  let net = Net.create clock in
+  let server = Server.over_net net (Upfs.server fs) in
+  { name; server; clock; disk; drive = None; translator = None }
+
+let bsd_ffs ?disk_mb () = baseline "BSD-FFS" Upfs.ffs ?disk_mb ()
+let linux_ext2 ?disk_mb () = baseline "Linux-ext2" Upfs.ext2_sync ?disk_mb ()
+
+let all_four ?disk_mb ?(drive_config = benchmark_drive_config) () =
+  [
+    s4_remote ?disk_mb ~drive_config ();
+    s4_nfs_server ?disk_mb ~drive_config ();
+    bsd_ffs ?disk_mb ();
+    linux_ext2 ?disk_mb ();
+  ]
+
+let elapsed_seconds t thunk =
+  let t0 = Simclock.now t.clock in
+  let v = thunk () in
+  (Simclock.to_seconds (Int64.sub (Simclock.now t.clock) t0), v)
+
+let drop_all_caches t =
+  t.server.Server.reset_caches ();
+  match t.drive with
+  | Some d -> Store.drop_caches (Drive.store d)
+  | None -> ()
+
+let run_cleaner t =
+  match t.drive with
+  | Some d -> ignore (Drive.run_cleaner d)
+  | None -> ()
+
+let ensure_space t ~min_free_segments =
+  match t.drive with
+  | None -> ()
+  | Some d ->
+    let log = Drive.log d in
+    let module L = S4_seglog.Log in
+    let rec loop budget =
+      if budget > 0 && L.free_segments log < min_free_segments then begin
+        let before = L.free_segments log in
+        ignore (Drive.run_cleaner d);
+        if L.free_segments log > before then loop (budget - 1)
+      end
+    in
+    loop 64

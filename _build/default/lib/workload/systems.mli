@@ -1,0 +1,60 @@
+(** Factory for the four experimental systems of the paper's
+    evaluation (Section 5.1.1):
+
+    + {b S4-remote} (Fig. 1a): S4 drive as a network-attached object
+      store; the translator runs client-side and S4 RPCs cross the
+      network.
+    + {b S4-NFS} (Fig. 1b): translator combined with the drive into an
+      S4-enhanced NFS server; NFS crosses the network.
+    + {b BSD-FFS}: FreeBSD-style FFS NFS server (synchronous metadata).
+    + {b Linux-ext2}: ext2 with the sync-mount metadata-coalescing
+      flaw.
+
+    All four run over identical simulated disks and networks, and are
+    driven through the common {!S4_nfs.Server.t} interface. *)
+
+type t = {
+  name : string;
+  server : S4_nfs.Server.t;
+  clock : S4_util.Simclock.t;
+  disk : S4_disk.Sim_disk.t;
+  drive : S4.Drive.t option;  (** the S4 systems expose their drive *)
+  translator : S4_nfs.Translator.t option;
+}
+
+val s4_remote :
+  ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
+
+val s4_nfs_server :
+  ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
+
+val bsd_ffs : ?disk_mb:int -> unit -> t
+val linux_ext2 : ?disk_mb:int -> unit -> t
+
+val all_four : ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t list
+(** Fresh instances of all four systems (default disk: the paper's
+    9 GB Cheetah; default drive config: timing-only
+    {!benchmark_drive_config}). *)
+
+val content_drive_config : S4.Drive.config
+(** Like {!benchmark_drive_config} but retaining data contents, for
+    correctness-checking workloads. *)
+
+val benchmark_drive_config : S4.Drive.config
+(** Drive configuration for timing experiments: contents not retained
+    ([keep_data:false]), paper cache sizes, throttle off. *)
+
+val elapsed_seconds : t -> (unit -> 'a) -> float * 'a
+(** Run a thunk and report the simulated seconds it consumed. *)
+
+val drop_all_caches : t -> unit
+(** Cold caches: translator/client caches and, for S4 systems, the
+    drive's block and object caches. *)
+
+val run_cleaner : t -> unit
+(** No-op for non-S4 systems. *)
+
+val ensure_space : t -> min_free_segments:int -> unit
+(** Run the drive cleaner repeatedly while log free space is below the
+    threshold and progress is being made (models the cleaner waking
+    under space pressure). No-op for non-S4 systems. *)

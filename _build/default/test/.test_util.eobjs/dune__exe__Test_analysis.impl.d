@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Float List Printf S4_analysis S4_workload

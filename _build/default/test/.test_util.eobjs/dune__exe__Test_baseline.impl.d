@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bytes Int64 List Printf S4_baseline S4_disk S4_nfs S4_seglog S4_store S4_util String

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Bytes Char Gen List Printf QCheck QCheck_alcotest S4_compress S4_util String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Gen Int64 List Option QCheck QCheck_alcotest S4 S4_disk S4_seglog S4_store S4_util String

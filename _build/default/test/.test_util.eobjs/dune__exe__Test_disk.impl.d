@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Char Int64 S4_disk S4_util

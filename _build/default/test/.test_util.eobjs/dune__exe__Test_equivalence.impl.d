@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Array Bytes Digest Format List Printf QCheck QCheck_alcotest S4_nfs S4_util S4_workload String

@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Bytes Int64 List S4 S4_analysis S4_disk S4_multi S4_store S4_util String

@@ -1,0 +1,1 @@
+test/test_nfs.ml: Alcotest Bytes Format Gen Int64 List Printf QCheck QCheck_alcotest S4 S4_disk S4_nfs S4_util String

@@ -1,0 +1,1 @@
+test/test_seglog.ml: Alcotest Array Bytes Char Gen Int64 List QCheck QCheck_alcotest S4_disk S4_seglog S4_util String

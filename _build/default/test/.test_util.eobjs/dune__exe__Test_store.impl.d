@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Array Bytes Char Gen Int64 List Printf QCheck QCheck_alcotest S4_disk S4_seglog S4_store S4_util String

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Bytes Filename Format Fun Int64 List S4 S4_disk S4_nfs S4_seglog S4_tools S4_util Sys

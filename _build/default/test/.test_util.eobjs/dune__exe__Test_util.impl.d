@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Char Format Fun Gen List Printf QCheck QCheck_alcotest S4_store S4_util String

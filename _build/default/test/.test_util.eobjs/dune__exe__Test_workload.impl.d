@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Bytes Filename Float List Option S4 S4_compress S4_nfs S4_util S4_workload

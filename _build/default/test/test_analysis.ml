@@ -1,0 +1,111 @@
+(* Tests for the capacity projection and the differencing study. *)
+
+module Capacity = S4_analysis.Capacity
+module Diffstudy = S4_analysis.Diffstudy
+module Daily = S4_workload.Daily
+
+let check = Alcotest.check
+
+(* --- Capacity projection (Figure 7 arithmetic) -------------------------- *)
+
+let test_paper_numbers () =
+  (* 10 GB / 143 MB/day ~ 71.6 days: the paper says "over 70 days". *)
+  let afs = Capacity.project Daily.afs in
+  check Alcotest.bool "AFS > 70 days" true (afs.Capacity.baseline_days > 70.0);
+  check Alcotest.bool "AFS < 75 days" true (afs.Capacity.baseline_days < 75.0);
+  (* 10 GB / 1 GB/day = 10 days: "10 days worth of history". *)
+  let nt = Capacity.project Daily.nt in
+  check (Alcotest.float 0.01) "NT 10 days" 10.0 nt.Capacity.baseline_days;
+  (* 10 GB / 110 MB/day ~ 93 days: "over 90 days". *)
+  let santry = Capacity.project Daily.santry in
+  check Alcotest.bool "Santry > 90 days" true (santry.Capacity.baseline_days > 90.0)
+
+let test_differencing_extends_window () =
+  let p = Capacity.project Daily.afs in
+  check (Alcotest.float 0.1) "3x" (p.Capacity.baseline_days *. 3.0) p.Capacity.differenced_days;
+  check (Alcotest.float 0.1) "5x" (p.Capacity.baseline_days *. 5.0) p.Capacity.compressed_days
+
+let test_paper_range_50_to_470_days () =
+  (* "a 10GB history pool can provide a detection window of between 50
+     and 470 days" — NT compressed is the lower end, Santry compressed
+     the upper. *)
+  let ps = Capacity.project_all () in
+  let all_compressed = List.map (fun p -> p.Capacity.compressed_days) ps in
+  let mn = List.fold_left Float.min infinity all_compressed in
+  let mx = List.fold_left Float.max 0.0 all_compressed in
+  check Alcotest.bool "lower end ~50" true (mn >= 45.0 && mn <= 55.0);
+  check Alcotest.bool "upper end ~470" true (mx >= 440.0 && mx <= 500.0)
+
+let test_custom_pool () =
+  let p = Capacity.project ~pool_bytes:(20 * 1024 * 1024 * 1024) Daily.nt in
+  check (Alcotest.float 0.01) "double pool, double days" 20.0 p.Capacity.baseline_days
+
+let test_invalid_factors_rejected () =
+  check Alcotest.bool "diff<1 rejected" true
+    (try
+       ignore (Capacity.project ~diff_factor:0.5 Daily.nt);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Differencing study (Section 5.2) ----------------------------------- *)
+
+let test_diffstudy_runs () =
+  let r = Diffstudy.run ~files:15 ~days:4 () in
+  check Alcotest.int "4 days" 4 (List.length r.Diffstudy.days);
+  check Alcotest.bool "raw biggest" true
+    (r.Diffstudy.total_raw > r.Diffstudy.total_delta
+     && r.Diffstudy.total_delta >= r.Diffstudy.total_delta_lz)
+
+let test_diffstudy_paper_magnitudes () =
+  (* The paper measured ~200% efficiency from differencing and ~500%
+     with compression. Synthetic tree, same ballpark expected. *)
+  let r = Diffstudy.run ~files:40 ~days:7 () in
+  check Alcotest.bool
+    (Printf.sprintf "diff efficiency %.1f in [2, 8]" r.Diffstudy.diff_efficiency)
+    true
+    (r.Diffstudy.diff_efficiency >= 2.0 && r.Diffstudy.diff_efficiency <= 8.0);
+  check Alcotest.bool
+    (Printf.sprintf "comp efficiency %.1f in [4, 25]" r.Diffstudy.comp_efficiency)
+    true
+    (r.Diffstudy.comp_efficiency >= 4.0 && r.Diffstudy.comp_efficiency <= 25.0);
+  check Alcotest.bool "compression adds on top of differencing" true
+    (r.Diffstudy.comp_efficiency > r.Diffstudy.diff_efficiency)
+
+let test_diffstudy_deterministic () =
+  let a = Diffstudy.run ~files:10 ~days:3 () in
+  let b = Diffstudy.run ~files:10 ~days:3 () in
+  check Alcotest.int "same raw" a.Diffstudy.total_raw b.Diffstudy.total_raw;
+  check Alcotest.int "same delta" a.Diffstudy.total_delta b.Diffstudy.total_delta
+
+let test_diffstudy_day0_is_full () =
+  let r = Diffstudy.run ~files:10 ~days:3 () in
+  match r.Diffstudy.days with
+  | d0 :: _ -> check Alcotest.int "day 0 stored whole" d0.Diffstudy.tree_bytes d0.Diffstudy.delta_bytes
+  | [] -> Alcotest.fail "no days"
+
+let test_diffstudy_more_churn_bigger_deltas () =
+  let lo = Diffstudy.run ~files:20 ~days:5 ~churn:0.05 () in
+  let hi = Diffstudy.run ~files:20 ~days:5 ~churn:0.6 () in
+  check Alcotest.bool "churn grows deltas" true
+    (hi.Diffstudy.diff_efficiency < lo.Diffstudy.diff_efficiency)
+
+let () =
+  Alcotest.run "s4_analysis"
+    [
+      ( "capacity",
+        [
+          Alcotest.test_case "paper numbers" `Quick test_paper_numbers;
+          Alcotest.test_case "differencing factors" `Quick test_differencing_extends_window;
+          Alcotest.test_case "50-470 day range" `Quick test_paper_range_50_to_470_days;
+          Alcotest.test_case "custom pool" `Quick test_custom_pool;
+          Alcotest.test_case "invalid factors" `Quick test_invalid_factors_rejected;
+        ] );
+      ( "diffstudy",
+        [
+          Alcotest.test_case "runs" `Quick test_diffstudy_runs;
+          Alcotest.test_case "paper magnitudes" `Slow test_diffstudy_paper_magnitudes;
+          Alcotest.test_case "deterministic" `Quick test_diffstudy_deterministic;
+          Alcotest.test_case "day 0 full" `Quick test_diffstudy_day0_is_full;
+          Alcotest.test_case "churn sensitivity" `Slow test_diffstudy_more_churn_bigger_deltas;
+        ] );
+    ]

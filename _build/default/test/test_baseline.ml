@@ -1,0 +1,262 @@
+(* Tests for the comparison servers: update-in-place NFS (FFS/ext2)
+   and the conventional-versioning space model. *)
+
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+module N = S4_nfs.Nfs_types
+module Upfs = S4_baseline.Upfs
+module Nv = S4_baseline.Naive_versioning
+
+let check = Alcotest.check
+
+let geom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
+
+let mk ?(mb = 256) ?(cfg = Upfs.ffs) () =
+  let clock = Simclock.create () in
+  let disk = Sim_disk.create ~geometry:(geom mb) clock in
+  (clock, disk, Upfs.create cfg disk)
+
+let fh_of = function
+  | N.R_fh (fh, _) -> fh
+  | N.R_error e -> Alcotest.failf "error %a" N.pp_error e
+  | _ -> Alcotest.fail "expected fh"
+
+let create t ~dir name = fh_of (Upfs.handle t (N.Create { dir; name; mode = 0o644 }))
+let mkdir t ~dir name = fh_of (Upfs.handle t (N.Mkdir { dir; name; mode = 0o755 }))
+
+let write t fh off s =
+  match Upfs.handle t (N.Write { fh; off; data = Bytes.of_string s }) with
+  | N.R_attr a -> a
+  | _ -> Alcotest.fail "write"
+
+let read t fh off len =
+  match Upfs.handle t (N.Read { fh; off; len }) with
+  | N.R_data b -> Bytes.to_string b
+  | _ -> Alcotest.fail "read"
+
+(* --- Upfs functional behaviour ---------------------------------------- *)
+
+let test_upfs_basic () =
+  let _, _, t = mk () in
+  let root = Upfs.root t in
+  let d = mkdir t ~dir:root "dir" in
+  let f = create t ~dir:d "file" in
+  let a = write t f 0 "some content" in
+  check Alcotest.int "size" 12 a.N.size;
+  check Alcotest.string "read" "some content" (read t f 0 100);
+  check Alcotest.string "offset" "content" (read t f 5 100)
+
+let test_upfs_namespace () =
+  let _, _, t = mk () in
+  let root = Upfs.root t in
+  let d = mkdir t ~dir:root "d" in
+  ignore (create t ~dir:d "a");
+  ignore (create t ~dir:d "b");
+  (match Upfs.handle t (N.Readdir d) with
+   | N.R_entries es ->
+     check (Alcotest.list Alcotest.string) "entries" [ "a"; "b" ]
+       (List.sort compare (List.map (fun e -> e.N.name) es))
+   | _ -> Alcotest.fail "readdir");
+  (match Upfs.handle t (N.Remove { dir = d; name = "a" }) with
+   | N.R_unit -> ()
+   | _ -> Alcotest.fail "remove");
+  match Upfs.handle t (N.Lookup { dir = d; name = "a" }) with
+  | N.R_error N.Enoent -> ()
+  | _ -> Alcotest.fail "a should be gone"
+
+let test_upfs_rename_and_overwrite () =
+  let _, _, t = mk () in
+  let root = Upfs.root t in
+  let f = create t ~dir:root "x" in
+  ignore (write t f 0 "XX");
+  let g = create t ~dir:root "y" in
+  ignore (write t g 0 "YY");
+  (match Upfs.handle t (N.Rename { from_dir = root; from_name = "x"; to_dir = root; to_name = "y" }) with
+   | N.R_unit -> ()
+   | _ -> Alcotest.fail "rename");
+  match Upfs.handle t (N.Lookup { dir = root; name = "y" }) with
+  | N.R_fh (fh, _) ->
+    check Alcotest.int64 "x took y's place" f fh;
+    check Alcotest.string "content" "XX" (read t fh 0 10)
+  | _ -> Alcotest.fail "lookup y"
+
+let test_upfs_truncate_grow_shrink () =
+  let _, _, t = mk () in
+  let root = Upfs.root t in
+  let f = create t ~dir:root "t" in
+  ignore (write t f 0 "0123456789");
+  (match Upfs.handle t (N.Setattr { fh = f; mode = None; size = Some 3 }) with
+   | N.R_attr a -> check Alcotest.int "shrunk" 3 a.N.size
+   | _ -> Alcotest.fail "setattr");
+  check Alcotest.string "prefix" "012" (read t f 0 100);
+  (match Upfs.handle t (N.Setattr { fh = f; mode = None; size = Some 6 }) with
+   | N.R_attr a -> check Alcotest.int "grown" 6 a.N.size
+   | _ -> Alcotest.fail "setattr grow");
+  check Alcotest.string "zero filled" "012\000\000\000" (read t f 0 100)
+
+let test_upfs_in_place_no_history () =
+  (* The whole point of the baseline: overwrites destroy data. *)
+  let _, _, t = mk () in
+  let root = Upfs.root t in
+  let f = create t ~dir:root "victim" in
+  ignore (write t f 0 "original");
+  ignore (write t f 0 "TAMPERED");
+  check Alcotest.string "only the new data exists" "TAMPERED" (read t f 0 100)
+
+let test_upfs_block_reuse () =
+  (* Deleting a file frees its blocks for reuse — update-in-place. *)
+  let _, _, t = mk ~mb:16 () in
+  let root = Upfs.root t in
+  (* Churn more data than the disk holds: only possible with reuse. *)
+  for i = 0 to 63 do
+    let f = create t ~dir:root (Printf.sprintf "f%d" i) in
+    ignore (write t f 0 (String.make 500_000 'x'));
+    match Upfs.handle t (N.Remove { dir = root; name = Printf.sprintf "f%d" i }) with
+    | N.R_unit -> ()
+    | _ -> Alcotest.fail "remove"
+  done;
+  match Upfs.handle t N.Statfs with
+  | N.R_statfs { free_bytes; total_bytes } ->
+    check Alcotest.bool "space reclaimed" true (free_bytes > total_bytes / 2)
+  | _ -> Alcotest.fail "statfs"
+
+let test_upfs_sync_metadata_writes () =
+  let _, _, t = mk ~cfg:Upfs.ffs () in
+  let root = Upfs.root t in
+  for i = 0 to 19 do
+    ignore (create t ~dir:root (Printf.sprintf "f%02d" i))
+  done;
+  (* FFS: synchronous metadata -> roughly one physical metadata write
+     per metadata update (modulo the write-cache coalescing window). *)
+  check Alcotest.bool "many metadata writes" true (Upfs.metadata_writes t > 10)
+
+let test_ext2_coalesces_metadata () =
+  let _, _, ffs = mk ~cfg:Upfs.ffs () in
+  let _, _, ext2 = mk ~cfg:Upfs.ext2_sync () in
+  let workload t =
+    let root = Upfs.root t in
+    for i = 0 to 99 do
+      let f = create t ~dir:root (Printf.sprintf "f%03d" i) in
+      ignore (write t f 0 "data")
+    done
+  in
+  workload ffs;
+  workload ext2;
+  check Alcotest.bool "ext2 flaw: far fewer metadata I/Os" true
+    (Upfs.metadata_writes ext2 * 3 < Upfs.metadata_writes ffs)
+
+let test_ffs_slower_than_log_for_small_sync_writes () =
+  (* Sanity of the core performance claim: synchronous in-place small
+     writes cost positioning; check FFS costs real time. *)
+  let clock, _, t = mk () in
+  let root = Upfs.root t in
+  let t0 = Simclock.now clock in
+  for i = 0 to 49 do
+    let f = create t ~dir:root (Printf.sprintf "s%d" i) in
+    ignore (write t f 0 "tiny")
+  done;
+  let per_op = Simclock.to_seconds (Int64.sub (Simclock.now clock) t0) /. 100.0 in
+  check Alcotest.bool "costs milliseconds per op" true (per_op > 0.001 && per_op < 0.05)
+
+(* --- Naive versioning (Fig. 2 model) ----------------------------------- *)
+
+let test_nv_direct_write () =
+  let t = Nv.create () in
+  Nv.write t ~off:0 ~len:4096;
+  let s = Nv.stats t in
+  check Alcotest.int "data" 1 s.Nv.data_blocks;
+  check Alcotest.int "no indirects" 0 s.Nv.indirect_blocks;
+  check Alcotest.int "inode copy" 1 s.Nv.inode_blocks
+
+let test_nv_single_indirect () =
+  let t = Nv.create () in
+  (* Block index 12 (first beyond the 12 direct pointers). *)
+  Nv.write t ~off:(12 * 4096) ~len:4096;
+  let s = Nv.stats t in
+  check Alcotest.int "one indirect copied" 1 s.Nv.indirect_blocks
+
+let test_nv_double_indirect () =
+  let t = Nv.create () in
+  (* Beyond 12 + 1024 blocks: double-indirect territory. *)
+  Nv.write t ~off:((12 + 1024 + 5) * 4096) ~len:4096;
+  let s = Nv.stats t in
+  check Alcotest.int "root + leaf copied" 2 s.Nv.indirect_blocks
+
+let test_nv_triple_indirect () =
+  let t = Nv.create () in
+  Nv.write t ~off:((12 + 1024 + (1024 * 1024) + 5) * 4096) ~len:4096;
+  let s = Nv.stats t in
+  check Alcotest.int "three levels copied" 3 s.Nv.indirect_blocks
+
+let test_nv_blowup_factor () =
+  (* The paper's observation: repeatedly updating single blocks deep in
+     a large file can cost ~4x the data in metadata copies. *)
+  let t = Nv.create () in
+  for i = 0 to 99 do
+    Nv.write t ~off:((12 + 1024 + (1024 * 1024) + (i * 7)) * 4096) ~len:4096
+  done;
+  let factor = 1.0 +. Nv.metadata_overhead t in
+  check Alcotest.bool "~4x growth" true (factor > 3.5 && factor <= 5.0)
+
+let test_nv_shared_indirects_counted_once () =
+  let t = Nv.create () in
+  (* Two blocks under the same single-indirect block, one update. *)
+  Nv.write t ~off:(13 * 4096) ~len:8192;
+  let s = Nv.stats t in
+  check Alcotest.int "data 2" 2 s.Nv.data_blocks;
+  check Alcotest.int "indirect shared" 1 s.Nv.indirect_blocks;
+  check Alcotest.int "one inode" 1 s.Nv.inode_blocks
+
+let test_nv_vs_s4_journal_metadata () =
+  (* Head-to-head with the real S4 store: same update pattern, compare
+     metadata bytes. Journal-based metadata must be far smaller. *)
+  let clock = Simclock.create () in
+  let disk = Sim_disk.create ~geometry:(geom 128) clock in
+  let log = S4_seglog.Log.create disk in
+  let store = S4_store.Obj_store.create ~config:{ S4_store.Obj_store.default_config with keep_data = false } log in
+  let oid = S4_store.Obj_store.create_object store in
+  let nv = Nv.create () in
+  (* Build a large file, then update single blocks through indirect
+     territory. *)
+  let base = (12 + 1024 + 50) * 4096 in
+  S4_store.Obj_store.write store oid ~off:0 ~len:(base + 4096) ();
+  Nv.write nv ~off:0 ~len:(base + 4096);
+  let meta_before = (S4_store.Obj_store.stats store).S4_store.Obj_store.journal_bytes in
+  let nv_meta_before = Nv.metadata_bytes nv in
+  for i = 0 to 49 do
+    let off = (12 + 1024 + i) * 4096 in
+    S4_store.Obj_store.write store oid ~off ~len:4096 ();
+    Nv.write nv ~off ~len:4096
+  done;
+  S4_store.Obj_store.sync store;
+  let s4_meta = (S4_store.Obj_store.stats store).S4_store.Obj_store.journal_bytes - meta_before in
+  let nv_meta = Nv.metadata_bytes nv - nv_meta_before in
+  check Alcotest.bool "journal metadata 50x smaller" true (s4_meta * 50 < nv_meta)
+
+let () =
+  Alcotest.run "s4_baseline"
+    [
+      ( "upfs",
+        [
+          Alcotest.test_case "basic" `Quick test_upfs_basic;
+          Alcotest.test_case "namespace" `Quick test_upfs_namespace;
+          Alcotest.test_case "rename overwrite" `Quick test_upfs_rename_and_overwrite;
+          Alcotest.test_case "truncate" `Quick test_upfs_truncate_grow_shrink;
+          Alcotest.test_case "no history" `Quick test_upfs_in_place_no_history;
+          Alcotest.test_case "block reuse" `Quick test_upfs_block_reuse;
+          Alcotest.test_case "sync metadata" `Quick test_upfs_sync_metadata_writes;
+          Alcotest.test_case "ext2 coalescing flaw" `Quick test_ext2_coalesces_metadata;
+          Alcotest.test_case "sync write cost" `Quick test_ffs_slower_than_log_for_small_sync_writes;
+        ] );
+      ( "naive-versioning",
+        [
+          Alcotest.test_case "direct write" `Quick test_nv_direct_write;
+          Alcotest.test_case "single indirect" `Quick test_nv_single_indirect;
+          Alcotest.test_case "double indirect" `Quick test_nv_double_indirect;
+          Alcotest.test_case "triple indirect" `Quick test_nv_triple_indirect;
+          Alcotest.test_case "4x blowup" `Quick test_nv_blowup_factor;
+          Alcotest.test_case "shared indirects" `Quick test_nv_shared_indirects_counted_once;
+          Alcotest.test_case "vs S4 journal metadata" `Quick test_nv_vs_s4_journal_metadata;
+        ] );
+    ]

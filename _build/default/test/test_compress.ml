@@ -1,0 +1,209 @@
+(* Tests for the LZ compressor and the xdelta-style differencer. *)
+
+module Lz = S4_compress.Lz
+module Delta = S4_compress.Delta
+module Rng = S4_util.Rng
+module Bcodec = S4_util.Bcodec
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let bytes_of = Bytes.of_string
+
+(* --- LZ ------------------------------------------------------------ *)
+
+let lz_roundtrip s =
+  let b = bytes_of s in
+  check Alcotest.bytes (Printf.sprintf "roundtrip %d bytes" (String.length s)) b
+    (Lz.decompress (Lz.compress b))
+
+let test_lz_empty () = lz_roundtrip ""
+let test_lz_single () = lz_roundtrip "x"
+
+let test_lz_repetitive () =
+  let s = String.concat "" (List.init 200 (fun _ -> "abcabcabc")) in
+  lz_roundtrip s;
+  let ratio = Lz.ratio (bytes_of s) in
+  check Alcotest.bool "compresses well" true (ratio < 0.1)
+
+let test_lz_text_like () =
+  let s =
+    String.concat "\n"
+      (List.init 100 (fun i ->
+           Printf.sprintf "let f_%d x = x + %d (* a comment about f_%d *)" i i i))
+  in
+  lz_roundtrip s;
+  check Alcotest.bool "text compresses >2x" true (Lz.ratio (bytes_of s) < 0.5)
+
+let test_lz_incompressible () =
+  let rng = Rng.create ~seed:11 in
+  let b = Rng.bytes rng 4096 in
+  check Alcotest.bytes "random roundtrip" b (Lz.decompress (Lz.compress b));
+  check Alcotest.bool "bounded expansion" true (Lz.ratio b < 1.2)
+
+let test_lz_overlapping_match () =
+  (* "aaaa..." forces matches that overlap their own output. *)
+  lz_roundtrip (String.make 1000 'a')
+
+let test_lz_all_byte_values () =
+  let b = Bytes.init 1024 (fun i -> Char.chr (i mod 256)) in
+  check Alcotest.bytes "binary roundtrip" b (Lz.decompress (Lz.compress b))
+
+let test_lz_rejects_garbage () =
+  check Alcotest.bool "bad magic" true
+    (try
+       ignore (Lz.decompress (bytes_of "garbage!"));
+       false
+     with Bcodec.Decode_error _ -> true)
+
+let prop_lz_roundtrip =
+  QCheck.Test.make ~name:"lz roundtrip (arbitrary strings)" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 2000))
+    (fun s ->
+      let b = bytes_of s in
+      Bytes.equal b (Lz.decompress (Lz.compress b)))
+
+let prop_lz_roundtrip_structured =
+  QCheck.Test.make ~name:"lz roundtrip (repetitive strings)" ~count:100
+    QCheck.(pair (string_of_size Gen.(1 -- 50)) (int_range 1 100))
+    (fun (unit_, n) ->
+      let s = String.concat "" (List.init n (fun _ -> unit_)) in
+      let b = bytes_of s in
+      Bytes.equal b (Lz.decompress (Lz.compress b)))
+
+(* --- Delta ---------------------------------------------------------- *)
+
+let delta_roundtrip ~source ~target =
+  let d = Delta.encode ~source ~target in
+  check Alcotest.bytes "apply rebuilds target" target (Delta.apply ~source ~delta:d);
+  d
+
+let test_delta_identical () =
+  let b = bytes_of (String.concat "" (List.init 64 (fun i -> Printf.sprintf "line %d\n" i))) in
+  let d = delta_roundtrip ~source:b ~target:b in
+  check Alcotest.bool "identical content -> tiny delta" true
+    (Bytes.length d < Bytes.length b / 4)
+
+let test_delta_small_edit () =
+  let source =
+    bytes_of (String.concat "" (List.init 100 (fun i -> Printf.sprintf "line %04d: some content here\n" i)))
+  in
+  let s = Bytes.to_string source in
+  let target = bytes_of (String.sub s 0 500 ^ "EDITED!" ^ String.sub s 500 (String.length s - 500)) in
+  let d = delta_roundtrip ~source ~target in
+  check Alcotest.bool "small edit -> small delta" true (Bytes.length d < Bytes.length target / 5)
+
+let test_delta_empty_source () =
+  let target = bytes_of "brand new content" in
+  let d = delta_roundtrip ~source:Bytes.empty ~target in
+  check Alcotest.bool "all literal" true (Bytes.length d >= Bytes.length target)
+
+let test_delta_empty_target () =
+  ignore (delta_roundtrip ~source:(bytes_of "whatever") ~target:Bytes.empty)
+
+let test_delta_unrelated () =
+  let rng = Rng.create ~seed:21 in
+  let source = Rng.bytes rng 1000 in
+  let target = Rng.bytes rng 1000 in
+  ignore (delta_roundtrip ~source ~target)
+
+let test_delta_source_length_check () =
+  let source = bytes_of "hello world hello world" in
+  let d = Delta.encode ~source ~target:(bytes_of "hello world hello") in
+  check Alcotest.bool "wrong source rejected" true
+    (try
+       ignore (Delta.apply ~source:(bytes_of "wrong") ~delta:d);
+       false
+     with Bcodec.Decode_error _ -> true)
+
+let test_delta_corruption_detected () =
+  let source = bytes_of (String.make 200 'q') in
+  let target = bytes_of (String.make 100 'q' ^ String.make 100 'r') in
+  let d = Delta.encode ~source ~target in
+  (* Corrupt a byte past the header (magic 2 + varints + crc 4 = flip
+     the last byte, which lives in instruction data). *)
+  Bytes.set d (Bytes.length d - 1) 'X';
+  check Alcotest.bool "corruption detected" true
+    (try
+       ignore (Delta.apply ~source ~delta:d);
+       false
+     with Bcodec.Decode_error _ -> true)
+
+let test_delta_instructions_cover_target () =
+  let source = bytes_of (String.concat "" (List.init 50 (fun i -> Printf.sprintf "block-%d " i))) in
+  let target = Bytes.cat source (bytes_of "trailer") in
+  let d = Delta.encode ~source ~target in
+  let len =
+    List.fold_left
+      (fun acc -> function
+        | Delta.Copy { len; _ } -> acc + len
+        | Delta.Insert b -> acc + Bytes.length b)
+      0
+      (Delta.instructions ~delta:d)
+  in
+  check Alcotest.int "instructions cover target" (Bytes.length target) len
+
+let test_delta_saved_metric () =
+  let source = bytes_of (String.make 4096 'z') in
+  let saved = Delta.saved ~source ~target:source in
+  check Alcotest.bool "identical saves >90%" true (saved > 0.9)
+
+let prop_delta_roundtrip =
+  QCheck.Test.make ~name:"delta roundtrip (arbitrary pairs)" ~count:300
+    QCheck.(pair (string_of_size Gen.(0 -- 1500)) (string_of_size Gen.(0 -- 1500)))
+    (fun (s, t) ->
+      let source = bytes_of s and target = bytes_of t in
+      let d = Delta.encode ~source ~target in
+      Bytes.equal target (Delta.apply ~source ~delta:d))
+
+let prop_delta_roundtrip_mutations =
+  QCheck.Test.make ~name:"delta roundtrip (mutated source)" ~count:200
+    QCheck.(triple (string_of_size Gen.(100 -- 1000)) small_nat (string_of_size Gen.(0 -- 40)))
+    (fun (s, pos, insert) ->
+      let source = bytes_of s in
+      let pos = pos mod (String.length s + 1) in
+      let t = String.sub s 0 pos ^ insert ^ String.sub s pos (String.length s - pos) in
+      let target = bytes_of t in
+      let d = Delta.encode ~source ~target in
+      Bytes.equal target (Delta.apply ~source ~delta:d))
+
+let prop_delta_efficient_on_similar_inputs =
+  QCheck.Test.make ~name:"delta smaller than target for large shared content" ~count:50
+    QCheck.(string_of_size Gen.(return 2000))
+    (fun s ->
+      let source = bytes_of (s ^ s) in
+      let target = bytes_of (s ^ "edit" ^ s) in
+      let d = Delta.encode ~source ~target in
+      Bytes.length d < Bytes.length target / 2)
+
+let () =
+  Alcotest.run "s4_compress"
+    [
+      ( "lz",
+        [
+          Alcotest.test_case "empty" `Quick test_lz_empty;
+          Alcotest.test_case "single byte" `Quick test_lz_single;
+          Alcotest.test_case "repetitive" `Quick test_lz_repetitive;
+          Alcotest.test_case "text-like" `Quick test_lz_text_like;
+          Alcotest.test_case "incompressible" `Quick test_lz_incompressible;
+          Alcotest.test_case "overlapping match" `Quick test_lz_overlapping_match;
+          Alcotest.test_case "all byte values" `Quick test_lz_all_byte_values;
+          Alcotest.test_case "garbage rejected" `Quick test_lz_rejects_garbage;
+          qtest prop_lz_roundtrip;
+          qtest prop_lz_roundtrip_structured;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "identical" `Quick test_delta_identical;
+          Alcotest.test_case "small edit" `Quick test_delta_small_edit;
+          Alcotest.test_case "empty source" `Quick test_delta_empty_source;
+          Alcotest.test_case "empty target" `Quick test_delta_empty_target;
+          Alcotest.test_case "unrelated" `Quick test_delta_unrelated;
+          Alcotest.test_case "source check" `Quick test_delta_source_length_check;
+          Alcotest.test_case "corruption detected" `Quick test_delta_corruption_detected;
+          Alcotest.test_case "instruction coverage" `Quick test_delta_instructions_cover_target;
+          Alcotest.test_case "saved metric" `Quick test_delta_saved_metric;
+          qtest prop_delta_roundtrip;
+          qtest prop_delta_roundtrip_mutations;
+          qtest prop_delta_efficient_on_similar_inputs;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Differential testing: the S4-backed NFS systems and the
+   update-in-place comparison servers implement the same NFSv2
+   semantics, so any random operation sequence must leave all four
+   systems with identical observable state (namespace, contents,
+   sizes) and produce the same per-operation outcome. *)
+
+module Rng = S4_util.Rng
+module N = S4_nfs.Nfs_types
+module Server = S4_nfs.Server
+module Systems = S4_workload.Systems
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* Abstract operations over a small fixed namespace. *)
+type aop =
+  | Acreate of int * int  (* dir index, file index *)
+  | Awrite of int * int * int * int * char
+  | Atruncate of int * int * int
+  | Aremove of int * int
+  | Arename of int * int * int * int
+  | Amkdir_file_clash of int * int  (* mkdir with a file's name *)
+  | Aread of int * int
+
+let dir_name i = Printf.sprintf "dir%d" i
+let file_name i = Printf.sprintf "file%d" i
+
+let outcome_string = function
+  | N.R_attr a -> Printf.sprintf "attr:%d" a.N.size
+  | N.R_fh (_, a) -> Printf.sprintf "fh:%d" a.N.size
+  | N.R_data b -> Printf.sprintf "data:%s" (Digest.to_hex (Digest.bytes b))
+  | N.R_entries es ->
+    Printf.sprintf "entries:%s" (String.concat "," (List.sort compare (List.map (fun e -> e.N.name) es)))
+  | N.R_link s -> "link:" ^ s
+  | N.R_unit -> "ok"
+  | N.R_statfs _ -> "statfs"
+  | N.R_error e -> Format.asprintf "error:%a" N.pp_error e
+
+(* Apply one abstract op; returns a string outcome for comparison. *)
+let apply sys dirs op =
+  let handle req = sys.Systems.server.Server.handle req in
+  let lookup d n =
+    match handle (N.Lookup { dir = dirs.(d); name = file_name n }) with
+    | N.R_fh (fh, a) -> Some (fh, a)
+    | _ -> None
+  in
+  match op with
+  | Acreate (d, n) -> outcome_string (handle (N.Create { dir = dirs.(d); name = file_name n; mode = 0o644 }))
+  | Awrite (d, n, off, len, c) ->
+    (match lookup d n with
+     | Some (fh, _) -> outcome_string (handle (N.Write { fh; off; data = Bytes.make len c }))
+     | None -> "no-file")
+  | Atruncate (d, n, size) ->
+    (match lookup d n with
+     | Some (fh, _) -> outcome_string (handle (N.Setattr { fh; mode = None; size = Some size }))
+     | None -> "no-file")
+  | Aremove (d, n) -> outcome_string (handle (N.Remove { dir = dirs.(d); name = file_name n }))
+  | Arename (d1, n1, d2, n2) ->
+    outcome_string
+      (handle
+         (N.Rename
+            { from_dir = dirs.(d1); from_name = file_name n1; to_dir = dirs.(d2); to_name = file_name n2 }))
+  | Amkdir_file_clash (d, n) ->
+    outcome_string (handle (N.Mkdir { dir = dirs.(d); name = file_name n; mode = 0o755 }))
+  | Aread (d, n) ->
+    (match lookup d n with
+     | Some (fh, a) -> outcome_string (handle (N.Read { fh; off = 0; len = a.N.size }))
+     | None -> "no-file")
+
+(* Observable final state: sorted (dir, name, size, content digest). *)
+let snapshot sys dirs =
+  let handle req = sys.Systems.server.Server.handle req in
+  List.concat
+    (List.mapi
+       (fun d dir ->
+         match handle (N.Readdir dir) with
+         | N.R_entries es ->
+           List.map
+             (fun (e : N.dirent) ->
+               match handle (N.Getattr e.N.fh) with
+               | N.R_attr a ->
+                 let digest =
+                   match handle (N.Read { fh = e.N.fh; off = 0; len = a.N.size }) with
+                   | N.R_data b -> Digest.to_hex (Digest.bytes b)
+                   | _ -> "?"
+                 in
+                 Printf.sprintf "%d/%s size=%d %s" d e.N.name a.N.size digest
+               | _ -> Printf.sprintf "%d/%s ?" d e.N.name)
+             es
+         | _ -> [ Printf.sprintf "%d unreadable" d ])
+       (Array.to_list dirs))
+  |> List.sort compare
+
+let setup sys =
+  Array.init 2 (fun i ->
+      match
+        sys.Systems.server.Server.handle
+          (N.Mkdir { dir = sys.Systems.server.Server.root; name = dir_name i; mode = 0o755 })
+      with
+      | N.R_fh (fh, _) -> fh
+      | _ -> failwith "setup mkdir")
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (1 -- 40)
+      (oneof
+         [
+           map2 (fun d n -> Acreate (d, n)) (0 -- 1) (0 -- 4);
+           (let* d = 0 -- 1 and* n = 0 -- 4 and* off = 0 -- 6000 and* len = 1 -- 5000 and* c = char_range 'a' 'z' in
+            return (Awrite (d, n, off, len, c)));
+           map3 (fun d n s -> Atruncate (d, n, s)) (0 -- 1) (0 -- 4) (0 -- 8000);
+           map2 (fun d n -> Aremove (d, n)) (0 -- 1) (0 -- 4);
+           (let* d1 = 0 -- 1 and* n1 = 0 -- 4 and* d2 = 0 -- 1 and* n2 = 0 -- 4 in
+            return (Arename (d1, n1, d2, n2)));
+           map2 (fun d n -> Amkdir_file_clash (d, n)) (0 -- 1) (0 -- 4);
+           map2 (fun d n -> Aread (d, n)) (0 -- 1) (0 -- 4);
+         ]))
+
+let pp_aop = function
+  | Acreate (d, n) -> Printf.sprintf "create(%d,%d)" d n
+  | Awrite (d, n, off, len, c) -> Printf.sprintf "write(%d,%d,%d,%d,%c)" d n off len c
+  | Atruncate (d, n, s) -> Printf.sprintf "trunc(%d,%d,%d)" d n s
+  | Aremove (d, n) -> Printf.sprintf "rm(%d,%d)" d n
+  | Arename (a, b, c, d) -> Printf.sprintf "mv(%d,%d->%d,%d)" a b c d
+  | Amkdir_file_clash (d, n) -> Printf.sprintf "mkdir(%d,%d)" d n
+  | Aread (d, n) -> Printf.sprintf "read(%d,%d)" d n
+
+let arb_ops =
+  QCheck.make ~print:(fun l -> String.concat "; " (List.map pp_aop l)) gen_ops
+
+let run_equivalence ops =
+  let systems =
+    (* Content retention on the S4 drives: we compare actual bytes. *)
+    Systems.all_four ~disk_mb:128 ~drive_config:Systems.content_drive_config ()
+  in
+  let states =
+    List.map
+      (fun sys ->
+        let dirs = setup sys in
+        let outcomes = List.map (apply sys dirs) ops in
+        (sys.Systems.name, outcomes, snapshot sys dirs))
+      systems
+  in
+  match states with
+  | [] -> true
+  | (_, ref_out, ref_snap) :: rest ->
+    List.for_all
+      (fun (name, out, snap) ->
+        if out <> ref_out then begin
+          QCheck.Test.fail_reportf "%s diverged in outcomes:\n%s\nvs\n%s" name
+            (String.concat ";" out) (String.concat ";" ref_out)
+        end;
+        if snap <> ref_snap then begin
+          QCheck.Test.fail_reportf "%s diverged in final state:\n%s\nvs\n%s" name
+            (String.concat "\n" snap) (String.concat "\n" ref_snap)
+        end;
+        true)
+      rest
+
+let prop_four_systems_agree =
+  QCheck.Test.make ~name:"all four systems implement identical NFS semantics" ~count:30 arb_ops
+    run_equivalence
+
+(* A couple of fixed regression sequences (cheap to debug when they
+   break). *)
+let test_fixed_sequence () =
+  let ops =
+    [
+      Acreate (0, 0);
+      Awrite (0, 0, 0, 100, 'x');
+      Acreate (0, 0);
+      (* EEXIST everywhere *)
+      Arename (0, 0, 1, 1);
+      Awrite (1, 1, 50, 100, 'y');
+      Atruncate (1, 1, 70);
+      Aread (1, 1);
+      Aremove (0, 0);
+      (* ENOENT everywhere *)
+      Amkdir_file_clash (1, 1);
+      (* EEXIST *)
+      Aremove (1, 1);
+    ]
+  in
+  check Alcotest.bool "agree" true (run_equivalence ops)
+
+let test_sparse_and_grow () =
+  let ops =
+    [ Acreate (0, 2); Awrite (0, 2, 7000, 10, 'z'); Aread (0, 2); Atruncate (0, 2, 9000); Aread (0, 2) ]
+  in
+  check Alcotest.bool "agree" true (run_equivalence ops)
+
+let () =
+  Alcotest.run "s4_equivalence"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "fixed sequence" `Quick test_fixed_sequence;
+          Alcotest.test_case "sparse and grow" `Quick test_sparse_and_grow;
+          qtest prop_four_systems_agree;
+        ] );
+    ]

@@ -1,0 +1,197 @@
+(* Tests for mirrored self-securing drives and the snapshot-vs-
+   versioning analysis. *)
+
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+module Drive = S4.Drive
+module Rpc = S4.Rpc
+module Mirror = S4_multi.Mirror
+module Snapshots = S4_analysis.Snapshots
+
+let check = Alcotest.check
+
+let geom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
+
+let mk_mirror ?(mb = 64) () =
+  let clock = Simclock.create () in
+  let mk () = Drive.format (Sim_disk.create ~geometry:(geom mb) clock) in
+  let primary = mk () in
+  let secondary = mk () in
+  (clock, Mirror.create primary secondary)
+
+let alice = Rpc.user_cred ~user:1 ~client:1
+let tick clock = Simclock.advance clock 1_000_000L
+
+let expect_oid = function
+  | Rpc.R_oid oid -> oid
+  | r -> Alcotest.failf "expected oid, got %a" Rpc.pp_resp r
+
+let expect_unit = function
+  | Rpc.R_unit -> ()
+  | r -> Alcotest.failf "expected unit, got %a" Rpc.pp_resp r
+
+let read_str ?at m oid =
+  match Mirror.handle m alice (Rpc.Read { oid; off = 0; len = 1 lsl 16; at }) with
+  | Rpc.R_data b -> Bytes.to_string b
+  | r -> Alcotest.failf "read: %a" Rpc.pp_resp r
+
+let write m oid s =
+  expect_unit
+    (Mirror.handle m alice (Rpc.Write { oid; off = 0; len = String.length s; data = Some (Bytes.of_string s) }))
+
+(* --- Mirror ----------------------------------------------------------- *)
+
+let test_mirror_basic () =
+  let _, m = mk_mirror () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "mirrored data";
+  check Alcotest.string "read" "mirrored data" (read_str m oid);
+  check (Alcotest.list Alcotest.string) "replicas agree" [] (Mirror.divergence m);
+  (* Both replicas really hold the data. *)
+  List.iter
+    (fun r ->
+      match Drive.handle (Mirror.drive m r) alice (Rpc.Read { oid; off = 0; len = 13; at = None }) with
+      | Rpc.R_data b -> check Alcotest.string "replica copy" "mirrored data" (Bytes.to_string b)
+      | resp -> Alcotest.failf "replica read: %a" Rpc.pp_resp resp)
+    [ Mirror.Primary; Mirror.Secondary ]
+
+let test_mirror_identical_oids () =
+  let _, m = mk_mirror () in
+  let a = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  let b = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  check Alcotest.bool "distinct" true (a <> b);
+  check (Alcotest.list Alcotest.string) "agree" [] (Mirror.divergence m)
+
+let test_mirror_secondary_failure_and_resync () =
+  let _, m = mk_mirror () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "before failure";
+  Mirror.set_failed m Mirror.Secondary true;
+  write m oid "during failure!";
+  check Alcotest.bool "mutations journalled" true (Mirror.lag m > 0);
+  check Alcotest.string "primary serves" "during failure!" (read_str m oid);
+  Mirror.set_failed m Mirror.Secondary false;
+  (match Mirror.resync m with
+   | Ok n -> check Alcotest.bool "replayed" true (n > 0)
+   | Error e -> Alcotest.fail e);
+  check Alcotest.int "lag cleared" 0 (Mirror.lag m);
+  check (Alcotest.list Alcotest.string) "replicas re-converged" [] (Mirror.divergence m)
+
+let test_mirror_primary_failover () =
+  let clock, m = mk_mirror () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "v1";
+  let t1 = Simclock.now clock in
+  tick clock;
+  write m oid "v2";
+  Mirror.set_failed m Mirror.Primary true;
+  (* Reads — including time-based history reads — keep working off the
+     secondary, which holds the full history pool too. *)
+  check Alcotest.string "current from secondary" "v2" (read_str m oid);
+  check Alcotest.string "history from secondary" "v1"
+    (match Mirror.handle m Rpc.admin_cred (Rpc.Read { oid; off = 0; len = 2; at = Some t1 }) with
+     | Rpc.R_data b -> Bytes.to_string b
+     | r -> Alcotest.failf "history read: %a" Rpc.pp_resp r);
+  (* Writes continue; the primary catches up on repair. *)
+  write m oid "v3";
+  Mirror.set_failed m Mirror.Primary false;
+  (match Mirror.resync m with Ok _ -> () | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "converged" [] (Mirror.divergence m)
+
+let test_mirror_both_failed () =
+  let _, m = mk_mirror () in
+  Mirror.set_failed m Mirror.Primary true;
+  Mirror.set_failed m Mirror.Secondary true;
+  (match Mirror.handle m alice (Rpc.Create { acl = [] }) with
+   | Rpc.R_error (Rpc.Bad_request _) -> ()
+   | r -> Alcotest.failf "expected failure, got %a" Rpc.pp_resp r);
+  match Mirror.resync m with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "resync with no live replica"
+
+let test_mirror_divergence_detected () =
+  let _, m = mk_mirror () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "same";
+  (* Corrupt the secondary behind the mirror's back. *)
+  let rogue = Drive.store (Mirror.drive m Mirror.Secondary) in
+  S4_store.Obj_store.write rogue oid ~off:0 ~data:(Bytes.of_string "DIFF") ~len:4 ();
+  check Alcotest.bool "divergence reported" true (Mirror.divergence m <> [])
+
+let test_mirror_parallel_write_cost () =
+  (* The mirrored write costs (simulated) time like a single-drive
+     write: the secondary overlaps. *)
+  let clock, m = mk_mirror () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  let t0 = Simclock.now clock in
+  write m oid (String.make 8192 'p');
+  expect_unit (Mirror.handle m alice Rpc.Sync);
+  let mirrored = Int64.sub (Simclock.now clock) t0 in
+  let clock2 = Simclock.create () in
+  let single = Drive.format (Sim_disk.create ~geometry:(geom 64) clock2) in
+  let oid2 = expect_oid (Drive.handle single alice (Rpc.Create { acl = [] })) in
+  let t0 = Simclock.now clock2 in
+  expect_unit
+    (Drive.handle single alice (Rpc.Write { oid = oid2; off = 0; len = 8192; data = Some (Bytes.make 8192 'p') }));
+  expect_unit (Drive.handle single alice Rpc.Sync);
+  let solo = Int64.sub (Simclock.now clock2) t0 in
+  (* Within 2.5x: the mirror pays double CPU but not double disk. *)
+  check Alcotest.bool "no double disk charge" true
+    (Int64.to_float mirrored < 2.5 *. Int64.to_float solo)
+
+(* --- Snapshots analysis ------------------------------------------------- *)
+
+let test_capture_probability () =
+  check (Alcotest.float 1e-9) "short file rarely seen" 0.01
+    (Snapshots.capture_probability ~period_s:100.0 ~lifetime_s:1.0);
+  check (Alcotest.float 1e-9) "long file always seen" 1.0
+    (Snapshots.capture_probability ~period_s:100.0 ~lifetime_s:1000.0)
+
+let test_simulation_matches_model () =
+  let r = Snapshots.simulate ~period_s:600.0 ~mean_lifetime_s:600.0 () in
+  (* Exponential lifetimes, p = mean: capture = E[min(1, L/p)]
+     = 1 - (1 - e^-1) * ... ~ 0.63 analytically; allow slack. *)
+  check Alcotest.bool "files captured ~0.55-0.72" true
+    (r.Snapshots.files_captured > 0.55 && r.Snapshots.files_captured < 0.72)
+
+let test_snapshots_lose_short_lived_files () =
+  let hourly = Snapshots.simulate ~period_s:3600.0 () in
+  check Alcotest.bool "hourly snapshots miss most exploit tools" true
+    (hourly.Snapshots.short_lived_captured < 0.25);
+  check Alcotest.bool "and most intermediate versions" true
+    (hourly.Snapshots.versions_captured < 0.5);
+  check (Alcotest.float 0.0) "comprehensive versioning misses nothing" 1.0
+    Snapshots.comprehensive.Snapshots.files_captured
+
+let test_shrinking_period_approaches_versioning () =
+  let p60 = Snapshots.simulate ~period_s:60.0 () in
+  let p600 = Snapshots.simulate ~period_s:600.0 () in
+  let p6000 = Snapshots.simulate ~period_s:6000.0 () in
+  check Alcotest.bool "monotone in period" true
+    (p60.Snapshots.files_captured > p600.Snapshots.files_captured
+    && p600.Snapshots.files_captured > p6000.Snapshots.files_captured);
+  check Alcotest.bool "1-minute snapshots still imperfect" true
+    (p60.Snapshots.versions_captured < 1.0)
+
+let () =
+  Alcotest.run "s4_multi"
+    [
+      ( "mirror",
+        [
+          Alcotest.test_case "basic" `Quick test_mirror_basic;
+          Alcotest.test_case "identical oids" `Quick test_mirror_identical_oids;
+          Alcotest.test_case "secondary failure + resync" `Quick test_mirror_secondary_failure_and_resync;
+          Alcotest.test_case "primary failover" `Quick test_mirror_primary_failover;
+          Alcotest.test_case "both failed" `Quick test_mirror_both_failed;
+          Alcotest.test_case "divergence detected" `Quick test_mirror_divergence_detected;
+          Alcotest.test_case "parallel write cost" `Quick test_mirror_parallel_write_cost;
+        ] );
+      ( "snapshots",
+        [
+          Alcotest.test_case "capture probability" `Quick test_capture_probability;
+          Alcotest.test_case "simulation vs model" `Quick test_simulation_matches_model;
+          Alcotest.test_case "short-lived files lost" `Quick test_snapshots_lose_short_lived_files;
+          Alcotest.test_case "period shrinks to versioning" `Quick test_shrinking_period_approaches_versioning;
+        ] );
+    ]

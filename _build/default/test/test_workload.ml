@@ -1,0 +1,258 @@
+(* Tests for the workload generators and the four-system factory. *)
+
+module Simclock = S4_util.Simclock
+module Rng = S4_util.Rng
+module N = S4_nfs.Nfs_types
+module Systems = S4_workload.Systems
+module Postmark = S4_workload.Postmark
+module Ssh_build = S4_workload.Ssh_build
+module Microbench = S4_workload.Microbench
+module Daily = S4_workload.Daily
+module Source_tree = S4_workload.Source_tree
+
+let check = Alcotest.check
+
+let small_pm = { Postmark.default with Postmark.files = 100; transactions = 300 }
+
+(* --- Systems factory --------------------------------------------------- *)
+
+let test_all_four_distinct () =
+  let systems = Systems.all_four ~disk_mb:64 () in
+  check Alcotest.int "four systems" 4 (List.length systems);
+  let names = List.map (fun s -> s.Systems.name) systems in
+  check Alcotest.int "distinct names" 4 (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun sys ->
+      match Systems.(sys.server.S4_nfs.Server.handle) N.Statfs with
+      | N.R_statfs _ -> ()
+      | _ -> Alcotest.failf "%s statfs failed" sys.Systems.name)
+    systems
+
+let test_s4_systems_expose_drive () =
+  check Alcotest.bool "remote has drive" true
+    (Option.is_some (Systems.s4_remote ~disk_mb:64 ()).Systems.drive);
+  check Alcotest.bool "ffs has none" true
+    (Option.is_none (Systems.bsd_ffs ~disk_mb:64 ()).Systems.drive)
+
+let test_elapsed_seconds () =
+  let sys = Systems.bsd_ffs ~disk_mb:64 () in
+  let s, v = Systems.elapsed_seconds sys (fun () -> Simclock.advance sys.Systems.clock 2_000_000_000L; 42) in
+  check Alcotest.int "value" 42 v;
+  check (Alcotest.float 1e-6) "2 seconds" 2.0 s
+
+(* --- PostMark ----------------------------------------------------------- *)
+
+let test_postmark_runs_on_all_systems () =
+  List.iter
+    (fun sys ->
+      let r = Postmark.run ~config:small_pm sys in
+      check Alcotest.bool
+        (sys.Systems.name ^ " creation time positive")
+        true (r.Postmark.creation_seconds > 0.0);
+      check Alcotest.bool
+        (sys.Systems.name ^ " txn time positive")
+        true (r.Postmark.transaction_seconds > 0.0);
+      check Alcotest.bool "ops happened" true
+        (r.Postmark.files_read + r.Postmark.files_appended > 0))
+    (Systems.all_four ~disk_mb:256 ())
+
+let test_postmark_deterministic () =
+  let run () = Postmark.run ~config:small_pm (Systems.s4_nfs_server ~disk_mb:128 ()) in
+  let a = run () and b = run () in
+  check (Alcotest.float 1e-12) "same creation" a.Postmark.creation_seconds b.Postmark.creation_seconds;
+  check (Alcotest.float 1e-12) "same txn" a.Postmark.transaction_seconds b.Postmark.transaction_seconds;
+  check Alcotest.int "same deletes" a.Postmark.files_deleted b.Postmark.files_deleted
+
+let test_postmark_s4_wins_ffs () =
+  (* The Figure 3 headline: S4's log batching beats synchronous
+     in-place writes. *)
+  let s4 = Postmark.run ~config:small_pm (Systems.s4_nfs_server ~disk_mb:256 ()) in
+  let ffs = Postmark.run ~config:small_pm (Systems.bsd_ffs ~disk_mb:256 ()) in
+  check Alcotest.bool "S4 transactions faster" true
+    (s4.Postmark.transaction_seconds < ffs.Postmark.transaction_seconds)
+
+let test_postmark_cleaner_hook () =
+  let config = { small_pm with Postmark.cleaner_every = Some 50 } in
+  let sys = Systems.s4_nfs_server ~disk_mb:128 () in
+  let r = Postmark.run ~config sys in
+  check Alcotest.bool "completed with cleaner" true (r.Postmark.transaction_seconds > 0.0)
+
+(* --- SSH-build ----------------------------------------------------------- *)
+
+let small_ssh =
+  { Ssh_build.default with Ssh_build.source_files = 25; configure_tests = 10 }
+
+let test_ssh_build_phases () =
+  List.iter
+    (fun sys ->
+      let r = Ssh_build.run ~config:small_ssh sys in
+      check Alcotest.bool (sys.Systems.name ^ " unpack>0") true (r.Ssh_build.unpack_seconds > 0.0);
+      check Alcotest.bool (sys.Systems.name ^ " configure>0") true (r.Ssh_build.configure_seconds > 0.0);
+      check Alcotest.bool (sys.Systems.name ^ " build>0") true (r.Ssh_build.build_seconds > 0.0);
+      (* Build is CPU-dominated: the largest phase on every system. *)
+      check Alcotest.bool (sys.Systems.name ^ " build largest") true
+        (r.Ssh_build.build_seconds > r.Ssh_build.unpack_seconds))
+    (Systems.all_four ~disk_mb:256 ())
+
+let test_ssh_build_cpu_shared () =
+  (* CPU time is charged identically: differences across systems are
+     bounded by the I/O, far less than total build time. *)
+  let results = List.map (Ssh_build.run ~config:small_ssh) (Systems.all_four ~disk_mb:256 ()) in
+  let builds = List.map (fun r -> r.Ssh_build.build_seconds) results in
+  let mn = List.fold_left Float.min infinity builds in
+  let mx = List.fold_left Float.max 0.0 builds in
+  check Alcotest.bool "build times within 2x" true (mx < 2.0 *. mn)
+
+let test_ssh_ext2_configure_advantage () =
+  (* The Figure 4 anomaly: Linux's sync-mount flaw gives it the edge in
+     the metadata-heavy configure phase vs FFS. *)
+  let ffs = Ssh_build.run ~config:small_ssh (Systems.bsd_ffs ~disk_mb:256 ()) in
+  let ext2 = Ssh_build.run ~config:small_ssh (Systems.linux_ext2 ~disk_mb:256 ()) in
+  check Alcotest.bool "ext2 configure faster" true
+    (ext2.Ssh_build.configure_seconds < ffs.Ssh_build.configure_seconds)
+
+(* --- Microbench ----------------------------------------------------------- *)
+
+let small_micro = { Microbench.default with Microbench.files = 300 }
+
+let test_microbench_phases () =
+  let sys = Systems.s4_nfs_server ~disk_mb:128 () in
+  let r = Microbench.run ~config:small_micro sys in
+  check Alcotest.bool "create>0" true (r.Microbench.create_seconds > 0.0);
+  check Alcotest.bool "read>0" true (r.Microbench.read_seconds > 0.0);
+  check Alcotest.bool "delete>0" true (r.Microbench.delete_seconds > 0.0)
+
+let test_microbench_audit_costs () =
+  (* Figure 6: audit on vs off. The audited run must not be faster. *)
+  let run audit =
+    let config =
+      { Systems.benchmark_drive_config with S4.Drive.audit_enabled = audit }
+    in
+    let sys = Systems.s4_nfs_server ~disk_mb:256 ~drive_config:config () in
+    Microbench.run ~config:{ small_micro with Microbench.files = 1000 } sys
+  in
+  let on = run true and off = run false in
+  let total r = r.Microbench.create_seconds +. r.Microbench.read_seconds +. r.Microbench.delete_seconds in
+  check Alcotest.bool "auditing not free, not catastrophic" true
+    (total on >= total off && total on < 1.3 *. total off)
+
+let test_microbench_cold_read_slower () =
+  let sys () = Systems.s4_nfs_server ~disk_mb:256 () in
+  let cold = Microbench.run ~config:{ small_micro with Microbench.cold_read = true } (sys ()) in
+  let warm = Microbench.run ~config:{ small_micro with Microbench.cold_read = false } (sys ()) in
+  check Alcotest.bool "cold read slower" true
+    (cold.Microbench.read_seconds > warm.Microbench.read_seconds)
+
+(* --- Daily --------------------------------------------------------------- *)
+
+let test_daily_studies () =
+  check Alcotest.int "three studies" 3 (List.length Daily.all);
+  check Alcotest.bool "NT biggest" true
+    (List.for_all (fun s -> s.Daily.daily_write_bytes <= Daily.nt.Daily.daily_write_bytes) Daily.all)
+
+let test_daily_replay () =
+  let sys = Systems.s4_remote ~disk_mb:512 () in
+  let m = Daily.replay ~scale:0.001 ~days:3 Daily.santry sys in
+  check Alcotest.bool "history grows" true (m.Daily.history_bytes_per_day > 0.0);
+  check Alcotest.bool "extrapolation scales" true
+    (m.Daily.scaled_up_bytes_per_day > m.Daily.history_bytes_per_day);
+  check Alcotest.bool "metadata fraction sane" true
+    (m.Daily.metadata_fraction >= 0.0 && m.Daily.metadata_fraction < 0.5)
+
+let test_daily_replay_requires_s4 () =
+  check Alcotest.bool "rejects baseline" true
+    (try
+       ignore (Daily.replay ~scale:0.001 ~days:1 Daily.afs (Systems.bsd_ffs ~disk_mb:64 ()));
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Source tree ----------------------------------------------------------- *)
+
+let test_source_tree_generation () =
+  let rng = Rng.create ~seed:5 in
+  let tree = Source_tree.generate rng ~files:10 in
+  (* 10 sources + 10 derived objects *)
+  check Alcotest.int "files" 20 (List.length tree);
+  check Alcotest.bool "non-empty" true (Source_tree.total_bytes tree > 1000)
+
+let test_source_tree_text_is_compressible () =
+  let rng = Rng.create ~seed:6 in
+  let tree = Source_tree.generate rng ~files:5 in
+  let src = Option.get (Source_tree.find tree "src/mod000.ml") in
+  check Alcotest.bool "program text compresses >2x" true (S4_compress.Lz.ratio src < 0.45)
+
+let test_source_tree_evolution_is_incremental () =
+  let rng = Rng.create ~seed:7 in
+  let t0 = Source_tree.generate rng ~files:20 in
+  let t1 = Source_tree.evolve rng t0 in
+  (* Most files unchanged; some changed. *)
+  let changed, unchanged =
+    List.fold_left
+      (fun (c, u) (f : Source_tree.file) ->
+        match Source_tree.find t0 f.Source_tree.path with
+        | Some old when Bytes.equal old f.Source_tree.content -> (c, u + 1)
+        | Some _ -> (c + 1, u)
+        | None -> (c + 1, u))
+      (0, 0) t1
+  in
+  check Alcotest.bool "some changed" true (changed > 0);
+  check Alcotest.bool "most unchanged" true (unchanged > changed)
+
+let test_source_tree_objects_track_sources () =
+  let rng = Rng.create ~seed:8 in
+  let t0 = Source_tree.generate rng ~files:10 in
+  let t1 = Source_tree.evolve rng ~churn:1.0 t0 in
+  (* With 100% churn every source changed; every object must differ. *)
+  List.iter
+    (fun (f : Source_tree.file) ->
+      if Filename.check_suffix f.Source_tree.path ".o" then begin
+        match Source_tree.find t0 f.Source_tree.path with
+        | Some old ->
+          check Alcotest.bool (f.Source_tree.path ^ " object changed") false
+            (Bytes.equal old f.Source_tree.content)
+        | None -> ()
+      end)
+    t1
+
+let () =
+  Alcotest.run "s4_workload"
+    [
+      ( "systems",
+        [
+          Alcotest.test_case "all four" `Quick test_all_four_distinct;
+          Alcotest.test_case "drives exposed" `Quick test_s4_systems_expose_drive;
+          Alcotest.test_case "elapsed" `Quick test_elapsed_seconds;
+        ] );
+      ( "postmark",
+        [
+          Alcotest.test_case "runs on all systems" `Slow test_postmark_runs_on_all_systems;
+          Alcotest.test_case "deterministic" `Quick test_postmark_deterministic;
+          Alcotest.test_case "s4 beats ffs" `Quick test_postmark_s4_wins_ffs;
+          Alcotest.test_case "cleaner hook" `Quick test_postmark_cleaner_hook;
+        ] );
+      ( "ssh-build",
+        [
+          Alcotest.test_case "phases" `Slow test_ssh_build_phases;
+          Alcotest.test_case "cpu shared" `Slow test_ssh_build_cpu_shared;
+          Alcotest.test_case "ext2 configure advantage" `Quick test_ssh_ext2_configure_advantage;
+        ] );
+      ( "microbench",
+        [
+          Alcotest.test_case "phases" `Quick test_microbench_phases;
+          Alcotest.test_case "audit cost" `Slow test_microbench_audit_costs;
+          Alcotest.test_case "cold read" `Quick test_microbench_cold_read_slower;
+        ] );
+      ( "daily",
+        [
+          Alcotest.test_case "studies" `Quick test_daily_studies;
+          Alcotest.test_case "replay" `Slow test_daily_replay;
+          Alcotest.test_case "requires s4" `Quick test_daily_replay_requires_s4;
+        ] );
+      ( "source-tree",
+        [
+          Alcotest.test_case "generation" `Quick test_source_tree_generation;
+          Alcotest.test_case "compressible" `Quick test_source_tree_text_is_compressible;
+          Alcotest.test_case "incremental evolution" `Quick test_source_tree_evolution_is_incremental;
+          Alcotest.test_case "objects track sources" `Quick test_source_tree_objects_track_sources;
+        ] );
+    ]
