@@ -590,6 +590,90 @@ let micro () =
     (List.sort compare !rows)
 
 (* ------------------------------------------------------------------ *)
+(* Fault sweep: throughput and recovery under injected media faults    *)
+
+let faults () =
+  Report.heading "Fault sweep: injected media faults vs throughput and retries";
+  let ops = if !full_scale then 20_000 else 4_000 in
+  let payload = Bytes.make 4096 'f' in
+  let run_at rate =
+    let clock = Simclock.create () in
+    let disk =
+      Sim_disk.create
+        ~geometry:(Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(256 * 1024 * 1024))
+        clock
+    in
+    let drive = Drive.format disk in
+    let policy =
+      S4_disk.Fault.create
+        ~config:
+          {
+            S4_disk.Fault.quiet with
+            transient_write_rate = rate;
+            transient_read_rate = rate /. 10.;
+          }
+        (Rng.create ~seed:97)
+    in
+    Sim_disk.set_fault disk (Some policy);
+    let cred = Rpc.user_cred ~user:1 ~client:1 in
+    let oids =
+      List.init 8 (fun _ ->
+          match Drive.handle drive cred (Rpc.Create { acl = [] }) with
+          | Rpc.R_oid o -> o
+          | r -> failwith (Format.asprintf "create: %a" Rpc.pp_resp r))
+    in
+    let completed = ref 0 and errors = ref 0 in
+    for i = 0 to ops - 1 do
+      let oid = List.nth oids (i mod 8) in
+      let req =
+        if i mod 8 = 7 then Rpc.Sync
+        else Rpc.Write { oid; off = 4096 * (i mod 64); len = 4096; data = Some payload }
+      in
+      match Drive.handle drive cred req with
+      | Rpc.R_error _ -> incr errors
+      | _ -> incr completed
+    done;
+    Sim_disk.set_fault disk None;
+    let secs = Int64.to_float (Simclock.now clock) /. 1e9 in
+    let retries = (Log.stats (Drive.log drive)).Log.io_retries in
+    ( rate,
+      float_of_int !completed /. secs,
+      retries,
+      Drive.io_errors drive,
+      !errors,
+      Drive.degraded drive )
+  in
+  let rows =
+    List.map
+      (fun rate ->
+        let rate, tput, retries, io_errors, rpc_errors, degraded = run_at rate in
+        [
+          Printf.sprintf "%.0e" rate;
+          Printf.sprintf "%.0f" tput;
+          string_of_int retries;
+          string_of_int io_errors;
+          string_of_int rpc_errors;
+          (if degraded then "yes" else "no");
+        ])
+      [ 0.0; 1e-4; 1e-3; 1e-2 ]
+  in
+  Report.table
+    ~header:[ "fault rate"; "ops/sim-s"; "io retries"; "io errors"; "rpc errors"; "degraded" ]
+    rows;
+  (* Crash-recovery spot check: random crash points through the same
+     machinery the test suite sweeps exhaustively. *)
+  let reports = S4_tools.Crashtest.sweep ~seed:23 ~runs:(if !full_scale then 60 else 20) () in
+  let failed = S4_tools.Crashtest.failed_reports reports in
+  let snaps = List.fold_left (fun a r -> a + r.S4_tools.Crashtest.snapshots) 0 reports in
+  let audit = List.fold_left (fun a r -> a + r.S4_tools.Crashtest.audit_checked) 0 reports in
+  Printf.printf
+    "\nCrash sweep: %d randomized crash points, %d snapshot states and %d audit records verified, %d invariant violations.\n"
+    (List.length reports) snaps audit (List.length failed);
+  List.iter
+    (fun r -> Format.printf "  VIOLATION %a@." S4_tools.Crashtest.pp_report r)
+    failed
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -606,6 +690,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("diffstudy", "Sec 5.2: differencing + compression", diffstudy);
     ("snapshots", "Sec 6: versioning vs snapshots", snapshots);
     ("ablation", "design-parameter sensitivity sweeps", ablation);
+    ("faults", "media-fault sweep + crash-recovery spot check", faults);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
 
@@ -613,7 +698,7 @@ let experiments : (string * string * (unit -> unit)) list =
    default skips the redundant separate fig5 pass. *)
 let default_run =
   [ "table1"; "fig2"; "fig3"; "fig4"; "fundamental"; "fig6"; "audit-macro"; "fig7"; "diffstudy";
-    "snapshots"; "ablation"; "micro" ]
+    "snapshots"; "ablation"; "faults"; "micro" ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

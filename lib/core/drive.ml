@@ -1,6 +1,7 @@
 module Bcodec = S4_util.Bcodec
 module Simclock = S4_util.Simclock
 module Sim_disk = S4_disk.Sim_disk
+module Fault = S4_disk.Fault
 module Log = S4_seglog.Log
 module Store = S4_store.Obj_store
 module Cleaner = S4_store.Cleaner
@@ -14,6 +15,8 @@ type config = {
   cleaner_live_threshold : float;
   cleaner_max_segments : int;
   cpu_us_per_rpc : float;
+  io_retry_limit : int;
+  io_retry_backoff_ms : float;
 }
 
 let day_ns = Int64.mul 86_400L 1_000_000_000L
@@ -28,6 +31,8 @@ let default_config =
     cleaner_live_threshold = 0.75;
     cleaner_max_segments = 8;
     cpu_us_per_rpc = 550.0;
+    io_retry_limit = 3;
+    io_retry_backoff_ms = 1.0;
   }
 
 type t = {
@@ -41,6 +46,8 @@ type t = {
   mutable ops : int;
   mutable last_clean_at : int64;
   mutable last_clean_busy : int64;
+  mutable io_errors : int;  (* RPCs failed on a permanent media fault *)
+  mutable audit_drops : int;  (* audit appends lost to media faults *)
 }
 
 let clock t = Store.clock t.store
@@ -52,6 +59,10 @@ let throttle t = t.throttle
 let window t = Cleaner.window t.cleaner
 let ops_handled t = t.ops
 let now t = Simclock.now (clock t)
+let io_errors t = t.io_errors
+let audit_drops t = t.audit_drops
+
+let degraded t = t.io_errors > 0 || t.audit_drops > 0
 
 let detection_cutoff t =
   let c = Int64.sub (now t) (window t) in
@@ -127,6 +138,7 @@ let build cfg log store ~ptable_oid =
   let audit = Audit.create ~enabled:cfg.audit_enabled log in
   Cleaner.set_on_audit_move cleaner (fun old_addr new_addr -> Audit.on_move audit ~old_addr ~new_addr);
   let throttle = Option.map (fun tc -> Throttle.create ~config:tc (Log.clock log)) cfg.throttle in
+  Log.set_io_retry log ~limit:cfg.io_retry_limit ~backoff_ms:cfg.io_retry_backoff_ms;
   {
     cfg;
     log;
@@ -138,6 +150,8 @@ let build cfg log store ~ptable_oid =
     ops = 0;
     last_clean_at = 0L;
     last_clean_busy = 0L;
+    io_errors = 0;
+    audit_drops = 0;
   }
 
 let format ?(config = default_config) disk =
@@ -308,6 +322,9 @@ let exec t (cred : Rpc.credential) (req : Rpc.req) : Rpc.resp =
      | Some oid -> Rpc.R_oid oid
      | None -> Rpc.R_error Rpc.Not_found)
   | Rpc.Sync ->
+    (* The audit trail shares the durability barrier: records buffered
+       up to this point must survive a crash once the sync returns. *)
+    Audit.flush t.audit;
     Store.sync st;
     Rpc.R_unit
   | Rpc.Flush { until } ->
@@ -341,6 +358,18 @@ let handle t (cred : Rpc.credential) ?(sync = false) req =
      let p = Throttle.penalty th ~client:cred.Rpc.client in
      if Int64.compare p 0L > 0 then Simclock.advance (clock t) p
    | None -> ());
+  (* Transient faults are retried inside the log (Log.set_io_retry);
+     what reaches this perimeter is permanent (or out of retries) and
+     is surfaced as a clean R_error. Fault.Crashed is deliberately NOT
+     caught: a crashed device has no valid in-memory state left, so
+     the owner must discard this drive and reattach. *)
+  let io_failed lba transient kind =
+    t.io_errors <- t.io_errors + 1;
+    Rpc.R_error
+      (Rpc.Io_error
+         (Printf.sprintf "%s fault at lba %d%s" kind lba
+            (if transient then " (retries exhausted)" else "")))
+  in
   let resp =
     try exec t cred req with
     | Denied -> Rpc.R_error Rpc.Permission_denied
@@ -348,19 +377,37 @@ let handle t (cred : Rpc.credential) ?(sync = false) req =
     | Store.Is_deleted _ -> Rpc.R_error Rpc.Object_deleted
     | Log.Log_full -> Rpc.R_error Rpc.No_space
     | Invalid_argument m -> Rpc.R_error (Rpc.Bad_request m)
+    | Fault.Read_fault { lba; transient } -> io_failed lba transient "read"
+    | Fault.Write_fault { lba; transient } -> io_failed lba transient "write"
   in
   let ok = match resp with Rpc.R_error _ -> false | _ -> true in
-  Audit.append t.audit
-    {
-      Audit.at = now t;
-      user = cred.Rpc.user;
-      client = cred.Rpc.client;
-      op = Rpc.op_name req;
-      oid = oid_of_req req;
-      info = Rpc.op_info req;
-      ok;
-    };
-  if sync && ok then Store.sync t.store;
+  (* A media fault while persisting the audit trail must not take the
+     whole drive down; count the loss and keep serving (degraded). *)
+  (try
+     Audit.append t.audit
+       {
+         Audit.at = now t;
+         user = cred.Rpc.user;
+         client = cred.Rpc.client;
+         op = Rpc.op_name req;
+         oid = oid_of_req req;
+         info = Rpc.op_info req;
+         ok;
+       }
+   with Fault.Read_fault _ | Fault.Write_fault _ -> t.audit_drops <- t.audit_drops + 1);
+  let resp =
+    if sync && ok then
+      (* The RPC mutated state but its durability barrier failed: the
+         caller must not be told the op is stable. *)
+      try
+        Audit.flush t.audit;
+        Store.sync t.store;
+        resp
+      with
+      | Fault.Read_fault { lba; transient } -> io_failed lba transient "sync read"
+      | Fault.Write_fault { lba; transient } -> io_failed lba transient "sync write"
+    else resp
+  in
   if t.ops land 1023 = 0 then refresh_pressure t;
   resp
 
@@ -387,7 +434,12 @@ let fsck t =
   Store.check ~extra_live:(Audit.block_addrs t.audit) t.store
 
 let pp_stats ppf t =
-  Format.fprintf ppf "drive: %d ops, window %.1f days, pressure %.2f, audit %d records@.%a@.%a"
+  Format.fprintf ppf
+    "drive: %d ops, window %.1f days, pressure %.2f, audit %d records%s@.%a@.%a"
     t.ops
     (Int64.to_float (window t) /. Int64.to_float day_ns)
-    (pool_pressure t) (Audit.record_count t.audit) Store.pp_stats t.store Log.pp_stats t.log
+    (pool_pressure t) (Audit.record_count t.audit)
+    (if degraded t then
+       Printf.sprintf " [DEGRADED: %d io errors, %d audit drops]" t.io_errors t.audit_drops
+     else "")
+    Store.pp_stats t.store Log.pp_stats t.log

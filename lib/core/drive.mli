@@ -29,6 +29,10 @@ type config = {
   cpu_us_per_rpc : float;
       (** drive firmware processing cost per request (600 MHz-era
           user-level server) *)
+  io_retry_limit : int;
+      (** transient-fault re-issues per disk I/O (see
+          {!S4_seglog.Log.set_io_retry}) *)
+  io_retry_backoff_ms : float;  (** initial retry backoff, doubling *)
 }
 
 val default_config : config
@@ -47,7 +51,10 @@ val handle : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
 (** Process one RPC inside the perimeter: throttle check, permission
     check, execution, audit. [?sync] models the drive's op+sync
     batching: the modification and its stability sync count as one
-    request. Never raises. *)
+    request. Media faults surface as [R_error Io_error] after the
+    configured retries; the only exception that escapes is
+    {!S4_disk.Fault.Crashed} — a crashed device has no valid
+    in-memory state, the owner must {!attach} a fresh drive. *)
 
 val clock : t -> S4_util.Simclock.t
 val store : t -> S4_store.Obj_store.t
@@ -72,4 +79,18 @@ val fsck : t -> string list
 (** Full cross-layer invariant check; empty = healthy. *)
 
 val ops_handled : t -> int
+
+(** {1 Degraded-mode reporting}
+
+    A drive that has seen permanent media faults keeps serving what it
+    can, but reports itself degraded so an operator (or the mirror
+    layer) can schedule replacement. *)
+
+val io_errors : t -> int
+(** RPCs that failed on a permanent (or retry-exhausted) media fault. *)
+
+val audit_drops : t -> int
+(** Audit records lost because the audit trail could not be persisted. *)
+
+val degraded : t -> bool
 val pp_stats : Format.formatter -> t -> unit

@@ -31,6 +31,7 @@ type error =
   | Object_deleted
   | No_space
   | Bad_request of string
+  | Io_error of string
 
 type resp =
   | R_unit
@@ -140,6 +141,7 @@ let pp_error ppf = function
   | Object_deleted -> Format.fprintf ppf "object deleted"
   | No_space -> Format.fprintf ppf "no space"
   | Bad_request m -> Format.fprintf ppf "bad request: %s" m
+  | Io_error m -> Format.fprintf ppf "I/O error: %s" m
 
 let pp_resp ppf = function
   | R_unit -> Format.fprintf ppf "ok"

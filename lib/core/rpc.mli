@@ -47,6 +47,8 @@ type error =
   | Object_deleted
   | No_space
   | Bad_request of string
+  | Io_error of string
+      (** a permanent media fault the drive could not retry through *)
 
 type resp =
   | R_unit

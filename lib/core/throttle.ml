@@ -22,10 +22,25 @@ type t = {
   cfg : config;
   clients : (int, counter) Hashtbl.t;
   mutable pressure : float;
+  mutable writes_since_prune : int;
 }
 
+(* Counters whose decayed value falls below this contribute nothing to
+   any share computation and are dropped by pruning. *)
+let prune_floor = 1.0
+
+(* How many note_write calls between pruning sweeps; keeps the sweep
+   cost amortised O(1) per write. *)
+let prune_interval = 1024
+
 let create ?(config = default_config) clock =
-  { clock; cfg = config; clients = Hashtbl.create 16; pressure = 0.0 }
+  {
+    clock;
+    cfg = config;
+    clients = Hashtbl.create 16;
+    pressure = 0.0;
+    writes_since_prune = 0;
+  }
 
 (* Exponential decay since the counter was last touched. *)
 let decayed t c =
@@ -33,7 +48,24 @@ let decayed t c =
   let hl = Int64.to_float t.cfg.halflife in
   if dt <= 0.0 then c.value else c.value *. (0.5 ** (dt /. hl))
 
+(* Drop fully-decayed counters so the table tracks active clients, not
+   every client ever seen (unbounded growth under many-client load). *)
+let prune t =
+  let dead =
+    Hashtbl.fold
+      (fun client c acc -> if decayed t c < prune_floor then client :: acc else acc)
+      t.clients []
+  in
+  List.iter (Hashtbl.remove t.clients) dead
+
+let tracked_clients t = Hashtbl.length t.clients
+
 let note_write t ~client ~bytes =
+  t.writes_since_prune <- t.writes_since_prune + 1;
+  if t.writes_since_prune >= prune_interval then begin
+    t.writes_since_prune <- 0;
+    prune t
+  end;
   let c =
     match Hashtbl.find_opt t.clients client with
     | Some c -> c
@@ -70,7 +102,9 @@ let penalty t ~client =
     let over =
       (t.pressure -. t.cfg.pressure_threshold) /. (1.0 -. t.cfg.pressure_threshold)
     in
-    let ms = t.cfg.max_penalty_ms *. max 0.1 over in
+    (* No floor: at exactly pressure_threshold the penalty is zero and
+       grows linearly to max_penalty_ms at full pressure. *)
+    let ms = t.cfg.max_penalty_ms *. over in
     Simclock.of_ms ms
   end
 

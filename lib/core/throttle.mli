@@ -26,7 +26,12 @@ val default_config : config
 val create : ?config:config -> S4_util.Simclock.t -> t
 
 val note_write : t -> client:int -> bytes:int -> unit
-(** Record history-pool growth caused by a client's request. *)
+(** Record history-pool growth caused by a client's request. Counters
+    whose decayed value has dropped below a small floor are pruned
+    periodically, so the table tracks active clients only. *)
+
+val tracked_clients : t -> int
+(** Clients currently holding a counter (post-pruning). *)
 
 val pool_pressure : t -> float
 val set_pool_pressure : t -> float -> unit

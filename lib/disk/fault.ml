@@ -1,0 +1,137 @@
+module Rng = S4_util.Rng
+
+exception Read_fault of { lba : int; transient : bool }
+exception Write_fault of { lba : int; transient : bool }
+exception Crashed
+
+type config = {
+  read_fault_rate : float;
+  transient_read_rate : float;
+  write_fault_rate : float;
+  transient_write_rate : float;
+  torn_write_rate : float;
+  corrupt_rate : float;
+}
+
+let quiet =
+  {
+    read_fault_rate = 0.0;
+    transient_read_rate = 0.0;
+    write_fault_rate = 0.0;
+    transient_write_rate = 0.0;
+    torn_write_rate = 0.0;
+    corrupt_rate = 0.0;
+  }
+
+let default =
+  {
+    quiet with
+    transient_read_rate = 0.001;
+    transient_write_rate = 0.001;
+  }
+
+type stats = {
+  mutable ops : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable torn_writes : int;
+  mutable corruptions : int;
+  mutable crashes : int;
+}
+
+type t = {
+  cfg : config;
+  rng : Rng.t;
+  mutable crash_after : int;  (* writes until crash; 0 = disarmed *)
+  mutable is_crashed : bool;
+  mutable forced_fails : int;  (* one-shot write failures pending *)
+  mutable forced_transient : bool;
+  s : stats;
+}
+
+let create ?(config = quiet) rng =
+  {
+    cfg = config;
+    rng;
+    crash_after = 0;
+    is_crashed = false;
+    forced_fails = 0;
+    forced_transient = false;
+    s = { ops = 0; read_faults = 0; write_faults = 0; torn_writes = 0; corruptions = 0; crashes = 0 };
+  }
+
+let config t = t.cfg
+let stats t = t.s
+
+let schedule_crash t ~after_writes =
+  if after_writes <= 0 then invalid_arg "Fault.schedule_crash";
+  t.crash_after <- after_writes
+
+let cancel_crash t = t.crash_after <- 0
+let crashed t = t.is_crashed
+
+let fail_next t ~writes ~transient =
+  if writes < 0 then invalid_arg "Fault.fail_next";
+  t.forced_fails <- writes;
+  t.forced_transient <- transient
+
+type write_outcome = W_ok | W_torn of int | W_fail of bool | W_crash of int | W_corrupt
+
+type read_outcome = R_ok | R_fail of bool
+
+let hit t rate = rate > 0.0 && Rng.float t.rng 1.0 < rate
+
+let on_write t ~sectors =
+  if t.is_crashed then raise Crashed;
+  t.s.ops <- t.s.ops + 1;
+  if t.crash_after > 0 then begin
+    t.crash_after <- t.crash_after - 1;
+    if t.crash_after = 0 then begin
+      t.is_crashed <- true;
+      t.s.crashes <- t.s.crashes + 1;
+      (* The dying write tears at an arbitrary sector boundary,
+         including "nothing reached the platter". *)
+      W_crash (Rng.int t.rng (sectors + 1))
+    end
+    else W_ok
+  end
+  else if t.forced_fails > 0 then begin
+    t.forced_fails <- t.forced_fails - 1;
+    t.s.write_faults <- t.s.write_faults + 1;
+    W_fail t.forced_transient
+  end
+  else if hit t t.cfg.write_fault_rate then begin
+    t.s.write_faults <- t.s.write_faults + 1;
+    W_fail false
+  end
+  else if hit t t.cfg.transient_write_rate then begin
+    t.s.write_faults <- t.s.write_faults + 1;
+    W_fail true
+  end
+  else if sectors > 1 && hit t t.cfg.torn_write_rate then begin
+    t.s.torn_writes <- t.s.torn_writes + 1;
+    W_torn (Rng.int_in t.rng ~min:1 ~max:(sectors - 1))
+  end
+  else if hit t t.cfg.corrupt_rate then W_corrupt
+  else W_ok
+
+let on_read t ~sectors:_ =
+  if t.is_crashed then raise Crashed;
+  t.s.ops <- t.s.ops + 1;
+  if hit t t.cfg.read_fault_rate then begin
+    t.s.read_faults <- t.s.read_faults + 1;
+    R_fail false
+  end
+  else if hit t t.cfg.transient_read_rate then begin
+    t.s.read_faults <- t.s.read_faults + 1;
+    R_fail true
+  end
+  else R_ok
+
+let corrupt_bit t b =
+  if Bytes.length b > 0 then begin
+    let byte = Rng.int t.rng (Bytes.length b) in
+    let bit = Rng.int t.rng 8 in
+    Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+    t.s.corruptions <- t.s.corruptions + 1
+  end

@@ -1,0 +1,86 @@
+(** Fault-injection policy for the simulated disk.
+
+    A policy is consulted by {!Sim_disk} on every read and write and
+    decides — deterministically, from an explicit {!S4_util.Rng} —
+    whether the request succeeds, fails transiently (a retry may
+    succeed), fails permanently, persists only a torn prefix of its
+    sectors, silently corrupts a bit, or crashes the whole device.
+
+    Crashes model pulling the power cord: the scheduled write persists
+    an arbitrary sector prefix (a torn write), {!Crashed} is raised,
+    and every subsequent request on the same disk raises {!Crashed}
+    until the policy is detached. The crash-recovery harness
+    ({!S4_tools.Crashtest}) catches the exception, detaches the
+    policy, and reattaches a fresh drive to the surviving contents. *)
+
+exception Read_fault of { lba : int; transient : bool }
+exception Write_fault of { lba : int; transient : bool }
+
+exception Crashed
+(** The device hit a scheduled crash point (or is being used after
+    one). In-memory state above the disk must be discarded; only the
+    persisted sectors survive. *)
+
+type config = {
+  read_fault_rate : float;  (** permanent read failures, per request *)
+  transient_read_rate : float;
+  write_fault_rate : float;  (** permanent write failures, per request *)
+  transient_write_rate : float;
+  torn_write_rate : float;
+      (** silently persist only a random proper prefix of the request *)
+  corrupt_rate : float;  (** silently flip one stored bit, per write *)
+}
+
+val quiet : config
+(** All rates zero: faults only via {!schedule_crash}/{!fail_next}. *)
+
+val default : config
+(** Mild background fault rates for sweeps. *)
+
+type stats = {
+  mutable ops : int;
+  mutable read_faults : int;
+  mutable write_faults : int;
+  mutable torn_writes : int;
+  mutable corruptions : int;
+  mutable crashes : int;
+}
+
+type t
+
+val create : ?config:config -> S4_util.Rng.t -> t
+(** The policy owns the generator: equal seeds and request streams
+    yield identical fault schedules. *)
+
+val config : t -> config
+val stats : t -> stats
+
+val schedule_crash : t -> after_writes:int -> unit
+(** Crash the device on the [after_writes]-th subsequent write (1 =
+    the very next write). The crashing write persists a random sector
+    prefix, then raises {!Crashed}. *)
+
+val cancel_crash : t -> unit
+val crashed : t -> bool
+
+val fail_next : t -> writes:int -> transient:bool -> unit
+(** Force the next [writes] write requests to fail (deterministic
+    one-shot injection, independent of the configured rates). *)
+
+(** {1 Sim_disk interface} — callers other than {!Sim_disk} rarely
+    need these. *)
+
+type write_outcome =
+  | W_ok
+  | W_torn of int  (** persist this many sectors, report success *)
+  | W_fail of bool  (** raise {!Write_fault}; [true] = transient *)
+  | W_crash of int  (** persist this prefix, then raise {!Crashed} *)
+  | W_corrupt  (** persist everything, then flip one stored bit *)
+
+type read_outcome = R_ok | R_fail of bool
+
+val on_write : t -> sectors:int -> write_outcome
+val on_read : t -> sectors:int -> read_outcome
+
+val corrupt_bit : t -> Bytes.t -> unit
+(** Flip one random bit in place (counts toward {!stats}). *)

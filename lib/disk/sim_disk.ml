@@ -34,6 +34,7 @@ type t = {
   mutable stats : stats;
   mutable phantom : bool;
   mutable phantom_ns : int64;
+  mutable fault : Fault.t option;
 }
 
 let create ?(geometry = Geometry.cheetah_9gb) clock =
@@ -45,7 +46,11 @@ let create ?(geometry = Geometry.cheetah_9gb) clock =
     stats = fresh_stats ();
     phantom = false;
     phantom_ns = 0L;
+    fault = None;
   }
+
+let set_fault t policy = t.fault <- policy
+let fault t = t.fault
 
 let geometry t = t.geometry
 let clock t = t.clock
@@ -105,6 +110,15 @@ let account t ?(tcq = false) ~lba ~sectors ~is_read () =
 
 let read t ~lba ~sectors =
   check_range t ~lba ~sectors;
+  (match t.fault with
+   | None -> ()
+   | Some f ->
+     (match Fault.on_read f ~sectors with
+      | Fault.R_ok -> ()
+      | Fault.R_fail transient ->
+        (* The failed attempt still spent positioning time. *)
+        account t ~lba ~sectors ~is_read:true ();
+        raise (Fault.Read_fault { lba; transient })));
   account t ~lba ~sectors ~is_read:true ()
 
 let store_data t ~lba ~sectors data =
@@ -121,9 +135,41 @@ let store_data t ~lba ~sectors data =
       Hashtbl.replace t.contents (lba + i) (Bytes.sub b (i * ss) ss)
     done
 
+(* Persist only the first [k] sectors of the request, leaving the tail
+   untouched on the platter (torn write / crash mid-transfer). *)
+let store_prefix t ~lba ~k data =
+  if k > 0 then begin
+    let ss = t.geometry.Geometry.sector_size in
+    let data = Option.map (fun b -> Bytes.sub b 0 (k * ss)) data in
+    store_data t ~lba ~sectors:k data
+  end
+
 let write t ?tcq ?data ~lba ~sectors () =
   check_range t ~lba ~sectors;
-  store_data t ~lba ~sectors data;
+  (match t.fault with
+   | None -> store_data t ~lba ~sectors data
+   | Some f ->
+     (match Fault.on_write f ~sectors with
+      | Fault.W_ok -> store_data t ~lba ~sectors data
+      | Fault.W_torn k -> store_prefix t ~lba ~k data
+      | Fault.W_corrupt ->
+        (* Flip one bit of the payload before it reaches the platter;
+           nothing above the disk notices until a CRC check does. *)
+        let data =
+          Option.map
+            (fun b ->
+              let b = Bytes.copy b in
+              Fault.corrupt_bit f b;
+              b)
+            data
+        in
+        store_data t ~lba ~sectors data
+      | Fault.W_fail transient ->
+        account t ?tcq ~lba ~sectors ~is_read:false ();
+        raise (Fault.Write_fault { lba; transient })
+      | Fault.W_crash k ->
+        store_prefix t ~lba ~k data;
+        raise Fault.Crashed));
   account t ?tcq ~lba ~sectors ~is_read:false ()
 
 let peek t ~lba ~sectors =

@@ -59,6 +59,19 @@ val poke : t -> lba:int -> data:Bytes.t -> unit
 val stats : t -> stats
 val reset_stats : t -> unit
 
+(** {1 Fault injection}
+
+    With a {!Fault.t} policy attached, every {!read}, {!write} and
+    {!read_bytes} consults it first: requests may raise
+    {!Fault.Read_fault} / {!Fault.Write_fault}, persist only a torn
+    sector prefix, flip a stored bit, or raise {!Fault.Crashed} (after
+    which all further timed I/O raises {!Fault.Crashed} until the
+    policy is detached). {!peek} and {!poke} bypass the policy — they
+    model post-mortem platter access, not in-band I/O. *)
+
+val set_fault : t -> Fault.t option -> unit
+val fault : t -> Fault.t option
+
 (** {1 Phantom accounting}
 
     In phantom mode, requests update the head position and accumulate

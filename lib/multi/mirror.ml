@@ -92,9 +92,15 @@ let resync t =
           t.missed <- [];
           t.lagging <- None;
           Ok n
-        | (cred, sync, req) :: rest ->
+        | (cred, sync, req) :: rest as remaining ->
           (match Drive.handle target cred ~sync req with
            | Rpc.R_error e ->
+             (* Keep only what was NOT replayed (including the failed
+                request): the applied prefix must not be replayed again
+                on the next resync — ops like Append are not
+                idempotent, so double-applying them diverges the
+                replicas the resync is meant to converge. *)
+             t.missed <- List.rev remaining;
              Error (Format.asprintf "mirror resync: %s failed: %a" (Rpc.op_name req) Rpc.pp_error e)
            | _ -> go (n + 1) rest)
       in

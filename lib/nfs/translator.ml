@@ -45,6 +45,7 @@ let lift = function
   | Rpc.R_error Rpc.Object_deleted -> fail N.Enoent
   | Rpc.R_error Rpc.No_space -> fail N.Enospc
   | Rpc.R_error (Rpc.Bad_request m) -> fail (N.Eio m)
+  | Rpc.R_error (Rpc.Io_error m) -> fail (N.Eio m)
   | resp -> resp
 
 let call t ?sync req =

@@ -1,5 +1,7 @@
 module Sim_disk = S4_disk.Sim_disk
 module Geometry = S4_disk.Geometry
+module Fault = S4_disk.Fault
+module Simclock = S4_util.Simclock
 
 type addr = int
 
@@ -25,6 +27,7 @@ type stats = {
   mutable blocks_read : int;
   mutable segments_opened : int;
   mutable segments_reclaimed : int;
+  mutable io_retries : int;
 }
 
 type seg = {
@@ -55,6 +58,8 @@ type t = {
   mutable epoch_counter : int;
   mutable rotor : int;  (* next segment index to try *)
   mutable live_total : int;
+  mutable retry_limit : int;  (* transient-fault re-issues per I/O *)
+  mutable retry_backoff_ms : float;
   s : stats;
 }
 
@@ -67,6 +72,7 @@ let fresh_stats () =
     blocks_read = 0;
     segments_opened = 0;
     segments_reclaimed = 0;
+    io_retries = 0;
   }
 
 let fresh_seg ~usable index =
@@ -171,6 +177,8 @@ let create ?(block_size = 4096) ?(blocks_per_segment = 128) ?(auto_reclaim = tru
       epoch_counter = 0;
       rotor = 0;
       live_total = 0;
+      retry_limit = 0;
+      retry_backoff_ms = 1.0;
       s = fresh_stats ();
     }
   in
@@ -202,18 +210,48 @@ let check_addr t addr =
   if addr < t.reserved_blocks || seg_of t addr >= t.nsegs then
     invalid_arg (Printf.sprintf "Log: bad address %d" addr)
 
+let set_io_retry t ~limit ~backoff_ms =
+  if limit < 0 || backoff_ms < 0.0 then invalid_arg "Log.set_io_retry";
+  t.retry_limit <- limit;
+  t.retry_backoff_ms <- backoff_ms
+
+(* Re-issue an I/O that faulted transiently, paying exponential
+   backoff on the simulated clock. Sound at this level because the
+   retried request targets the exact same sectors — unlike replaying
+   a whole store operation, which is not idempotent. Permanent faults
+   (and exhausted retries) propagate to the drive's RPC perimeter. *)
+let with_retry t f =
+  let rec go attempt =
+    try f () with
+    | (Fault.Read_fault { transient = true; _ } | Fault.Write_fault { transient = true; _ })
+      when attempt < t.retry_limit ->
+      Simclock.advance (Sim_disk.clock t.disk)
+        (Simclock.of_ms (t.retry_backoff_ms *. float_of_int (1 lsl attempt)));
+      t.s.io_retries <- t.s.io_retries + 1;
+      go (attempt + 1)
+  in
+  go 0
+
 let disk_write t ~addr ?data () =
-  if t.charge then Sim_disk.write t.disk ?data ~lba:(lba_of t addr) ~sectors:t.spb ()
+  if t.charge then
+    with_retry t (fun () ->
+        Sim_disk.write t.disk ?data ~lba:(lba_of t addr) ~sectors:t.spb ())
   else
     match data with
     | Some d -> Sim_disk.poke t.disk ~lba:(lba_of t addr) ~data:d
     | None -> ()
 
 let disk_read t ~addr ~blocks =
-  if t.charge then Sim_disk.read t.disk ~lba:(lba_of t addr) ~sectors:(blocks * t.spb);
+  if t.charge then
+    with_retry t (fun () ->
+        Sim_disk.read t.disk ~lba:(lba_of t addr) ~sectors:(blocks * t.spb));
   t.s.blocks_read <- t.s.blocks_read + blocks
 
-(* Flush buffered slots [flushed, frontier) of the open segment. *)
+(* Flush buffered slots [flushed, frontier) of the open segment.
+   [flushed] advances slot by slot: if a write faults mid-flush, a
+   retried flush resumes at the first unwritten slot rather than
+   re-flushing slots whose pending entries are already gone (which
+   would store [None] over their persisted contents). *)
 let flush_buffered t =
   if t.frontier > t.flushed then begin
     let sg = t.segs.(t.current) in
@@ -222,10 +260,10 @@ let flush_buffered t =
       let data = Option.join (Hashtbl.find_opt t.pending addr) in
       disk_write t ~addr ?data ();
       Hashtbl.remove t.pending addr;
+      t.flushed <- slot + 1;
       t.s.blocks_flushed <- t.s.blocks_flushed + 1
     done;
-    t.s.flush_ops <- t.s.flush_ops + 1;
-    t.flushed <- t.frontier
+    t.s.flush_ops <- t.s.flush_ops + 1
   end
 
 let close_segment t =
@@ -245,6 +283,10 @@ let append t tag ?data () =
   (match data with
    | Some d when Bytes.length d <> t.block_size -> invalid_arg "Log.append: data size"
    | Some _ | None -> ());
+  (* A faulted close_segment can leave the segment full but still
+     open; complete the close before placing the new block, or the
+     append would land in the summary slot. *)
+  if t.frontier = t.usable then close_segment t;
   let sg = t.segs.(t.current) in
   let slot = t.frontier in
   let addr = addr_of t ~seg:sg.index ~slot in
@@ -397,6 +439,7 @@ let reattach disk =
       Bytes.fill sg.live_bits 0 (Bytes.length sg.live_bits) '\000')
     t.segs;
   t.live_total <- 0;
+  let crashed = ref [] in
   for seg = 0 to t.nsegs - 1 do
     let sg = t.segs.(seg) in
     let saddr = addr_of t ~seg ~slot:t.usable in
@@ -414,6 +457,7 @@ let reattach disk =
          self-identifying journal blocks; treat any such segment as
          consumed up to its last decodable block. *)
       let last = ref (-1) in
+      let tmax = ref Int64.min_int in
       let nonzero b =
         let n = Bytes.length b in
         let rec go i = i < n && (Bytes.unsafe_get b i <> '\000' || go (i + 1)) in
@@ -423,9 +467,12 @@ let reattach disk =
         let a = addr_of t ~seg ~slot in
         let b = Sim_disk.peek disk ~lba:(lba_of t a) ~sectors:t.spb in
         match Jblock.decode b with
-        | Some _ ->
+        | Some (_, entries) ->
           sg.tags.(slot) <- Some Tag.Journal;
-          last := slot
+          last := slot;
+          List.iter
+            (fun e -> if e.Jblock.time > !tmax then tmax := e.Jblock.time)
+            entries
         | None ->
           (* Blocks we cannot identify (data, audit, checkpoints) are
              kept as Unknown; their owners re-tag them during
@@ -437,11 +484,23 @@ let reattach disk =
       done;
       if !last >= 0 then begin
         sg.state <- Closed;
-        (* Crashed-open segments are the newest; order them last. *)
-        sg.epoch <- max_int - (t.nsegs - seg);
-        sg.written <- !last + 1
+        sg.written <- !last + 1;
+        crashed := (seg, !tmax) :: !crashed
       end
   done;
+  (* Crashed-open segments are newer than every summarized one. Order
+     them by the latest journal-entry time they hold (simulated time
+     is monotonic, so it reflects write order; physical index breaks
+     ties for segments with no decodable journal blocks) and hand out
+     fresh epochs above [epoch_counter], advancing it past them so the
+     segment opened next — and everything after — sorts later still. *)
+  List.sort
+    (fun (sa, ta) (sb, tb) ->
+      if ta <> tb then Int64.compare ta tb else compare sa sb)
+    !crashed
+  |> List.iter (fun (seg, _) ->
+         t.epoch_counter <- t.epoch_counter + 1;
+         t.segs.(seg).epoch <- t.epoch_counter);
   open_segment_exn t;
   t
 
@@ -482,7 +541,7 @@ let journal_blocks t =
 let pp_stats ppf t =
   let s = t.s in
   Format.fprintf ppf
-    "log: %d appends, %d flushes (%d blocks), %d summaries, %d reads, %d segs opened, %d reclaimed, util %.1f%%"
+    "log: %d appends, %d flushes (%d blocks), %d summaries, %d reads, %d segs opened, %d reclaimed, %d io retries, util %.1f%%"
     s.appends s.flush_ops s.blocks_flushed s.summaries_written s.blocks_read
-    s.segments_opened s.segments_reclaimed
+    s.segments_opened s.segments_reclaimed s.io_retries
     (100.0 *. utilization t)

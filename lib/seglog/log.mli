@@ -39,6 +39,7 @@ type stats = {
   mutable blocks_read : int;
   mutable segments_opened : int;
   mutable segments_reclaimed : int;
+  mutable io_retries : int;  (** transient-fault re-issues (see {!set_io_retry}) *)
 }
 
 val create :
@@ -71,6 +72,14 @@ val charge_io : t -> bool -> unit
 (** When set to [false], subsequent log I/O updates state and contents
     but does not advance the simulated clock or disk stats. Used to
     build "free cleaning" baselines. Default [true]. *)
+
+val set_io_retry : t -> limit:int -> backoff_ms:float -> unit
+(** Re-issue disk I/O that raises a transient {!S4_disk.Fault} fault,
+    up to [limit] times per request with exponential backoff starting
+    at [backoff_ms] (paid on the simulated clock). Retrying at this
+    level is sound — the re-issued request targets the same sectors —
+    whereas replaying a whole store operation is not. Permanent faults
+    and exhausted retries propagate. Default: no retry. *)
 
 (** {1 Writing} *)
 

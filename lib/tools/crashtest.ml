@@ -1,0 +1,397 @@
+module Rng = S4_util.Rng
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+module Fault = S4_disk.Fault
+module Log = S4_seglog.Log
+module Store = S4_store.Obj_store
+module Drive = S4.Drive
+module Rpc = S4.Rpc
+module Audit = S4.Audit
+module Mirror = S4_multi.Mirror
+
+type report = {
+  seed : int;
+  crash_after : int;
+  crashed : bool;
+  ops_before_crash : int;
+  snapshots : int;
+  audit_checked : int;
+  violations : string list;
+}
+
+let cred = Rpc.admin_cred
+let geom = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(16 * 1024 * 1024)
+let default_ops = 80
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: an independent model of what the store should hold.        *)
+
+type oobj = { mutable contents : Bytes.t; mutable attr : Bytes.t; mutable alive : bool }
+
+type snapshot = {
+  at : int64;  (* sync completion time; versions here must survive *)
+  live : (int64 * Bytes.t * Bytes.t) list;  (* oid, contents, attr *)
+  dead : int64 list;
+}
+
+type audit_entry = { a_op : string; a_oid : int64; a_ok : bool }
+
+type oracle = {
+  objects : (int64, oobj) Hashtbl.t;
+  mutable order : int64 list;  (* creation order, newest first *)
+  mutable audit_log : audit_entry list;  (* newest first *)
+  mutable snaps : snapshot list;  (* newest first *)
+}
+
+let fresh_oracle () =
+  { objects = Hashtbl.create 64; order = []; audit_log = []; snaps = [] }
+
+let live_oids o =
+  List.rev o.order |> List.filter (fun oid -> (Hashtbl.find o.objects oid).alive)
+
+let zero_extend b n =
+  if Bytes.length b >= n then b
+  else begin
+    let out = Bytes.make n '\000' in
+    Bytes.blit b 0 out 0 (Bytes.length b);
+    out
+  end
+
+let oid_of : Rpc.req -> int64 = function
+  | Rpc.Delete { oid }
+  | Rpc.Read { oid; _ }
+  | Rpc.Write { oid; _ }
+  | Rpc.Append { oid; _ }
+  | Rpc.Truncate { oid; _ }
+  | Rpc.Get_attr { oid; _ }
+  | Rpc.Set_attr { oid; _ } ->
+    oid
+  | _ -> 0L
+
+(* Mirror the store's mutation semantics for the ops the workload
+   issues. Only called when the drive accepted the request. *)
+let o_apply o req resp =
+  let find oid = Hashtbl.find o.objects oid in
+  match (req, resp) with
+  | Rpc.Create _, Rpc.R_oid oid ->
+    Hashtbl.replace o.objects oid { contents = Bytes.empty; attr = Bytes.empty; alive = true };
+    o.order <- oid :: o.order
+  | Rpc.Delete { oid }, Rpc.R_unit -> (find oid).alive <- false
+  | Rpc.Write { oid; off; len; data }, Rpc.R_unit ->
+    let ob = find oid in
+    let data = match data with Some d -> d | None -> Bytes.make len '\000' in
+    let b = zero_extend ob.contents (off + len) in
+    Bytes.blit data 0 b off len;
+    ob.contents <- b
+  | Rpc.Append { oid; len; data }, Rpc.R_unit ->
+    let ob = find oid in
+    let data = match data with Some d -> d | None -> Bytes.make len '\000' in
+    ob.contents <- Bytes.cat ob.contents data
+  | Rpc.Truncate { oid; size }, Rpc.R_unit ->
+    let ob = find oid in
+    ob.contents <-
+      (if size <= Bytes.length ob.contents then Bytes.sub ob.contents 0 size
+       else zero_extend ob.contents size)
+  | Rpc.Set_attr { oid; attr }, Rpc.R_unit -> (find oid).attr <- Bytes.copy attr
+  | _ -> ()
+
+let expected_read ob ~off ~len =
+  let size = Bytes.length ob.contents in
+  if off >= size || len = 0 then Bytes.empty else Bytes.sub ob.contents off (min len (size - off))
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let gen_req o rng i =
+  if i land 7 = 7 then Rpc.Sync
+  else begin
+    let live = live_oids o in
+    if live = [] then Rpc.Create { acl = [] }
+    else begin
+      let oid = List.nth live (Rng.int rng (List.length live)) in
+      let size = Bytes.length (Hashtbl.find o.objects oid).contents in
+      let r = Rng.int rng 100 in
+      if r < 30 then begin
+        let off = Rng.int rng (size + 256) in
+        let len = 1 + Rng.int rng 1024 in
+        Rpc.Write { oid; off; len; data = Some (Rng.bytes rng len) }
+      end
+      else if r < 55 then begin
+        let len = 1 + Rng.int rng 512 in
+        Rpc.Append { oid; len; data = Some (Rng.bytes rng len) }
+      end
+      else if r < 65 then Rpc.Truncate { oid; size = Rng.int rng (size + 1) }
+      else if r < 73 then Rpc.Set_attr { oid; attr = Rng.bytes rng (1 + Rng.int rng 32) }
+      else if r < 80 then Rpc.Create { acl = [] }
+      else if r < 85 && List.length live > 2 then Rpc.Delete { oid }
+      else if r < 93 then begin
+        let off = Rng.int rng (size + 1) in
+        Rpc.Read { oid; off; len = 1 + Rng.int rng (size + 16); at = None }
+      end
+      else Rpc.Sync
+    end
+  end
+
+(* Run the seeded workload until it completes or the disk crashes.
+   Returns (completed ops, crashed, in-flight violations). *)
+let exec_workload ~ops ~seed ~drive o =
+  let rng = Rng.create ~seed in
+  let completed = ref 0 in
+  let violations = ref [] in
+  let crashed = ref false in
+  (try
+     for i = 0 to ops - 1 do
+       let req = gen_req o rng i in
+       let resp = Drive.handle drive cred req in
+       incr completed;
+       let ok = match resp with Rpc.R_error _ -> false | _ -> true in
+       o.audit_log <- { a_op = Rpc.op_name req; a_oid = oid_of req; a_ok = ok } :: o.audit_log;
+       (match (req, resp) with
+        | Rpc.Read { oid; off; len; at = None }, Rpc.R_data b ->
+          let ob = Hashtbl.find o.objects oid in
+          if not (Bytes.equal b (expected_read ob ~off ~len)) then
+            violations := Printf.sprintf "pre-crash read mismatch on oid %Ld" oid :: !violations
+        | _ -> ());
+       if ok then o_apply o req resp;
+       (match (req, resp) with
+        | Rpc.Sync, Rpc.R_unit ->
+          let live =
+            List.map
+              (fun oid ->
+                let ob = Hashtbl.find o.objects oid in
+                (oid, Bytes.copy ob.contents, Bytes.copy ob.attr))
+              (live_oids o)
+          in
+          let dead =
+            List.rev o.order
+            |> List.filter (fun oid -> not (Hashtbl.find o.objects oid).alive)
+          in
+          o.snaps <- { at = Simclock.now (Drive.clock drive); live; dead } :: o.snaps
+        | _ -> ())
+     done
+   with Fault.Crashed -> crashed := true);
+  (!completed, !crashed, List.rev !violations)
+
+(* ------------------------------------------------------------------ *)
+(* Post-crash verification                                             *)
+
+let resp_str r = Format.asprintf "%a" Rpc.pp_resp r
+
+(* Reattach the surviving disk contents and check every invariant.
+   Returns (snapshots checked, audit records matched, violations). *)
+let verify ~disk o =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  match (try Ok (Drive.attach disk) with e -> Error e) with
+  | Error e ->
+    add "attach raised %s" (Printexc.to_string e);
+    (0, 0, List.rev !violations)
+  | Ok t2 ->
+    (* Capture the recovered audit trail first: the verification reads
+       below are themselves audited and would pollute it. *)
+    let recovered_audit = Audit.records (Drive.audit t2) () in
+    List.iter (fun m -> add "fsck: %s" m) (Drive.fsck t2);
+    let st = Drive.store t2 in
+    (* Window survival: every synced version is still readable with a
+       time-based read at its sync time. *)
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (oid, contents, attr) ->
+            let size = Bytes.length contents in
+            (match (try Ok (Store.size st ~at:s.at oid) with e -> Error e) with
+             | Error e ->
+               add "snapshot@%Ld: oid %Ld lost (%s)" s.at oid (Printexc.to_string e)
+             | Ok sz when sz <> size ->
+               add "snapshot@%Ld: oid %Ld size %d, expected %d" s.at oid sz size
+             | Ok _ ->
+               (match
+                  Drive.handle t2 cred (Rpc.Read { oid; off = 0; len = max size 1; at = Some s.at })
+                with
+                | Rpc.R_data b ->
+                  if not (Bytes.equal b contents) then
+                    add "snapshot@%Ld: oid %Ld contents differ" s.at oid
+                | r -> add "snapshot@%Ld: read oid %Ld: %s" s.at oid (resp_str r));
+               (match Drive.handle t2 cred (Rpc.Get_attr { oid; at = Some s.at }) with
+                | Rpc.R_attr b ->
+                  if not (Bytes.equal b attr) then
+                    add "snapshot@%Ld: oid %Ld attr differs" s.at oid
+                | r -> add "snapshot@%Ld: attr oid %Ld: %s" s.at oid (resp_str r))))
+          s.live;
+        List.iter
+          (fun oid ->
+            if Store.exists st ~at:s.at oid then
+              add "snapshot@%Ld: oid %Ld should be deleted" s.at oid)
+          s.dead)
+      o.snaps;
+    (* Audit continuity: the recovered trail is a contiguous prefix of
+       the handled requests — a crash may lose the buffered tail,
+       never a middle record. *)
+    let recovered = recovered_audit in
+    let expected = List.rev o.audit_log in
+    let matched = ref 0 in
+    let rec go rs es =
+      match (rs, es) with
+      | [], _ -> ()
+      | r :: rs', e :: es' ->
+        if r.Audit.op = e.a_op && Int64.equal r.Audit.oid e.a_oid && r.Audit.ok = e.a_ok then begin
+          incr matched;
+          go rs' es'
+        end
+        else
+          add "audit record %d: got %s/%Ld/%b, expected %s/%Ld/%b" !matched r.Audit.op
+            r.Audit.oid r.Audit.ok e.a_op e.a_oid e.a_ok
+      | _ :: _, [] -> add "audit trail has %d records beyond the ops handled" (List.length rs)
+    in
+    go recovered expected;
+    (* The recovered drive must keep serving. *)
+    (match Drive.handle t2 cred (Rpc.Create { acl = [] }) with
+     | Rpc.R_oid oid ->
+       let data = Bytes.of_string "post-recovery write" in
+       let len = Bytes.length data in
+       (match Drive.handle t2 cred (Rpc.Write { oid; off = 0; len; data = Some data }) with
+        | Rpc.R_unit ->
+          (match Drive.handle t2 cred Rpc.Sync with
+           | Rpc.R_unit ->
+             (match Drive.handle t2 cred (Rpc.Read { oid; off = 0; len; at = None }) with
+              | Rpc.R_data b when Bytes.equal b data -> ()
+              | r -> add "post-recovery read: %s" (resp_str r))
+           | r -> add "post-recovery sync: %s" (resp_str r))
+        | r -> add "post-recovery write: %s" (resp_str r))
+     | r -> add "post-recovery create: %s" (resp_str r));
+    (List.length o.snaps, !matched, List.rev !violations)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let build () =
+  let clock = Simclock.create () in
+  let disk = Sim_disk.create ~geometry:geom clock in
+  (disk, Drive.format disk)
+
+let workload_writes ?(ops = default_ops) ~seed () =
+  let disk, drive = build () in
+  let base = (Sim_disk.stats disk).Sim_disk.writes in
+  ignore (exec_workload ~ops ~seed ~drive (fresh_oracle ()));
+  (Sim_disk.stats disk).Sim_disk.writes - base
+
+let run ?(ops = default_ops) ~seed ~crash_after () =
+  let disk, drive = build () in
+  let o = fresh_oracle () in
+  let policy = Fault.create (Rng.create ~seed:((seed * 7919) + 17)) in
+  Sim_disk.set_fault disk (Some policy);
+  if crash_after > 0 then Fault.schedule_crash policy ~after_writes:crash_after;
+  let completed, crashed, wviol = exec_workload ~ops ~seed ~drive o in
+  Sim_disk.set_fault disk None;
+  let snapshots, audit_checked, rviol =
+    if crashed then verify ~disk o else (List.length o.snaps, 0, [])
+  in
+  {
+    seed;
+    crash_after;
+    crashed;
+    ops_before_crash = completed;
+    snapshots;
+    audit_checked;
+    violations = wviol @ rviol;
+  }
+
+let boundary_sweep ?(ops = default_ops) ~seed () =
+  let span = workload_writes ~ops ~seed () in
+  List.init span (fun i -> run ~ops ~seed ~crash_after:(i + 1) ())
+
+let sweep ?(ops = default_ops) ~seed ~runs () =
+  let rng = Rng.create ~seed in
+  List.init runs (fun i ->
+      let wseed = seed + (i * 101) + 1 in
+      let span = max 1 (workload_writes ~ops ~seed:wseed ()) in
+      let crash_after = 1 + Rng.int rng span in
+      run ~ops ~seed:wseed ~crash_after ())
+
+(* ------------------------------------------------------------------ *)
+(* Mirror resync under partial failure                                 *)
+
+type resync_report = {
+  r_seed : int;
+  fail_writes : int;
+  first_error : bool;
+  attempts : int;
+  r_violations : string list;
+}
+
+let resync_run ~seed ~fail_writes () =
+  let clock = Simclock.create () in
+  let mkd () = Drive.format (Sim_disk.create ~geometry:geom clock) in
+  let m = Mirror.create (mkd ()) (mkd ()) in
+  let rng = Rng.create ~seed in
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let expect_ok what resp =
+    match resp with
+    | Rpc.R_error e -> add "%s failed: %s" what (Format.asprintf "%a" Rpc.pp_error e)
+    | _ -> ()
+  in
+  let oid =
+    match Mirror.handle m cred (Rpc.Create { acl = [] }) with
+    | Rpc.R_oid oid -> oid
+    | r ->
+      add "create: %s" (resp_str r);
+      0L
+  in
+  expect_ok "seed write"
+    (Mirror.handle m cred (Rpc.Write { oid; off = 0; len = 4; data = Some (Bytes.of_string "base") }));
+  expect_ok "seed sync" (Mirror.handle m cred Rpc.Sync);
+  (* The secondary fails; non-idempotent mutations pile up in the
+     missed-journal. Appends never touch the disk until a Sync, so
+     during replay only the Syncs can hit an injected write fault. *)
+  Mirror.set_failed m Mirror.Secondary true;
+  let nmissed = 2 + Rng.int rng 4 in
+  for k = 0 to nmissed - 1 do
+    let s = Printf.sprintf "m%d" k in
+    expect_ok "missed append"
+      (Mirror.handle m cred (Rpc.Append { oid; len = String.length s; data = Some (Bytes.of_string s) }));
+    expect_ok "missed sync" (Mirror.handle m cred Rpc.Sync)
+  done;
+  (* Repaired — but its media faults partway through the replay. *)
+  Mirror.set_failed m Mirror.Secondary false;
+  let sdisk = Log.disk (Drive.log (Mirror.drive m Mirror.Secondary)) in
+  let policy = Fault.create (Rng.create ~seed:(seed + 1)) in
+  Sim_disk.set_fault sdisk (Some policy);
+  if fail_writes > 0 then Fault.fail_next policy ~writes:fail_writes ~transient:false;
+  let first_error = ref false in
+  let attempts = ref 0 in
+  let rec resync_until budget =
+    incr attempts;
+    match Mirror.resync m with
+    | Ok _ -> ()
+    | Error e ->
+      if !attempts = 1 then first_error := true;
+      if budget <= 0 then add "resync never converged: %s" e else resync_until (budget - 1)
+  in
+  resync_until 10;
+  Sim_disk.set_fault sdisk None;
+  List.iter (fun d -> add "divergence: %s" d) (Mirror.divergence m);
+  if Mirror.lag m <> 0 then add "residual lag %d" (Mirror.lag m);
+  {
+    r_seed = seed;
+    fail_writes;
+    first_error = !first_error;
+    attempts = !attempts;
+    r_violations = List.rev !violations;
+  }
+
+let resync_sweep ~seed ~runs () =
+  let rng = Rng.create ~seed in
+  List.init runs (fun i -> resync_run ~seed:(seed + (i * 37) + 1) ~fail_writes:(Rng.int rng 5) ())
+
+let failed_reports rs = List.filter (fun r -> r.violations <> []) rs
+
+let pp_report ppf r =
+  Format.fprintf ppf "crash@%d seed=%d: %s, %d ops, %d snapshots, %d audit ok%s" r.crash_after
+    r.seed
+    (if r.crashed then "crashed" else "no crash")
+    r.ops_before_crash r.snapshots r.audit_checked
+    (match r.violations with
+     | [] -> ""
+     | v -> Printf.sprintf ", %d VIOLATIONS: %s" (List.length v) (String.concat "; " v))
