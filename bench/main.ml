@@ -6,6 +6,8 @@
      bench/main.exe                 run everything at default scale
      bench/main.exe fig3 fig5       run selected experiments
      bench/main.exe --full ...      paper-scale parameters (slower)
+     bench/main.exe --json FILE ... also dump recorded series as JSON
+     bench/main.exe --seed N ...    override the workload RNG seed
 
    Results are simulated time on the modelled 1999-era testbed (Cheetah
    disk, 100 Mb Ethernet, 600 MHz server); shapes, not wall-clock, are
@@ -30,8 +32,15 @@ module Daily = S4_workload.Daily
 module Capacity = S4_analysis.Capacity
 module Diffstudy = S4_analysis.Diffstudy
 module Report = S4_analysis.Report
+module Router = S4_shard.Router
 
 let full_scale = ref false
+let seed_override : int option ref = ref None
+
+let pm_seeded (c : Postmark.config) =
+  match !seed_override with None -> c | Some seed -> { c with Postmark.seed }
+
+let rng_seed default = Option.value !seed_override ~default
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: the RPC interface                                          *)
@@ -164,11 +173,21 @@ let fig2 () =
 let fig3 () =
   Report.heading "Figure 3: PostMark benchmark (four servers)";
   let config =
-    if !full_scale then Postmark.default
-    else { Postmark.default with Postmark.files = 1000; transactions = 5000 }
+    pm_seeded
+      (if !full_scale then Postmark.default
+       else { Postmark.default with Postmark.files = 1000; transactions = 5000 })
   in
   Printf.printf "files=%d transactions=%d\n\n" config.Postmark.files config.Postmark.transactions;
   let results = List.map (fun sys -> Postmark.run ~config sys) (Systems.all_four ()) in
+  List.iter
+    (fun (r : Postmark.result) ->
+      Report.record ~experiment:"fig3" ~label:r.Postmark.system
+        [
+          ("creation_seconds", r.Postmark.creation_seconds);
+          ("transaction_seconds", r.Postmark.transaction_seconds);
+          ("transactions_per_second", r.Postmark.transactions_per_second);
+        ])
+    results;
   Report.table
     ~header:[ "system"; "creation (s)"; "transactions (s)"; "txn/s" ]
     (List.map
@@ -197,6 +216,16 @@ let fig4 () =
     else { Ssh_build.default with Ssh_build.source_files = 60; configure_tests = 30 }
   in
   let results = List.map (fun sys -> Ssh_build.run ~config sys) (Systems.all_four ()) in
+  List.iter
+    (fun (r : Ssh_build.result) ->
+      Report.record ~experiment:"fig4" ~label:r.Ssh_build.system
+        [
+          ("unpack_seconds", r.Ssh_build.unpack_seconds);
+          ("configure_seconds", r.Ssh_build.configure_seconds);
+          ("build_seconds", r.Ssh_build.build_seconds);
+          ("total_seconds", Ssh_build.total r);
+        ])
+    results;
   Report.table
     ~header:[ "system"; "unpack (s)"; "configure (s)"; "build (s)"; "total (s)" ]
     (List.map
@@ -248,7 +277,9 @@ let fig5_rows () =
     let files = int_of_float (util *. float_of_int usable /. blocks_per_file) in
     (* The paper ran the cleaner continuously competing with foreground
        activity; a short period approximates that. *)
-    let config = { Postmark.default with Postmark.files; transactions; cleaner_every = Some 50 } in
+    let config =
+      pm_seeded { Postmark.default with Postmark.files; transactions; cleaner_every = Some 50 }
+    in
     let r = Postmark.run ~config sys in
     r.Postmark.transactions_per_second
   in
@@ -264,6 +295,13 @@ let fig5_rows () =
         (* Overlapped: the Sec 5.1.5 remedy - cleaning soaks up idle
            disk time first. *)
         let bg = run ~mode:Cleaner.Overlapped util in
+        Report.record ~experiment:"fig5"
+          [
+            ("utilisation", util);
+            ("tps_no_cleaning", normal);
+            ("tps_foreground", fg);
+            ("tps_overlapped", bg);
+          ];
         (util, normal, fg, bg))
       utilisations
   in
@@ -322,6 +360,15 @@ let fig6 () =
   let off = run false in
   let on = run true in
   let pct a b = 100.0 *. (a -. b) /. b in
+  Report.record ~experiment:"fig6"
+    [
+      ("create_off_s", off.Microbench.create_seconds);
+      ("create_on_s", on.Microbench.create_seconds);
+      ("read_off_s", off.Microbench.read_seconds);
+      ("read_on_s", on.Microbench.read_seconds);
+      ("delete_off_s", off.Microbench.delete_seconds);
+      ("delete_on_s", on.Microbench.delete_seconds);
+    ];
   Report.table
     ~header:[ "phase"; "audit off (s)"; "audit on (s)"; "penalty" ]
     [
@@ -349,13 +396,19 @@ let fig6 () =
 
 let audit_macro () =
   Report.heading "Section 5.1.4: audit overhead on an application benchmark (PostMark)";
-  let config = { Postmark.default with Postmark.files = 1000; transactions = 5000 } in
+  let config = pm_seeded { Postmark.default with Postmark.files = 1000; transactions = 5000 } in
   let run audit =
     let drive_config = { Systems.benchmark_drive_config with Drive.audit_enabled = audit } in
     Postmark.run ~config (Systems.s4_nfs_server ~drive_config ())
   in
   let off = run false and on = run true in
   let t r = r.Postmark.creation_seconds +. r.Postmark.transaction_seconds in
+  Report.record ~experiment:"audit-macro"
+    [
+      ("audit_off_s", t off);
+      ("audit_on_s", t on);
+      ("penalty_pct", 100.0 *. ((t on /. t off) -. 1.0));
+    ];
   Report.kv
     [
       ("audit off", Printf.sprintf "%.2f s" (t off));
@@ -433,6 +486,11 @@ let diffstudy () =
          ])
        r.Diffstudy.days);
   print_newline ();
+  Report.record ~experiment:"diffstudy"
+    [
+      ("diff_efficiency", r.Diffstudy.diff_efficiency);
+      ("comp_efficiency", r.Diffstudy.comp_efficiency);
+    ];
   Report.kv
     [
       ( "space efficiency from differencing",
@@ -476,7 +534,7 @@ let snapshots () =
 
 let ablation () =
   Report.heading "Ablations: S4 design-parameter sensitivity (small PostMark / microbench)";
-  let pm_config = { Postmark.default with Postmark.files = 500; transactions = 2_500 } in
+  let pm_config = pm_seeded { Postmark.default with Postmark.files = 500; transactions = 2_500 } in
   let run_pm drive_config =
     let sys = Systems.s4_nfs_server ~drive_config () in
     (Postmark.run ~config:pm_config sys).Postmark.transactions_per_second
@@ -612,7 +670,7 @@ let faults () =
             transient_write_rate = rate;
             transient_read_rate = rate /. 10.;
           }
-        (Rng.create ~seed:97)
+        (Rng.create ~seed:(rng_seed 97))
     in
     Sim_disk.set_fault disk (Some policy);
     let cred = Rpc.user_cred ~user:1 ~client:1 in
@@ -647,6 +705,15 @@ let faults () =
     List.map
       (fun rate ->
         let rate, tput, retries, io_errors, rpc_errors, degraded = run_at rate in
+        Report.record ~experiment:"faults"
+          [
+            ("fault_rate", rate);
+            ("ops_per_sim_second", tput);
+            ("io_retries", float_of_int retries);
+            ("io_errors", float_of_int io_errors);
+            ("rpc_errors", float_of_int rpc_errors);
+            ("degraded", if degraded then 1.0 else 0.0);
+          ];
         [
           Printf.sprintf "%.0e" rate;
           Printf.sprintf "%.0f" tput;
@@ -662,7 +729,7 @@ let faults () =
     rows;
   (* Crash-recovery spot check: random crash points through the same
      machinery the test suite sweeps exhaustively. *)
-  let reports = S4_tools.Crashtest.sweep ~seed:23 ~runs:(if !full_scale then 60 else 20) () in
+  let reports = S4_tools.Crashtest.sweep ~seed:(rng_seed 23) ~runs:(if !full_scale then 60 else 20) () in
   let failed = S4_tools.Crashtest.failed_reports reports in
   let snaps = List.fold_left (fun a r -> a + r.S4_tools.Crashtest.snapshots) 0 reports in
   let audit = List.fold_left (fun a r -> a + r.S4_tools.Crashtest.audit_checked) 0 reports in
@@ -672,6 +739,134 @@ let faults () =
   List.iter
     (fun r -> Format.printf "  VIOLATION %a@." S4_tools.Crashtest.pp_report r)
     failed
+
+(* ------------------------------------------------------------------ *)
+(* Scale: sharded-array throughput scaling + online rebalance cost     *)
+
+let scale () =
+  Report.heading "Scale: sharded S4 array, 1..8 drives (PostMark + small-file microbench)";
+  let pm_config =
+    pm_seeded
+      (if !full_scale then { Postmark.default with Postmark.files = 12_000 }
+       else { Postmark.default with Postmark.files = 3_000; transactions = 6_000 })
+  in
+  let mb_files = if !full_scale then 10_000 else 2_000 in
+  let counts = [ 1; 2; 4; 8 ] in
+  (* Per-drive caches sized below the PostMark working set: a single
+     drive thrashes, while each added shard brings its own cache and
+     spindle — the aggregate-resources effect that makes scale-out
+     arrays scale. *)
+  let drive_config =
+    {
+      Systems.benchmark_drive_config with
+      Drive.store =
+        {
+          Systems.benchmark_drive_config.Drive.store with
+          Store.block_cache_bytes = 4 * 1024 * 1024;
+          object_cache_bytes = 4 * 1024 * 1024;
+        };
+    }
+  in
+  Printf.printf "postmark: files=%d transactions=%d; microbench: files=%d x 1KB; 4MB caches/drive\n\n"
+    pm_config.Postmark.files pm_config.Postmark.transactions mb_files;
+  let rows =
+    List.map
+      (fun shards ->
+        let pm = Postmark.run ~config:pm_config (Systems.s4_array ~shards ~drive_config ()) in
+        let mb =
+          Microbench.run
+            ~config:{ Microbench.default with Microbench.files = mb_files }
+            (Systems.s4_array ~shards ~drive_config ())
+        in
+        (shards, pm, mb))
+      counts
+  in
+  let base_tps =
+    match rows with
+    | (_, pm, _) :: _ -> pm.Postmark.transactions_per_second
+    | [] -> 1.0
+  in
+  List.iter
+    (fun (shards, (pm : Postmark.result), (mb : Microbench.result)) ->
+      Report.record ~experiment:"scale"
+        [
+          ("shards", float_of_int shards);
+          ("postmark_tps", pm.Postmark.transactions_per_second);
+          ("postmark_speedup", pm.Postmark.transactions_per_second /. base_tps);
+          ("postmark_transaction_seconds", pm.Postmark.transaction_seconds);
+          ("micro_create_s", mb.Microbench.create_seconds);
+          ("micro_read_s", mb.Microbench.read_seconds);
+          ("micro_delete_s", mb.Microbench.delete_seconds);
+        ])
+    rows;
+  Report.table
+    ~header:
+      [ "shards"; "postmark txn/s"; "speedup"; "micro create (s)"; "read (s)"; "delete (s)" ]
+    (List.map
+       (fun (shards, (pm : Postmark.result), (mb : Microbench.result)) ->
+         [
+           string_of_int shards;
+           Printf.sprintf "%.1f" pm.Postmark.transactions_per_second;
+           Printf.sprintf "%.2fx" (pm.Postmark.transactions_per_second /. base_tps);
+           Printf.sprintf "%.2f" mb.Microbench.create_seconds;
+           Printf.sprintf "%.2f" mb.Microbench.read_seconds;
+           Printf.sprintf "%.2f" mb.Microbench.delete_seconds;
+         ])
+       rows);
+  print_newline ();
+  Report.bars
+    (List.map
+       (fun (n, (pm : Postmark.result), _) ->
+         (Printf.sprintf "%d shard%s (txn/s)" n (if n = 1 then "" else "s"),
+          pm.Postmark.transactions_per_second))
+       rows);
+  (* Online rebalance cost: populate a 2-shard array, then add a third
+     drive to the live array and drain the migration queue. Default
+     caches here — the constrained caches above exist to make the
+     throughput sweep disk-bound, but they make the migration verifier
+     thrash and would dominate the cost being measured. *)
+  print_newline ();
+  Report.heading "Scale: online rebalance cost (2 -> 3 drives under a populated array)";
+  let sys = Systems.s4_array ~shards:2 () in
+  let populate =
+    { pm_config with Postmark.transactions = pm_config.Postmark.transactions / 2 }
+  in
+  ignore (Postmark.run ~config:populate sys);
+  let router = Option.get sys.Systems.router in
+  let extra =
+    Drive.format ~config:Systems.benchmark_drive_config
+      (Sim_disk.create ~geometry:Geometry.cheetah_9gb sys.Systems.clock)
+  in
+  let queued = Router.add_shard router 2 (Router.Single extra) in
+  let secs, (moved, errors) =
+    Systems.elapsed_seconds sys (fun () -> Router.rebalance router)
+  in
+  let st = Router.migration_stats router in
+  let issues = Router.fsck router in
+  Report.kv
+    [
+      ("moves queued by membership change", string_of_int queued);
+      ("objects migrated", string_of_int moved);
+      ("journal entries replayed", string_of_int st.Router.entries);
+      ("data bytes copied", string_of_int st.Router.bytes);
+      ("simulated rebalance time", Printf.sprintf "%.2f s" secs);
+      ("migration errors", string_of_int (List.length errors));
+      ("post-rebalance fsck issues", string_of_int (List.length issues));
+    ];
+  List.iter (fun e -> Printf.printf "  error: %s\n" e) errors;
+  List.iter (fun i -> Printf.printf "  fsck: %s\n" i) issues;
+  Report.record ~experiment:"scale_rebalance"
+    [
+      ("moves_queued", float_of_int queued);
+      ("objects_migrated", float_of_int moved);
+      ("entries_replayed", float_of_int st.Router.entries);
+      ("bytes_copied", float_of_int st.Router.bytes);
+      ("rebalance_seconds", secs);
+      ("errors", float_of_int (List.length errors));
+      ("fsck_issues", float_of_int (List.length issues));
+    ];
+  Report.write_json ~experiments:[ "scale"; "scale_rebalance" ] "BENCH_scale.json";
+  Report.note "wrote BENCH_scale.json"
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -691,6 +886,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("snapshots", "Sec 6: versioning vs snapshots", snapshots);
     ("ablation", "design-parameter sensitivity sweeps", ablation);
     ("faults", "media-fault sweep + crash-recovery spot check", faults);
+    ("scale", "sharded-array throughput scaling + rebalance cost", scale);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
 
@@ -698,20 +894,31 @@ let experiments : (string * string * (unit -> unit)) list =
    default skips the redundant separate fig5 pass. *)
 let default_run =
   [ "table1"; "fig2"; "fig3"; "fig4"; "fundamental"; "fig6"; "audit-macro"; "fig7"; "diffstudy";
-    "snapshots"; "ablation"; "faults"; "micro" ]
+    "snapshots"; "ablation"; "faults"; "scale"; "micro" ]
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--full" then begin
-          full_scale := true;
-          false
-        end
-        else true)
-      args
+  let json_file = ref None in
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--full" :: rest ->
+      full_scale := true;
+      parse acc rest
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      parse acc rest
+    | "--seed" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some s -> seed_override := Some s
+      | None ->
+        Printf.eprintf "--seed expects an integer, got %S\n" n;
+        exit 1);
+      parse acc rest
+    | [ ("--json" | "--seed") ] ->
+      Printf.eprintf "missing value for trailing flag\n";
+      exit 1
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (List.tl (Array.to_list Sys.argv)) in
   let selected = match args with [] -> default_run | names -> names in
   List.iter
     (fun name ->
@@ -722,4 +929,9 @@ let () =
           (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
         exit 1)
     selected;
+  (match !json_file with
+  | Some file ->
+    Report.write_json file;
+    Printf.printf "\nwrote %s\n" file
+  | None -> ());
   print_newline ()

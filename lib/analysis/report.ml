@@ -43,3 +43,64 @@ let kv pairs =
   List.iter (fun (k, v) -> Printf.printf "%-*s : %s\n" lmax k v) pairs
 
 let note s = Printf.printf "  (%s)\n" s
+
+(* Machine-readable results: experiments record flat rows of named
+   numbers; the harness dumps them as JSON on demand. *)
+
+let recorded : (string * (string option * (string * float) list)) list ref = ref []
+
+let record ~experiment ?label row = recorded := (experiment, (label, row)) :: !recorded
+
+let json_float v =
+  if not (Float.is_finite v) then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ?experiments path =
+  let rows = List.rev !recorded in
+  let rows =
+    match experiments with
+    | None -> rows
+    | Some names -> List.filter (fun (e, _) -> List.mem e names) rows
+  in
+  let order =
+    List.rev (List.fold_left (fun acc (e, _) -> if List.mem e acc then acc else e :: acc) [] rows)
+  in
+  let oc = open_out path in
+  output_string oc "{";
+  List.iteri
+    (fun i e ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc "\n  \"%s\": [" (json_escape e);
+      let mine = List.filter (fun (e', _) -> e' = e) rows in
+      List.iteri
+        (fun j (_, (label, row)) ->
+          if j > 0 then output_string oc ",";
+          output_string oc "\n    {";
+          (match label with
+          | Some l -> Printf.fprintf oc "\"label\": \"%s\"%s" (json_escape l) (if row = [] then "" else ", ")
+          | None -> ());
+          List.iteri
+            (fun k (key, v) ->
+              if k > 0 then output_string oc ", ";
+              Printf.fprintf oc "\"%s\": %s" (json_escape key) (json_float v))
+            row;
+          output_string oc "}")
+        mine;
+      output_string oc "\n  ]")
+    order;
+  output_string oc "\n}\n";
+  close_out oc

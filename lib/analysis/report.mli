@@ -19,3 +19,15 @@ val kv : (string * string) list -> unit
 (** Aligned key: value lines. *)
 
 val note : string -> unit
+
+(** {1 Machine-readable output} *)
+
+val record : experiment:string -> ?label:string -> (string * float) list -> unit
+(** Append one row of named numbers (optionally tagged with a string
+    [label], e.g. the system name) to [experiment]'s series, kept in
+    memory until {!write_json}. *)
+
+val write_json : ?experiments:string list -> string -> unit
+(** Write every recorded row to [path] as JSON: an object mapping each
+    experiment name to an array of row objects, in recording order.
+    [experiments] restricts the dump to the named subset. *)

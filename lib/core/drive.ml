@@ -52,6 +52,7 @@ type t = {
 
 let clock t = Store.clock t.store
 let store t = t.store
+let ptable_oid t = t.ptable_oid
 let log t = t.log
 let audit t = t.audit
 let cleaner t = t.cleaner

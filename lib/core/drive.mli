@@ -58,6 +58,11 @@ val handle : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
 
 val clock : t -> S4_util.Simclock.t
 val store : t -> S4_store.Obj_store.t
+
+val ptable_oid : t -> int64
+(** The oid of this drive's partition-table object (drive-private
+    metadata: a shard router must exclude it from migration). *)
+
 val log : t -> S4_seglog.Log.t
 val audit : t -> Audit.t
 val cleaner : t -> S4_store.Cleaner.t

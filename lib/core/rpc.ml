@@ -91,6 +91,14 @@ let op_info = function
   | Set_window { window } -> Printf.sprintf "window=%Ld" window
   | Read_audit { since; until } -> Printf.sprintf "since=%Ld until=%Ld" since until
 
+let is_mutation = function
+  | Create _ | Delete _ | Write _ | Append _ | Truncate _ | Set_attr _ | Set_acl _ | P_create _
+  | P_delete _ | Sync | Flush _ | Flush_object _ | Set_window _ ->
+    true
+  | Read _ | Get_attr _ | Get_acl_by_user _ | Get_acl_by_index _ | P_list _ | P_mount _
+  | Read_audit _ ->
+    false
+
 let is_admin_op = function
   | Flush _ | Flush_object _ | Set_window _ | Read_audit _ -> true
   | Create _ | Delete _ | Read _ | Write _ | Append _ | Truncate _ | Get_attr _ | Set_attr _

@@ -67,6 +67,11 @@ val op_name : req -> string
 val op_info : req -> string
 (** Compact argument rendering for audit records. *)
 
+val is_mutation : req -> bool
+(** Whether the request changes drive state (and thus must reach every
+    replica of a mirrored pair, or be journalled for a lagging one).
+    Shared by [Mirror] and the shard [Router]. *)
+
 val is_admin_op : req -> bool
 
 val req_wire_bytes : req -> int

@@ -31,14 +31,11 @@ let set_failed t r v =
 
 let lag t = List.length t.missed
 
-let is_mutation : Rpc.req -> bool = function
-  | Rpc.Create _ | Rpc.Delete _ | Rpc.Write _ | Rpc.Append _ | Rpc.Truncate _ | Rpc.Set_attr _
-  | Rpc.Set_acl _ | Rpc.P_create _ | Rpc.P_delete _ | Rpc.Sync | Rpc.Flush _ | Rpc.Flush_object _
-  | Rpc.Set_window _ ->
-    true
-  | Rpc.Read _ | Rpc.Get_attr _ | Rpc.Get_acl_by_user _ | Rpc.Get_acl_by_index _ | Rpc.P_list _
-  | Rpc.P_mount _ | Rpc.Read_audit _ ->
-    false
+let is_mutation = Rpc.is_mutation
+
+(* A replica answering [Io_error] has hit a permanent media fault the
+   drive's own retry could not absorb: treat it as failed. *)
+let is_io_error = function Rpc.R_error (Rpc.Io_error _) -> true | _ -> false
 
 (* Responses must agree in kind and payload (oids in particular). *)
 let agree (a : Rpc.resp) (b : Rpc.resp) =
@@ -54,6 +51,20 @@ let handle t cred ?(sync = false) req =
       let r1 = Drive.handle t.primary cred ~sync req in
       let r2 = Drive.handle t.secondary cred ~sync req in
       if agree r1 r2 then r1
+      else if is_io_error r1 && not (is_io_error r2) then begin
+        (* Primary media fault: fail it over and keep serving from the
+           secondary, journalling the op the primary just missed. *)
+        t.primary_failed <- true;
+        t.lagging <- Some Primary;
+        t.missed <- (cred, sync, req) :: t.missed;
+        r2
+      end
+      else if is_io_error r2 && not (is_io_error r1) then begin
+        t.secondary_failed <- true;
+        t.lagging <- Some Secondary;
+        t.missed <- (cred, sync, req) :: t.missed;
+        r1
+      end
       else begin
         (* Split brain: drop the secondary and flag the request. *)
         t.secondary_failed <- true;
@@ -72,7 +83,16 @@ let handle t cred ?(sync = false) req =
   end
   else begin
     match (t.primary_failed, t.secondary_failed) with
-    | false, _ -> Drive.handle t.primary cred ~sync req
+    | false, false ->
+      let r = Drive.handle t.primary cred ~sync req in
+      if is_io_error r then begin
+        (* Read fault on the primary: fail over to the secondary. *)
+        t.primary_failed <- true;
+        if t.lagging = None then t.lagging <- Some Primary;
+        Drive.handle t.secondary cred ~sync req
+      end
+      else r
+    | false, true -> Drive.handle t.primary cred ~sync req
     | true, false -> Drive.handle t.secondary cred ~sync req
     | true, true -> Rpc.R_error (Rpc.Bad_request "mirror: no live replica")
   end

@@ -3,9 +3,20 @@ module Drive = S4.Drive
 module Client = S4.Client
 module N = Nfs_types
 
+(* A drive-shaped backend that is not a single drive (e.g. a shard
+   router aggregating several). Function-based so this library does
+   not depend on the aggregation layer. *)
+type backend = {
+  b_clock : S4_util.Simclock.t;
+  b_handle : Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp;
+  b_keep_data : bool;
+  b_capacity : unit -> int * int;  (* (total_bytes, free_bytes) *)
+}
+
 type transport =
   | Local of Drive.t
   | Remote of Client.t
+  | Backend of backend
 
 (* Cached directory image: occupied slots and the slot-array length. *)
 type dircache = { mutable dents : (N.dirent * int) list; mutable nslots : int }
@@ -30,12 +41,16 @@ type t = {
 
 exception Err of N.error
 
-let drive_of = function Local d -> d | Remote c -> Client.drive c
+let clock_of = function
+  | Local d -> Drive.clock d
+  | Remote c -> Drive.clock (Client.drive c)
+  | Backend b -> b.b_clock
 
 let call_t transport cred ?sync req =
   match transport with
   | Local d -> Drive.handle d cred ?sync req
   | Remote c -> Client.call c cred ?sync req
+  | Backend b -> b.b_handle cred ?sync req
 
 let fail e = raise (Err e)
 
@@ -50,9 +65,7 @@ let lift = function
 
 let call t ?sync req =
   t.rpcs <- t.rpcs + 1;
-  S4_util.Simclock.advance
-    (Drive.clock (drive_of t.transport))
-    (S4_util.Simclock.of_us daemon_cpu_us);
+  S4_util.Simclock.advance (clock_of t.transport) (S4_util.Simclock.of_us daemon_cpu_us);
   lift (call_t t.transport t.cred ?sync req)
 
 let expect_unit = function
@@ -67,7 +80,7 @@ let expect_oid = function
   | Rpc.R_oid oid -> oid
   | _ -> fail (N.Eio "unexpected response")
 
-let now t = S4_util.Simclock.now (Drive.clock (drive_of t.transport))
+let now t = S4_util.Simclock.now (clock_of t.transport)
 
 (* ------------------------------------------------------------------ *)
 (* Attribute and directory access with read caching                    *)
@@ -150,7 +163,7 @@ let mount ?(partition = "root") ?(cred = Rpc.user_cred ~user:1 ~client:1) transp
     match call_t transport cred (Rpc.P_mount { name = partition; at = None }) with
     | Rpc.R_oid oid -> oid
     | Rpc.R_error Rpc.Not_found ->
-      let clock = Drive.clock (drive_of transport) in
+      let clock = clock_of transport in
       let oid = expect_oid (call (Rpc.Create { acl = [] })) in
       let attr = N.fresh_attr N.Fdir ~uid:cred.Rpc.user ~now:(S4_util.Simclock.now clock) in
       expect_unit (call (Rpc.Set_attr { oid; attr = N.encode_attr attr }));
@@ -181,7 +194,11 @@ let invalidate_caches t =
      contents back, so the directory cache is the namespace's only
      authoritative copy and must survive cache-drop experiments. *)
   let keep_data =
-    (S4_store.Obj_store.config (Drive.store (drive_of t.transport))).S4_store.Obj_store.keep_data
+    match t.transport with
+    | Local d -> (S4_store.Obj_store.config (Drive.store d)).S4_store.Obj_store.keep_data
+    | Remote c ->
+      (S4_store.Obj_store.config (Drive.store (Client.drive c))).S4_store.Obj_store.keep_data
+    | Backend b -> b.b_keep_data
   in
   if keep_data then Hashtbl.reset t.dir_cache
 
@@ -275,18 +292,26 @@ let do_symlink t ~dir ~name ~target =
   set_attr t fh { attr with N.size = Bytes.length data };
   add_entry t ~sync:true dir { N.name; fh }
 
-let statfs t =
-  let log = Drive.log (drive_of t.transport) in
+let drive_capacity d =
+  let log = Drive.log d in
   let block = S4_seglog.Log.block_size log in
   let total = S4_seglog.Log.usable_blocks log * block in
   let free = (S4_seglog.Log.usable_blocks log - S4_seglog.Log.live_blocks log) * block in
+  (total, free)
+
+let statfs t =
+  let total, free =
+    match t.transport with
+    | Local d -> drive_capacity d
+    | Remote c -> drive_capacity (Client.drive c)
+    | Backend b -> b.b_capacity ()
+  in
   N.R_statfs { total_bytes = total; free_bytes = free }
 
 let handle t req =
   (match t.transport with
-   | Remote _ ->
-     S4_util.Simclock.advance (Drive.clock (drive_of t.transport)) (S4_util.Simclock.of_us loopback_us)
-   | Local _ -> ());
+   | Remote _ -> S4_util.Simclock.advance (clock_of t.transport) (S4_util.Simclock.of_us loopback_us)
+   | Local _ | Backend _ -> ());
   try
     match req with
     | N.Getattr fh -> N.R_attr (get_attr t fh)

@@ -17,9 +17,21 @@
     drive sync, batched onto the final S4 RPC of the operation. The
     translator keeps read-only attribute and directory caches. *)
 
+type backend = {
+  b_clock : S4_util.Simclock.t;
+  b_handle : S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp;
+  b_keep_data : bool;
+  b_capacity : unit -> int * int;  (** (total_bytes, free_bytes) *)
+}
+(** A drive-shaped backend that is not a single drive — e.g. a shard
+    router aggregating several drives behind {!S4.Drive.handle}'s
+    contract. Function-based so this library stays independent of the
+    aggregation layer. *)
+
 type transport =
   | Local of S4.Drive.t
   | Remote of S4.Client.t
+  | Backend of backend
 
 type t
 

@@ -1,0 +1,79 @@
+(* Consistent-hash ring with virtual nodes.
+
+   Each member shard contributes [vnodes] points on a 64-bit hash
+   circle; an oid is owned by the member whose point follows the oid's
+   hash (clockwise, with wraparound). Adding a member moves only the
+   keys that fall into the new member's arcs — roughly 1/N of the
+   space — and every moved key lands on the new member, which is what
+   makes online rebalancing tractable. *)
+
+type t = {
+  vnodes : int;
+  mutable points : (int64 * int) array;  (* (point hash, shard id), sorted *)
+  mutable members : int list;  (* ascending *)
+}
+
+(* SplitMix64 finaliser: a cheap, well-mixed 64-bit permutation.
+   Deterministic across runs — placement must be a pure function of
+   (oid, membership). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let key_hash oid = mix64 (Int64.logxor oid 0x9e3779b97f4a7c15L)
+
+let point_hash ~shard ~replica =
+  mix64 (Int64.logxor (Int64.of_int shard) (Int64.shift_left (Int64.of_int (replica + 1)) 20))
+
+let create ?(vnodes = 64) () =
+  if vnodes <= 0 then invalid_arg "Ring.create: vnodes must be positive";
+  { vnodes; points = [||]; members = [] }
+
+let members t = t.members
+let vnodes t = t.vnodes
+let is_empty t = t.members = []
+
+let cmp (h1, s1) (h2, s2) =
+  let c = Int64.unsigned_compare h1 h2 in
+  if c <> 0 then c else compare s1 s2
+
+let rebuild t =
+  let pts =
+    List.concat_map
+      (fun shard -> List.init t.vnodes (fun replica -> (point_hash ~shard ~replica, shard)))
+      t.members
+  in
+  let arr = Array.of_list pts in
+  Array.sort cmp arr;
+  t.points <- arr
+
+let add t shard =
+  if List.mem shard t.members then invalid_arg "Ring.add: member already present";
+  t.members <- List.sort compare (shard :: t.members);
+  rebuild t
+
+let remove t shard =
+  if not (List.mem shard t.members) then invalid_arg "Ring.remove: no such member";
+  t.members <- List.filter (fun s -> s <> shard) t.members;
+  rebuild t
+
+(* First point with hash >= h, wrapping to points.(0). *)
+let successor t h =
+  let n = Array.length t.points in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then bsearch (mid + 1) hi
+      else bsearch lo mid
+    end
+  in
+  let i = bsearch 0 n in
+  if i = n then 0 else i
+
+let owner t oid =
+  if t.points = [||] then invalid_arg "Ring.owner: empty ring";
+  snd t.points.(successor t (key_hash oid))
+
+let owner_opt t oid = if t.points = [||] then None else Some (owner t oid)

@@ -1,0 +1,27 @@
+(** Consistent-hash ring with virtual nodes (object → shard placement).
+
+    Placement is a pure, deterministic function of (oid, membership):
+    the same ring contents always place the same oid on the same
+    shard, across process runs. Adding a member reassigns only the
+    keys that land on the new member's arcs (~1/N of the space); no
+    key moves between two pre-existing members. *)
+
+type t
+
+val create : ?vnodes:int -> unit -> t
+(** [vnodes] points per member on the hash circle (default 64): more
+    points → smoother balance, slower rebuild. *)
+
+val add : t -> int -> unit
+(** Add a member shard id. @raise Invalid_argument if present. *)
+
+val remove : t -> int -> unit
+val members : t -> int list
+val vnodes : t -> int
+val is_empty : t -> bool
+
+val owner : t -> int64 -> int
+(** The member owning this oid. @raise Invalid_argument on an empty
+    ring. *)
+
+val owner_opt : t -> int64 -> int option

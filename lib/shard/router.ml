@@ -1,0 +1,546 @@
+module Rpc = S4.Rpc
+module Drive = S4.Drive
+module Audit = S4.Audit
+module Store = S4_store.Obj_store
+module Sim_disk = S4_disk.Sim_disk
+module Log = S4_seglog.Log
+module Simclock = S4_util.Simclock
+module Mirror = S4_multi.Mirror
+
+type member = Single of Drive.t | Mirrored of Mirror.t
+
+type shard = {
+  sh_id : int;
+  sh_member : member;
+  mutable sh_degraded : bool;
+  mutable sh_io_errors : int;
+  mutable sh_ops : int;
+}
+
+type migration = { m_oid : int64; m_src : int; m_dst : int }
+
+type t = {
+  clock : Simclock.t;
+  ring : Ring.t;
+  shards : (int, shard) Hashtbl.t;
+  mutable order : int list;  (* shard ids, ascending; head is the meta shard *)
+  meta : int;
+  mutable next_oid : int64;
+  mutable pending_oid : int64 option;
+  forward : (int64, int) Hashtbl.t;  (* oid -> pre-cutover holder *)
+  mutable migrations : migration list;  (* FIFO *)
+  private_oids : (int64, unit) Hashtbl.t;  (* per-drive ptable objects *)
+  pmount_cache : (string, int64) Hashtbl.t;
+  mutable ops : int;
+  mutable migrated_objects : int;
+  mutable migrated_entries : int;
+  mutable migrated_bytes : int;
+}
+
+let member_drives = function
+  | Single d -> [ d ]
+  | Mirrored m -> [ Mirror.drive m Mirror.Primary; Mirror.drive m Mirror.Secondary ]
+
+let shard_drives sh = member_drives sh.sh_member
+let shard_disks sh = List.map (fun d -> Log.disk (Drive.log d)) (shard_drives sh)
+
+(* The store(s) the shard mutates; head is the one reads come from. *)
+let shard_stores sh = List.map Drive.store (shard_drives sh)
+let shard_store sh = List.hd (shard_stores sh)
+
+let shard t id =
+  match Hashtbl.find_opt t.shards id with
+  | Some sh -> sh
+  | None -> invalid_arg (Printf.sprintf "Router: no shard %d" id)
+
+let shards t = List.map (shard t) t.order
+let shard_ids t = t.order
+let meta_shard t = t.meta
+let clock t = t.clock
+let ops_handled t = t.ops
+let member t id = (shard t id).sh_member
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+(* Every member disk runs in phantom mode permanently: the shards of
+   the array are physically parallel devices, so a request only costs
+   the shared clock the service time of the slowest member it touched
+   (see [charge]). Mirror secondaries were already phantom; making the
+   whole array phantom subsumes that. *)
+let set_all_phantom t =
+  List.iter (fun sh -> List.iter (fun d -> Sim_disk.set_phantom d true) (shard_disks sh)) (shards t)
+
+let install_allocator t sh =
+  List.iter
+    (fun st ->
+      Store.set_oid_allocator st
+        (Some
+           (fun () ->
+             match t.pending_oid with
+             | Some g -> g
+             | None -> invalid_arg "Router: drive-local create bypasses the array oid space")))
+    (shard_stores sh)
+
+let register t id m =
+  if Hashtbl.mem t.shards id then invalid_arg "Router: duplicate shard id";
+  let sh = { sh_id = id; sh_member = m; sh_degraded = false; sh_io_errors = 0; sh_ops = 0 } in
+  List.iter
+    (fun d ->
+      if not (Drive.clock d == t.clock) then
+        invalid_arg "Router: all member drives must share one Simclock";
+      Hashtbl.replace t.private_oids (Drive.ptable_oid d) ())
+    (member_drives m);
+  Hashtbl.replace t.shards id sh;
+  t.order <- List.sort compare (id :: t.order);
+  List.iter
+    (fun st -> if Int64.compare (Store.next_oid st) t.next_oid > 0 then t.next_oid <- Store.next_oid st)
+    (shard_stores sh);
+  install_allocator t sh;
+  List.iter (fun d -> Sim_disk.set_phantom d true) (shard_disks sh);
+  sh
+
+let create ?vnodes members =
+  match members with
+  | [] -> invalid_arg "Router.create: need at least one shard"
+  | (_, m0) :: _ ->
+    let clock = Drive.clock (List.hd (member_drives m0)) in
+    let t =
+      {
+        clock;
+        ring = Ring.create ?vnodes ();
+        shards = Hashtbl.create 8;
+        order = [];
+        meta = fst (List.hd members);
+        next_oid = 1L;
+        pending_oid = None;
+        forward = Hashtbl.create 64;
+        migrations = [];
+        private_oids = Hashtbl.create 8;
+        pmount_cache = Hashtbl.create 16;
+        ops = 0;
+        migrated_objects = 0;
+        migrated_entries = 0;
+        migrated_bytes = 0;
+      }
+    in
+    List.iter (fun (id, m) -> ignore (register t id m)) members;
+    List.iter (fun id -> Ring.add t.ring id) t.order;
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Time accounting                                                     *)
+
+(* Run [f], then advance the shared clock by the largest phantom-time
+   delta any involved disk accumulated: fan-outs complete when the
+   slowest member does, not after the sum of all members. *)
+let charge t involved f =
+  let disks = List.concat_map shard_disks involved in
+  let before = List.map (fun d -> (d, Sim_disk.phantom_ns d)) disks in
+  let r = f () in
+  let worst =
+    List.fold_left
+      (fun acc (d, b) ->
+        let delta = Int64.sub (Sim_disk.phantom_ns d) b in
+        if Int64.compare delta acc > 0 then delta else acc)
+      0L before
+  in
+  if Int64.compare worst 0L > 0 then Simclock.advance t.clock worst;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+
+let is_io_error = function Rpc.R_error (Rpc.Io_error _) -> true | _ -> false
+
+let dispatch _t sh cred ~sync req =
+  sh.sh_ops <- sh.sh_ops + 1;
+  let resp =
+    match sh.sh_member with
+    | Single d -> Drive.handle d cred ~sync req
+    | Mirrored m -> Mirror.handle m cred ~sync req
+  in
+  if is_io_error resp then begin
+    (* A mirrored shard only surfaces Io_error once failover inside the
+       mirror is exhausted, so in either case the shard is degraded. *)
+    sh.sh_degraded <- true;
+    sh.sh_io_errors <- sh.sh_io_errors + 1
+  end;
+  resp
+
+(* Current holder: a not-yet-cut-over migration forwards to the old
+   home; everything else is pure ring placement. *)
+let holder t oid =
+  match Hashtbl.find_opt t.forward oid with
+  | Some id -> id
+  | None -> Ring.owner t.ring oid
+
+let shard_of = holder
+
+let route_to_holder t oid cred ~sync req =
+  let sh = shard t (holder t oid) in
+  charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
+
+let fanout t cred ~sync req ~merge =
+  let all = shards t in
+  charge t all (fun () -> merge (List.map (fun sh -> (sh, dispatch t sh cred ~sync req)) all))
+
+let merge_units resps =
+  match List.find_opt (fun (_, r) -> r <> Rpc.R_unit) resps with
+  | Some (_, r) -> r
+  | None -> Rpc.R_unit
+
+let merge_audit resps =
+  let rec collect acc = function
+    | [] ->
+      let records = List.concat (List.rev acc) in
+      let sorted = List.stable_sort (fun a b -> compare a.Audit.at b.Audit.at) records in
+      Rpc.R_audit sorted
+    | (_, Rpc.R_audit rs) :: rest -> collect (rs :: acc) rest
+    | (_, other) :: _ -> other
+  in
+  collect [] resps
+
+let handle t cred ?(sync = false) req =
+  t.ops <- t.ops + 1;
+  match req with
+  | Rpc.Create _ ->
+    let g = t.next_oid in
+    let sh = shard t (Ring.owner t.ring g) in
+    t.pending_oid <- Some g;
+    let resp =
+      Fun.protect
+        ~finally:(fun () -> t.pending_oid <- None)
+        (fun () -> charge t [ sh ] (fun () -> dispatch t sh cred ~sync req))
+    in
+    (match resp with
+     | Rpc.R_oid oid when Int64.equal oid g -> t.next_oid <- Int64.add g 1L
+     | Rpc.R_oid oid ->
+       (* Cannot happen with the allocator installed; be loud if it does. *)
+       invalid_arg (Printf.sprintf "Router: shard allocated oid %Ld, expected %Ld" oid g)
+     | _ -> ());
+    resp
+  | Rpc.P_create { name; _ } | Rpc.P_delete { name } ->
+    Hashtbl.remove t.pmount_cache name;
+    let sh = shard t t.meta in
+    charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
+  | Rpc.P_list _ ->
+    let sh = shard t t.meta in
+    charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
+  | Rpc.P_mount { name; at = None } -> (
+    match Hashtbl.find_opt t.pmount_cache name with
+    | Some oid -> Rpc.R_oid oid
+    | None ->
+      let sh = shard t t.meta in
+      let resp = charge t [ sh ] (fun () -> dispatch t sh cred ~sync req) in
+      (match resp with
+       | Rpc.R_oid oid -> Hashtbl.replace t.pmount_cache name oid
+       | _ -> ());
+      resp)
+  | Rpc.P_mount _ ->
+    (* Time-based mounts see the meta shard's history; never cached. *)
+    let sh = shard t t.meta in
+    charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
+  | Rpc.Sync | Rpc.Flush _ | Rpc.Set_window _ -> fanout t cred ~sync req ~merge:merge_units
+  | Rpc.Read_audit _ -> fanout t cred ~sync req ~merge:merge_audit
+  | Rpc.Delete { oid }
+  | Rpc.Read { oid; _ }
+  | Rpc.Write { oid; _ }
+  | Rpc.Append { oid; _ }
+  | Rpc.Truncate { oid; _ }
+  | Rpc.Get_attr { oid; _ }
+  | Rpc.Set_attr { oid; _ }
+  | Rpc.Get_acl_by_user { oid; _ }
+  | Rpc.Get_acl_by_index { oid; _ }
+  | Rpc.Set_acl { oid; _ }
+  | Rpc.Flush_object { oid; _ } ->
+    route_to_holder t oid cred ~sync req
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode reporting                                             *)
+
+let degraded_shards t =
+  List.filter_map (fun sh -> if sh.sh_degraded then Some sh.sh_id else None) (shards t)
+
+let degraded t = degraded_shards t <> []
+let io_errors t = List.fold_left (fun acc sh -> acc + sh.sh_io_errors) 0 (shards t)
+
+(* ------------------------------------------------------------------ *)
+(* Maintenance                                                         *)
+
+(* Per-shard cleaners run in parallel on independent devices: charge
+   the slowest. Overlapped cleaner mode manipulates the phantom flag
+   itself and must not be used under a router; re-assert phantom mode
+   afterwards so a misconfigured cleaner cannot silently break the
+   array's time accounting. *)
+let run_cleaners t =
+  List.iter
+    (fun sh ->
+      ignore
+        (charge t [ sh ]
+           (fun () -> List.iter (fun d -> ignore (Drive.run_cleaner d)) (shard_drives sh))))
+    (shards t);
+  set_all_phantom t
+
+let sync_all t =
+  ignore (handle t Rpc.admin_cred Rpc.Sync)
+
+(* ------------------------------------------------------------------ *)
+(* Online rebalancing                                                  *)
+
+let pending_migrations t = List.length t.migrations
+
+let is_private t oid = Hashtbl.mem t.private_oids oid
+
+(* Objects a shard holds that are eligible for placement (everything
+   but the drives' own partition-table objects). *)
+let held_oids sh =
+  let st = shard_store sh in
+  List.filter
+    (fun oid ->
+      not (List.exists (fun d -> Int64.equal (Drive.ptable_oid d) oid) (shard_drives sh)))
+    (Store.list_all st)
+
+let plan_moves t ~against =
+  (* [against]: oids currently held, with their holder. Any object
+     whose ring owner differs from its holder must move. *)
+  List.filter_map
+    (fun (oid, src) ->
+      if is_private t oid then None
+      else begin
+        let dst = Ring.owner t.ring oid in
+        if dst = src then None else Some { m_oid = oid; m_src = src; m_dst = dst }
+      end)
+    against
+
+let add_shard t id m =
+  let sh = register t id m in
+  ignore sh;
+  let held =
+    List.concat_map (fun sh -> List.map (fun oid -> (oid, sh.sh_id)) (held_oids sh)) (shards t)
+  in
+  (* Forward entries from an unfinished earlier rebalance already point
+     at the true holder; [held] reflects physical placement, so the
+     plan is computed against reality either way. *)
+  Ring.add t.ring id;
+  let moves = plan_moves t ~against:held in
+  List.iter
+    (fun mv ->
+      (* Read-forwarding: until the copy is verified and cut over, the
+         object is served from its old home. *)
+      Hashtbl.replace t.forward mv.m_oid mv.m_src)
+    moves;
+  t.migrations <- t.migrations @ moves;
+  List.length moves
+
+(* --- verification ------------------------------------------------- *)
+
+let digest_at st oid ~at =
+  match Store.exists st ?at oid with
+  | false -> None
+  | true ->
+    let size = Store.size st ?at oid in
+    let data = Store.read st ?at oid ~off:0 ~len:size in
+    Some
+      ( size,
+        Digest.bytes data,
+        Digest.bytes (Store.get_attr st ?at oid),
+        Digest.bytes (Store.get_acl_raw st ?at oid) )
+
+(* Every retained version of the object must answer identically on the
+   new home: compare current state and the state at each entry
+   timestamp (and just before the oldest, covering the base). *)
+let verify_copy ~src ~dst oid =
+  let times =
+    let ts = List.map (fun (e : S4_store.Entry.t) -> e.S4_store.Entry.time) (Store.versions src oid) in
+    let ts = List.sort_uniq compare ts in
+    match ts with [] -> [] | oldest :: _ -> Int64.sub oldest 1L :: ts
+  in
+  let ats = None :: List.map (fun at -> Some at) times in
+  let mismatches =
+    List.filter_map
+      (fun at ->
+        let a = try digest_at src oid ~at with Store.No_such_object _ -> None in
+        let b = try digest_at dst oid ~at with Store.No_such_object _ -> None in
+        if a = b then None
+        else
+          Some
+            (Printf.sprintf "oid %Ld diverges at %s" oid
+               (match at with None -> "current" | Some x -> Int64.to_string x)))
+      ats
+  in
+  if mismatches = [] then Ok () else Error (String.concat "; " mismatches)
+
+let forget_everywhere sh oid =
+  List.iter
+    (fun st ->
+      (try Store.forget_object st oid with Store.No_such_object _ -> ());
+      Store.sync st;
+      ignore (Log.reclaim_dead_segments (Store.log st)))
+    (shard_stores sh)
+
+(* Migrate one object: stream its entire retained history off the old
+   home, replay it on the new one, make it durable, verify every
+   in-window version, then cut over and purge the source. A crash
+   anywhere in the middle leaves either the source authoritative (dst
+   copy unsynced or partial — dropped or repaired at attach) or both
+   copies whole (deduplicated at attach); no synced in-window version
+   is ever lost. *)
+let migrate_one t mv =
+  let src_sh = shard t mv.m_src and dst_sh = shard t mv.m_dst in
+  let src = shard_store src_sh in
+  if not (List.mem mv.m_oid (Store.list_all src)) then begin
+    (* Expired (or repaired away) since planning; nothing to move. *)
+    Hashtbl.remove t.forward mv.m_oid;
+    Ok None
+  end
+  else begin
+    let result =
+      charge t [ src_sh; dst_sh ]
+        (fun () ->
+          let x = Store.export_history src mv.m_oid in
+          List.iter (fun st -> Store.import_history st x) (shard_stores dst_sh);
+          (* Durability point: after these syncs the new home holds the
+             full chain on stable storage. *)
+          List.iter Store.sync (shard_stores dst_sh);
+          match verify_copy ~src ~dst:(shard_store dst_sh) mv.m_oid with
+          | Error e -> Error (x, e)
+          | Ok () -> Ok x)
+    in
+    match result with
+    | Error (_, e) ->
+      (* Failed verification: drop the copy, keep serving from the old
+         home (the forward entry stays). *)
+      forget_everywhere dst_sh mv.m_oid;
+      Error (Printf.sprintf "migration verify failed: %s" e)
+    | Ok x ->
+      (* Cut over: new requests now route to the ring owner. *)
+      Hashtbl.remove t.forward mv.m_oid;
+      (* Purge the old copy and reclaim its space. *)
+      charge t [ src_sh ] (fun () -> forget_everywhere src_sh mv.m_oid);
+      t.migrated_objects <- t.migrated_objects + 1;
+      t.migrated_entries <- t.migrated_entries + List.length x.Store.x_entries;
+      t.migrated_bytes <-
+        t.migrated_bytes
+        + List.fold_left
+            (fun acc (xe : Store.xentry) ->
+              match xe.Store.x_op with Store.X_write { len; _ } -> acc + len | _ -> acc)
+            0 x.Store.x_entries;
+      Ok (Some (mv.m_oid, mv.m_src, mv.m_dst))
+  end
+
+let rebalance_step t =
+  match t.migrations with
+  | [] -> Ok None
+  | mv :: rest -> (
+    t.migrations <- rest;
+    match migrate_one t mv with
+    | Ok r -> Ok r
+    | Error e ->
+      (* Push the failed move to the back so the rest can proceed. *)
+      t.migrations <- t.migrations @ [ mv ];
+      Error e)
+
+let rebalance t =
+  let rec go n errs budget =
+    if budget = 0 then (n, List.rev errs)
+    else
+      match rebalance_step t with
+      | Ok None -> (n, List.rev errs)
+      | Ok (Some _) -> go (n + 1) errs (budget - 1)
+      | Error e -> go n (e :: errs) (budget - 1)
+  in
+  go 0 [] (2 * (1 + pending_migrations t))
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery                                                      *)
+
+(* Reattach an array after a crash. Drives were individually recovered
+   by [Drive.attach]; what is left to repair is *placement*:
+   - an object on a non-owner shard only (cut-over never happened, or
+     the ring changed): resume its migration with a forward entry;
+   - an object on two shards (crash between the new home's sync and
+     the old home's purge — or a purged source resurrected from
+     dead-but-decodable journal blocks): keep exactly one authoritative
+     copy. The copy with the longer history (higher seq) wins; on a tie
+     the ring owner does. The loser is purged. *)
+let attach ?vnodes members =
+  let t = create ?vnodes members in
+  let holders : (int64, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun sh ->
+      List.iter
+        (fun oid ->
+          if not (is_private t oid) then begin
+            match Hashtbl.find_opt holders oid with
+            | Some l -> l := sh.sh_id :: !l
+            | None -> Hashtbl.replace holders oid (ref [ sh.sh_id ])
+          end)
+        (held_oids sh))
+    (shards t);
+  let moves = ref [] in
+  Hashtbl.iter
+    (fun oid holders_ref ->
+      let hs = List.sort compare !holders_ref in
+      let owner = Ring.owner t.ring oid in
+      let seq_of id = Store.seq (shard_store (shard t id)) oid in
+      let winner =
+        match hs with
+        | [ h ] -> h
+        | _ ->
+          List.fold_left
+            (fun best h ->
+              let sb = seq_of best and sh_ = seq_of h in
+              if sh_ > sb then h
+              else if sh_ = sb && h = owner then h
+              else best)
+            (List.hd hs) (List.tl hs)
+      in
+      List.iter (fun h -> if h <> winner then forget_everywhere (shard t h) oid) hs;
+      if winner <> owner then begin
+        Hashtbl.replace t.forward oid winner;
+        moves := { m_oid = oid; m_src = winner; m_dst = owner } :: !moves
+      end)
+    holders;
+  t.migrations <- List.sort compare !moves;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Health and stats                                                    *)
+
+let all_drives t = List.concat_map shard_drives (shards t)
+
+let fsck t =
+  let errs = ref [] in
+  List.iter
+    (fun sh ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun e -> errs := Printf.sprintf "shard %d: %s" sh.sh_id e :: !errs)
+            (Drive.fsck d))
+        (shard_drives sh);
+      (* Placement: every eligible object must live on exactly its
+         routing target. *)
+      List.iter
+        (fun oid ->
+          let h = holder t oid in
+          if h <> sh.sh_id then
+            errs := Printf.sprintf "oid %Ld held by shard %d, routed to %d" oid sh.sh_id h :: !errs)
+        (held_oids sh))
+    (shards t);
+  List.rev !errs
+
+type migration_stats = { objects : int; entries : int; bytes : int }
+
+let migration_stats t =
+  { objects = t.migrated_objects; entries = t.migrated_entries; bytes = t.migrated_bytes }
+
+let pp_stats ppf t =
+  Format.fprintf ppf "array: %d shards (meta %d), %d ops, %d pending migrations, moved %d objects/%d entries/%d bytes%s"
+    (List.length t.order) t.meta t.ops (pending_migrations t) t.migrated_objects
+    t.migrated_entries t.migrated_bytes
+    (match degraded_shards t with
+     | [] -> ""
+     | ds ->
+       Printf.sprintf " [DEGRADED shards: %s]" (String.concat "," (List.map string_of_int ds)))

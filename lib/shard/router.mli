@@ -1,0 +1,107 @@
+(** Sharded S4 array: N self-securing drives behind one drive-shaped
+    request surface.
+
+    The router exposes exactly {!S4.Drive.handle}'s contract
+    (credential + request → response), so clients, the NFS translator
+    and every workload generator run over the array unchanged.
+    Placement is consistent hashing over oids ({!Ring}); the partition
+    (named-object) table lives on a designated {e meta shard} with
+    cached [PMount] lookups; administrative commands and audit reads
+    fan out to every shard and merge. All member drives share one
+    [Simclock] and run their disks in phantom mode: a fan-out costs
+    the slowest member's service time, not the sum (parallel devices).
+
+    {b Online rebalancing:} {!add_shard} plans a move for every object
+    whose ring owner changed and installs read-forwarding for each;
+    {!rebalance_step} then copies one object's {e entire retained
+    version chain} (journal history and base state, not just current
+    data) to its new home, makes it durable, verifies every in-window
+    version answers identically, cuts over, and purges the old copy —
+    the detection-window guarantee survives membership change.
+    {!attach} repairs placement after a crash: partial copies are
+    dropped, duplicate copies deduplicated to one authoritative home,
+    interrupted migrations re-queued. *)
+
+type member = Single of S4.Drive.t | Mirrored of S4_multi.Mirror.t
+
+type t
+
+val create : ?vnodes:int -> (int * member) list -> t
+(** Assemble an array over freshly formatted members. The first listed
+    member is the meta shard (stable across {!attach}!); all drives
+    must share one [Simclock]. Installs the array's global oid
+    allocator on every member store and puts every disk in phantom
+    mode. *)
+
+val attach : ?vnodes:int -> (int * member) list -> t
+(** Reassemble after a crash from individually recovered drives
+    ([Drive.attach] each first). Repairs placement — deduplicates
+    double-held objects (longer history wins, ring owner breaks ties),
+    re-queues interrupted migrations with read-forwarding. *)
+
+val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
+(** Route one request: per-object ops to the holding shard, partition
+    ops to the meta shard, [Sync]/[Flush]/[SetWindow]/[ReadAudit]
+    fan-out-and-merge. *)
+
+val clock : t -> S4_util.Simclock.t
+val shard_ids : t -> int list
+val meta_shard : t -> int
+val member : t -> int -> member
+val shard_of : t -> int64 -> int
+(** Current holder of an oid: forwarding entry if mid-migration, ring
+    owner otherwise. *)
+
+val ops_handled : t -> int
+val all_drives : t -> S4.Drive.t list
+
+(** {1 Online rebalancing} *)
+
+val add_shard : t -> int -> member -> int
+(** Add a member to the live array: joins the ring, plans migrations
+    for every object the new placement reassigns (each with a
+    read-forwarding entry so it keeps being served from its old home),
+    and returns how many moves were queued. Call {!rebalance} or
+    {!rebalance_step} to actually move data. *)
+
+val pending_migrations : t -> int
+
+val rebalance_step : t -> ((int64 * int * int) option, string) result
+(** Migrate the next queued object. [Ok (Some (oid, src, dst))] moved
+    one; [Ok None] means the queue is empty; [Error _] re-queues the
+    failed move at the back. The whole chain is copied, synced,
+    verified at every retained timestamp, then cut over and purged
+    from the source. *)
+
+val rebalance : t -> int * string list
+(** Drain the migration queue (bounded; persistent failures are
+    reported, not retried forever). Returns (objects moved, errors). *)
+
+type migration_stats = { objects : int; entries : int; bytes : int }
+
+val migration_stats : t -> migration_stats
+
+(** {1 Degraded-mode reporting} *)
+
+val degraded_shards : t -> int list
+(** Shards that surfaced [Io_error] (for a mirrored shard: after
+    failover inside the mirror was exhausted). *)
+
+val degraded : t -> bool
+val io_errors : t -> int
+
+(** {1 Maintenance} *)
+
+val run_cleaners : t -> unit
+(** One cleaner pass per member drive, charged as parallel work. Do
+    not use the [Overlapped] cleaner mode under a router — the router
+    owns the phantom accounting; overlapped-mode phantom juggling is
+    reverted after each pass. *)
+
+val sync_all : t -> unit
+
+val fsck : t -> string list
+(** Every member drive's {!S4.Drive.fsck} plus array placement
+    invariants (each object held exactly where routing points). *)
+
+val pp_stats : Format.formatter -> t -> unit

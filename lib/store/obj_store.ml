@@ -90,6 +90,7 @@ type t = {
   cpack_members : (addr, oid list ref) Hashtbl.t;
   mutable last_jaddr : addr;
   mutable oid_counter : int64;
+  mutable oid_allocator : (unit -> oid) option;
   s : stats;
 }
 
@@ -508,6 +509,7 @@ let create ?(config = default_config) log =
       cpack_members = Hashtbl.create 256;
       last_jaddr = Log.none;
       oid_counter = 1L;
+      oid_allocator = None;
       s = fresh_stats ();
     }
   in
@@ -525,9 +527,26 @@ let create ?(config = default_config) log =
 (* ------------------------------------------------------------------ *)
 (* Mutations                                                           *)
 
+let set_oid_allocator t f = t.oid_allocator <- f
+let next_oid t = t.oid_counter
+
 let create_object t =
-  let oid = t.oid_counter in
-  t.oid_counter <- Int64.add t.oid_counter 1L;
+  let oid =
+    match t.oid_allocator with
+    | None ->
+      let o = t.oid_counter in
+      t.oid_counter <- Int64.add o 1L;
+      o
+    | Some alloc ->
+      (* Externally-governed oid space (shard router): the allocator
+         hands out globally-unique oids; keep the local counter ahead
+         so dropping the allocator can never reuse one. *)
+      let o = alloc () in
+      if Hashtbl.mem t.objects o then
+        invalid_arg (Printf.sprintf "create_object: oid %Ld already present" o);
+      if Int64.compare o t.oid_counter >= 0 then t.oid_counter <- Int64.add o 1L;
+      o
+  in
   let obj =
     {
       o_oid = oid;
@@ -831,6 +850,253 @@ let oldest_time t oid =
     last entries
 
 let checkpoint_object t oid = checkpoint_object_internal t (find_obj t oid)
+
+(* ------------------------------------------------------------------ *)
+(* History migration (shard rebalancing)
+
+   An export captures an object's *entire retained history* in
+   device-independent form: the rolled-back base state (only needed
+   when the Create entry has already expired) plus every retained
+   journal entry as a semantic operation carrying its original seq and
+   time and the full content of each block it wrote. Importing replays
+   that history block-for-block on another store, so time-based reads
+   ([?at]) answer identically on the new home at every timestamp — the
+   detection-window guarantee survives the move. *)
+
+type xop =
+  | X_create
+  | X_write of {
+      off : int;
+      len : int;
+      old_size : int;
+      new_size : int;
+      blocks : (int * Bytes.t option) list;  (* fblock, post-write content *)
+    }
+  | X_truncate of { old_size : int; new_size : int }
+  | X_set_attr of { old_attr : Bytes.t; new_attr : Bytes.t }
+  | X_set_acl of { old_acl : Bytes.t; new_acl : Bytes.t }
+  | X_delete of { old_size : int }
+
+type xentry = { x_seq : int; x_time : int64; x_op : xop }
+
+type xbase = {
+  xb_seq : int;
+  xb_size : int;
+  xb_attr : Bytes.t;
+  xb_acl : Bytes.t;
+  xb_blocks : (int * Bytes.t option) list;
+}
+
+type export = {
+  x_oid : oid;
+  x_created : int64;
+  x_base : xbase option;
+  x_entries : xentry list;  (* oldest first *)
+}
+
+(* Reading a block for export charges real I/O on the source (the
+   migrator streams the history off the disk). [None] content only in
+   timing-only mode; a hole simply doesn't appear in the block list. *)
+let export_block t a =
+  let b = get_block t a in
+  t.s.bytes_read <- t.s.bytes_read + bs t;
+  if t.cfg.keep_data then Some (Bytes.copy b) else None
+
+let export_history t oid =
+  let obj = get_obj t oid in
+  t.s.ops <- t.s.ops + 1;
+  let retained = List.rev obj.o_entries in
+  (* oldest first *)
+  let xentries =
+    List.filter_map
+      (fun re ->
+        let seq = re.e.Entry.seq and time = re.e.Entry.time in
+        let mk x_op = Some { x_seq = seq; x_time = time; x_op } in
+        match re.e.Entry.op with
+        | Entry.Checkpoint _ | Entry.Relocate _ ->
+          (* Device-local bookkeeping: meaningless on another store. *)
+          None
+        | Entry.Create -> mk X_create
+        | Entry.Write { off; len; old_size; new_size; blocks } ->
+          let blocks =
+            List.filter_map
+              (fun (fb, nw, _old) -> if nw = Log.none then None else Some (fb, export_block t nw))
+              blocks
+          in
+          mk (X_write { off; len; old_size; new_size; blocks })
+        | Entry.Truncate { old_size; new_size; _ } -> mk (X_truncate { old_size; new_size })
+        | Entry.Set_attr { old_attr; new_attr } ->
+          mk (X_set_attr { old_attr = Bytes.copy old_attr; new_attr = Bytes.copy new_attr })
+        | Entry.Set_acl { old_acl; new_acl } ->
+          mk (X_set_acl { old_acl = Bytes.copy old_acl; new_acl = Bytes.copy new_acl })
+        | Entry.Delete { old_size } -> mk (X_delete { old_size }))
+      retained
+  in
+  let has_create = List.exists (fun xe -> xe.x_op = X_create) xentries in
+  let x_base =
+    if has_create then None
+    else begin
+      (* The Create has aged out: the oldest version inside the window
+         is not reconstructable from entries alone. Capture the state
+         just before the oldest retained entry. *)
+      let at =
+        match retained with
+        | re :: _ -> Int64.sub re.e.Entry.time 1L
+        | [] -> now t
+      in
+      match view_at t obj ~at with
+      | None -> invalid_arg (Printf.sprintf "export_history: oid %Ld has no base state" oid)
+      | Some v ->
+        let xb_seq =
+          match retained with re :: _ -> re.e.Entry.seq - 1 | [] -> obj.o_seq
+        in
+        let nb = nblocks_of t v.v_size in
+        let blocks = ref [] in
+        for fb = nb - 1 downto 0 do
+          let a = view_block v fb in
+          if a <> Log.none then blocks := (fb, export_block t a) :: !blocks
+        done;
+        Some
+          {
+            xb_seq;
+            xb_size = v.v_size;
+            xb_attr = Bytes.copy v.v_attr;
+            xb_acl = Bytes.copy v.v_acl;
+            xb_blocks = !blocks;
+          }
+    end
+  in
+  { x_oid = oid; x_created = obj.o_created; x_base; x_entries = xentries }
+
+(* Append one imported block and point the table at it. *)
+let import_block t obj fb content =
+  let data = match content with Some b when t.cfg.keep_data -> Some (Bytes.copy b) | _ -> None in
+  let fresh = Log.append t.log (Tag.Data { oid = obj.o_oid; fblock = fb }) ?data () in
+  cache_block t fresh data;
+  table_set obj fb fresh;
+  t.s.data_blocks_written <- t.s.data_blocks_written + 1;
+  fresh
+
+(* Push a replayed entry carrying its *historical* seq and time
+   (bypasses [push_entry], which would stamp the present). *)
+let import_entry t obj ~seq ~time op =
+  let e = { Entry.oid = obj.o_oid; seq; time; op } in
+  let re = { e; jaddr = Log.none } in
+  obj.o_entries <- re :: obj.o_entries;
+  t.pending <- re :: t.pending;
+  obj.o_seq <- seq;
+  obj.o_dirty <- obj.o_dirty + 1;
+  t.s.journal_entries <- t.s.journal_entries + 1;
+  t.s.journal_bytes <- t.s.journal_bytes + Entry.size e
+
+let import_history t (x : export) =
+  if Hashtbl.mem t.objects x.x_oid then
+    invalid_arg (Printf.sprintf "import_history: oid %Ld already present" x.x_oid);
+  t.s.ops <- t.s.ops + 1;
+  let obj =
+    {
+      o_oid = x.x_oid;
+      o_exists = false;
+      o_size = 0;
+      o_attr = Bytes.empty;
+      o_acl = Bytes.empty;
+      o_table = Array.make 4 Log.none;
+      o_entries = [];
+      o_seq = 0;
+      o_created = x.x_created;
+      o_ckpt_addrs = [];
+      o_ckpt_seq = 0;
+      o_dirty = 0;
+    }
+  in
+  Hashtbl.replace t.objects x.x_oid obj;
+  if Int64.compare x.x_oid t.oid_counter >= 0 then t.oid_counter <- Int64.add x.x_oid 1L;
+  (match x.x_base with
+   | None -> ()
+   | Some b ->
+     obj.o_exists <- true;
+     obj.o_size <- b.xb_size;
+     obj.o_attr <- Bytes.copy b.xb_attr;
+     obj.o_acl <- Bytes.copy b.xb_acl;
+     obj.o_seq <- b.xb_seq;
+     List.iter (fun (fb, content) -> ignore (import_block t obj fb content)) b.xb_blocks;
+     (* The base predates every entry we are about to replay, so no
+        journal record covers it: persist a checkpoint image now or a
+        crash would lose the oldest in-window versions. *)
+     checkpoint_object_internal t obj);
+  (match (x.x_base, x.x_entries) with
+   | None, first :: _ -> obj.o_seq <- first.x_seq - 1
+   | _ -> ());
+  List.iter
+    (fun xe ->
+      match xe.x_op with
+      | X_create ->
+        obj.o_exists <- true;
+        obj.o_created <- xe.x_time;
+        import_entry t obj ~seq:xe.x_seq ~time:xe.x_time Entry.Create
+      | X_write { off; len; old_size; new_size; blocks } ->
+        (* Superseded pointers come from the *target's* table: by
+           induction it holds exactly the pre-entry block layout, so
+           [view_at] rollback works on the new home. *)
+        let placed =
+          List.map
+            (fun (fb, content) ->
+              let old = table_get obj fb in
+              let fresh = import_block t obj fb content in
+              (fb, fresh, old))
+            blocks
+        in
+        obj.o_size <- new_size;
+        t.s.bytes_written <- t.s.bytes_written + len;
+        import_entry t obj ~seq:xe.x_seq ~time:xe.x_time
+          (Entry.Write { off; len; old_size; new_size; blocks = placed })
+      | X_truncate { old_size; new_size } ->
+        let keep = nblocks_of t new_size in
+        let had = nblocks_of t old_size in
+        let freed = ref [] in
+        for fb = had - 1 downto keep do
+          let a = table_get obj fb in
+          if a <> Log.none then begin
+            freed := (fb, a) :: !freed;
+            table_set obj fb Log.none
+          end
+        done;
+        obj.o_size <- new_size;
+        import_entry t obj ~seq:xe.x_seq ~time:xe.x_time
+          (Entry.Truncate { old_size; new_size; freed = !freed })
+      | X_set_attr { old_attr; new_attr } ->
+        obj.o_attr <- Bytes.copy new_attr;
+        import_entry t obj ~seq:xe.x_seq ~time:xe.x_time
+          (Entry.Set_attr { old_attr = Bytes.copy old_attr; new_attr = Bytes.copy new_attr })
+      | X_set_acl { old_acl; new_acl } ->
+        obj.o_acl <- Bytes.copy new_acl;
+        import_entry t obj ~seq:xe.x_seq ~time:xe.x_time
+          (Entry.Set_acl { old_acl = Bytes.copy old_acl; new_acl = Bytes.copy new_acl })
+      | X_delete { old_size } ->
+        obj.o_exists <- false;
+        import_entry t obj ~seq:xe.x_seq ~time:xe.x_time (Entry.Delete { old_size }))
+    x.x_entries;
+  Lru.insert t.ocache x.x_oid () ~cost:(object_cost obj);
+  maybe_checkpoint t obj
+
+let forget_object t oid =
+  let obj = find_obj t oid in
+  (* Unflushed entries must not reach the journal: a later flush would
+     persist records for an object this store no longer owns, and
+     recovery would resurrect a partial copy. *)
+  t.pending <- List.filter (fun re -> not (Int64.equal re.e.Entry.oid oid)) t.pending;
+  List.iter
+    (fun re ->
+      List.iter (kill_block_raw t) (Entry.superseded_blocks re.e.Entry.op);
+      if re.jaddr <> Log.none then jref_put t re.jaddr re;
+      t.s.entries_expired <- t.s.entries_expired + 1)
+    obj.o_entries;
+  Array.iter (kill_block_raw t) obj.o_table;
+  release_ckpt t obj;
+  t.cpending <- List.filter (fun (o, _, _) -> o != obj) t.cpending;
+  Hashtbl.remove t.objects oid;
+  Lru.remove t.ocache oid;
+  t.s.objects_expired <- t.s.objects_expired + 1
 
 (* ------------------------------------------------------------------ *)
 (* Expiration (history-pool aging)                                     *)

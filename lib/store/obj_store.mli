@@ -62,6 +62,17 @@ val stats : t -> stats
     durable after the next {!sync}. *)
 
 val create_object : t -> oid
+
+val set_oid_allocator : t -> (unit -> oid) option -> unit
+(** Delegate oid assignment to an external authority (the shard
+    router's global oid space). The allocator must return oids unique
+    across the whole array; {!create_object} keeps the local counter
+    ahead of whatever it hands out. *)
+
+val next_oid : t -> oid
+(** The next oid the local counter would assign (strictly greater than
+    every oid this store has seen). *)
+
 val delete_object : t -> oid -> unit
 (** The object stays readable time-based; further mutation raises
     {!Is_deleted}. *)
@@ -133,6 +144,68 @@ val history_block_count : t -> int
 
 val current_block_count : t -> int
 val metadata_block_count : t -> int
+
+(** {1 History migration (shard rebalancing)}
+
+    Device-independent capture and replay of an object's entire
+    retained version chain. [import_history] on another store replays
+    the history block-for-block with the original sequence numbers and
+    timestamps, so every in-window version answers identically on the
+    new home — the detection-window guarantee survives migration. *)
+
+type xop =
+  | X_create
+  | X_write of {
+      off : int;
+      len : int;
+      old_size : int;
+      new_size : int;
+      blocks : (int * Bytes.t option) list;
+          (** (fblock, full post-write content); content is [None] in
+              timing-only mode *)
+    }
+  | X_truncate of { old_size : int; new_size : int }
+  | X_set_attr of { old_attr : Bytes.t; new_attr : Bytes.t }
+  | X_set_acl of { old_acl : Bytes.t; new_acl : Bytes.t }
+  | X_delete of { old_size : int }
+
+type xentry = { x_seq : int; x_time : int64; x_op : xop }
+
+type xbase = {
+  xb_seq : int;
+  xb_size : int;
+  xb_attr : Bytes.t;
+  xb_acl : Bytes.t;
+  xb_blocks : (int * Bytes.t option) list;
+}
+(** Rolled-back state just before the oldest retained entry; present
+    only when the object's Create entry has already aged out. *)
+
+type export = {
+  x_oid : oid;
+  x_created : int64;
+  x_base : xbase option;
+  x_entries : xentry list;  (** oldest first; no Checkpoint/Relocate *)
+}
+
+val export_history : t -> oid -> export
+(** Capture the object's full retained history, charging real reads
+    for every block streamed off the source.
+    @raise No_such_object for unknown oids. *)
+
+val import_history : t -> export -> unit
+(** Replay an exported history onto this store. The object must not
+    already exist here. When the export carries a base state, a
+    checkpoint image is written immediately (no journal entry covers
+    the base); the caller must {!sync} afterwards to make the whole
+    import durable. *)
+
+val forget_object : t -> oid -> unit
+(** Drop every trace of the object from this store — entries, data and
+    history blocks, checkpoints, pending journal records — reclaiming
+    the space. Used by the migrator after a verified cut-over; this is
+    an owner-side administrative purge, not a client-reachable op.
+    @raise No_such_object for unknown oids. *)
 
 (** {1 Checkpoints and recovery} *)
 

@@ -9,6 +9,7 @@ module Drive = S4.Drive
 module Rpc = S4.Rpc
 module Audit = S4.Audit
 module Mirror = S4_multi.Mirror
+module Router = S4_shard.Router
 
 type report = {
   seed : int;
@@ -134,8 +135,9 @@ let gen_req o rng i =
   end
 
 (* Run the seeded workload until it completes or the disk crashes.
-   Returns (completed ops, crashed, in-flight violations). *)
-let exec_workload ~ops ~seed ~drive o =
+   Returns (completed ops, crashed, in-flight violations). [handle] is
+   any drive-shaped request surface: a bare drive or a shard router. *)
+let exec_workload ~ops ~seed ~handle ~clock o =
   let rng = Rng.create ~seed in
   let completed = ref 0 in
   let violations = ref [] in
@@ -143,7 +145,7 @@ let exec_workload ~ops ~seed ~drive o =
   (try
      for i = 0 to ops - 1 do
        let req = gen_req o rng i in
-       let resp = Drive.handle drive cred req in
+       let resp = handle req in
        incr completed;
        let ok = match resp with Rpc.R_error _ -> false | _ -> true in
        o.audit_log <- { a_op = Rpc.op_name req; a_oid = oid_of req; a_ok = ok } :: o.audit_log;
@@ -167,7 +169,7 @@ let exec_workload ~ops ~seed ~drive o =
             List.rev o.order
             |> List.filter (fun oid -> not (Hashtbl.find o.objects oid).alive)
           in
-          o.snaps <- { at = Simclock.now (Drive.clock drive); live; dead } :: o.snaps
+          o.snaps <- { at = Simclock.now clock; live; dead } :: o.snaps
         | _ -> ())
      done
    with Fault.Crashed -> crashed := true);
@@ -270,10 +272,15 @@ let build () =
   let disk = Sim_disk.create ~geometry:geom clock in
   (disk, Drive.format disk)
 
+let drive_workload ~ops ~seed ~drive o =
+  exec_workload ~ops ~seed
+    ~handle:(fun req -> Drive.handle drive cred req)
+    ~clock:(Drive.clock drive) o
+
 let workload_writes ?(ops = default_ops) ~seed () =
   let disk, drive = build () in
   let base = (Sim_disk.stats disk).Sim_disk.writes in
-  ignore (exec_workload ~ops ~seed ~drive (fresh_oracle ()));
+  ignore (drive_workload ~ops ~seed ~drive (fresh_oracle ()));
   (Sim_disk.stats disk).Sim_disk.writes - base
 
 let run ?(ops = default_ops) ~seed ~crash_after () =
@@ -282,7 +289,7 @@ let run ?(ops = default_ops) ~seed ~crash_after () =
   let policy = Fault.create (Rng.create ~seed:((seed * 7919) + 17)) in
   Sim_disk.set_fault disk (Some policy);
   if crash_after > 0 then Fault.schedule_crash policy ~after_writes:crash_after;
-  let completed, crashed, wviol = exec_workload ~ops ~seed ~drive o in
+  let completed, crashed, wviol = drive_workload ~ops ~seed ~drive o in
   Sim_disk.set_fault disk None;
   let snapshots, audit_checked, rviol =
     if crashed then verify ~disk o else (List.length o.snaps, 0, [])
@@ -308,6 +315,152 @@ let sweep ?(ops = default_ops) ~seed ~runs () =
       let span = max 1 (workload_writes ~ops ~seed:wseed ()) in
       let crash_after = 1 + Rng.int rng span in
       run ~ops ~seed:wseed ~crash_after ())
+
+(* ------------------------------------------------------------------ *)
+(* Sharded array: crash mid-rebalance                                  *)
+
+(* Run the seeded workload over a 2-shard array, add a third drive to
+   the live array, and crash the whole array partway through the
+   migration (the crash point counts the new drive's disk writes).
+   Reattach every drive individually, reassemble with [Router.attach]
+   and verify the detection-window guarantee survived the interrupted
+   membership change. *)
+let array_scenario ~ops ~seed ~crash_after =
+  let clock = Simclock.create () in
+  let mkdisk () = Sim_disk.create ~geometry:geom clock in
+  let d0 = mkdisk () and d1 = mkdisk () and d2 = mkdisk () in
+  let router =
+    Router.create [ (0, Router.Single (Drive.format d0)); (1, Router.Single (Drive.format d1)) ]
+  in
+  let o = fresh_oracle () in
+  let completed, _, wviol =
+    exec_workload ~ops ~seed ~handle:(fun req -> Router.handle router cred req) ~clock o
+  in
+  ignore (Router.add_shard router 2 (Router.Single (Drive.format d2)));
+  let policy = Fault.create (Rng.create ~seed:((seed * 31) + 5)) in
+  Sim_disk.set_fault d2 (Some policy);
+  if crash_after > 0 then Fault.schedule_crash policy ~after_writes:crash_after;
+  let crashed = ref false in
+  (try ignore (Router.rebalance router) with Fault.Crashed -> crashed := true);
+  Sim_disk.set_fault d2 None;
+  ((d0, d1, d2), o, completed, !crashed, wviol)
+
+let rebalance_writes ?(ops = default_ops) ~seed () =
+  let clock = Simclock.create () in
+  let mkdisk () = Sim_disk.create ~geometry:geom clock in
+  let d0 = mkdisk () and d1 = mkdisk () and d2 = mkdisk () in
+  let router =
+    Router.create [ (0, Router.Single (Drive.format d0)); (1, Router.Single (Drive.format d1)) ]
+  in
+  let o = fresh_oracle () in
+  ignore (exec_workload ~ops ~seed ~handle:(fun req -> Router.handle router cred req) ~clock o);
+  let base = (Sim_disk.stats d2).Sim_disk.writes in
+  ignore (Router.add_shard router 2 (Router.Single (Drive.format d2)));
+  ignore (Router.rebalance router);
+  (Sim_disk.stats d2).Sim_disk.writes - base
+
+(* Post-crash verification for the array: reattach each drive, repair
+   placement, and check (1) every object has exactly one authoritative
+   holder, (2) every synced in-window version still answers through
+   the routed surface, (3) the interrupted migrations complete and the
+   array keeps serving. *)
+let verify_array (d0, d1, d2) o =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  match (try Ok (Drive.attach d0, Drive.attach d1, Drive.attach d2) with e -> Error e) with
+  | Error e ->
+    add "attach raised %s" (Printexc.to_string e);
+    (0, List.rev !violations)
+  | Ok (t0, t1, t2) ->
+    let drives = [ t0; t1; t2 ] in
+    let router =
+      Router.attach [ (0, Router.Single t0); (1, Router.Single t1); (2, Router.Single t2) ]
+    in
+    (* Exactly one authoritative shard per object: attach must have
+       deduplicated double holders and dropped partial copies. *)
+    List.iter
+      (fun oid ->
+        let holders =
+          List.filter
+            (fun d ->
+              (not (Int64.equal oid (Drive.ptable_oid d)))
+              && List.mem oid (Store.list_all (Drive.store d)))
+            drives
+        in
+        if List.length holders <> 1 then
+          add "oid %Ld held by %d shards after reattach" oid (List.length holders))
+      (List.rev o.order);
+    (* Window survival through the routed surface: every synced
+       version of every object, live and deleted, at each sync time. *)
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (oid, contents, attr) ->
+            let size = Bytes.length contents in
+            (match
+               Router.handle router cred (Rpc.Read { oid; off = 0; len = max size 1; at = Some s.at })
+             with
+            | Rpc.R_data b ->
+              if not (Bytes.equal b (expected_read { contents; attr; alive = true } ~off:0 ~len:(max size 1))) then
+                add "snapshot@%Ld: oid %Ld contents differ" s.at oid
+            | r -> add "snapshot@%Ld: read oid %Ld: %s" s.at oid (resp_str r));
+            match Router.handle router cred (Rpc.Get_attr { oid; at = Some s.at }) with
+            | Rpc.R_attr b ->
+              if not (Bytes.equal b attr) then add "snapshot@%Ld: oid %Ld attr differs" s.at oid
+            | r -> add "snapshot@%Ld: attr oid %Ld: %s" s.at oid (resp_str r))
+          s.live;
+        List.iter
+          (fun oid ->
+            List.iter
+              (fun d ->
+                if
+                  (not (Int64.equal oid (Drive.ptable_oid d)))
+                  && Store.exists (Drive.store d) ~at:s.at oid
+                then add "snapshot@%Ld: oid %Ld should be deleted" s.at oid)
+              drives)
+          s.dead)
+      o.snaps;
+    (* Interrupted migrations must complete cleanly now. *)
+    let _, errs = Router.rebalance router in
+    List.iter (fun e -> add "post-crash rebalance: %s" e) errs;
+    List.iter (fun m -> add "fsck: %s" m) (Router.fsck router);
+    (* The repaired array must keep serving. *)
+    (match Router.handle router cred (Rpc.Create { acl = [] }) with
+    | Rpc.R_oid oid -> (
+      let data = Bytes.of_string "post-recovery write" in
+      let len = Bytes.length data in
+      match Router.handle router cred (Rpc.Write { oid; off = 0; len; data = Some data }) with
+      | Rpc.R_unit -> (
+        match Router.handle router cred Rpc.Sync with
+        | Rpc.R_unit -> (
+          match Router.handle router cred (Rpc.Read { oid; off = 0; len; at = None }) with
+          | Rpc.R_data b when Bytes.equal b data -> ()
+          | r -> add "post-recovery read: %s" (resp_str r))
+        | r -> add "post-recovery sync: %s" (resp_str r))
+      | r -> add "post-recovery write: %s" (resp_str r))
+    | r -> add "post-recovery create: %s" (resp_str r));
+    (List.length o.snaps, List.rev !violations)
+
+let rebalance_run ?(ops = default_ops) ~seed ~crash_after () =
+  let disks, o, completed, crashed, wviol = array_scenario ~ops ~seed ~crash_after in
+  let snapshots, rviol = if crashed then verify_array disks o else (List.length o.snaps, []) in
+  {
+    seed;
+    crash_after;
+    crashed;
+    ops_before_crash = completed;
+    snapshots;
+    audit_checked = 0;
+    violations = wviol @ rviol;
+  }
+
+let rebalance_sweep ~seed ~runs () =
+  let rng = Rng.create ~seed in
+  List.init runs (fun i ->
+      let wseed = seed + (i * 59) + 1 in
+      let span = max 1 (rebalance_writes ~seed:wseed ()) in
+      let crash_after = 1 + Rng.int rng span in
+      rebalance_run ~seed:wseed ~crash_after ())
 
 (* ------------------------------------------------------------------ *)
 (* Mirror resync under partial failure                                 *)

@@ -49,6 +49,26 @@ val sweep : ?ops:int -> seed:int -> runs:int -> unit -> report list
 (** [runs] crash points drawn uniformly from the workload's write
     range, each with a distinct derived workload seed. *)
 
+val rebalance_run : ?ops:int -> seed:int -> crash_after:int -> unit -> report
+(** Sharded-array crash mid-rebalance: run the workload over a 2-shard
+    array, add a third drive to the live array, and crash the whole
+    array on the new drive's [crash_after]-th disk write during the
+    migration. Every drive is then individually reattached and the
+    array reassembled with [Router.attach]; verification checks that
+    each object has exactly one authoritative holder, that every
+    synced in-window version still answers through the routed surface,
+    and that the interrupted migrations complete cleanly.
+    [audit_checked] is always 0 for array runs. *)
+
+val rebalance_writes : ?ops:int -> seed:int -> unit -> int
+(** Disk writes the seeded rebalance issues on the newly added drive
+    when run crash-free — the valid crash-point range for
+    {!rebalance_run}. *)
+
+val rebalance_sweep : seed:int -> runs:int -> unit -> report list
+(** {!rebalance_run} at [runs] crash points drawn uniformly from each
+    derived workload's rebalance write range. *)
+
 type resync_report = {
   r_seed : int;
   fail_writes : int;  (** secondary disk writes forced to fail *)

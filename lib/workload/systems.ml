@@ -8,6 +8,8 @@ module Store = S4_store.Obj_store
 module Translator = S4_nfs.Translator
 module Server = S4_nfs.Server
 module Upfs = S4_baseline.Upfs
+module Router = S4_shard.Router
+module Mirror = S4_multi.Mirror
 
 type t = {
   name : string;
@@ -16,6 +18,7 @@ type t = {
   disk : Sim_disk.t;
   drive : Drive.t option;
   translator : Translator.t option;
+  router : Router.t option;
 }
 
 let benchmark_drive_config =
@@ -50,6 +53,7 @@ let s4_remote ?disk_mb ?(drive_config = benchmark_drive_config) () =
     disk;
     drive = Some drive;
     translator = Some tr;
+    router = None;
   }
 
 let s4_nfs_server ?disk_mb ?(drive_config = benchmark_drive_config) () =
@@ -58,14 +62,64 @@ let s4_nfs_server ?disk_mb ?(drive_config = benchmark_drive_config) () =
   let tr = Translator.mount (Translator.Local drive) in
   let net = Net.create clock in
   let server = Server.over_net net (Server.of_translator ~name:"S4-NFS" tr) in
-  { name = "S4-NFS"; server; clock; disk; drive = Some drive; translator = Some tr }
+  { name = "S4-NFS"; server; clock; disk; drive = Some drive; translator = Some tr; router = None }
+
+let drive_capacity d =
+  let log = Drive.log d in
+  let module L = S4_seglog.Log in
+  let block = L.block_size log in
+  (L.usable_blocks log * block, (L.usable_blocks log - L.live_blocks log) * block)
+
+let router_backend ~clock ~keep_data router =
+  {
+    Translator.b_clock = clock;
+    b_handle = Router.handle router;
+    b_keep_data = keep_data;
+    b_capacity =
+      (fun () ->
+        List.fold_left
+          (fun (t, f) d ->
+            let dt, df = drive_capacity d in
+            (t + dt, f + df))
+          (0, 0) (Router.all_drives router));
+  }
+
+let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = false) ~shards ()
+    =
+  if shards <= 0 then invalid_arg "Systems.s4_array: need at least one shard";
+  let clock = Simclock.create () in
+  let geometry =
+    match disk_mb with
+    | None -> Geometry.cheetah_9gb
+    | Some mb -> Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
+  in
+  let mk_drive () = Drive.format ~config:drive_config (Sim_disk.create ~geometry clock) in
+  let members =
+    List.init shards (fun i ->
+        if mirrored then (i, Router.Mirrored (Mirror.create (mk_drive ()) (mk_drive ())))
+        else (i, Router.Single (mk_drive ())))
+  in
+  let router = Router.create members in
+  let keep_data = drive_config.Drive.store.Store.keep_data in
+  let tr = Translator.mount (Translator.Backend (router_backend ~clock ~keep_data router)) in
+  let name = Printf.sprintf "S4-array-%d%s" shards (if mirrored then "m" else "") in
+  let net = Net.create clock in
+  {
+    name;
+    server = Server.over_net net (Server.of_translator ~name tr);
+    clock;
+    disk = S4_seglog.Log.disk (Drive.log (List.hd (Router.all_drives router)));
+    drive = None;
+    translator = Some tr;
+    router = Some router;
+  }
 
 let baseline name cfg ?disk_mb () =
   let clock, disk = mk_disk ?disk_mb () in
   let fs = Upfs.create cfg disk in
   let net = Net.create clock in
   let server = Server.over_net net (Upfs.server fs) in
-  { name; server; clock; disk; drive = None; translator = None }
+  { name; server; clock; disk; drive = None; translator = None; router = None }
 
 let bsd_ffs ?disk_mb () = baseline "BSD-FFS" Upfs.ffs ?disk_mb ()
 let linux_ext2 ?disk_mb () = baseline "Linux-ext2" Upfs.ext2_sync ?disk_mb ()
@@ -83,28 +137,37 @@ let elapsed_seconds t thunk =
   let v = thunk () in
   (Simclock.to_seconds (Int64.sub (Simclock.now t.clock) t0), v)
 
+let drives t =
+  match (t.drive, t.router) with
+  | Some d, _ -> [ d ]
+  | None, Some r -> Router.all_drives r
+  | None, None -> []
+
 let drop_all_caches t =
   t.server.Server.reset_caches ();
-  match t.drive with
-  | Some d -> Store.drop_caches (Drive.store d)
-  | None -> ()
+  List.iter (fun d -> Store.drop_caches (Drive.store d)) (drives t)
 
 let run_cleaner t =
-  match t.drive with
-  | Some d -> ignore (Drive.run_cleaner d)
-  | None -> ()
+  match (t.drive, t.router) with
+  | Some d, _ -> ignore (Drive.run_cleaner d)
+  | None, Some r -> Router.run_cleaners r
+  | None, None -> ()
 
 let ensure_space t ~min_free_segments =
-  match t.drive with
-  | None -> ()
-  | Some d ->
+  let module L = S4_seglog.Log in
+  let per_drive clean d =
     let log = Drive.log d in
-    let module L = S4_seglog.Log in
     let rec loop budget =
       if budget > 0 && L.free_segments log < min_free_segments then begin
         let before = L.free_segments log in
-        ignore (Drive.run_cleaner d);
+        clean ();
         if L.free_segments log > before then loop (budget - 1)
       end
     in
     loop 64
+  in
+  match (t.drive, t.router) with
+  | Some d, _ -> per_drive (fun () -> ignore (Drive.run_cleaner d)) d
+  | None, Some r ->
+    List.iter (fun d -> per_drive (fun () -> Router.run_cleaners r) d) (Router.all_drives r)
+  | None, None -> ()

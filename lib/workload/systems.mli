@@ -20,6 +20,7 @@ type t = {
   disk : S4_disk.Sim_disk.t;
   drive : S4.Drive.t option;  (** the S4 systems expose their drive *)
   translator : S4_nfs.Translator.t option;
+  router : S4_shard.Router.t option;  (** the sharded array exposes its router *)
 }
 
 val s4_remote :
@@ -27,6 +28,20 @@ val s4_remote :
 
 val s4_nfs_server :
   ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
+
+val s4_array :
+  ?disk_mb:int ->
+  ?drive_config:S4.Drive.config ->
+  ?mirrored:bool ->
+  shards:int ->
+  unit ->
+  t
+(** A sharded scale-out array: [shards] drives (each [disk_mb] big)
+    behind an {!S4_shard.Router}, mounted through the translator's
+    [Backend] transport so it is driven exactly like the
+    single-drive systems. All member disks share one clock and run in
+    phantom mode (parallel-device accounting). [mirrored] makes every
+    shard a two-drive {!S4_multi.Mirror}. *)
 
 val bsd_ffs : ?disk_mb:int -> unit -> t
 val linux_ext2 : ?disk_mb:int -> unit -> t

@@ -257,6 +257,39 @@ let test_crash_harness_no_crash_control () =
   check Alcotest.bool "did not crash" false r.Crashtest.crashed;
   check (Alcotest.list Alcotest.string) "no violations" [] r.Crashtest.violations
 
+(* --- Sharded array: crash mid-rebalance ------------------------------ *)
+
+let test_rebalance_crash_no_crash_control () =
+  (* Control: with the crash disabled, the migration drains fully and
+     the workload's own in-flight checks pass. *)
+  let r = Crashtest.rebalance_run ~seed:19 ~crash_after:0 () in
+  check Alcotest.bool "did not crash" false r.Crashtest.crashed;
+  check (Alcotest.list Alcotest.string) "no violations" [] r.Crashtest.violations
+
+let test_rebalance_crash_boundaries () =
+  (* Crash the array at the first and last write the migration issues
+     on the new drive — the two extreme recovery states (nothing
+     durable on the new shard vs. cutover nearly complete). *)
+  let seed = 19 in
+  let span = Crashtest.rebalance_writes ~seed () in
+  check Alcotest.bool "migration writes the new drive" true (span > 0);
+  List.iter
+    (fun crash_after ->
+      let r = Crashtest.rebalance_run ~seed ~crash_after () in
+      check Alcotest.bool "crashed" true r.Crashtest.crashed;
+      check Alcotest.bool "window survival exercised" true (r.Crashtest.snapshots > 0);
+      if r.Crashtest.violations <> [] then
+        Alcotest.failf "rebalance crash@%d: %a" crash_after Crashtest.pp_report r)
+    [ 1; span ]
+
+let test_rebalance_crash_sweep () =
+  let rs = Crashtest.rebalance_sweep ~seed:31 ~runs:6 () in
+  check Alcotest.bool "every run crashed" true
+    (List.for_all (fun r -> r.Crashtest.crashed) rs);
+  check Alcotest.bool "window-survival exercised" true
+    (List.exists (fun r -> r.Crashtest.snapshots > 0) rs);
+  fail_first "rebalance sweep" (Crashtest.failed_reports rs)
+
 (* --- Mirror resync under partial failure ----------------------------- *)
 
 let test_resync_partial_failure_regression () =
@@ -332,6 +365,13 @@ let () =
         [
           Alcotest.test_case "100+ randomized crash points" `Quick test_crash_harness_sweeps;
           Alcotest.test_case "no-crash control" `Quick test_crash_harness_no_crash_control;
+        ] );
+      ( "rebalance-crash",
+        [
+          Alcotest.test_case "no-crash control" `Quick test_rebalance_crash_no_crash_control;
+          Alcotest.test_case "first and last write boundaries" `Quick
+            test_rebalance_crash_boundaries;
+          Alcotest.test_case "randomized crash points" `Quick test_rebalance_crash_sweep;
         ] );
       ( "mirror-resync",
         [

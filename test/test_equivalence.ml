@@ -130,8 +130,16 @@ let arb_ops =
 
 let run_equivalence ops =
   let systems =
-    (* Content retention on the S4 drives: we compare actual bytes. *)
+    (* Content retention on the S4 drives: we compare actual bytes.
+       The sharded arrays must be indistinguishable from the
+       single-drive systems at the NFS surface: a 1-shard array is the
+       router's identity case, and a 3-shard array additionally
+       exercises placement, forwarding and the meta shard. *)
     Systems.all_four ~disk_mb:128 ~drive_config:Systems.content_drive_config ()
+    @ [
+        Systems.s4_array ~disk_mb:128 ~drive_config:Systems.content_drive_config ~shards:1 ();
+        Systems.s4_array ~disk_mb:128 ~drive_config:Systems.content_drive_config ~shards:3 ();
+      ]
   in
   let states =
     List.map
