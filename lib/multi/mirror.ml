@@ -11,7 +11,10 @@ type t = {
   secondary : Drive.t;
   mutable primary_failed : bool;
   mutable secondary_failed : bool;
-  mutable missed : (Rpc.credential * bool * Rpc.req) list;  (* newest first *)
+  (* Newest first. The [int64 option] is the oid the live replica
+     resolved for a [Create]: replay must target that oid, not mint a
+     fresh one from whatever allocator the target runs. *)
+  mutable missed : (Rpc.credential * bool * Rpc.req * int64 option) list;
   mutable lagging : replica option;  (* who the missed mutations are for *)
 }
 
@@ -23,6 +26,7 @@ let create primary secondary =
 
 let drive t = function Primary -> t.primary | Secondary -> t.secondary
 let is_failed t = function Primary -> t.primary_failed | Secondary -> t.secondary_failed
+let lagging t = t.lagging
 
 let set_failed t r v =
   match r with
@@ -43,6 +47,13 @@ let agree (a : Rpc.resp) (b : Rpc.resp) =
   | Rpc.R_audit _, Rpc.R_audit _ -> true  (* timestamps differ benignly *)
   | _ -> a = b
 
+(* Journal a mutation the [lagger] missed, keyed to the oid the live
+   replica resolved (so a missed [Create] replays onto the same id). *)
+let journal t lagger cred sync req resp =
+  let oid = match resp with Rpc.R_oid g -> Some g | _ -> None in
+  t.lagging <- Some lagger;
+  t.missed <- (cred, sync, req, oid) :: t.missed
+
 let handle t cred ?(sync = false) req =
   if is_mutation req then begin
     match (t.primary_failed, t.secondary_failed) with
@@ -55,31 +66,29 @@ let handle t cred ?(sync = false) req =
         (* Primary media fault: fail it over and keep serving from the
            secondary, journalling the op the primary just missed. *)
         t.primary_failed <- true;
-        t.lagging <- Some Primary;
-        t.missed <- (cred, sync, req) :: t.missed;
+        journal t Primary cred sync req r2;
         r2
       end
       else if is_io_error r2 && not (is_io_error r1) then begin
         t.secondary_failed <- true;
-        t.lagging <- Some Secondary;
-        t.missed <- (cred, sync, req) :: t.missed;
+        journal t Secondary cred sync req r1;
         r1
       end
       else begin
-        (* Split brain: drop the secondary and flag the request. *)
+        (* Split brain: drop the secondary and flag the request. The
+           primary applied the op, so its response keys the journal. *)
         t.secondary_failed <- true;
-        t.lagging <- Some Secondary;
-        t.missed <- (cred, sync, req) :: t.missed;
+        journal t Secondary cred sync req r1;
         Rpc.R_error (Rpc.Bad_request "mirror: replica divergence detected")
       end
     | false, true ->
-      t.lagging <- Some Secondary;
-      t.missed <- (cred, sync, req) :: t.missed;
-      Drive.handle t.primary cred ~sync req
+      let r = Drive.handle t.primary cred ~sync req in
+      journal t Secondary cred sync req r;
+      r
     | true, false ->
-      t.lagging <- Some Primary;
-      t.missed <- (cred, sync, req) :: t.missed;
-      Drive.handle t.secondary cred ~sync req
+      let r = Drive.handle t.secondary cred ~sync req in
+      journal t Primary cred sync req r;
+      r
   end
   else begin
     match (t.primary_failed, t.secondary_failed) with
@@ -112,8 +121,22 @@ let resync t =
           t.missed <- [];
           t.lagging <- None;
           Ok n
-        | (cred, sync, req) :: rest as remaining ->
-          (match Drive.handle target cred ~sync req with
+        | (cred, sync, req, oid) :: rest as remaining ->
+          let run () = Drive.handle target cred ~sync req in
+          let resp =
+            match (req, oid) with
+            | Rpc.Create _, Some g ->
+              (* Replay the create idempotently onto the oid the live
+                 replica resolved at execution time: the target's own
+                 allocator (drive-local counter or a shard router's
+                 array-wide one) must not mint a fresh id. *)
+              let st = Drive.store target in
+              let saved = Store.oid_allocator st in
+              Store.set_oid_allocator st (Some (fun () -> g));
+              Fun.protect ~finally:(fun () -> Store.set_oid_allocator st saved) run
+            | _ -> run ()
+          in
+          (match resp with
            | Rpc.R_error e ->
              (* Keep only what was NOT replayed (including the failed
                 request): the applied prefix must not be replayed again

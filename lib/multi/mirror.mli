@@ -36,6 +36,12 @@ val set_failed : t -> replica -> bool -> unit
     mutations are journalled for {!resync}. *)
 
 val is_failed : t -> replica -> bool
+
+val lagging : t -> replica option
+(** The replica the journalled mutations are destined for ([None] when
+    the replicas are in sync). While a replica lags, the other one is
+    the authoritative copy. *)
+
 val lag : t -> int
 (** Journalled mutations awaiting resync. *)
 

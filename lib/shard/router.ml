@@ -23,7 +23,9 @@ type t = {
   clock : Simclock.t;
   ring : Ring.t;
   shards : (int, shard) Hashtbl.t;
-  mutable order : int list;  (* shard ids, ascending; head is the meta shard *)
+  mutable order : int list;  (* shard ids, ascending *)
+  (* The meta shard is the first member passed to create/attach — not
+     necessarily the smallest id. *)
   meta : int;
   mutable next_oid : int64;
   mutable pending_oid : int64 option;
@@ -44,9 +46,22 @@ let member_drives = function
 let shard_drives sh = member_drives sh.sh_member
 let shard_disks sh = List.map (fun d -> Log.disk (Drive.log d)) (shard_drives sh)
 
-(* The store(s) the shard mutates; head is the one reads come from. *)
+(* The store(s) the shard mutates. *)
 let shard_stores sh = List.map Drive.store (shard_drives sh)
-let shard_store sh = List.hd (shard_stores sh)
+
+(* The authoritative store reads (and migration exports) come from:
+   for a mirror, the live up-to-date replica — the secondary once the
+   primary has failed or is lagging behind the missed-op journal. *)
+let shard_store sh =
+  match sh.sh_member with
+  | Single d -> Drive.store d
+  | Mirrored m ->
+    let r =
+      if Mirror.is_failed m Mirror.Primary || Mirror.lagging m = Some Mirror.Primary then
+        Mirror.Secondary
+      else Mirror.Primary
+    in
+    Drive.store (Mirror.drive m r)
 
 let shard t id =
   match Hashtbl.find_opt t.shards id with
@@ -314,15 +329,19 @@ let plan_moves t ~against =
     against
 
 let add_shard t id m =
-  let sh = register t id m in
-  ignore sh;
+  ignore (register t id m);
   let held =
     List.concat_map (fun sh -> List.map (fun oid -> (oid, sh.sh_id)) (held_oids sh)) (shards t)
   in
-  (* Forward entries from an unfinished earlier rebalance already point
-     at the true holder; [held] reflects physical placement, so the
-     plan is computed against reality either way. *)
   Ring.add t.ring id;
+  (* Queued moves from an unfinished earlier rebalance carry
+     destinations computed against the pre-[id] ring; executing one of
+     them would strand the object on a shard the ring no longer points
+     at. [held] reflects physical placement of every object, so
+     replanning against the new ring supersedes the old queue and its
+     forward entries wholesale. *)
+  t.migrations <- [];
+  Hashtbl.reset t.forward;
   let moves = plan_moves t ~against:held in
   List.iter
     (fun mv ->
@@ -330,7 +349,7 @@ let add_shard t id m =
          object is served from its old home. *)
       Hashtbl.replace t.forward mv.m_oid mv.m_src)
     moves;
-  t.migrations <- t.migrations @ moves;
+  t.migrations <- moves;
   List.length moves
 
 (* --- verification ------------------------------------------------- *)
@@ -379,6 +398,21 @@ let forget_everywhere sh oid =
       ignore (Log.reclaim_dead_segments (Store.log st)))
     (shard_stores sh)
 
+(* Drop the oid's forward entry only if this move owns it: a stale
+   queued move must not tear down forwarding installed by a newer plan
+   whose source is a different shard. *)
+let unforward t mv =
+  match Hashtbl.find_opt t.forward mv.m_oid with
+  | Some src when src = mv.m_src -> Hashtbl.remove t.forward mv.m_oid
+  | _ -> ()
+
+(* A mirrored shard with journalled missed mutations has exactly one
+   up-to-date replica and a repair debt; migrating through it would
+   either export a converging-but-incomplete pair or leave resync
+   replaying onto an object that moved away. Refuse until drained. *)
+let mirror_lag sh =
+  match sh.sh_member with Single _ -> 0 | Mirrored m -> Mirror.lag m
+
 (* Migrate one object: stream its entire retained history off the old
    home, replay it on the new one, make it durable, verify every
    in-window version, then cut over and purge the source. A crash
@@ -387,46 +421,64 @@ let forget_everywhere sh oid =
    copies whole (deduplicated at attach); no synced in-window version
    is ever lost. *)
 let migrate_one t mv =
-  let src_sh = shard t mv.m_src and dst_sh = shard t mv.m_dst in
+  let src_sh = shard t mv.m_src in
+  (* The ring is the placement authority at execution time: a later
+     [add_shard] may have reassigned the object since this move was
+     queued, making the planned [m_dst] stale. *)
+  let dst_id = Ring.owner t.ring mv.m_oid in
   let src = shard_store src_sh in
   if not (List.mem mv.m_oid (Store.list_all src)) then begin
-    (* Expired (or repaired away) since planning; nothing to move. *)
-    Hashtbl.remove t.forward mv.m_oid;
+    (* Expired (or repaired/moved away) since planning; nothing to move. *)
+    unforward t mv;
+    Ok None
+  end
+  else if dst_id = mv.m_src then begin
+    (* Ownership swung back to the holder; the object is already home. *)
+    unforward t mv;
     Ok None
   end
   else begin
-    let result =
-      charge t [ src_sh; dst_sh ]
-        (fun () ->
-          let x = Store.export_history src mv.m_oid in
-          List.iter (fun st -> Store.import_history st x) (shard_stores dst_sh);
-          (* Durability point: after these syncs the new home holds the
-             full chain on stable storage. *)
-          List.iter Store.sync (shard_stores dst_sh);
-          match verify_copy ~src ~dst:(shard_store dst_sh) mv.m_oid with
-          | Error e -> Error (x, e)
-          | Ok () -> Ok x)
-    in
-    match result with
-    | Error (_, e) ->
-      (* Failed verification: drop the copy, keep serving from the old
-         home (the forward entry stays). *)
-      forget_everywhere dst_sh mv.m_oid;
-      Error (Printf.sprintf "migration verify failed: %s" e)
-    | Ok x ->
-      (* Cut over: new requests now route to the ring owner. *)
-      Hashtbl.remove t.forward mv.m_oid;
-      (* Purge the old copy and reclaim its space. *)
-      charge t [ src_sh ] (fun () -> forget_everywhere src_sh mv.m_oid);
-      t.migrated_objects <- t.migrated_objects + 1;
-      t.migrated_entries <- t.migrated_entries + List.length x.Store.x_entries;
-      t.migrated_bytes <-
-        t.migrated_bytes
-        + List.fold_left
-            (fun acc (xe : Store.xentry) ->
-              match xe.Store.x_op with Store.X_write { len; _ } -> acc + len | _ -> acc)
-            0 x.Store.x_entries;
-      Ok (Some (mv.m_oid, mv.m_src, mv.m_dst))
+    let dst_sh = shard t dst_id in
+    let src_lag = mirror_lag src_sh and dst_lag = mirror_lag dst_sh in
+    if src_lag > 0 || dst_lag > 0 then
+      Error
+        (Printf.sprintf "shard %d mirror lags %d ops: resync before migrating oid %Ld"
+           (if src_lag > 0 then mv.m_src else dst_id)
+           (max src_lag dst_lag) mv.m_oid)
+    else begin
+      let result =
+        charge t [ src_sh; dst_sh ]
+          (fun () ->
+            let x = Store.export_history src mv.m_oid in
+            List.iter (fun st -> Store.import_history st x) (shard_stores dst_sh);
+            (* Durability point: after these syncs the new home holds
+               the full chain on stable storage. *)
+            List.iter Store.sync (shard_stores dst_sh);
+            match verify_copy ~src ~dst:(shard_store dst_sh) mv.m_oid with
+            | Error e -> Error (x, e)
+            | Ok () -> Ok x)
+      in
+      match result with
+      | Error (_, e) ->
+        (* Failed verification: drop the copy, keep serving from the old
+           home (the forward entry stays). *)
+        forget_everywhere dst_sh mv.m_oid;
+        Error (Printf.sprintf "migration verify failed: %s" e)
+      | Ok x ->
+        (* Cut over: new requests now route to the ring owner. *)
+        unforward t mv;
+        (* Purge the old copy and reclaim its space. *)
+        charge t [ src_sh ] (fun () -> forget_everywhere src_sh mv.m_oid);
+        t.migrated_objects <- t.migrated_objects + 1;
+        t.migrated_entries <- t.migrated_entries + List.length x.Store.x_entries;
+        t.migrated_bytes <-
+          t.migrated_bytes
+          + List.fold_left
+              (fun acc (xe : Store.xentry) ->
+                match xe.Store.x_op with Store.X_write { len; _ } -> acc + len | _ -> acc)
+              0 x.Store.x_entries;
+        Ok (Some (mv.m_oid, mv.m_src, dst_id))
+    end
   end
 
 let rebalance_step t =

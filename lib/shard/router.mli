@@ -62,16 +62,23 @@ val add_shard : t -> int -> member -> int
     for every object the new placement reassigns (each with a
     read-forwarding entry so it keeps being served from its old home),
     and returns how many moves were queued. Call {!rebalance} or
-    {!rebalance_step} to actually move data. *)
+    {!rebalance_step} to actually move data. Calling it again while
+    moves are still queued is safe: the old queue is superseded by a
+    fresh plan against the new ring (and destinations are recomputed
+    from the ring at execution time regardless). *)
 
 val pending_migrations : t -> int
 
 val rebalance_step : t -> ((int64 * int * int) option, string) result
 (** Migrate the next queued object. [Ok (Some (oid, src, dst))] moved
     one; [Ok None] means the queue is empty; [Error _] re-queues the
-    failed move at the back. The whole chain is copied, synced,
+    failed move at the back. The whole chain is copied (off the
+    mirror's authoritative replica for a mirrored source), synced,
     verified at every retained timestamp, then cut over and purged
-    from the source. *)
+    from the source. A move touching a mirrored shard whose missed-op
+    journal is non-empty is refused ([Error]) until [Mirror.resync]
+    has drained it: while a replica lags, migrating the object away
+    would race the pending repair. *)
 
 val rebalance : t -> int * string list
 (** Drain the migration queue (bounded; persistent failures are

@@ -528,6 +528,7 @@ let create ?(config = default_config) log =
 (* Mutations                                                           *)
 
 let set_oid_allocator t f = t.oid_allocator <- f
+let oid_allocator t = t.oid_allocator
 let next_oid t = t.oid_counter
 
 let create_object t =

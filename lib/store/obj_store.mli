@@ -69,6 +69,10 @@ val set_oid_allocator : t -> (unit -> oid) option -> unit
     across the whole array; {!create_object} keeps the local counter
     ahead of whatever it hands out. *)
 
+val oid_allocator : t -> (unit -> oid) option
+(** The allocator currently installed (for save/restore around a
+    replay that must reuse a previously assigned oid). *)
+
 val next_oid : t -> oid
 (** The next oid the local counter would assign (strictly greater than
     every oid this store has seen). *)

@@ -99,6 +99,26 @@ let test_mirror_primary_failover () =
   (match Mirror.resync m with Ok _ -> () | Error e -> Alcotest.fail e);
   check (Alcotest.list Alcotest.string) "converged" [] (Mirror.divergence m)
 
+let test_mirror_create_during_failure_resync () =
+  let _, m = mk_mirror () in
+  Mirror.set_failed m Mirror.Secondary true;
+  (* The journal records the oid the live replica resolved, so the
+     replay recreates the object under the same id instead of asking
+     the target's allocator for a fresh one. *)
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "born degraded";
+  Mirror.set_failed m Mirror.Secondary false;
+  (match Mirror.resync m with
+   | Ok n -> check Alcotest.bool "create + write replayed" true (n >= 2)
+   | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "converged" [] (Mirror.divergence m);
+  match
+    Drive.handle (Mirror.drive m Mirror.Secondary) alice
+      (Rpc.Read { oid; off = 0; len = 13; at = None })
+  with
+  | Rpc.R_data b -> check Alcotest.string "secondary copy under same oid" "born degraded" (Bytes.to_string b)
+  | r -> Alcotest.failf "secondary read: %a" Rpc.pp_resp r
+
 let test_mirror_both_failed () =
   let _, m = mk_mirror () in
   Mirror.set_failed m Mirror.Primary true;
@@ -182,6 +202,8 @@ let () =
           Alcotest.test_case "basic" `Quick test_mirror_basic;
           Alcotest.test_case "identical oids" `Quick test_mirror_identical_oids;
           Alcotest.test_case "secondary failure + resync" `Quick test_mirror_secondary_failure_and_resync;
+          Alcotest.test_case "create during failure + resync" `Quick
+            test_mirror_create_during_failure_resync;
           Alcotest.test_case "primary failover" `Quick test_mirror_primary_failover;
           Alcotest.test_case "both failed" `Quick test_mirror_both_failed;
           Alcotest.test_case "divergence detected" `Quick test_mirror_divergence_detected;

@@ -352,6 +352,74 @@ let test_rebalance_preserves_deleted_versions () =
   | Rpc.R_error Rpc.Object_deleted | Rpc.R_error Rpc.Not_found -> ()
   | r -> Alcotest.failf "expected deleted, got %a" Rpc.pp_resp r
 
+let test_overlapping_membership_changes () =
+  let clock, router = mk_array 2 in
+  let oids = List.init 24 (fun _ -> create router) in
+  List.iteri (fun i oid -> write router oid (Printf.sprintf "payload %d" i)) oids;
+  expect_unit (Router.handle router alice Rpc.Sync);
+  (* First membership change; drain only part of its queue... *)
+  let q1 = Router.add_shard router 2 (Router.Single (mk_drive clock)) in
+  if q1 = 0 then Alcotest.fail "first add captured no objects";
+  (match Router.rebalance_step router with
+   | Ok (Some _) -> ()
+   | Ok None -> Alcotest.fail "queue unexpectedly empty"
+   | Error e -> Alcotest.fail e);
+  (* ...then add another member while moves are still queued. Their
+     planned destinations are stale against the new ring: executing
+     one as queued used to strand the object on a shard the ring no
+     longer points at (every later read -> No_such_object). *)
+  ignore (Router.add_shard router 3 (Router.Single (mk_drive clock)));
+  let _, errors = Router.rebalance router in
+  check (Alcotest.list Alcotest.string) "no migration errors" [] errors;
+  check Alcotest.int "queue drained" 0 (Router.pending_migrations router);
+  check (Alcotest.list Alcotest.string) "fsck clean" [] (Router.fsck router);
+  List.iteri
+    (fun i oid ->
+      check Alcotest.string "object survives overlapping rebalances"
+        (Printf.sprintf "payload %d" i) (read_str router oid))
+    oids
+
+let test_lagging_mirror_defers_migration () =
+  let clock = Simclock.create () in
+  let mirror = Mirror.create (mk_drive clock) (mk_drive clock) in
+  let router = Router.create [ (0, Router.Mirrored mirror); (1, Router.Single (mk_drive clock)) ] in
+  let oids = List.init 16 (fun _ -> create router) in
+  List.iter (fun oid -> write router oid "v1") oids;
+  expect_unit (Router.handle router alice Rpc.Sync);
+  (* Fail the mirror's PRIMARY: the secondary becomes the authoritative
+     replica; the primary's store is stale and owes every mutation
+     below to the missed-op journal. *)
+  Mirror.set_failed mirror Mirror.Primary true;
+  List.iter (fun oid -> write router oid "v2") oids;
+  (* A Create landing on the mirrored shard is journalled with its
+     resolved oid (replayed onto the same id at resync). *)
+  let fresh = oid_on router 0 in
+  write router fresh "v2";
+  check Alcotest.bool "mutations journalled" true (Mirror.lag mirror > 0);
+  (* Membership change while the mirror lags: moves touching shard 0
+     are deferred, not exported off the stale primary store. *)
+  ignore (Router.add_shard router 2 (Router.Single (mk_drive clock)));
+  let _, errors = Router.rebalance router in
+  check Alcotest.bool "lagging-mirror moves deferred" true (errors <> []);
+  check Alcotest.bool "moves still pending" true (Router.pending_migrations router > 0);
+  (* Nothing was lost to a stale export. *)
+  List.iter (fun oid -> check Alcotest.string "data intact" "v2" (read_str router oid)) oids;
+  check Alcotest.string "degraded-mode create intact" "v2" (read_str router fresh);
+  (* Repair and drain the journal (replaying the Create onto its
+     original oid through the array's allocator guard), then the
+     deferred moves proceed. *)
+  Mirror.set_failed mirror Mirror.Primary false;
+  (match Mirror.resync mirror with
+   | Ok n -> check Alcotest.bool "replayed" true (n > 0)
+   | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "replicas re-converged" [] (Mirror.divergence mirror);
+  let _, errors = Router.rebalance router in
+  check (Alcotest.list Alcotest.string) "post-resync migration errors" [] errors;
+  check Alcotest.int "queue drained" 0 (Router.pending_migrations router);
+  check (Alcotest.list Alcotest.string) "fsck clean" [] (Router.fsck router);
+  List.iter (fun oid -> check Alcotest.string "data after rebalance" "v2" (read_str router oid)) oids;
+  check Alcotest.string "fresh object after rebalance" "v2" (read_str router fresh)
+
 let () =
   Alcotest.run "s4_shard"
     [
@@ -370,5 +438,9 @@ let () =
         [
           Alcotest.test_case "all versions survive" `Quick test_rebalance_preserves_every_version;
           Alcotest.test_case "deleted objects survive" `Quick test_rebalance_preserves_deleted_versions;
+          Alcotest.test_case "overlapping membership changes" `Quick
+            test_overlapping_membership_changes;
+          Alcotest.test_case "lagging mirror defers migration" `Quick
+            test_lagging_mirror_defers_migration;
         ] );
     ]
