@@ -23,6 +23,9 @@ module Translator = S4_nfs.Translator
 module History = S4_tools.History
 module Recovery = S4_tools.Recovery
 module Log = S4_seglog.Log
+module Trace = S4_obs.Trace
+module Metrics = S4_obs.Metrics
+module Check = S4_obs.Check
 
 open Cmdliner
 
@@ -242,8 +245,71 @@ let cmd_info =
   in
   Cmd.v (Cmd.info "info" ~doc:"Show drive statistics.") Term.(const run $ image_arg)
 
+let cmd_trace =
+  let run image user path at =
+    let s = open_session image user in
+    Metrics.reset ();
+    Trace.clear ();
+    Trace.enable ();
+    (match at with
+     | None -> ignore (nfs_die (Translator.read_file s.tr path))
+     | Some at ->
+       let h = History.create s.drive in
+       ignore (or_die (History.cat_path h ~at path)));
+    Trace.disable ();
+    let spans = Trace.spans () in
+    Format.printf "%a@." Trace.pp_tree spans;
+    let res = Check.run spans in
+    (match res.Check.violations with
+     | [] -> Printf.printf "checker: %d spans, no violations\n" res.Check.spans_checked
+     | vs ->
+       List.iter (fun v -> Printf.printf "checker VIOLATION: %s\n" v) vs;
+       exit 1);
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Read a file with the span tracer on and print the nested span tree across all layers.")
+    Term.(const run $ image_arg $ user_arg $ path_arg $ at_arg)
+
+let cmd_metrics =
+  let run image user =
+    let s = open_session image user in
+    Metrics.reset ();
+    Trace.clear ();
+    Trace.enable ();
+    (* Walk the whole tree — stat everything, read every file — so the
+       registry shows per-RPC-kind latency for the image's contents. *)
+    let rec walk fh =
+      match Translator.handle s.tr (N.Readdir fh) with
+      | N.R_entries entries ->
+        List.iter
+          (fun (e : N.dirent) ->
+            match Translator.handle s.tr (N.Getattr e.N.fh) with
+            | N.R_attr a ->
+              (match a.N.ftype with
+               | N.Fdir -> walk e.N.fh
+               | N.Freg | N.Flnk ->
+                 ignore
+                   (Translator.handle s.tr (N.Read { fh = e.N.fh; off = 0; len = max a.N.size 1 })))
+            | _ -> ())
+          entries
+      | _ -> ()
+    in
+    walk (Translator.root s.tr);
+    Trace.disable ();
+    Format.printf "%a" Metrics.pp ();
+    Printf.printf "(%d spans recorded)\n" (Trace.count ());
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Walk the image with tracing on and print the metrics registry (counters + latency histograms).")
+    Term.(const run $ image_arg $ user_arg)
+
 let () =
   let doc = "operate a simulated self-securing (S4) storage drive" in
   let info = Cmd.info "s4cli" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-    [ cmd_format; cmd_write; cmd_cat; cmd_ls; cmd_rm; cmd_versions; cmd_log; cmd_restore; cmd_fsck; cmd_info ]))
+    [ cmd_format; cmd_write; cmd_cat; cmd_ls; cmd_rm; cmd_versions; cmd_log; cmd_restore;
+      cmd_fsck; cmd_info; cmd_trace; cmd_metrics ]))

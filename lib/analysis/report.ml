@@ -50,6 +50,7 @@ let note s = Printf.printf "  (%s)\n" s
 let recorded : (string * (string option * (string * float) list)) list ref = ref []
 
 let record ~experiment ?label row = recorded := (experiment, (label, row)) :: !recorded
+let reset () = recorded := []
 
 let json_float v =
   if not (Float.is_finite v) then "null"

@@ -27,6 +27,9 @@ val record : experiment:string -> ?label:string -> (string * float) list -> unit
     [label], e.g. the system name) to [experiment]'s series, kept in
     memory until {!write_json}. *)
 
+val reset : unit -> unit
+(** Drop every recorded row (test isolation). *)
+
 val write_json : ?experiments:string list -> string -> unit
 (** Write every recorded row to [path] as JSON: an object mapping each
     experiment name to an array of row objects, in recording order.

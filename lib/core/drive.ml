@@ -5,6 +5,7 @@ module Fault = S4_disk.Fault
 module Log = S4_seglog.Log
 module Store = S4_store.Obj_store
 module Cleaner = S4_store.Cleaner
+module Trace = S4_obs.Trace
 
 type config = {
   store : Store.config;
@@ -350,7 +351,7 @@ let exec t (cred : Rpc.credential) (req : Rpc.req) : Rpc.resp =
     if not cred.Rpc.admin then raise Denied;
     Rpc.R_audit (Audit.records t.audit ~since ~until ())
 
-let handle t (cred : Rpc.credential) ?(sync = false) req =
+let handle_inner t (cred : Rpc.credential) ?(sync = false) req =
   t.ops <- t.ops + 1;
   Simclock.advance (clock t) (Simclock.of_us t.cfg.cpu_us_per_rpc);
   (* DoS defence: penalise clients abusing the history pool. *)
@@ -411,6 +412,58 @@ let handle t (cred : Rpc.credential) ?(sync = false) req =
   in
   if t.ops land 1023 = 0 then refresh_pressure t;
   resp
+
+let err_tag : Rpc.error -> string = function
+  | Rpc.Not_found -> "not_found"
+  | Rpc.Permission_denied -> "denied"
+  | Rpc.Object_deleted -> "deleted"
+  | Rpc.No_space -> "no_space"
+  | Rpc.Bad_request _ -> "bad_request"
+  | Rpc.Io_error _ -> "io_error"
+
+let handle t (cred : Rpc.credential) ?(sync = false) req =
+  if not (Trace.on ()) then handle_inner t cred ~sync req
+  else begin
+    let disk = Log.disk t.log in
+    let dev0 =
+      Int64.add (Sim_disk.stats disk).Sim_disk.busy_ns (Sim_disk.phantom_ns disk)
+    in
+    let f0 = t.io_errors and r0 = (Log.stats t.log).Log.io_retries in
+    let tok = Trace.enter Trace.Drive ~kind:(Rpc.op_name req) ~now:(now t) in
+    Trace.set_oid tok (oid_of_req req);
+    (match req with
+     | Rpc.Read { at = Some at; _ } | Rpc.Get_attr { at = Some at; _ }
+     | Rpc.Get_acl_by_user { at = Some at; _ } | Rpc.Get_acl_by_index { at = Some at; _ } ->
+       Trace.set_at tok at
+     | _ -> ());
+    Trace.set_cutoff tok (detection_cutoff t);
+    let fin () =
+      Trace.add_faults tok (t.io_errors - f0);
+      Trace.add_retries tok ((Log.stats t.log).Log.io_retries - r0);
+      let dev1 =
+        Int64.add (Sim_disk.stats disk).Sim_disk.busy_ns (Sim_disk.phantom_ns disk)
+      in
+      Trace.set_disk_ns tok (Int64.sub dev1 dev0)
+    in
+    match handle_inner t cred ~sync req with
+    | resp ->
+      (match resp with
+       | Rpc.R_oid oid -> Trace.set_oid tok oid  (* Create learns its oid here *)
+       | Rpc.R_data b -> Trace.set_bytes tok (Bytes.length b)
+       | Rpc.R_error e -> Trace.fail tok (err_tag e)
+       | _ -> ());
+      (match req with
+       | Rpc.Write { len; _ } | Rpc.Append { len; _ } -> Trace.set_bytes tok len
+       | _ -> ());
+      fin ();
+      Trace.finish tok ~now:(now t);
+      resp
+    | exception e ->
+      (* Fault.Crashed and friends: the span is aborted, not lost. *)
+      fin ();
+      Trace.abort tok ~now:(now t);
+      raise e
+  end
 
 let run_cleaner t =
   (* Idle disk time accumulated since the last cleaner run: available

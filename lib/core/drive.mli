@@ -47,6 +47,10 @@ val attach : ?config:config -> S4_disk.Sim_disk.t -> t
     summaries, journal blocks, checkpoints, audit blocks,
     superblock). Unsynced pre-crash state is lost. *)
 
+val err_tag : Rpc.error -> string
+(** Stable short tag for an RPC error, used as the [err] field of
+    trace spans ("not_found", "denied", ...). *)
+
 val handle : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
 (** Process one RPC inside the perimeter: throttle check, permission
     check, execution, audit. [?sync] models the drive's op+sync

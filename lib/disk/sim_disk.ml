@@ -1,5 +1,6 @@
 module Simclock = S4_util.Simclock
 module Histogram = S4_util.Histogram
+module Trace = S4_obs.Trace
 
 type stats = {
   mutable reads : int;
@@ -86,27 +87,36 @@ let service_ms t ~tcq ~lba ~sectors =
 let account t ?(tcq = false) ~lba ~sectors ~is_read () =
   let ms, sequential = service_ms t ~tcq ~lba ~sectors in
   let ns = Simclock.of_ms ms in
-  if t.phantom then begin
-    t.phantom_ns <- Int64.add t.phantom_ns ns;
-    t.head <- lba + sectors
-  end
-  else begin
-  Simclock.advance t.clock ns;
-  let s = t.stats in
-  s.busy_ns <- Int64.add s.busy_ns ns;
-  if sequential then s.sequential <- s.sequential + 1 else s.seeks <- s.seeks + 1;
-  if is_read then begin
-    s.reads <- s.reads + 1;
-    s.sectors_read <- s.sectors_read + sectors;
-    Histogram.add s.read_latency ms
-  end
-  else begin
-    s.writes <- s.writes + 1;
-    s.sectors_written <- s.sectors_written + sectors;
-    Histogram.add s.write_latency ms
-  end;
-  t.head <- lba + sectors
-  end
+  let t0 = if Trace.on () then Simclock.now t.clock else 0L in
+  (if t.phantom then begin
+     t.phantom_ns <- Int64.add t.phantom_ns ns;
+     t.head <- lba + sectors
+   end
+   else begin
+     Simclock.advance t.clock ns;
+     let s = t.stats in
+     s.busy_ns <- Int64.add s.busy_ns ns;
+     if sequential then s.sequential <- s.sequential + 1 else s.seeks <- s.seeks + 1;
+     if is_read then begin
+       s.reads <- s.reads + 1;
+       s.sectors_read <- s.sectors_read + sectors;
+       Histogram.add s.read_latency ms
+     end
+     else begin
+       s.writes <- s.writes + 1;
+       s.sectors_written <- s.sectors_written + sectors;
+       Histogram.add s.write_latency ms
+     end;
+     t.head <- lba + sectors
+   end);
+  if Trace.on () then
+    (* Phantom-mode transfers leave the shared clock alone, so the
+       span is instantaneous; the service time rides in [disk_ns]. *)
+    Trace.emit Trace.Disk
+      ~kind:(if is_read then "read" else "write")
+      ~start_ns:t0 ~stop_ns:(Simclock.now t.clock)
+      ~bytes:(sectors * t.geometry.Geometry.sector_size)
+      ~disk_ns:ns ()
 
 let read t ~lba ~sectors =
   check_range t ~lba ~sectors;

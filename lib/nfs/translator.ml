@@ -2,6 +2,7 @@ module Rpc = S4.Rpc
 module Drive = S4.Drive
 module Client = S4.Client
 module N = Nfs_types
+module Trace = S4_obs.Trace
 
 (* A drive-shaped backend that is not a single drive (e.g. a shard
    router aggregating several). Function-based so this library does
@@ -308,7 +309,33 @@ let statfs t =
   in
   N.R_statfs { total_bytes = total; free_bytes = free }
 
-let handle t req =
+let nfs_kind : N.req -> string = function
+  | N.Getattr _ -> "getattr"
+  | N.Setattr _ -> "setattr"
+  | N.Lookup _ -> "lookup"
+  | N.Readlink _ -> "readlink"
+  | N.Read _ -> "read"
+  | N.Write _ -> "write"
+  | N.Create _ -> "create"
+  | N.Remove _ -> "remove"
+  | N.Rename _ -> "rename"
+  | N.Mkdir _ -> "mkdir"
+  | N.Rmdir _ -> "rmdir"
+  | N.Readdir _ -> "readdir"
+  | N.Symlink _ -> "symlink"
+  | N.Statfs -> "statfs"
+
+let nfs_err_tag : N.error -> string = function
+  | N.Enoent -> "not_found"
+  | N.Eexist -> "exists"
+  | N.Enotdir -> "not_dir"
+  | N.Eisdir -> "is_dir"
+  | N.Eacces -> "denied"
+  | N.Enotempty -> "not_empty"
+  | N.Enospc -> "no_space"
+  | N.Eio _ -> "io_error"
+
+let handle_inner t req =
   (match t.transport with
    | Remote _ -> S4_util.Simclock.advance (clock_of t.transport) (S4_util.Simclock.of_us loopback_us)
    | Local _ | Backend _ -> ());
@@ -354,6 +381,36 @@ let handle t req =
   with
   | Err e -> N.R_error e
   | Invalid_argument m -> N.R_error (N.Eio m)
+
+let handle t req =
+  if not (Trace.on ()) then handle_inner t req
+  else begin
+    let now () = S4_util.Simclock.now (clock_of t.transport) in
+    let h0 = t.attr_hits and m0 = t.attr_misses in
+    let tok = Trace.enter Trace.Nfs ~kind:(nfs_kind req) ~now:(now ()) in
+    (match req with
+     | N.Getattr fh | N.Setattr { fh; _ } | N.Readlink fh | N.Read { fh; _ }
+     | N.Write { fh; _ } | N.Readdir fh ->
+       Trace.set_oid tok fh
+     | _ -> ());
+    let fin () = Trace.add_cache tok ~hits:(t.attr_hits - h0) ~misses:(t.attr_misses - m0) in
+    match handle_inner t req with
+    | resp ->
+      (match resp with
+       | N.R_data b -> Trace.set_bytes tok (Bytes.length b)
+       | N.R_error e -> Trace.fail tok (nfs_err_tag e)
+       | _ -> ());
+      (match req with
+       | N.Write { data; _ } -> Trace.set_bytes tok (Bytes.length data)
+       | _ -> ());
+      fin ();
+      Trace.finish tok ~now:(now ());
+      resp
+    | exception e ->
+      fin ();
+      Trace.abort tok ~now:(now ());
+      raise e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Path helpers                                                        *)

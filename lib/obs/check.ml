@@ -1,0 +1,202 @@
+type audit_view = { a_at : int64; a_op : string; a_oid : int64; a_ok : bool }
+
+type result = {
+  violations : string list;
+  spans_checked : int;
+  audit_matched : int;
+}
+
+let is_set v = Int64.compare v Trace.unset <> 0
+
+(* Drive-level ops that change object state; "create" is included even
+   though its span carries the allocated oid rather than the request's
+   (the request names none). *)
+let mutation_kinds =
+  [ "create"; "delete"; "write"; "append"; "truncate"; "setattr"; "setacl"; "pcreate"; "pdelete" ]
+
+let is_mutation s = s.Trace.layer = Trace.Drive && List.mem s.Trace.kind mutation_kinds
+
+(* A successful span of one of these kinds proves the object existed
+   no later than the span's completion. *)
+let existence_kinds = [ "create"; "write"; "append"; "truncate"; "setattr"; "setacl" ]
+
+let dur s = Int64.sub s.Trace.stop_ns s.Trace.start_ns
+
+let run ?(audit : audit_view list option) ?(complete = false) ?(versions = []) sp =
+  let violations = ref [] in
+  let nviol = ref 0 in
+  let add fmt =
+    Printf.ksprintf
+      (fun m ->
+        incr nviol;
+        if !nviol <= 100 then violations := m :: !violations
+        else if !nviol = 101 then violations := "... further violations suppressed" :: !violations)
+      fmt
+  in
+  let n = Array.length sp in
+
+  (* --- structural: closed, well-ordered, nested ------------------- *)
+  Array.iter
+    (fun s ->
+      let open Trace in
+      if not (is_set s.stop_ns) then add "span #%d %s/%s never closed" s.id (layer_name s.layer) s.kind
+      else if Int64.compare s.stop_ns s.start_ns < 0 then
+        add "span #%d %s/%s stops before it starts" s.id (layer_name s.layer) s.kind;
+      if s.parent >= 0 then begin
+        if s.parent >= n || s.parent >= s.id then
+          add "span #%d has invalid parent %d" s.id s.parent
+        else begin
+          let p = sp.(s.parent) in
+          if Int64.compare s.start_ns p.start_ns < 0 then
+            add "span #%d starts before its parent #%d" s.id p.id;
+          if is_set s.stop_ns && is_set p.stop_ns && Int64.compare s.stop_ns p.stop_ns > 0 then
+            add "span #%d (%s/%s) outlives its parent #%d (%s/%s)" s.id (layer_name s.layer)
+              s.kind p.id (layer_name p.layer) p.kind
+        end
+      end)
+    sp;
+
+  (* --- audit correspondence --------------------------------------- *)
+  let drive_spans =
+    Array.to_list sp |> List.filter (fun s -> s.Trace.layer = Trace.Drive)
+  in
+  let matched = ref 0 in
+  (match audit with
+   | None -> ()
+   | Some records ->
+     let matches (r : audit_view) (s : Trace.span) =
+       r.a_op = s.Trace.kind && r.a_ok = s.Trace.ok
+       && (Int64.equal r.a_oid 0L || Int64.equal r.a_oid s.Trace.oid)
+       && Int64.compare r.a_at s.Trace.start_ns >= 0
+       && (not (is_set s.Trace.stop_ns) || Int64.compare r.a_at s.Trace.stop_ns <= 0)
+     in
+     if complete then begin
+       (* Loss-free trail: records and drive spans pair up positionally. *)
+       let rec zip i rs ss =
+         match (rs, ss) with
+         | [], [] -> ()
+         | [], s :: _ ->
+           add "drive span #%d (%s) and %d more have no audit record" s.Trace.id s.Trace.kind
+             (List.length ss - 1)
+         | r :: _, [] ->
+           add "audit record %d (%s oid %Ld) and %d more beyond the traced spans" i r.a_op
+             r.a_oid (List.length rs - 1)
+         | r :: rs', s :: ss' ->
+           if matches r s then begin
+             incr matched;
+             zip (i + 1) rs' ss'
+           end
+           else
+             add "audit record %d (%s/%Ld/%b@%Ld) does not match drive span #%d (%s/%Ld/%b)" i
+               r.a_op r.a_oid r.a_ok r.a_at s.Trace.id s.Trace.kind s.Trace.oid s.Trace.ok
+       in
+       zip 0 records drive_spans
+     end
+     else begin
+       (* Crash-truncated trail: records must match drive spans in
+          order, but spans may go unmatched (lost buffered records,
+          spans aborted by the crash itself). *)
+       let rec go i rs ss =
+         match (rs, ss) with
+         | [], _ -> ()
+         | r :: _, [] -> add "audit record %d (%s oid %Ld) matches no drive span" i r.a_op r.a_oid
+         | r :: rs', s :: ss' ->
+           if matches r s then begin
+             incr matched;
+             go (i + 1) rs' ss'
+           end
+           else go i rs ss'
+       in
+       go 0 records drive_spans
+     end);
+
+  (* --- per-object mutation monotonicity --------------------------- *)
+  let last_start : (int64, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let open Trace in
+      if is_mutation s && s.ok && Int64.compare s.oid 0L > 0 then begin
+        (match Hashtbl.find_opt last_start s.oid with
+         | Some prev when Int64.compare s.start_ns prev < 0 ->
+           add "oid %Ld: mutation span #%d starts at %Ld, before an earlier mutation at %Ld"
+             s.oid s.id s.start_ns prev
+         | _ -> ());
+        Hashtbl.replace last_start s.oid s.start_ns
+      end)
+    drive_spans;
+
+  (* --- store version chains --------------------------------------- *)
+  List.iter
+    (fun (oid, chain) ->
+      ignore
+        (List.fold_left
+           (fun prev (seq, time) ->
+             (match prev with
+              | Some (pseq, ptime) ->
+                if seq <= pseq then
+                  add "oid %Ld: version seq %d not above predecessor %d" oid seq pseq;
+                if Int64.compare time ptime < 0 then
+                  add "oid %Ld: version %d timestamp %Ld precedes %Ld" oid seq time ptime
+              | None -> ());
+             Some (seq, time))
+           None chain))
+    versions;
+
+  (* --- detection-window read guarantee ---------------------------- *)
+  List.iter
+    (fun s ->
+      let open Trace in
+      if
+        (s.kind = "read" || s.kind = "getattr")
+        && is_set s.at_ns
+        && is_set s.cutoff_ns
+        && Int64.compare s.at_ns s.cutoff_ns >= 0
+        && (not s.ok) && s.err = "not_found"
+      then begin
+        let existed =
+          List.exists
+            (fun m ->
+              m.Trace.id < s.id && m.Trace.ok
+              && List.mem m.Trace.kind existence_kinds
+              && Int64.equal m.Trace.oid s.oid
+              && is_set m.Trace.stop_ns
+              && Int64.compare m.Trace.stop_ns s.at_ns <= 0)
+            drive_spans
+        in
+        let deleted =
+          List.exists
+            (fun m ->
+              m.Trace.id < s.id && m.Trace.ok && m.Trace.kind = "delete"
+              && Int64.equal m.Trace.oid s.oid
+              && Int64.compare m.Trace.start_ns s.at_ns <= 0)
+            drive_spans
+        in
+        if existed && not deleted then
+          add
+            "span #%d: in-window read of oid %Ld at %Ld (cutoff %Ld) failed although the trace \
+             proves the version existed"
+            s.id s.oid s.at_ns s.cutoff_ns
+      end)
+    drive_spans;
+
+  (* --- fan-out charged at the slowest member ----------------------- *)
+  Array.iter
+    (fun s ->
+      let open Trace in
+      if s.layer = Router && is_set s.charged_ns && is_set s.stop_ns then begin
+        if Int64.compare s.charged_ns (dur s) > 0 then
+          add "router span #%d charged %Ldns but only spans %Ldns" s.id s.charged_ns (dur s);
+        Array.iter
+          (fun c ->
+            if c.parent = s.id && c.layer = Drive && is_set c.disk_ns
+               && Int64.compare c.disk_ns s.charged_ns > 0
+            then
+              add
+                "router span #%d charged %Ldns, less than member drive span #%d's device time \
+                 %Ldns"
+                s.id s.charged_ns c.id c.disk_ns)
+          sp
+      end)
+    sp;
+
+  { violations = List.rev !violations; spans_checked = n; audit_matched = !matched }

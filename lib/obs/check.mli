@@ -1,0 +1,49 @@
+(** Whole-run invariant checker over a span snapshot.
+
+    The trace and the audit log are independent witnesses of the same
+    execution; this checker makes them corroborate each other and
+    validates the structural guarantees the S4 design promises:
+
+    - {b audit correspondence}: every audit record matches exactly one
+      drive-layer span (same op, oid and outcome, with the record's
+      timestamp inside the span); with [~complete:true] the match is
+      exhaustive in both directions — every drive span has its record.
+    - {b monotonicity}: per object, successful drive-level mutation
+      spans start in non-decreasing simulated time; optionally, the
+      store's retained version chains have strictly increasing
+      sequence numbers and non-decreasing timestamps.
+    - {b detection window}: a time-based read at [at >= cutoff] must
+      not fail with [not_found] when the trace proves the object
+      already existed at [at] (a successful mutation span finished
+      before [at]) and no delete preceded it — the in-window history
+      guarantee, checked across crashes and migrations.
+    - {b fan-out charging}: a router span charges the shared clock at
+      the slowest involved member: its duration covers the charge, and
+      the charge covers the largest device-time delta any child drive
+      span accumulated.
+    - {b nesting}: every child span lies within its parent's interval,
+      and every span is closed.
+
+    The checker depends only on [s4_util]; callers adapt their audit
+    records into {!audit_view} to avoid a dependency cycle. *)
+
+type audit_view = { a_at : int64; a_op : string; a_oid : int64; a_ok : bool }
+
+type result = {
+  violations : string list;  (** empty = every invariant held *)
+  spans_checked : int;
+  audit_matched : int;
+}
+
+val run :
+  ?audit:audit_view list ->
+  ?complete:bool ->
+  ?versions:(int64 * (int * int64) list) list ->
+  Trace.span array ->
+  result
+(** [run ?audit ?complete ?versions spans] checks every invariant the
+    inputs allow. [audit] are the recovered audit records in log order
+    (possibly a crash-truncated prefix); [complete] (default false)
+    asserts the audit trail is loss-free so the span/audit match must
+    be a bijection. [versions] are per-object [(seq, time)] version
+    chains, oldest first, as exported by the store. *)

@@ -1,0 +1,47 @@
+module Histogram = S4_util.Histogram
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let histograms_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 64
+
+let incr ?(by = 1) name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.replace counters_tbl name (ref by)
+
+let observe name v =
+  let h =
+    match Hashtbl.find_opt histograms_tbl name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.replace histograms_tbl name h;
+      h
+  in
+  Histogram.add h v
+
+let counter name = match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+let histogram name = Hashtbl.find_opt histograms_tbl name
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted_bindings counters_tbl (fun r -> !r)
+let histograms () = sorted_bindings histograms_tbl Fun.id
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset histograms_tbl
+
+let pp ppf () =
+  let cs = counters () and hs = histograms () in
+  if cs = [] && hs = [] then Format.fprintf ppf "(no metrics recorded)"
+  else begin
+    List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %d@." name v) cs;
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "%-32s n=%d mean=%.1f p50=%.1f p95=%.1f max=%.1f@." name
+          (Histogram.count h) (Histogram.mean h) (Histogram.percentile h 50.0)
+          (Histogram.percentile h 95.0) (Histogram.max_value h))
+      hs
+  end

@@ -1,0 +1,36 @@
+(** Process-wide metrics registry: named monotonic counters and named
+    latency histograms.
+
+    The registry is deliberately global — it aggregates across every
+    layer of a simulated system (NFS translator, shard router, drive,
+    store, segment log, disk) without threading a handle through six
+    APIs. It is populated automatically by {!Trace} when tracing is
+    enabled, and may be fed directly by any caller.
+
+    Everything here is observationally free: the registry never reads
+    or advances a {!S4_util.Simclock}, so recording a metric cannot
+    perturb a simulation. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump the named counter, creating it at zero on first use. *)
+
+val observe : string -> float -> unit
+(** Add a sample to the named histogram, creating it on first use. *)
+
+val counter : string -> int
+(** Current value of the named counter (0 if never bumped). *)
+
+val histogram : string -> S4_util.Histogram.t option
+(** The named histogram, if any samples were recorded. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val histograms : unit -> (string * S4_util.Histogram.t) list
+(** All histograms, sorted by name. *)
+
+val reset : unit -> unit
+(** Drop every counter and histogram. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Render the whole registry, counters then histogram summaries. *)

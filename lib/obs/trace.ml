@@ -1,0 +1,242 @@
+type layer = Nfs | Router | Drive | Store | Seglog | Disk
+
+let layer_name = function
+  | Nfs -> "nfs"
+  | Router -> "router"
+  | Drive -> "drive"
+  | Store -> "store"
+  | Seglog -> "seglog"
+  | Disk -> "disk"
+
+type span = {
+  id : int;
+  parent : int;
+  layer : layer;
+  kind : string;
+  start_ns : int64;
+  mutable stop_ns : int64;
+  mutable oid : int64;
+  mutable shard : int;
+  mutable bytes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable faults : int;
+  mutable retries : int;
+  mutable at_ns : int64;
+  mutable cutoff_ns : int64;
+  mutable charged_ns : int64;
+  mutable disk_ns : int64;
+  mutable ok : bool;
+  mutable err : string;
+}
+
+let unset = Int64.min_int
+let null = -1
+
+(* Growable span store; ids are array indices, so parent lookups are
+   O(1) and a snapshot is a single Array.sub. *)
+let enabled = ref false
+let buf : span array ref = ref [||]
+let len = ref 0
+let stack : int list ref = ref []
+
+let on () = !enabled
+let enable () = enabled := true
+let disable () = enabled := false
+
+let clear () =
+  buf := [||];
+  len := 0;
+  stack := []
+
+let count () = !len
+let spans () = Array.sub !buf 0 !len
+
+let grow () =
+  let cap = Array.length !buf in
+  if !len >= cap then begin
+    let ncap = max 256 (2 * cap) in
+    let nb =
+      Array.make ncap
+        {
+          id = -1;
+          parent = -1;
+          layer = Disk;
+          kind = "";
+          start_ns = 0L;
+          stop_ns = unset;
+          oid = -1L;
+          shard = -1;
+          bytes = 0;
+          cache_hits = 0;
+          cache_misses = 0;
+          faults = 0;
+          retries = 0;
+          at_ns = unset;
+          cutoff_ns = unset;
+          charged_ns = unset;
+          disk_ns = unset;
+          ok = true;
+          err = "";
+        }
+    in
+    Array.blit !buf 0 nb 0 cap;
+    buf := nb
+  end
+
+let push s =
+  grow ();
+  !buf.(!len) <- s;
+  incr len
+
+let fresh ~parent layer ~kind ~start_ns =
+  {
+    id = !len;
+    parent;
+    layer;
+    kind;
+    start_ns;
+    stop_ns = unset;
+    oid = -1L;
+    shard = -1;
+    bytes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    faults = 0;
+    retries = 0;
+    at_ns = unset;
+    cutoff_ns = unset;
+    charged_ns = unset;
+    disk_ns = unset;
+    ok = true;
+    err = "";
+  }
+
+let current_parent () = match !stack with [] -> -1 | p :: _ -> p
+
+let enter layer ~kind ~now =
+  if not !enabled then null
+  else begin
+    let s = fresh ~parent:(current_parent ()) layer ~kind ~start_ns:now in
+    let id = s.id in
+    push s;
+    stack := id :: !stack;
+    id
+  end
+
+let span_of tok = !buf.(tok)
+
+let record_metrics s =
+  let name = layer_name s.layer ^ "/" ^ s.kind in
+  if Int64.compare s.stop_ns unset <> 0 then
+    Metrics.observe name (Int64.to_float (Int64.sub s.stop_ns s.start_ns) /. 1e3);
+  if s.bytes > 0 then Metrics.incr ~by:s.bytes (layer_name s.layer ^ ".bytes");
+  if s.cache_hits > 0 then Metrics.incr ~by:s.cache_hits (layer_name s.layer ^ ".cache_hits");
+  if s.cache_misses > 0 then
+    Metrics.incr ~by:s.cache_misses (layer_name s.layer ^ ".cache_misses");
+  if s.faults > 0 then Metrics.incr ~by:s.faults (layer_name s.layer ^ ".faults");
+  if s.retries > 0 then Metrics.incr ~by:s.retries (layer_name s.layer ^ ".retries");
+  if not s.ok then Metrics.incr (name ^ ".errors")
+
+let close_one id ~now ~abandoned =
+  let s = span_of id in
+  if Int64.compare s.stop_ns unset = 0 then begin
+    s.stop_ns <- now;
+    if abandoned && s.err = "" then begin
+      s.ok <- false;
+      s.err <- "abandoned"
+    end;
+    record_metrics s
+  end
+
+(* Pop until [tok] is off the stack: children still open when their
+   parent finishes were unwound by an exception through a frame with
+   no instrumentation — close them at the same instant. *)
+let rec unwind tok ~now =
+  match !stack with
+  | [] -> ()
+  | top :: rest ->
+    stack := rest;
+    if top = tok then close_one top ~now ~abandoned:false
+    else begin
+      close_one top ~now ~abandoned:true;
+      unwind tok ~now
+    end
+
+let finish tok ~now = if tok >= 0 then unwind tok ~now
+
+let abort tok ~now =
+  if tok >= 0 then begin
+    let s = span_of tok in
+    s.ok <- false;
+    if s.err = "" then s.err <- "exception";
+    unwind tok ~now
+  end
+
+let emit layer ~kind ~start_ns ~stop_ns ?(bytes = 0) ?(disk_ns = unset) () =
+  if !enabled then begin
+    let s = fresh ~parent:(current_parent ()) layer ~kind ~start_ns in
+    s.stop_ns <- stop_ns;
+    s.bytes <- bytes;
+    s.disk_ns <- disk_ns;
+    push s;
+    record_metrics s
+  end
+
+let set_oid tok oid = if tok >= 0 then (span_of tok).oid <- oid
+let set_shard tok sh = if tok >= 0 then (span_of tok).shard <- sh
+let set_bytes tok n = if tok >= 0 then (span_of tok).bytes <- n
+
+let add_cache tok ~hits ~misses =
+  if tok >= 0 then begin
+    let s = span_of tok in
+    s.cache_hits <- s.cache_hits + hits;
+    s.cache_misses <- s.cache_misses + misses
+  end
+
+let add_faults tok n = if tok >= 0 then (span_of tok).faults <- (span_of tok).faults + n
+let add_retries tok n = if tok >= 0 then (span_of tok).retries <- (span_of tok).retries + n
+let set_at tok v = if tok >= 0 then (span_of tok).at_ns <- v
+let set_cutoff tok v = if tok >= 0 then (span_of tok).cutoff_ns <- v
+
+let add_charged tok v =
+  if tok >= 0 then begin
+    let s = span_of tok in
+    s.charged_ns <- (if Int64.compare s.charged_ns unset = 0 then v else Int64.add s.charged_ns v)
+  end
+
+let set_disk_ns tok v = if tok >= 0 then (span_of tok).disk_ns <- v
+
+let fail tok tag =
+  if tok >= 0 then begin
+    let s = span_of tok in
+    s.ok <- false;
+    s.err <- tag
+  end
+
+let pp_span ppf s =
+  Format.fprintf ppf "#%d %s/%s" s.id (layer_name s.layer) s.kind;
+  if Int64.compare s.oid (-1L) <> 0 then Format.fprintf ppf " oid=%Ld" s.oid;
+  if s.shard >= 0 then Format.fprintf ppf " shard=%d" s.shard;
+  Format.fprintf ppf " start=%Ldns" s.start_ns;
+  if Int64.compare s.stop_ns unset <> 0 then
+    Format.fprintf ppf " dur=%.1fus" (Int64.to_float (Int64.sub s.stop_ns s.start_ns) /. 1e3);
+  if s.bytes > 0 then Format.fprintf ppf " bytes=%d" s.bytes;
+  if s.cache_hits + s.cache_misses > 0 then
+    Format.fprintf ppf " cache=%d/%d" s.cache_hits (s.cache_hits + s.cache_misses);
+  if Int64.compare s.disk_ns unset <> 0 then
+    Format.fprintf ppf " disk=%.1fus" (Int64.to_float s.disk_ns /. 1e3);
+  if Int64.compare s.charged_ns unset <> 0 then
+    Format.fprintf ppf " charged=%.1fus" (Int64.to_float s.charged_ns /. 1e3);
+  if s.faults > 0 then Format.fprintf ppf " faults=%d" s.faults;
+  if s.retries > 0 then Format.fprintf ppf " retries=%d" s.retries;
+  if not s.ok then Format.fprintf ppf " FAILED(%s)" s.err
+
+let pp_tree ppf sp =
+  let depth = Array.make (Array.length sp) 0 in
+  Array.iter
+    (fun s -> if s.parent >= 0 && s.parent < Array.length sp then depth.(s.id) <- depth.(s.parent) + 1)
+    sp;
+  Array.iter
+    (fun s -> Format.fprintf ppf "%s%a@." (String.make (2 * depth.(s.id)) ' ') pp_span s)
+    sp

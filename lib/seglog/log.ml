@@ -2,6 +2,7 @@ module Sim_disk = S4_disk.Sim_disk
 module Geometry = S4_disk.Geometry
 module Fault = S4_disk.Fault
 module Simclock = S4_util.Simclock
+module Trace = S4_obs.Trace
 
 type addr = int
 
@@ -279,7 +280,27 @@ let close_segment t =
   sg.state <- Closed;
   open_segment_exn t
 
-let append t tag ?data () =
+(* Span wrapper for the log's public entry points. Guarded on
+   [Trace.on] so the untraced path allocates nothing; retries absorbed
+   by [with_retry] during the op are charged to the span. *)
+let traced t kind ~bytes f =
+  if not (Trace.on ()) then f ()
+  else begin
+    let r0 = t.s.io_retries in
+    let tok = Trace.enter Trace.Seglog ~kind ~now:(Simclock.now (clock t)) in
+    Trace.set_bytes tok bytes;
+    match f () with
+    | v ->
+      Trace.add_retries tok (t.s.io_retries - r0);
+      Trace.finish tok ~now:(Simclock.now (clock t));
+      v
+    | exception e ->
+      Trace.add_retries tok (t.s.io_retries - r0);
+      Trace.abort tok ~now:(Simclock.now (clock t));
+      raise e
+  end
+
+let append_inner t tag ?data () =
   (match data with
    | Some d when Bytes.length d <> t.block_size -> invalid_arg "Log.append: data size"
    | Some _ | None -> ());
@@ -301,7 +322,10 @@ let append t tag ?data () =
   if t.frontier = t.usable then close_segment t;
   addr
 
-let sync t = flush_buffered t
+let append t tag ?data () =
+  traced t "append" ~bytes:t.block_size (fun () -> append_inner t tag ?data ())
+
+let sync t = traced t "sync" ~bytes:0 (fun () -> flush_buffered t)
 
 let write_superblock t payload =
   if Bytes.length payload > t.block_size then invalid_arg "Log.write_superblock: too big";
@@ -320,7 +344,7 @@ let peek t addr =
   | Some None -> Bytes.make t.block_size '\000'
   | None -> Sim_disk.peek t.disk ~lba:(lba_of t addr) ~sectors:t.spb
 
-let read t addr =
+let read_inner t addr =
   check_addr t addr;
   match Hashtbl.find_opt t.pending addr with
   | Some (Some data) -> Bytes.copy data
@@ -329,11 +353,13 @@ let read t addr =
     disk_read t ~addr ~blocks:1;
     Sim_disk.peek t.disk ~lba:(lba_of t addr) ~sectors:t.spb
 
+let read t addr = traced t "read" ~bytes:t.block_size (fun () -> read_inner t addr)
+
 let written_extent t seg =
   let sg = t.segs.(seg) in
   if sg.state = Open && seg = t.segs.(t.current).index then t.flushed else sg.written
 
-let read_run t addr n =
+let read_run_inner t addr n =
   check_addr t addr;
   if n <= 0 then invalid_arg "Log.read_run";
   let seg = seg_of t addr in
@@ -347,6 +373,9 @@ let read_run t addr n =
         let a = addr + i in
         (a, Sim_disk.peek t.disk ~lba:(lba_of t a) ~sectors:t.spb))
   end
+
+let read_run t addr n =
+  traced t "read_run" ~bytes:(n * t.block_size) (fun () -> read_run_inner t addr n)
 
 let kill t addr =
   check_addr t addr;

@@ -6,6 +6,7 @@ module Sim_disk = S4_disk.Sim_disk
 module Log = S4_seglog.Log
 module Simclock = S4_util.Simclock
 module Mirror = S4_multi.Mirror
+module Trace = S4_obs.Trace
 
 type member = Single of Drive.t | Mirrored of Mirror.t
 
@@ -37,6 +38,7 @@ type t = {
   mutable migrated_objects : int;
   mutable migrated_entries : int;
   mutable migrated_bytes : int;
+  mutable trace_tok : int;  (* open router span, or Trace.null *)
 }
 
 let member_drives = function
@@ -137,6 +139,7 @@ let create ?vnodes members =
         migrated_objects = 0;
         migrated_entries = 0;
         migrated_bytes = 0;
+        trace_tok = Trace.null;
       }
     in
     List.iter (fun (id, m) -> ignore (register t id m)) members;
@@ -160,7 +163,10 @@ let charge t involved f =
         if Int64.compare delta acc > 0 then delta else acc)
       0L before
   in
-  if Int64.compare worst 0L > 0 then Simclock.advance t.clock worst;
+  if Int64.compare worst 0L > 0 then begin
+    Simclock.advance t.clock worst;
+    if Trace.on () then Trace.add_charged t.trace_tok worst
+  end;
   r
 
 (* ------------------------------------------------------------------ *)
@@ -216,7 +222,7 @@ let merge_audit resps =
   in
   collect [] resps
 
-let handle t cred ?(sync = false) req =
+let handle_inner t cred ~sync req =
   t.ops <- t.ops + 1;
   match req with
   | Rpc.Create _ ->
@@ -270,6 +276,49 @@ let handle t cred ?(sync = false) req =
   | Rpc.Set_acl { oid; _ }
   | Rpc.Flush_object { oid; _ } ->
     route_to_holder t oid cred ~sync req
+
+let handle t cred ?(sync = false) req =
+  if not (Trace.on ()) then handle_inner t cred ~sync req
+  else begin
+    let tok = Trace.enter Trace.Router ~kind:(Rpc.op_name req) ~now:(Simclock.now t.clock) in
+    (match req with
+     | Rpc.Delete { oid }
+     | Rpc.Read { oid; _ }
+     | Rpc.Write { oid; _ }
+     | Rpc.Append { oid; _ }
+     | Rpc.Truncate { oid; _ }
+     | Rpc.Get_attr { oid; _ }
+     | Rpc.Set_attr { oid; _ }
+     | Rpc.Get_acl_by_user { oid; _ }
+     | Rpc.Get_acl_by_index { oid; _ }
+     | Rpc.Set_acl { oid; _ }
+     | Rpc.Flush_object { oid; _ } ->
+       Trace.set_oid tok oid;
+       Trace.set_shard tok (holder t oid)
+     | Rpc.P_create _ | Rpc.P_delete _ | Rpc.P_list _ | Rpc.P_mount _ ->
+       Trace.set_shard tok t.meta
+     | _ -> ());
+    let saved = t.trace_tok in
+    t.trace_tok <- tok;
+    match handle_inner t cred ~sync req with
+    | resp ->
+      t.trace_tok <- saved;
+      (match resp with
+       | Rpc.R_oid oid ->
+         Trace.set_oid tok oid;
+         (match req with
+          | Rpc.Create _ -> Trace.set_shard tok (Ring.owner t.ring oid)
+          | _ -> ())
+       | Rpc.R_data b -> Trace.set_bytes tok (Bytes.length b)
+       | Rpc.R_error e -> Trace.fail tok (Drive.err_tag e)
+       | _ -> ());
+      Trace.finish tok ~now:(Simclock.now t.clock);
+      resp
+    | exception e ->
+      t.trace_tok <- saved;
+      Trace.abort tok ~now:(Simclock.now t.clock);
+      raise e
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-mode reporting                                             *)

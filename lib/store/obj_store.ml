@@ -3,6 +3,7 @@ module Tag = S4_seglog.Tag
 module Jblock = S4_seglog.Jblock
 module Bcodec = S4_util.Bcodec
 module Simclock = S4_util.Simclock
+module Trace = S4_obs.Trace
 
 type oid = int64
 type addr = int
@@ -531,7 +532,31 @@ let set_oid_allocator t f = t.oid_allocator <- f
 let oid_allocator t = t.oid_allocator
 let next_oid t = t.oid_counter
 
-let create_object t =
+(* Span wrapper for the store's public entry points; block-cache hit
+   and miss deltas over the op are charged to the span. Guarded on
+   [Trace.on] so the untraced path allocates nothing. *)
+let traced t kind ?(oid = -1L) ?(bytes = 0) f =
+  if not (Trace.on ()) then f ()
+  else begin
+    let h0 = Lru.hits t.bcache and m0 = Lru.misses t.bcache in
+    let tok = Trace.enter Trace.Store ~kind ~now:(now t) in
+    Trace.set_oid tok oid;
+    Trace.set_bytes tok bytes;
+    let fin () =
+      Trace.add_cache tok ~hits:(Lru.hits t.bcache - h0) ~misses:(Lru.misses t.bcache - m0)
+    in
+    match f () with
+    | v ->
+      fin ();
+      Trace.finish tok ~now:(now t);
+      v
+    | exception e ->
+      fin ();
+      Trace.abort tok ~now:(now t);
+      raise e
+  end
+
+let create_object_inner t =
   let oid =
     match t.oid_allocator with
     | None ->
@@ -570,12 +595,15 @@ let create_object t =
   t.s.ops <- t.s.ops + 1;
   oid
 
+let create_object t = traced t "create" (fun () -> create_object_inner t)
+
 let delete_object t oid =
-  let obj = get_live_obj t oid in
-  push_entry t obj (Entry.Delete { old_size = obj.o_size });
-  obj.o_exists <- false;
-  t.s.ops <- t.s.ops + 1;
-  maybe_checkpoint t obj
+  traced t "delete" ~oid (fun () ->
+      let obj = get_live_obj t oid in
+      push_entry t obj (Entry.Delete { old_size = obj.o_size });
+      obj.o_exists <- false;
+      t.s.ops <- t.s.ops + 1;
+      maybe_checkpoint t obj)
 
 (* Split huge writes so each journal entry stays well under a block. *)
 let max_blocks_per_entry = 200
@@ -632,7 +660,7 @@ let write_chunk t obj ~off ~len data_slice =
     rollback ();
     raise Log.Log_full
 
-let write t oid ~off ?data ~len () =
+let write_outer t oid ~off ?data ~len () =
   if off < 0 || len < 0 then invalid_arg "Obj_store.write";
   (match data with
    | Some d when Bytes.length d <> len -> invalid_arg "Obj_store.write: data length"
@@ -655,11 +683,15 @@ let write t oid ~off ?data ~len () =
     maybe_checkpoint t obj
   end
 
-let append t oid ?data ~len () =
-  let obj = get_live_obj t oid in
-  write t oid ~off:obj.o_size ?data ~len ()
+let write t oid ~off ?data ~len () =
+  traced t "write" ~oid ~bytes:len (fun () -> write_outer t oid ~off ?data ~len ())
 
-let truncate t oid ~size =
+let append t oid ?data ~len () =
+  traced t "append" ~oid ~bytes:len (fun () ->
+      let obj = get_live_obj t oid in
+      write_outer t oid ~off:obj.o_size ?data ~len ())
+
+let truncate_inner t oid ~size =
   if size < 0 then invalid_arg "Obj_store.truncate";
   let obj = get_live_obj t oid in
   t.s.ops <- t.s.ops + 1;
@@ -689,12 +721,15 @@ let truncate t oid ~size =
   push_entry t obj (Entry.Truncate { old_size; new_size = size; freed = !freed });
   maybe_checkpoint t obj
 
+let truncate t oid ~size = traced t "truncate" ~oid (fun () -> truncate_inner t oid ~size)
+
 let set_attr t oid attr =
-  let obj = get_live_obj t oid in
-  t.s.ops <- t.s.ops + 1;
-  push_entry t obj (Entry.Set_attr { old_attr = obj.o_attr; new_attr = Bytes.copy attr });
-  obj.o_attr <- Bytes.copy attr;
-  maybe_checkpoint t obj
+  traced t "setattr" ~oid ~bytes:(Bytes.length attr) (fun () ->
+      let obj = get_live_obj t oid in
+      t.s.ops <- t.s.ops + 1;
+      push_entry t obj (Entry.Set_attr { old_attr = obj.o_attr; new_attr = Bytes.copy attr });
+      obj.o_attr <- Bytes.copy attr;
+      maybe_checkpoint t obj)
 
 let set_acl_raw t oid acl =
   let obj = get_live_obj t oid in
@@ -704,9 +739,10 @@ let set_acl_raw t oid acl =
   maybe_checkpoint t obj
 
 let sync t =
-  flush_cpack t;
-  flush_journal t;
-  Log.sync t.log
+  traced t "sync" (fun () ->
+      flush_cpack t;
+      flush_journal t;
+      Log.sync t.log)
 
 (* ------------------------------------------------------------------ *)
 (* Time-based views                                                    *)
@@ -805,7 +841,7 @@ let get_attr t ?at oid = Bytes.copy (view_exn t ?at oid).v_attr
 let get_acl_raw t ?at oid = Bytes.copy (view_exn t ?at oid).v_acl
 let current_acl_raw t oid = Bytes.copy (find_obj t oid).o_acl
 
-let read t ?at oid ~off ~len =
+let read_inner t ?at oid ~off ~len =
   if off < 0 || len < 0 then invalid_arg "Obj_store.read";
   let v = view_exn t ?at oid in
   t.s.ops <- t.s.ops + 1;
@@ -829,6 +865,8 @@ let read t ?at oid ~off ~len =
     t.s.bytes_read <- t.s.bytes_read + len;
     out
   end
+
+let read t ?at oid ~off ~len = traced t "read" ~oid ~bytes:len (fun () -> read_inner t ?at oid ~off ~len)
 
 let list_objects t =
   Hashtbl.fold (fun oid obj acc -> if obj.o_exists then oid :: acc else acc) t.objects []

@@ -10,6 +10,8 @@ module Rpc = S4.Rpc
 module Audit = S4.Audit
 module Mirror = S4_multi.Mirror
 module Router = S4_shard.Router
+module Trace = S4_obs.Trace
+module Check = S4_obs.Check
 
 type report = {
   seed : int;
@@ -283,7 +285,17 @@ let workload_writes ?(ops = default_ops) ~seed () =
   ignore (drive_workload ~ops ~seed ~drive (fresh_oracle ()));
   (Sim_disk.stats disk).Sim_disk.writes - base
 
+(* When the caller has enabled tracing, every run doubles as a trace-
+   checker scenario: whatever spans the workload (and the post-crash
+   verification reads) produced must satisfy the whole-run invariants. *)
+let trace_violations () =
+  if not (Trace.on ()) then []
+  else
+    let r = Check.run (Trace.spans ()) in
+    List.map (fun v -> "trace: " ^ v) r.Check.violations
+
 let run ?(ops = default_ops) ~seed ~crash_after () =
+  if Trace.on () then Trace.clear ();
   let disk, drive = build () in
   let o = fresh_oracle () in
   let policy = Fault.create (Rng.create ~seed:((seed * 7919) + 17)) in
@@ -301,7 +313,7 @@ let run ?(ops = default_ops) ~seed ~crash_after () =
     ops_before_crash = completed;
     snapshots;
     audit_checked;
-    violations = wviol @ rviol;
+    violations = wviol @ rviol @ trace_violations ();
   }
 
 let boundary_sweep ?(ops = default_ops) ~seed () =
@@ -442,6 +454,7 @@ let verify_array (d0, d1, d2) o =
     (List.length o.snaps, List.rev !violations)
 
 let rebalance_run ?(ops = default_ops) ~seed ~crash_after () =
+  if Trace.on () then Trace.clear ();
   let disks, o, completed, crashed, wviol = array_scenario ~ops ~seed ~crash_after in
   let snapshots, rviol = if crashed then verify_array disks o else (List.length o.snaps, []) in
   {
@@ -451,7 +464,7 @@ let rebalance_run ?(ops = default_ops) ~seed ~crash_after () =
     ops_before_crash = completed;
     snapshots;
     audit_checked = 0;
-    violations = wviol @ rviol;
+    violations = wviol @ rviol @ trace_violations ();
   }
 
 let rebalance_sweep ~seed ~runs () =

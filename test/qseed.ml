@@ -1,0 +1,23 @@
+(* Reproducible qcheck runs: every property suite draws its random
+   state from one seed, settable via S4_QCHECK_SEED. A failure prints
+   the seed so the exact run can be replayed:
+
+     S4_QCHECK_SEED=1234 dune runtest *)
+
+let seed =
+  match Sys.getenv_opt "S4_QCHECK_SEED" with
+  | Some s ->
+    (match int_of_string_opt s with
+     | Some n -> n
+     | None ->
+       Printf.eprintf "S4_QCHECK_SEED=%S is not an integer\n%!" s;
+       exit 2)
+  | None -> 0x5345_4544 (* "SEED" *)
+
+let qtest (QCheck2.Test.Test cell) =
+  let name = QCheck2.Test.get_name cell in
+  Alcotest.test_case name `Quick (fun () ->
+      try QCheck2.Test.check_cell_exn ~rand:(Random.State.make [| seed |]) cell
+      with e ->
+        Printf.eprintf "qcheck %S failed (replay with S4_QCHECK_SEED=%d)\n%!" name seed;
+        raise e)

@@ -1,7 +1,9 @@
-(* Tests for the capacity projection and the differencing study. *)
+(* Tests for the capacity projection, the differencing study, and the
+   machine-readable result recorder. *)
 
 module Capacity = S4_analysis.Capacity
 module Diffstudy = S4_analysis.Diffstudy
+module Report = S4_analysis.Report
 module Daily = S4_workload.Daily
 
 let check = Alcotest.check
@@ -89,6 +91,73 @@ let test_diffstudy_more_churn_bigger_deltas () =
   check Alcotest.bool "churn grows deltas" true
     (hi.Diffstudy.diff_efficiency < lo.Diffstudy.diff_efficiency)
 
+(* --- Result recorder (Report.record / write_json) ----------------------- *)
+
+let with_dump f =
+  (* record+write_json into a temp file, return file contents; the
+     recorder is global state, so always reset around the test. *)
+  let path = Filename.temp_file "s4_report" ".json" in
+  Report.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Report.reset ();
+      Sys.remove path)
+    (fun () ->
+      f path;
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s)
+
+let contains ~sub s =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_report_label_escaping () =
+  let s =
+    with_dump (fun path ->
+        Report.record ~experiment:{|exp"one|} ~label:"quote\" back\\slash\nnewline\x01ctl"
+          [ ({|key"q|}, 1.0) ];
+        Report.write_json path)
+  in
+  check Alcotest.bool "experiment quote escaped" true (contains ~sub:{|"exp\"one"|} s);
+  check Alcotest.bool "label fully escaped" true
+    (contains ~sub:{|"quote\" back\\slash\nnewline\u0001ctl"|} s);
+  check Alcotest.bool "key quote escaped" true (contains ~sub:{|"key\"q": 1|} s);
+  check Alcotest.bool "no raw control chars" true
+    (String.for_all (fun c -> Char.code c >= 32 || c = '\n') s)
+
+let test_report_empty_dump () =
+  let s = with_dump (fun path -> Report.write_json path) in
+  check Alcotest.string "empty recorder dumps an empty object" "{\n}\n" s
+
+let test_report_experiment_filtering () =
+  let s =
+    with_dump (fun path ->
+        Report.record ~experiment:"alpha" [ ("a", 1.0) ];
+        Report.record ~experiment:"beta" [ ("b", 2.0) ];
+        Report.record ~experiment:"alpha" [ ("a", 3.0) ];
+        Report.record ~experiment:"gamma" [ ("c", 4.0) ];
+        Report.write_json ~experiments:[ "alpha"; "gamma" ] path)
+  in
+  check Alcotest.bool "keeps alpha" true (contains ~sub:{|"alpha"|} s);
+  check Alcotest.bool "keeps gamma" true (contains ~sub:{|"gamma"|} s);
+  check Alcotest.bool "drops beta" false (contains ~sub:{|"beta"|} s);
+  check Alcotest.bool "keeps both alpha rows" true
+    (contains ~sub:{|{"a": 1}|} s && contains ~sub:{|{"a": 3}|} s)
+
+let test_report_row_order_and_floats () =
+  let s =
+    with_dump (fun path ->
+        Report.record ~experiment:"e" ~label:"r0" [ ("x", 1.5); ("nan", Float.nan) ];
+        Report.record ~experiment:"e" [ ("x", 2.0) ];
+        Report.write_json path)
+  in
+  check Alcotest.bool "labelled row first (record order kept)" true
+    (contains ~sub:{|{"label": "r0", "x": 1.5, "nan": null},|} s);
+  check Alcotest.bool "unlabelled row plain" true (contains ~sub:{|{"x": 2}|} s)
+
 let () =
   Alcotest.run "s4_analysis"
     [
@@ -107,5 +176,12 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_diffstudy_deterministic;
           Alcotest.test_case "day 0 full" `Quick test_diffstudy_day0_is_full;
           Alcotest.test_case "churn sensitivity" `Slow test_diffstudy_more_churn_bigger_deltas;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "label escaping" `Quick test_report_label_escaping;
+          Alcotest.test_case "empty dump" `Quick test_report_empty_dump;
+          Alcotest.test_case "experiment filtering" `Quick test_report_experiment_filtering;
+          Alcotest.test_case "row order and floats" `Quick test_report_row_order_and_floats;
         ] );
     ]

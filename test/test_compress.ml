@@ -6,7 +6,7 @@ module Rng = S4_util.Rng
 module Bcodec = S4_util.Bcodec
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 let bytes_of = Bytes.of_string
 
 (* --- LZ ------------------------------------------------------------ *)

@@ -15,7 +15,7 @@ module Drive = S4.Drive
 module Client = S4.Client
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 let bytes_of = Bytes.of_string
 
 let geom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)

@@ -315,6 +315,24 @@ let test_resync_sweep () =
   check Alcotest.bool "failure path exercised" true
     (List.exists (fun r -> r.Crashtest.first_error) rs)
 
+(* --- Trace checker over crash-recovery ------------------------------- *)
+
+module Trace = S4_obs.Trace
+
+let test_trace_checker_crash_recovery () =
+  (* The span tracer stays on across crash, recovery and verification;
+     the crashtest report then folds Check.run violations (prefixed
+     "trace:") into its own invariant list. *)
+  Trace.clear ();
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      let r = Crashtest.run ~seed:42 ~crash_after:5 () in
+      check Alcotest.bool "scenario crashed" true r.Crashtest.crashed;
+      check Alcotest.bool "spans recorded" true (Trace.count () > 0);
+      check (Alcotest.list Alcotest.string) "no violations (incl. trace checker)" []
+        r.Crashtest.violations);
+  Trace.clear ()
+
 (* --- Throttle fixes ---------------------------------------------------- *)
 
 let test_throttle_zero_penalty_at_threshold () =
@@ -365,6 +383,8 @@ let () =
         [
           Alcotest.test_case "100+ randomized crash points" `Quick test_crash_harness_sweeps;
           Alcotest.test_case "no-crash control" `Quick test_crash_harness_no_crash_control;
+          Alcotest.test_case "trace checker over crash recovery" `Quick
+            test_trace_checker_crash_recovery;
         ] );
       ( "rebalance-crash",
         [

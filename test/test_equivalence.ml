@@ -10,7 +10,7 @@ module Server = S4_nfs.Server
 module Systems = S4_workload.Systems
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 (* Abstract operations over a small fixed namespace. *)
 type aop =
@@ -197,6 +197,109 @@ let test_sparse_and_grow () =
   in
   check Alcotest.bool "agree" true (run_equivalence ops)
 
+(* --- Tracing is observationally free ---------------------------------- *)
+
+(* The span tracer's hard correctness requirement: with tracing
+   enabled, a run must be bit- and simulated-time-identical to the
+   same run untraced. We drive two fresh instances of the same system
+   through the same operation sequence — one traced, one not — then
+   compare the final simulated clock and a sector-by-sector digest of
+   every member disk. *)
+
+module Trace = S4_obs.Trace
+module Check = S4_obs.Check
+module Simclock = S4_util.Simclock
+module Sim_disk = S4_disk.Sim_disk
+module Geometry = S4_disk.Geometry
+module Log = S4_seglog.Log
+module Drive = S4.Drive
+module Audit = S4.Audit
+module Router = S4_shard.Router
+
+let disk_digest disk =
+  let g = Sim_disk.geometry disk in
+  let chunk = 4096 in
+  let b = Buffer.create 1024 in
+  let lba = ref 0 in
+  while !lba < g.Geometry.sectors do
+    let n = min chunk (g.Geometry.sectors - !lba) in
+    Buffer.add_string b (Digest.to_hex (Digest.bytes (Sim_disk.peek disk ~lba:!lba ~sectors:n)));
+    lba := !lba + n
+  done;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let member_disks sys =
+  match sys.Systems.router with
+  | Some r -> List.map (fun d -> Log.disk (Drive.log d)) (Router.all_drives r)
+  | None -> [ sys.Systems.disk ]
+
+let trace_free_ops =
+  [
+    Acreate (0, 0); Awrite (0, 0, 0, 3000, 'a'); Acreate (1, 1);
+    Awrite (1, 1, 500, 2000, 'b'); Aread (0, 0); Atruncate (0, 0, 1200);
+    Arename (0, 0, 1, 2); Aread (1, 2); Aremove (1, 1); Awrite (1, 2, 100, 400, 'c');
+    Amkdir_file_clash (1, 2); Aread (1, 2);
+  ]
+
+let run_traced_pair mk =
+  (* Untraced reference run. *)
+  let ref_sys = mk () in
+  let ref_dirs = setup ref_sys in
+  let ref_out = List.map (apply ref_sys ref_dirs) trace_free_ops in
+  let ref_snap = snapshot ref_sys ref_dirs in
+  let ref_clock = Simclock.now ref_sys.Systems.clock in
+  let ref_digests = List.map disk_digest (member_disks ref_sys) in
+  (* Same workload with the tracer on for the whole run. *)
+  Trace.clear ();
+  Trace.enable ();
+  let sys, out, snap =
+    Fun.protect ~finally:Trace.disable (fun () ->
+        let sys = mk () in
+        let dirs = setup sys in
+        let out = List.map (apply sys dirs) trace_free_ops in
+        (sys, out, snapshot sys dirs))
+  in
+  let clock = Simclock.now sys.Systems.clock in
+  let digests = List.map disk_digest (member_disks sys) in
+  check (Alcotest.list Alcotest.string) "traced run: same op outcomes" ref_out out;
+  check (Alcotest.list Alcotest.string) "traced run: same final namespace" ref_snap snap;
+  check Alcotest.int64 "traced run: identical final simulated clock" ref_clock clock;
+  check (Alcotest.list Alcotest.string) "traced run: identical disk images" ref_digests digests;
+  check Alcotest.bool "tracer actually recorded spans" true (Trace.count () > 0);
+  sys
+
+let test_tracing_free_single_drive () =
+  let sys =
+    run_traced_pair (fun () ->
+        Systems.s4_nfs_server ~disk_mb:64 ~drive_config:Systems.content_drive_config ())
+  in
+  (* The trace and the audit log independently witnessed the same run:
+     make them corroborate each other, exhaustively in both
+     directions. *)
+  let drive = Option.get sys.Systems.drive in
+  let audit =
+    List.map
+      (fun (r : Audit.record) ->
+        { Check.a_at = r.Audit.at; a_op = r.Audit.op; a_oid = r.Audit.oid; a_ok = r.Audit.ok })
+      (Audit.records (Drive.audit drive) ())
+  in
+  let r = Check.run ~audit ~complete:true (Trace.spans ()) in
+  if r.Check.violations <> [] then
+    Alcotest.failf "trace checker: %s" (String.concat "; " r.Check.violations);
+  check Alcotest.bool "audit records matched to spans" true (r.Check.audit_matched > 0);
+  Trace.clear ()
+
+let test_tracing_free_array () =
+  let sys =
+    run_traced_pair (fun () ->
+        Systems.s4_array ~disk_mb:64 ~drive_config:Systems.content_drive_config ~shards:3 ())
+  in
+  ignore sys;
+  let r = Check.run (Trace.spans ()) in
+  if r.Check.violations <> [] then
+    Alcotest.failf "trace checker: %s" (String.concat "; " r.Check.violations);
+  Trace.clear ()
+
 let () =
   Alcotest.run "s4_equivalence"
     [
@@ -205,5 +308,11 @@ let () =
           Alcotest.test_case "fixed sequence" `Quick test_fixed_sequence;
           Alcotest.test_case "sparse and grow" `Quick test_sparse_and_grow;
           qtest prop_four_systems_agree;
+        ] );
+      ( "traced",
+        [
+          Alcotest.test_case "tracing is free (single drive)" `Quick
+            test_tracing_free_single_drive;
+          Alcotest.test_case "tracing is free (3-shard array)" `Quick test_tracing_free_array;
         ] );
     ]

@@ -13,7 +13,7 @@ module Translator = S4_nfs.Translator
 module Server = S4_nfs.Server
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 let geom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
 

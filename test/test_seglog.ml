@@ -10,7 +10,7 @@ module Summary = S4_seglog.Summary
 module Log = S4_seglog.Log
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 let small_geom = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(16 * 1024 * 1024)
 

@@ -420,10 +420,79 @@ let test_lagging_mirror_defers_migration () =
   List.iter (fun oid -> check Alcotest.string "data after rebalance" "v2" (read_str router oid)) oids;
   check Alcotest.string "fresh object after rebalance" "v2" (read_str router fresh)
 
+(* --- ring properties ----------------------------------------------- *)
+
+let qtest = Qseed.qtest
+
+(* Distinct member ids, 2..8 of them. *)
+let arb_members =
+  QCheck.(
+    map
+      (fun ids ->
+        let ids = List.sort_uniq compare (List.map (fun i -> i mod 64) ids) in
+        match ids with [] -> [ 0; 1 ] | [ x ] -> [ x; (x + 1) mod 64 ] | _ -> ids)
+      (list_of_size Gen.(2 -- 8) small_nat))
+
+let prop_ring_balance =
+  QCheck.Test.make ~name:"ring balances keys across members" ~count:50 arb_members
+    (fun members ->
+      let ring = Ring.create ~vnodes:128 () in
+      List.iter (Ring.add ring) members;
+      let n = List.length members in
+      let keys = 2000 in
+      let counts = Hashtbl.create 8 in
+      for i = 0 to keys - 1 do
+        let o = Ring.owner ring (Int64.of_int (i * 7919)) in
+        Hashtbl.replace counts o (1 + Option.value ~default:0 (Hashtbl.find_opt counts o))
+      done;
+      let fair = float_of_int keys /. float_of_int n in
+      List.for_all
+        (fun m ->
+          let c = float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts m)) in
+          (* 128 vnodes give rough balance, not perfection: every member
+             must own something and none may own triple its fair share. *)
+          c > fair *. 0.15 && c < fair *. 3.0)
+        members)
+
+let prop_ring_remove_only_remaps_removed =
+  QCheck.Test.make ~name:"removing a member only remaps its own keys" ~count:50
+    QCheck.(pair arb_members small_nat)
+    (fun (members, pick) ->
+      let victim = List.nth members (pick mod List.length members) in
+      let ring = Ring.create ~vnodes:128 () in
+      List.iter (Ring.add ring) members;
+      let keys = List.init 1000 (fun i -> Int64.of_int ((i * 104729) + 3)) in
+      let before = List.map (fun k -> (k, Ring.owner ring k)) keys in
+      Ring.remove ring victim;
+      List.for_all
+        (fun (k, old) -> old = victim || Ring.owner ring k = old)
+        before)
+
+(* --- trace checker over a mid-rebalance crash ----------------------- *)
+
+module Trace = S4_obs.Trace
+module Crashtest = S4_tools.Crashtest
+
+let test_trace_checker_mid_rebalance () =
+  Trace.clear ();
+  Trace.enable ();
+  Fun.protect ~finally:Trace.disable (fun () ->
+      let r = Crashtest.rebalance_run ~seed:19 ~crash_after:1 () in
+      check Alcotest.bool "scenario crashed" true r.Crashtest.crashed;
+      check Alcotest.bool "spans recorded" true (Trace.count () > 0);
+      check (Alcotest.list Alcotest.string) "no violations (incl. trace checker)" []
+        r.Crashtest.violations);
+  Trace.clear ()
+
 let () =
   Alcotest.run "s4_shard"
     [
-      ("ring", [ Alcotest.test_case "placement stability" `Quick test_ring_placement_stability ]);
+      ("ring", [ Alcotest.test_case "placement stability" `Quick test_ring_placement_stability;
+                 qtest prop_ring_balance;
+                 qtest prop_ring_remove_only_remaps_removed ]);
+      ( "trace",
+        [ Alcotest.test_case "checker over mid-rebalance crash" `Quick
+            test_trace_checker_mid_rebalance ] );
       ( "router",
         [
           Alcotest.test_case "single shard == bare drive" `Quick test_single_shard_matches_bare_drive;

@@ -10,7 +10,7 @@ module Store = S4_store.Obj_store
 module Cleaner = S4_store.Cleaner
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 let geom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
 

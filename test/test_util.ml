@@ -8,7 +8,7 @@ module Units = S4_util.Units
 module Histogram = S4_util.Histogram
 
 let check = Alcotest.check
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qseed.qtest
 
 (* --- CRC32 --------------------------------------------------------- *)
 
@@ -161,6 +161,52 @@ let test_bcodec_negative_varint_rejected () =
   let w = Bcodec.writer () in
   Alcotest.check_raises "negative" (Invalid_argument "Bcodec.w_int: negative") (fun () ->
       Bcodec.w_int w (-1))
+
+(* A random program of scalar writes must read back verbatim and
+   consume the buffer exactly. *)
+let prop_bcodec_program_roundtrip =
+  let gen_op =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun n -> `U8 n) (int_bound 0xFF);
+          map (fun n -> `U16 n) (int_bound 0xFFFF);
+          map (fun n -> `U32 n) (int_bound 0xFFFFFFFF);
+          map (fun n -> `I64 (Int64.of_int n)) int;
+          oneofl [ `I64 Int64.min_int; `I64 Int64.max_int; `I64 0L; `I64 (-1L) ];
+          map (fun n -> `Int (n land max_int)) int;
+          map (fun s -> `Str s) (string_size (int_bound 64));
+        ])
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ops -> Printf.sprintf "<%d scalar ops>" (List.length ops))
+      QCheck.Gen.(list_size (int_bound 50) gen_op)
+  in
+  QCheck.Test.make ~name:"bcodec random scalar program roundtrip" ~count:300 arb (fun ops ->
+      let w = Bcodec.writer () in
+      List.iter
+        (function
+          | `U8 n -> Bcodec.w_u8 w n
+          | `U16 n -> Bcodec.w_u16 w n
+          | `U32 n -> Bcodec.w_u32 w n
+          | `I64 n -> Bcodec.w_i64 w n
+          | `Int n -> Bcodec.w_int w n
+          | `Str s -> Bcodec.w_string w s)
+        ops;
+      let r = Bcodec.reader (Bcodec.contents w) in
+      let ok =
+        List.for_all
+          (function
+            | `U8 n -> Bcodec.r_u8 r = n
+            | `U16 n -> Bcodec.r_u16 r = n
+            | `U32 n -> Bcodec.r_u32 r = n
+            | `I64 n -> Bcodec.r_i64 r = n
+            | `Int n -> Bcodec.r_int r = n
+            | `Str s -> Bcodec.r_string r = s)
+          ops
+      in
+      ok && Bcodec.remaining r = 0)
 
 let prop_bcodec_roundtrip =
   QCheck.Test.make ~name:"bcodec bytes/string/varint roundtrip" ~count:200
@@ -316,6 +362,75 @@ let prop_lru_never_exceeds_budget_with_unit_costs =
         ops;
       Lru.cost c <= 8)
 
+(* Model-based check: the cache must behave exactly like a naive
+   MRU-first assoc list with the same eviction rule (evict the tail
+   while over budget, but never down to zero entries). Recency order
+   is observed through the eviction callback sequence. *)
+let prop_lru_matches_model =
+  let budget = 6 in
+  let arb =
+    QCheck.(
+      list
+        (triple (int_bound 3) (* 0=insert 1=find 2=peek 3=remove *)
+           (int_bound 7) (* key *)
+           (int_bound 4) (* cost, inserts only *)))
+  in
+  QCheck.Test.make ~name:"lru matches assoc-list model" ~count:300 arb (fun ops ->
+      let evicted = ref [] in
+      let c = Lru.create ~on_evict:(fun k v -> evicted := (k, v) :: !evicted) ~budget () in
+      let model = ref [] in
+      (* MRU-first: (key, (value, cost)) *)
+      let m_evicted = ref [] in
+      let m_hits = ref 0 and m_misses = ref 0 in
+      let m_cost () = List.fold_left (fun a (_, (_, c)) -> a + c) 0 !model in
+      let m_evict () =
+        while m_cost () > budget && List.length !model > 1 do
+          let rec split = function
+            | [ last ] -> ([], last)
+            | x :: rest ->
+              let pre, l = split rest in
+              (x :: pre, l)
+            | [] -> assert false
+          in
+          let pre, (k, (v, _)) = split !model in
+          model := pre;
+          m_evicted := (k, v) :: !m_evicted
+        done
+      in
+      let ok = ref true in
+      let vcounter = ref 0 in
+      List.iter
+        (fun (op, k, cost) ->
+          match op with
+          | 0 ->
+            incr vcounter;
+            let v = !vcounter in
+            Lru.insert c k v ~cost;
+            model := (k, (v, cost)) :: List.remove_assoc k !model;
+            m_evict ()
+          | 1 -> (
+            let r = Lru.find c k in
+            match List.assoc_opt k !model with
+            | Some (v, cost) ->
+              incr m_hits;
+              model := (k, (v, cost)) :: List.remove_assoc k !model;
+              if r <> Some v then ok := false
+            | None ->
+              incr m_misses;
+              if r <> None then ok := false)
+          | 2 -> if Lru.peek c k <> Option.map fst (List.assoc_opt k !model) then ok := false
+          | _ ->
+            Lru.remove c k;
+            model := List.remove_assoc k !model)
+        ops;
+      !ok
+      && Lru.cost c = m_cost ()
+      && Lru.length c = List.length !model
+      && Lru.hits c = !m_hits
+      && Lru.misses c = !m_misses
+      && !evicted = !m_evicted
+      && List.for_all (fun (k, (v, _)) -> Lru.peek c k = Some v) !model)
+
 let () =
   Alcotest.run "s4_util"
     [
@@ -347,6 +462,7 @@ let () =
           Alcotest.test_case "truncation" `Quick test_bcodec_truncation;
           Alcotest.test_case "negative varint" `Quick test_bcodec_negative_varint_rejected;
           qtest prop_bcodec_roundtrip;
+          qtest prop_bcodec_program_roundtrip;
         ] );
       ( "simclock",
         [
@@ -375,5 +491,6 @@ let () =
           Alcotest.test_case "remove and clear" `Quick test_lru_remove_and_clear;
           Alcotest.test_case "hits and misses" `Quick test_lru_hits_misses;
           qtest prop_lru_never_exceeds_budget_with_unit_costs;
+          qtest prop_lru_matches_model;
         ] );
     ]
