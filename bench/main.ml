@@ -942,6 +942,145 @@ let trace () =
   if r1.Check.violations <> [] || r2.Check.violations <> [] then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Net: wire protocol — in-process vs loopback vs TCP                  *)
+
+module Acl = S4.Acl
+module Netserver = S4_net.Server
+module Netclient = S4_net.Client
+module Nettransport = S4_net.Transport
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let net () =
+  Report.heading "Net: wire-protocol overhead — in-process vs loopback vs TCP (wall-clock)";
+  let ops = if !full_scale then 20_000 else 4_000 in
+  let payload = Bytes.make 1024 'x' in
+  let cred = Rpc.user_cred ~user:1 ~client:1 in
+  let mk_drive () =
+    let clock = Simclock.create () in
+    Drive.format ~config:Systems.content_drive_config
+      (Sim_disk.create ~geometry:Geometry.cheetah_9gb clock)
+  in
+  let new_oid handle =
+    match handle cred ?sync:None (Rpc.Create { acl = Acl.default ~owner:1 }) with
+    | Rpc.R_oid oid -> oid
+    | r -> Format.kasprintf failwith "net bench: create failed: %a" Rpc.pp_resp r
+  in
+  (* The same simulated drive work flows down every path; the wall-clock
+     difference is what the codec, the session engine and the socket add. *)
+  let run_path label (handle : Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp) =
+    let oid = new_oid handle in
+    ignore (handle cred (Rpc.Write { oid; off = 0; len = 1024; data = Some payload }));
+    let secs, () =
+      wall (fun () ->
+          for _ = 1 to ops / 2 do
+            ignore (handle cred (Rpc.Write { oid; off = 0; len = 1024; data = Some payload }));
+            ignore (handle cred (Rpc.Read { oid; off = 0; len = 1024; at = None }))
+          done)
+    in
+    let us_per_op = secs *. 1e6 /. float_of_int ops in
+    Report.record ~experiment:"net" ~label
+      [
+        ("ops", float_of_int ops);
+        ("wall_seconds", secs);
+        ("us_per_op", us_per_op);
+        ("ops_per_second", float_of_int ops /. secs);
+      ];
+    (label, us_per_op, float_of_int ops /. secs)
+  in
+  let inproc = run_path "in-process" (Drive.handle (mk_drive ())) in
+  let loop_row =
+    let srv = Netserver.create (Netserver.backend_of_drive (mk_drive ())) in
+    let client = Netclient.connect (Nettransport.loopback srv) in
+    let row = run_path "loopback" (Netclient.handle client) in
+    Netclient.close client;
+    row
+  in
+  let srv = Netserver.create (Netserver.backend_of_drive (mk_drive ())) in
+  let listener = Netserver.serve_tcp srv in
+  let client =
+    Netclient.connect (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
+  in
+  let tcp_row = run_path "tcp" (Netclient.handle client) in
+  Report.table
+    ~header:[ "path"; "us/op"; "ops/s" ]
+    (List.map
+       (fun (label, us, rate) ->
+         [ label; Printf.sprintf "%.1f" us; Printf.sprintf "%.0f" rate ])
+       [ inproc; loop_row; tcp_row ]);
+  (* Pipelining sweep: request-id multiplexing lets one connection keep
+     many requests in flight; depth 1 pays a full round trip per op. *)
+  print_newline ();
+  Report.heading "Net: TCP pipelining depth sweep (1KB reads)";
+  let sweep_reads = if !full_scale then 4096 else 1024 in
+  let oid = new_oid (Netclient.handle client) in
+  ignore
+    (Netclient.handle client cred (Rpc.Write { oid; off = 0; len = 1024; data = Some payload }));
+  let read = Rpc.Read { oid; off = 0; len = 1024; at = None } in
+  let sweep_rows =
+    List.map
+      (fun depth ->
+        let batches = max 1 (sweep_reads / depth) in
+        let secs, () =
+          wall (fun () ->
+              for _ = 1 to batches do
+                ignore (Netclient.pipeline client cred (List.init depth (fun _ -> read)))
+              done)
+        in
+        let n = batches * depth in
+        let rate = float_of_int n /. secs in
+        Report.record ~experiment:"net_pipeline" ~label:(string_of_int depth)
+          [
+            ("depth", float_of_int depth);
+            ("reads", float_of_int n);
+            ("wall_seconds", secs);
+            ("reads_per_second", rate);
+          ];
+        [ string_of_int depth; string_of_int n; Printf.sprintf "%.0f" rate ])
+      [ 1; 2; 4; 8; 16; 32 ]
+  in
+  Report.table ~header:[ "depth"; "reads"; "reads/s" ] sweep_rows;
+  Netclient.close client;
+  Netserver.shutdown listener;
+  (* PostMark through the full stack over real TCP: translator -> net
+     client -> socket -> daemon -> drive. *)
+  print_newline ();
+  Report.heading "Net: PostMark over TCP through the wire protocol";
+  let sys, stop = Systems.s4_tcp () in
+  let pm_config =
+    pm_seeded
+      (if !full_scale then Postmark.default
+       else { Postmark.default with Postmark.files = 500; transactions = 2_000 })
+  in
+  let wall_s, pm = wall (fun () -> Postmark.run ~config:pm_config sys) in
+  stop ();
+  Printf.printf "postmark over tcp: %.1f txn/s simulated, %.2f s wall\n"
+    pm.Postmark.transactions_per_second wall_s;
+  Report.record ~experiment:"net_postmark" ~label:"tcp"
+    [
+      ("files", float_of_int pm_config.Postmark.files);
+      ("transactions", float_of_int pm_config.Postmark.transactions);
+      ("transactions_per_second", pm.Postmark.transactions_per_second);
+      ("transaction_seconds", pm.Postmark.transaction_seconds);
+      ("wall_seconds", wall_s);
+    ];
+  Report.record ~experiment:"net" ~label:"counters"
+    [
+      ("frames_in", float_of_int (Metrics.counter "net/frames_in"));
+      ("frames_out", float_of_int (Metrics.counter "net/frames_out"));
+      ("bytes_in", float_of_int (Metrics.counter "net/bytes_in"));
+      ("bytes_out", float_of_int (Metrics.counter "net/bytes_out"));
+      ("decode_reject", float_of_int (Metrics.counter "net/decode_reject"));
+      ("retry", float_of_int (Metrics.counter "net/retry"));
+      ("reconnect", float_of_int (Metrics.counter "net/reconnect"));
+    ];
+  Report.write_json ~experiments:[ "net"; "net_pipeline"; "net_postmark" ] "BENCH_net.json";
+  Report.note "wrote BENCH_net.json"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -960,6 +1099,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("ablation", "design-parameter sensitivity sweeps", ablation);
     ("faults", "media-fault sweep + crash-recovery spot check", faults);
     ("scale", "sharded-array throughput scaling + rebalance cost", scale);
+    ("net", "wire protocol: in-process vs loopback vs TCP + pipelining", net);
     ("trace", "span tracer + metrics registry over drive and array runs", trace);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
@@ -968,7 +1108,7 @@ let experiments : (string * string * (unit -> unit)) list =
    default skips the redundant separate fig5 pass. *)
 let default_run =
   [ "table1"; "fig2"; "fig3"; "fig4"; "fundamental"; "fig6"; "audit-macro"; "fig7"; "diffstudy";
-    "snapshots"; "ablation"; "faults"; "scale"; "micro" ]
+    "snapshots"; "ablation"; "faults"; "scale"; "net"; "micro" ]
 
 let () =
   let json_file = ref None in

@@ -10,7 +10,12 @@
      s4cli versions -i disk.img /etc/passwd
      s4cli cat    -i disk.img /etc/passwd --at <ns>
      s4cli restore -i disk.img /etc --at <ns>
-     s4cli fsck   -i disk.img *)
+     s4cli fsck   -i disk.img
+
+   With --connect HOST:PORT the data-path commands (write, cat, ls,
+   rm, log, metrics) run against a live s4d daemon over the wire
+   protocol instead of opening a local image; history access (--at,
+   versions, restore, fsck, info, trace) needs the image. *)
 
 module Simclock = S4_util.Simclock
 module Geometry = S4_disk.Geometry
@@ -26,6 +31,9 @@ module Log = S4_seglog.Log
 module Trace = S4_obs.Trace
 module Metrics = S4_obs.Metrics
 module Check = S4_obs.Check
+module Netclient = S4_net.Client
+module Nettransport = S4_net.Transport
+module Wire = S4_net.Wire
 
 open Cmdliner
 
@@ -34,6 +42,19 @@ let image_arg =
     required
     & opt (some string) None
     & info [ "i"; "image" ] ~docv:"FILE" ~doc:"Disk image file.")
+
+let image_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "i"; "image" ] ~docv:"FILE" ~doc:"Disk image file.")
+
+let connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:"Operate on a running s4d daemon instead of a local image.")
 
 let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH")
 
@@ -67,6 +88,58 @@ let close_session image s =
   Audit.flush (Drive.audit s.drive);
   Log.sync (Drive.log s.drive);
   S4_tools.Disk_image.save image s.clock s.disk
+
+(* --- remote sessions (s4cli --connect) -------------------------------- *)
+
+type target = T_local of string | T_remote of string * int
+
+let parse_hostport hp =
+  match String.rindex_opt hp ':' with
+  | Some i -> (
+    let host = String.sub hp 0 i in
+    let p = String.sub hp (i + 1) (String.length hp - i - 1) in
+    match int_of_string_opt p with
+    | Some port when port > 0 && port < 65536 -> (host, port)
+    | _ ->
+      prerr_endline ("error: bad port in " ^ hp);
+      exit 1)
+  | None ->
+    prerr_endline ("error: expected HOST:PORT, got " ^ hp);
+    exit 1
+
+let target image connect =
+  match (connect, image) with
+  | Some hp, _ ->
+    let host, port = parse_hostport hp in
+    T_remote (host, port)
+  | None, Some image -> T_local image
+  | None, None ->
+    prerr_endline "error: need --image FILE or --connect HOST:PORT";
+    exit 1
+
+type rsession = { rclient : Netclient.t; rtr : Translator.t }
+
+let open_remote ~user host port =
+  let rclient = Netclient.connect (Nettransport.tcp ~host ~port) in
+  (match Netclient.capacity rclient with
+  | _ when Netclient.identity rclient > 0 -> ()
+  | _ ->
+    Printf.eprintf "error: cannot reach s4d at %s:%d\n" host port;
+    exit 1);
+  let rclock = Simclock.create () in
+  Simclock.set rclock (Netclient.server_now rclient);
+  let backend =
+    {
+      Translator.b_clock = rclock;
+      b_handle = Netclient.handle rclient;
+      b_keep_data = true;
+      b_capacity = (fun () -> Netclient.capacity rclient);
+    }
+  in
+  let rtr = Translator.mount ~cred:(Rpc.user_cred ~user ~client:1) (Translator.Backend backend) in
+  { rclient; rtr }
+
+let close_remote r = Netclient.close r.rclient
 
 let or_die = function
   | Ok v -> v
@@ -111,68 +184,118 @@ let cmd_format =
 
 let cmd_write =
   let data = Arg.(value & opt (some string) None & info [ "data" ] ~docv:"STRING") in
-  let run image user path data =
-    let s = open_session image user in
+  let run image connect user path data =
     let contents =
       match data with
       | Some d -> Bytes.of_string d
       | None -> Bytes.of_string (In_channel.input_all In_channel.stdin)
     in
-    let _fh = nfs_die (Translator.write_file s.tr path contents) in
-    Printf.printf "wrote %d bytes to %s at t=%Ld\n" (Bytes.length contents) path
-      (Simclock.now s.clock);
-    close_session image s
+    match target image connect with
+    | T_local image ->
+      let s = open_session image user in
+      let _fh = nfs_die (Translator.write_file s.tr path contents) in
+      Printf.printf "wrote %d bytes to %s at t=%Ld\n" (Bytes.length contents) path
+        (Simclock.now s.clock);
+      close_session image s
+    | T_remote (host, port) ->
+      let r = open_remote ~user host port in
+      let _fh = nfs_die (Translator.write_file r.rtr path contents) in
+      Printf.printf "wrote %d bytes to %s via %s:%d\n" (Bytes.length contents) path host port;
+      close_remote r
   in
   Cmd.v
     (Cmd.info "write" ~doc:"Write a file (creating parents); content from --data or stdin.")
-    Term.(const run $ image_arg $ user_arg $ path_arg $ data)
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg $ data)
 
 let cmd_cat =
-  let run image user path at =
-    let s = open_session image user in
-    (match at with
-     | None -> print_bytes (nfs_die (Translator.read_file s.tr path))
-     | Some at ->
-       let h = History.create s.drive in
-       print_bytes (or_die (History.cat_path h ~at path)));
-    print_newline ();
-    close_session image s
+  let run image connect user path at =
+    match target image connect with
+    | T_local image ->
+      let s = open_session image user in
+      (match at with
+       | None -> print_bytes (nfs_die (Translator.read_file s.tr path))
+       | Some at ->
+         let h = History.create s.drive in
+         print_bytes (or_die (History.cat_path h ~at path)));
+      print_newline ();
+      close_session image s
+    | T_remote (host, port) ->
+      if at <> None then begin
+        prerr_endline "error: --at needs the history pool; run against the image";
+        exit 1
+      end;
+      let r = open_remote ~user host port in
+      print_bytes (nfs_die (Translator.read_file r.rtr path));
+      print_newline ();
+      close_remote r
   in
   Cmd.v
     (Cmd.info "cat" ~doc:"Print a file's contents, optionally as of a past instant (admin).")
-    Term.(const run $ image_arg $ user_arg $ path_arg $ at_arg)
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg $ at_arg)
+
+let print_dirent (e : N.dirent) (a : N.attr) =
+  Printf.printf "%c %8d  %-30s oid=%Ld\n"
+    (match a.N.ftype with N.Fdir -> 'd' | N.Freg -> '-' | N.Flnk -> 'l')
+    a.N.size e.N.name e.N.fh
 
 let cmd_ls =
-  let run image user path at =
-    let s = open_session image user in
-    let h = History.create s.drive in
-    let dir = or_die (History.resolve h ?at path) in
-    let entries = or_die (History.ls h ?at dir) in
-    List.iter
-      (fun ((e : N.dirent), (a : N.attr)) ->
-        Printf.printf "%c %8d  %-30s oid=%Ld\n"
-          (match a.N.ftype with N.Fdir -> 'd' | N.Freg -> '-' | N.Flnk -> 'l')
-          a.N.size e.N.name e.N.fh)
-      entries;
-    close_session image s
+  let run image connect user path at =
+    match target image connect with
+    | T_local image ->
+      let s = open_session image user in
+      let h = History.create s.drive in
+      let dir = or_die (History.resolve h ?at path) in
+      let entries = or_die (History.ls h ?at dir) in
+      List.iter (fun (e, a) -> print_dirent e a) entries;
+      close_session image s
+    | T_remote (host, port) ->
+      if at <> None then begin
+        prerr_endline "error: --at needs the history pool; run against the image";
+        exit 1
+      end;
+      let r = open_remote ~user host port in
+      let dir, _ = nfs_die (Translator.lookup_path r.rtr path) in
+      (match Translator.handle r.rtr (N.Readdir dir) with
+       | N.R_entries entries ->
+         List.iter
+           (fun (e : N.dirent) ->
+             match Translator.handle r.rtr (N.Getattr e.N.fh) with
+             | N.R_attr a -> print_dirent e a
+             | _ -> ())
+           entries
+       | N.R_error e ->
+         Format.eprintf "error: %a@." N.pp_error e;
+         exit 1
+       | _ -> ());
+      close_remote r
   in
   Cmd.v
     (Cmd.info "ls" ~doc:"List a directory, optionally as of a past instant.")
-    Term.(const run $ image_arg $ user_arg $ path_arg $ at_arg)
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg $ at_arg)
 
 let cmd_rm =
-  let run image user path =
-    let s = open_session image user in
-    let dir, _ = nfs_die (Translator.lookup_path s.tr (Filename.dirname path)) in
-    (match Translator.handle s.tr (N.Remove { dir; name = Filename.basename path }) with
-     | N.R_unit -> Printf.printf "removed %s (the versions remain in the history pool)\n" path
-     | N.R_error e ->
-       Format.eprintf "error: %a@." N.pp_error e;
-       exit 1
-     | _ -> ());
-    close_session image s
+  let rm_via tr path =
+    let dir, _ = nfs_die (Translator.lookup_path tr (Filename.dirname path)) in
+    match Translator.handle tr (N.Remove { dir; name = Filename.basename path }) with
+    | N.R_unit -> Printf.printf "removed %s (the versions remain in the history pool)\n" path
+    | N.R_error e ->
+      Format.eprintf "error: %a@." N.pp_error e;
+      exit 1
+    | _ -> ()
   in
-  Cmd.v (Cmd.info "rm" ~doc:"Remove a file.") Term.(const run $ image_arg $ user_arg $ path_arg)
+  let run image connect user path =
+    match target image connect with
+    | T_local image ->
+      let s = open_session image user in
+      rm_via s.tr path;
+      close_session image s
+    | T_remote (host, port) ->
+      let r = open_remote ~user host port in
+      rm_via r.rtr path;
+      close_remote r
+  in
+  Cmd.v (Cmd.info "rm" ~doc:"Remove a file.")
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg)
 
 let cmd_versions =
   let run image path =
@@ -190,22 +313,32 @@ let cmd_versions =
     (Cmd.info "versions" ~doc:"Show the retained version history of a file (admin).")
     Term.(const run $ image_arg $ path_arg)
 
+let print_audit = function
+  | Rpc.R_audit records ->
+    Printf.printf "%d audit records:\n" (List.length records);
+    List.iter
+      (fun (r : Audit.record) ->
+        Printf.printf "  t=%-14Ld user=%-3d client=%-3d %-12s oid=%-4Ld %s%s\n" r.Audit.at
+          r.Audit.user r.Audit.client r.Audit.op r.Audit.oid r.Audit.info
+          (if r.Audit.ok then "" else "  DENIED"))
+      records
+  | r -> Format.eprintf "error: %a@." Rpc.pp_resp r
+
 let cmd_log =
-  let run image =
-    let s = open_session image 0 in
-    (match Drive.handle s.drive Rpc.admin_cred (Rpc.Read_audit { since = 0L; until = Int64.max_int }) with
-     | Rpc.R_audit records ->
-       Printf.printf "%d audit records:\n" (List.length records);
-       List.iter
-         (fun (r : Audit.record) ->
-           Printf.printf "  t=%-14Ld user=%-3d client=%-3d %-12s oid=%-4Ld %s%s\n" r.Audit.at
-             r.Audit.user r.Audit.client r.Audit.op r.Audit.oid r.Audit.info
-             (if r.Audit.ok then "" else "  DENIED"))
-         records
-     | r -> Format.eprintf "error: %a@." Rpc.pp_resp r);
-    close_session image s
+  let read_audit = Rpc.Read_audit { since = 0L; until = Int64.max_int } in
+  let run image connect =
+    match target image connect with
+    | T_local image ->
+      let s = open_session image 0 in
+      print_audit (Drive.handle s.drive Rpc.admin_cred read_audit);
+      close_session image s
+    | T_remote (host, port) ->
+      let r = open_remote ~user:0 host port in
+      print_audit (Netclient.handle r.rclient Rpc.admin_cred read_audit);
+      close_remote r
   in
-  Cmd.v (Cmd.info "log" ~doc:"Dump the drive's audit log (admin).") Term.(const run $ image_arg)
+  Cmd.v (Cmd.info "log" ~doc:"Dump the drive's audit log (admin).")
+    Term.(const run $ image_opt_arg $ connect_arg)
 
 let cmd_restore =
   let at_req =
@@ -272,40 +405,52 @@ let cmd_trace =
        ~doc:"Read a file with the span tracer on and print the nested span tree across all layers.")
     Term.(const run $ image_arg $ user_arg $ path_arg $ at_arg)
 
+(* Walk the whole tree — stat everything, read every file — so the
+   registry shows per-RPC-kind latency for the drive's contents. *)
+let rec metrics_walk tr fh =
+  match Translator.handle tr (N.Readdir fh) with
+  | N.R_entries entries ->
+    List.iter
+      (fun (e : N.dirent) ->
+        match Translator.handle tr (N.Getattr e.N.fh) with
+        | N.R_attr a ->
+          (match a.N.ftype with
+           | N.Fdir -> metrics_walk tr e.N.fh
+           | N.Freg | N.Flnk ->
+             ignore
+               (Translator.handle tr (N.Read { fh = e.N.fh; off = 0; len = max a.N.size 1 })))
+        | _ -> ())
+      entries
+  | _ -> ()
+
 let cmd_metrics =
-  let run image user =
-    let s = open_session image user in
-    Metrics.reset ();
-    Trace.clear ();
-    Trace.enable ();
-    (* Walk the whole tree — stat everything, read every file — so the
-       registry shows per-RPC-kind latency for the image's contents. *)
-    let rec walk fh =
-      match Translator.handle s.tr (N.Readdir fh) with
-      | N.R_entries entries ->
-        List.iter
-          (fun (e : N.dirent) ->
-            match Translator.handle s.tr (N.Getattr e.N.fh) with
-            | N.R_attr a ->
-              (match a.N.ftype with
-               | N.Fdir -> walk e.N.fh
-               | N.Freg | N.Flnk ->
-                 ignore
-                   (Translator.handle s.tr (N.Read { fh = e.N.fh; off = 0; len = max a.N.size 1 })))
-            | _ -> ())
-          entries
-      | _ -> ()
-    in
-    walk (Translator.root s.tr);
-    Trace.disable ();
-    Format.printf "%a" Metrics.pp ();
-    Printf.printf "(%d spans recorded)\n" (Trace.count ());
-    close_session image s
+  let run image connect user =
+    match target image connect with
+    | T_local image ->
+      let s = open_session image user in
+      Metrics.reset ();
+      Wire.ensure_metrics ();
+      Trace.clear ();
+      Trace.enable ();
+      metrics_walk s.tr (Translator.root s.tr);
+      Trace.disable ();
+      Format.printf "%a" Metrics.pp ();
+      Printf.printf "(%d spans recorded)\n" (Trace.count ());
+      close_session image s
+    | T_remote (host, port) ->
+      let r = open_remote ~user host port in
+      Metrics.reset ();
+      Wire.ensure_metrics ();
+      metrics_walk r.rtr (Translator.root r.rtr);
+      Format.printf "%a" Metrics.pp ();
+      Printf.printf "(client: %d retries, %d reconnects)\n" (Netclient.retries r.rclient)
+        (Netclient.reconnects r.rclient);
+      close_remote r
   in
   Cmd.v
     (Cmd.info "metrics"
-       ~doc:"Walk the image with tracing on and print the metrics registry (counters + latency histograms).")
-    Term.(const run $ image_arg $ user_arg)
+       ~doc:"Walk the drive with tracing on and print the metrics registry (counters + latency histograms).")
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg)
 
 let () =
   let doc = "operate a simulated self-securing (S4) storage drive" in

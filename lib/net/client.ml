@@ -1,0 +1,279 @@
+module Rpc = S4.Rpc
+module Rng = S4_util.Rng
+module Metrics = S4_obs.Metrics
+
+type config = {
+  req_timeout_s : float;
+  max_retries : int;
+  backoff_ms : float;
+  jitter : float;
+  seed : int;
+  claim_client : int;
+}
+
+let default_config =
+  {
+    req_timeout_s = 5.0;
+    max_retries = 3;
+    backoff_ms = 5.0;
+    jitter = 0.25;
+    seed = 42;
+    claim_client = 1;
+  }
+
+type t = {
+  transport : Transport.t;
+  cfg : config;
+  rng : Rng.t;
+  mutable ep : Transport.endpoint option;
+  mutable c_identity : int;
+  mutable c_server_now : int64;
+  mutable next_xid : int64;
+  mutable inbuf : Bytes.t;
+  mutable in_len : int;
+  mutable connected_once : bool;
+  mutable n_retries : int;
+  mutable n_reconnects : int;
+}
+
+exception Permanent of string
+
+let connect ?(config = default_config) transport =
+  Wire.ensure_metrics ();
+  {
+    transport;
+    cfg = config;
+    rng = Rng.create ~seed:config.seed;
+    ep = None;
+    c_identity = 0;
+    c_server_now = 0L;
+    next_xid = 1L;
+    inbuf = Bytes.create 4096;
+    in_len = 0;
+    connected_once = false;
+    n_retries = 0;
+    n_reconnects = 0;
+  }
+
+let identity t = t.c_identity
+let server_now t = t.c_server_now
+let retries t = t.n_retries
+let reconnects t = t.n_reconnects
+
+let drop_ep t =
+  (match t.ep with Some e -> (try e.Transport.ep_close () with _ -> ()) | None -> ());
+  t.ep <- None;
+  t.in_len <- 0
+
+let fresh_xid t =
+  let x = t.next_xid in
+  t.next_xid <- Int64.add x 1L;
+  x
+
+let send e frame =
+  let b = Wire.encode frame in
+  Metrics.incr "net/frames_out";
+  Metrics.incr ~by:(Bytes.length b) "net/bytes_out";
+  e.Transport.ep_send b
+
+(* Read one frame from the endpoint, buffering partial input. Raises
+   Transport.Closed / Transport.Timeout on connection trouble and
+   Permanent on an unrecoverable protocol answer. *)
+let recv_frame t e : Wire.frame =
+  let rec loop () =
+    match Wire.decode t.inbuf ~pos:0 ~avail:t.in_len with
+    | Wire.Frame (f, used) ->
+      let rest = t.in_len - used in
+      if rest > 0 then Bytes.blit t.inbuf used t.inbuf 0 rest;
+      t.in_len <- rest;
+      Metrics.incr "net/frames_in";
+      f
+    | Wire.Corrupt msg ->
+      drop_ep t;
+      raise (Permanent ("server sent corrupt frame: " ^ msg))
+    | Wire.Need_more _ ->
+      if t.in_len = Bytes.length t.inbuf then begin
+        let nb = Bytes.create (2 * Bytes.length t.inbuf) in
+        Bytes.blit t.inbuf 0 nb 0 t.in_len;
+        t.inbuf <- nb
+      end;
+      let n = e.Transport.ep_recv t.inbuf t.in_len (Bytes.length t.inbuf - t.in_len) in
+      if n = 0 then raise Transport.Closed;
+      Metrics.incr ~by:n "net/bytes_in";
+      t.in_len <- t.in_len + n;
+      loop ()
+  in
+  loop ()
+
+let ensure_ep t =
+  match t.ep with
+  | Some e -> e
+  | None ->
+    let e = t.transport.Transport.connect () in
+    let ok = ref false in
+    Fun.protect
+      ~finally:(fun () -> if not !ok then try e.Transport.ep_close () with _ -> ())
+      (fun () ->
+        e.Transport.ep_set_timeout (Some t.cfg.req_timeout_s);
+        t.ep <- Some e;
+        t.in_len <- 0;
+        send e (Wire.Hello { version = Wire.version; claim = t.cfg.claim_client });
+        let rec await () =
+          match recv_frame t e with
+          | Wire.Hello_ack { version = _; identity; now } ->
+            t.c_identity <- identity;
+            t.c_server_now <- now
+          | Wire.Proto_error { message; _ } ->
+            raise (Permanent ("handshake refused: " ^ message))
+          | _ -> await ()
+        in
+        await ();
+        if t.connected_once then begin
+          t.n_reconnects <- t.n_reconnects + 1;
+          Metrics.incr "net/reconnect"
+        end;
+        t.connected_once <- true;
+        ok := true);
+    if not !ok then t.ep <- None;
+    e
+
+let rpc_once t cred sync req : Rpc.resp =
+  let e = ensure_ep t in
+  let xid = fresh_xid t in
+  send e (Wire.Request { xid; cred; sync; req });
+  let rec await () =
+    match recv_frame t e with
+    | Wire.Response { xid = x; resp } when Int64.equal x xid -> resp
+    | Wire.Response _ -> await () (* stale answer from a timed-out request *)
+    | Wire.Proto_error { message; _ } ->
+      drop_ep t;
+      raise (Permanent ("server rejected request: " ^ message))
+    | Wire.Hello_ack { identity; now; _ } ->
+      t.c_identity <- identity;
+      t.c_server_now <- now;
+      await ()
+    | Wire.Stat_ack _ -> await ()
+    | Wire.Hello _ | Wire.Request _ | Wire.Stat _ | Wire.Goodbye ->
+      drop_ep t;
+      raise Transport.Closed
+  in
+  await ()
+
+let backoff t attempt =
+  let base = t.cfg.backoff_ms *. (2.0 ** float_of_int attempt) in
+  let jit = 1.0 +. (t.cfg.jitter *. Rng.float t.rng 1.0) in
+  Unix.sleepf (base *. jit /. 1000.0)
+
+let transient_failure = function
+  | Transport.Closed | Transport.Timeout -> true
+  | Unix.Unix_error _ -> true
+  | _ -> false
+
+let failure_message = function
+  | Transport.Timeout -> "request timed out"
+  | Transport.Closed -> "connection lost"
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | exn -> Printexc.to_string exn
+
+let handle t cred ?(sync = false) req : Rpc.resp =
+  let idempotent = not (Rpc.is_mutation req) in
+  let rec go attempt =
+    match rpc_once t cred sync req with
+    | resp -> resp
+    | exception Permanent msg -> Rpc.R_error (Rpc.Io_error msg)
+    | exception exn when transient_failure exn ->
+      drop_ep t;
+      if idempotent && attempt < t.cfg.max_retries then begin
+        t.n_retries <- t.n_retries + 1;
+        Metrics.incr "net/retry";
+        backoff t attempt;
+        go (attempt + 1)
+      end
+      else Rpc.R_error (Rpc.Io_error (failure_message exn))
+  in
+  go 0
+
+let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
+  match reqs with
+  | [] -> []
+  | _ -> (
+    let fallback msg = List.map (fun _ -> Rpc.R_error (Rpc.Io_error msg)) reqs in
+    match ensure_ep t with
+    | exception Permanent msg -> fallback msg
+    | exception exn when transient_failure exn ->
+      drop_ep t;
+      fallback (failure_message exn)
+    | e -> (
+      try
+        let xids =
+          List.map
+            (fun req ->
+              let xid = fresh_xid t in
+              send e (Wire.Request { xid; cred; sync; req });
+              xid)
+            reqs
+        in
+        let answers : (int64, Rpc.resp) Hashtbl.t = Hashtbl.create (List.length reqs) in
+        let outstanding = ref (List.length reqs) in
+        while !outstanding > 0 do
+          match recv_frame t e with
+          | Wire.Response { xid; resp } ->
+            if not (Hashtbl.mem answers xid) then begin
+              Hashtbl.add answers xid resp;
+              decr outstanding
+            end
+          | Wire.Proto_error { message; _ } ->
+            drop_ep t;
+            raise (Permanent ("server rejected request: " ^ message))
+          | _ -> ()
+        done;
+        List.map
+          (fun xid ->
+            match Hashtbl.find_opt answers xid with
+            | Some r -> r
+            | None -> Rpc.R_error (Rpc.Io_error "no response"))
+          xids
+      with
+      | Permanent msg -> fallback msg
+      | exn when transient_failure exn ->
+        drop_ep t;
+        fallback (failure_message exn)))
+
+let capacity t =
+  let once () =
+    let e = ensure_ep t in
+    let xid = fresh_xid t in
+    send e (Wire.Stat { xid });
+    let rec await () =
+      match recv_frame t e with
+      | Wire.Stat_ack { xid = x; total; free; now } when Int64.equal x xid ->
+        t.c_server_now <- now;
+        (total, free)
+      | Wire.Proto_error { message; _ } ->
+        drop_ep t;
+        raise (Permanent message)
+      | _ -> await ()
+    in
+    await ()
+  in
+  let rec go attempt =
+    match once () with
+    | (r : int * int) -> r
+    | exception Permanent _ -> (0, 0)
+    | exception exn when transient_failure exn ->
+      drop_ep t;
+      if attempt < t.cfg.max_retries then begin
+        t.n_retries <- t.n_retries + 1;
+        Metrics.incr "net/retry";
+        backoff t attempt;
+        go (attempt + 1)
+      end
+      else (0, 0)
+  in
+  go 0
+
+let close t =
+  (match t.ep with
+  | Some e -> ( try send e Wire.Goodbye with _ -> ())
+  | None -> ());
+  drop_ep t

@@ -1,0 +1,53 @@
+(** Resilient networked client presenting the [Drive.handle] surface.
+
+    One logical connection to an S4 server over any {!Transport.t}.
+    Connects lazily, handshakes ({!Wire.Hello} → {!Wire.Hello_ack}),
+    and reconnects transparently after a drop. Requests that time out
+    or lose their connection are retried — with exponential backoff
+    and deterministic jitter — only when idempotent (not
+    [Rpc.is_mutation]); mutations surface [Io_error] immediately
+    rather than risk double execution. Retries and reconnects are
+    counted under [net/retry] and [net/reconnect]. *)
+
+type config = {
+  req_timeout_s : float;  (** per-request receive timeout *)
+  max_retries : int;  (** for idempotent requests *)
+  backoff_ms : float;  (** base backoff, doubled per retry *)
+  jitter : float;  (** multiplicative jitter fraction, e.g. 0.25 *)
+  seed : int;  (** jitter rng seed (deterministic) *)
+  claim_client : int;  (** client id claimed in the handshake *)
+}
+
+val default_config : config
+
+type t
+
+val connect : ?config:config -> Transport.t -> t
+(** Lazy: no io happens until the first request. *)
+
+val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
+(** Same shape as [Drive.handle]. Never raises: permanent transport
+    failure becomes [R_error (Io_error _)]. *)
+
+val pipeline :
+  t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req list -> S4.Rpc.resp list
+(** Send the whole batch before reading any response (request-id
+    multiplexing); responses come back in request order. No retries —
+    a drop mid-batch yields [Io_error] for the unanswered tail. *)
+
+val capacity : t -> int * int
+(** (total_bytes, free_bytes) via [Stat]; (0, 0) if unreachable. *)
+
+val identity : t -> int
+(** Connection identity the server assigned (from {!Wire.Hello_ack});
+    0 before the first successful handshake. *)
+
+val server_now : t -> int64
+(** Server simulated clock at the last handshake or stat. *)
+
+val retries : t -> int
+val reconnects : t -> int
+
+val close : t -> unit
+(** Best-effort [Goodbye], then drop the connection. The client may be
+    used again afterwards (it will reconnect). *)

@@ -1,0 +1,362 @@
+module Rpc = S4.Rpc
+module Drive = S4.Drive
+module Simclock = S4_util.Simclock
+module Metrics = S4_obs.Metrics
+module Trace = S4_obs.Trace
+
+type backend = {
+  bk_handle : Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp;
+  bk_clock : Simclock.t;
+  bk_capacity : unit -> int * int;
+  bk_audit_garbage : (client:int -> info:string -> unit) option;
+}
+
+let backend_of_drive drive =
+  let module L = S4_seglog.Log in
+  let log = Drive.log drive in
+  let block = L.block_size log in
+  {
+    bk_handle = Drive.handle drive;
+    bk_clock = Drive.clock drive;
+    bk_capacity =
+      (fun () ->
+        (L.usable_blocks log * block, (L.usable_blocks log - L.live_blocks log) * block));
+    bk_audit_garbage =
+      Some
+        (fun ~client ~info ->
+          let audit = Drive.audit drive in
+          let at = Simclock.now (Drive.clock drive) in
+          try
+            S4.Audit.append audit
+              { S4.Audit.at; user = -1; client; op = "net_reject"; oid = 0L; info; ok = false }
+          with _ -> ());
+  }
+
+type config = { max_frame : int; max_inflight : int; max_io : int; allow_admin : bool }
+
+let default_config =
+  {
+    max_frame = Wire.max_frame_default;
+    max_inflight = 64;
+    max_io = 16 * 1024 * 1024;
+    allow_admin = true;
+  }
+
+type t = {
+  backend : backend;
+  cfg : config;
+  lock : Mutex.t;  (** serializes backend calls: the drive stack is not thread-safe *)
+}
+
+let create ?(config = default_config) backend =
+  Wire.ensure_metrics ();
+  { backend; cfg = config; lock = Mutex.create () }
+
+let config t = t.cfg
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Sans-IO protocol session                                            *)
+
+module Session = struct
+  type s = {
+    srv : t;
+    s_identity : int;
+    s_trace : bool;
+    mutable inbuf : Bytes.t;
+    mutable in_start : int;
+    mutable in_len : int;
+    pending : (int64 * Rpc.credential * bool * Rpc.req) Queue.t;
+    out : Buffer.t;
+    mutable s_closing : bool;
+  }
+
+  let create ?(identity = 1) ?(trace = false) srv =
+    {
+      srv;
+      s_identity = identity;
+      s_trace = trace;
+      inbuf = Bytes.create 4096;
+      in_start = 0;
+      in_len = 0;
+      pending = Queue.create ();
+      out = Buffer.create 256;
+      s_closing = false;
+    }
+
+  let identity s = s.s_identity
+  let closing s = s.s_closing
+  let finished s = s.s_closing && Queue.is_empty s.pending && Buffer.length s.out = 0
+
+  let emit s frame =
+    let b = Wire.encode frame in
+    Metrics.incr "net/frames_out";
+    Metrics.incr ~by:(Bytes.length b) "net/bytes_out";
+    Buffer.add_bytes s.out b
+
+  let output s =
+    let b = Buffer.to_bytes s.out in
+    Buffer.clear s.out;
+    b
+
+  (* Reject the stream: protocol error out, audit the garbage, stop
+     reading. Queued valid requests still execute before the close. *)
+  let reject s msg =
+    Metrics.incr "net/decode_reject";
+    (match s.srv.backend.bk_audit_garbage with
+    | Some f -> f ~client:s.s_identity ~info:msg
+    | None -> ());
+    emit s (Wire.Proto_error { xid = 0L; message = msg });
+    s.s_closing <- true;
+    s.in_len <- 0;
+    s.in_start <- 0
+
+  let now s = Simclock.now s.srv.backend.bk_clock
+
+  let on_frame s (frame : Wire.frame) =
+    match frame with
+    | Wire.Hello { version; claim = _ } ->
+      if version <> Wire.version then
+        reject s (Printf.sprintf "unsupported client version %d" version)
+      else
+        emit s
+          (Wire.Hello_ack { version = Wire.version; identity = s.s_identity; now = now s })
+    | Wire.Request { xid; cred; sync; req } ->
+      if Queue.length s.pending >= s.srv.cfg.max_inflight then
+        reject s
+          (Printf.sprintf "more than %d requests in flight" s.srv.cfg.max_inflight)
+      else Queue.add (xid, cred, sync, req) s.pending
+    | Wire.Stat { xid } ->
+      let total, free = with_lock s.srv (fun () -> s.srv.backend.bk_capacity ()) in
+      emit s (Wire.Stat_ack { xid; total; free; now = now s })
+    | Wire.Goodbye -> s.s_closing <- true
+    | Wire.Hello_ack _ | Wire.Response _ | Wire.Proto_error _ | Wire.Stat_ack _ ->
+      reject s (Printf.sprintf "unexpected %s frame from client" (Wire.frame_name frame))
+
+  let compact s =
+    if s.in_start > 0 then begin
+      Bytes.blit s.inbuf s.in_start s.inbuf 0 s.in_len;
+      s.in_start <- 0
+    end
+
+  let parse s =
+    let continue = ref true in
+    while !continue do
+      match
+        Wire.decode ~max_frame:s.srv.cfg.max_frame s.inbuf ~pos:s.in_start ~avail:s.in_len
+      with
+      | Wire.Frame (f, used) ->
+        s.in_start <- s.in_start + used;
+        s.in_len <- s.in_len - used;
+        Metrics.incr "net/frames_in";
+        on_frame s f;
+        if s.s_closing then continue := false
+      | Wire.Need_more _ -> continue := false
+      | Wire.Corrupt msg ->
+        reject s msg;
+        continue := false
+    done;
+    if s.in_len = 0 then s.in_start <- 0
+
+  let feed s buf off len =
+    if len < 0 || off < 0 || off + len > Bytes.length buf then
+      invalid_arg "Session.feed: bad range";
+    if (not s.s_closing) && len > 0 then begin
+      Metrics.incr ~by:len "net/bytes_in";
+      compact s;
+      if s.in_len + len > Bytes.length s.inbuf then begin
+        let ncap = max (s.in_len + len) (2 * Bytes.length s.inbuf) in
+        let nb = Bytes.create ncap in
+        Bytes.blit s.inbuf 0 nb 0 s.in_len;
+        s.inbuf <- nb
+      end;
+      Bytes.blit buf off s.inbuf s.in_len len;
+      s.in_len <- s.in_len + len;
+      parse s
+    end
+
+  let oversized_io cfg (req : Rpc.req) =
+    match req with
+    | Rpc.Read { len; _ } | Rpc.Write { len; _ } | Rpc.Append { len; _ } ->
+      len > cfg.max_io || len < 0
+    | Rpc.Truncate { size; _ } -> size > cfg.max_io || size < 0
+    | _ -> false
+
+  let bad_data (req : Rpc.req) =
+    match req with
+    | Rpc.Write { len; data = Some d; _ } | Rpc.Append { len; data = Some d; _ } ->
+      Bytes.length d <> len
+    | _ -> false
+
+  let execute s cred sync req =
+    let cfg = s.srv.cfg in
+    (* The connection, not the request, names the client. *)
+    let cred = { cred with Rpc.client = s.s_identity } in
+    if cred.Rpc.admin && not cfg.allow_admin then Rpc.R_error Rpc.Permission_denied
+    else if oversized_io cfg req then
+      Rpc.R_error (Rpc.Bad_request "io size exceeds server limit")
+    else if bad_data req then Rpc.R_error (Rpc.Bad_request "data length mismatch")
+    else
+      with_lock s.srv (fun () ->
+          let tok =
+            if s.s_trace && Trace.on () then
+              Trace.enter Trace.Net ~kind:(Rpc.op_name req) ~now:(now s)
+            else Trace.null
+          in
+          let resp =
+            try s.srv.backend.bk_handle cred ~sync req
+            with exn -> Rpc.R_error (Rpc.Io_error (Printexc.to_string exn))
+          in
+          (match resp with
+          | Rpc.R_error e -> Trace.fail tok (Drive.err_tag e)
+          | _ -> ());
+          Trace.finish tok ~now:(now s);
+          resp)
+
+  let step s =
+    match Queue.take_opt s.pending with
+    | None -> false
+    | Some (xid, cred, sync, req) ->
+      let resp = execute s cred sync req in
+      emit s (Wire.Response { xid; resp });
+      true
+
+  let rec run s = if step s then run s
+end
+
+(* ------------------------------------------------------------------ *)
+(* TCP daemon                                                          *)
+
+type listener = {
+  l_sock : Unix.file_descr;
+  l_port : int;
+  mutable l_stopping : bool;
+  l_threads : (Mutex.t * Thread.t list ref);
+  mutable l_accepted : int;
+  mutable l_accept_thread : Thread.t option;
+}
+
+let ignore_sigpipe =
+  lazy (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ())
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.write fd b !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Distinct peer IPs get distinct, stable identities. *)
+let id_lock = Mutex.create ()
+let id_table : (string, int) Hashtbl.t = Hashtbl.create 7
+let id_next = ref 1
+
+let identity_of_addr = function
+  | Unix.ADDR_INET (ip, _) ->
+    let key = Unix.string_of_inet_addr ip in
+    Mutex.lock id_lock;
+    let id =
+      match Hashtbl.find_opt id_table key with
+      | Some id -> id
+      | None ->
+        let id = !id_next in
+        incr id_next;
+        Hashtbl.add id_table key id;
+        id
+    in
+    Mutex.unlock id_lock;
+    id
+  | Unix.ADDR_UNIX _ -> 0
+
+let serve_connection srv l fd peer =
+  let sess = Session.create ~identity:(identity_of_addr peer) srv in
+  let buf = Bytes.create 65536 in
+  (* A short receive timeout keeps the loop responsive to shutdown. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.25 with Unix.Unix_error _ -> ());
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+  let alive = ref true in
+  (try
+     while !alive do
+       if l.l_stopping then sess.Session.s_closing <- true;
+       if not (Session.closing sess) then begin
+         match Unix.read fd buf 0 (Bytes.length buf) with
+         | 0 -> sess.Session.s_closing <- true
+         | n -> Session.feed sess buf 0 n
+         | exception
+             Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT | Unix.EINTR), _, _)
+           ->
+           ()
+         | exception Unix.Unix_error (_, _, _) -> sess.Session.s_closing <- true
+       end;
+       Session.run sess;
+       let out = Session.output sess in
+       if Bytes.length out > 0 then write_all fd out;
+       if Session.finished sess then alive := false
+     done
+   with _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_loop srv l =
+  if not l.l_stopping then begin
+    match Unix.select [ l.l_sock ] [] [] 0.25 with
+    | [], _, _ -> accept_loop srv l
+    | _ :: _, _, _ ->
+      (match Unix.accept l.l_sock with
+      | fd, peer ->
+        l.l_accepted <- l.l_accepted + 1;
+        let th = Thread.create (fun () -> serve_connection srv l fd peer) () in
+        let m, lst = l.l_threads in
+        Mutex.lock m;
+        lst := th :: !lst;
+        Mutex.unlock m
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> l.l_stopping <- true);
+      accept_loop srv l
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop srv l
+    | exception Unix.Unix_error (_, _, _) -> l.l_stopping <- true
+  end
+
+let serve_tcp ?(host = "127.0.0.1") ?(port = 0) srv =
+  Lazy.force ignore_sigpipe;
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (addr, port));
+  Unix.listen sock 64;
+  let actual_port =
+    match Unix.getsockname sock with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let l =
+    {
+      l_sock = sock;
+      l_port = actual_port;
+      l_stopping = false;
+      l_threads = (Mutex.create (), ref []);
+      l_accepted = 0;
+      l_accept_thread = None;
+    }
+  in
+  l.l_accept_thread <- Some (Thread.create (fun () -> accept_loop srv l) ());
+  l
+
+let port l = l.l_port
+let connections l = l.l_accepted
+
+let shutdown l =
+  l.l_stopping <- true;
+  (match l.l_accept_thread with Some th -> Thread.join th | None -> ());
+  (try Unix.close l.l_sock with Unix.Unix_error _ -> ());
+  let m, lst = l.l_threads in
+  Mutex.lock m;
+  let threads = !lst in
+  lst := [];
+  Mutex.unlock m;
+  List.iter Thread.join threads

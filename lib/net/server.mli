@@ -1,0 +1,108 @@
+(** Concurrent wire-protocol server for any [Drive.handle]-shaped backend.
+
+    The protocol engine is sans-IO: a {!Session.t} consumes raw bytes,
+    parses frames, queues requests and produces response bytes, with no
+    socket in sight. The deterministic loopback transport and the
+    threaded TCP daemon both drive the exact same session code, so
+    every protocol decision exercised over TCP is also exercised — byte
+    for byte — in the deterministic test suite.
+
+    {b Identity is connection-derived.} Whatever [client] id a request
+    frame carries, the session overwrites it with the identity bound to
+    the connection before the backend sees it. A compromised client
+    host can therefore neither dodge the drive's growth throttle nor
+    frame another machine in the audit trail — the self-securing
+    boundary of the paper, applied to the network edge.
+
+    {b Hostile input.} A frame {!Wire.decode} rejects is answered with
+    a [Proto_error], counted under [net/decode_reject], reported to the
+    backend's garbage-audit hook, and the connection is closed. Nothing
+    a peer sends can make the server raise or allocate beyond the
+    configured frame cap. *)
+
+type backend = {
+  bk_handle : S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp;
+  bk_clock : S4_util.Simclock.t;
+  bk_capacity : unit -> int * int;  (** (total_bytes, free_bytes) *)
+  bk_audit_garbage : (client:int -> info:string -> unit) option;
+      (** record a protocol-level rejection in the audit trail *)
+}
+
+val backend_of_drive : S4.Drive.t -> backend
+(** Serve a single drive; garbage frames land in its audit log under
+    op ["net_reject"]. *)
+
+type config = {
+  max_frame : int;  (** largest accepted frame payload, bytes *)
+  max_inflight : int;  (** queued-but-unexecuted requests per connection *)
+  max_io : int;  (** largest single read/write/append/truncate, bytes *)
+  allow_admin : bool;
+      (** accept frames whose credential claims [admin]; refuse with
+          [Permission_denied] when false (admin stays console-only) *)
+}
+
+val default_config : config
+(** 4 MiB frames, 64 in-flight, 16 MiB io, admin allowed. *)
+
+type t
+
+val create : ?config:config -> backend -> t
+(** Backend calls are serialized under an internal lock, so one server
+    can safely carry many concurrent connections to a single
+    (thread-oblivious) drive stack. *)
+
+val config : t -> config
+
+(** {1 Protocol sessions (sans-IO)} *)
+
+module Session : sig
+  type s
+
+  val create : ?identity:int -> ?trace:bool -> t -> s
+  (** A connection bound to [identity] (default 1, the translator's
+      default credential client). [trace] (default false) wraps each
+      executed request in a [net] span — only safe where the session
+      runs on the tracer's thread, i.e. the loopback transport. *)
+
+  val feed : s -> Bytes.t -> int -> int -> unit
+  (** Consume raw bytes from the peer. Parses as many complete frames
+      as are present; control frames are answered immediately, requests
+      are queued for {!step}. Input after close is discarded. *)
+
+  val step : s -> bool
+  (** Execute one queued request against the backend (under the server
+      lock) and queue its response bytes. False if nothing was pending. *)
+
+  val run : s -> unit
+  (** {!step} until the pending queue is empty. *)
+
+  val output : s -> Bytes.t
+  (** Drain the bytes owed to the peer (empty when none). *)
+
+  val closing : s -> bool
+  (** No further input will be accepted (goodbye, EOF or protocol
+      error); pending requests are still executed and flushed. *)
+
+  val finished : s -> bool
+  (** Closing, nothing pending, nothing buffered: drop the connection. *)
+
+  val identity : s -> int
+end
+
+(** {1 TCP daemon} *)
+
+type listener
+
+val serve_tcp : ?host:string -> ?port:int -> t -> listener
+(** Listen on [host:port] (default 127.0.0.1, port 0 = ephemeral) with
+    one thread per connection. Connection identity is interned from the
+    peer address: every distinct peer IP gets a distinct id, stable for
+    the listener's lifetime. *)
+
+val port : listener -> int
+val connections : listener -> int
+(** Connections accepted so far. *)
+
+val shutdown : listener -> unit
+(** Graceful: stop accepting, let every live connection drain its
+    queued requests and flush responses, then join all threads. *)

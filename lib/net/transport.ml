@@ -1,0 +1,117 @@
+exception Closed
+exception Timeout
+
+type endpoint = {
+  ep_peer : string;
+  ep_send : Bytes.t -> unit;
+  ep_recv : Bytes.t -> int -> int -> int;
+  ep_set_timeout : float option -> unit;
+  ep_close : unit -> unit;
+}
+
+type t = { label : string; connect : unit -> endpoint }
+
+(* ------------------------------------------------------------------ *)
+(* TCP                                                                 *)
+
+let tcp ~host ~port =
+  let peer = Printf.sprintf "%s:%d" host port in
+  let connect () =
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> raise Closed)
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let closed = ref false in
+    let ep_close () =
+      if not !closed then begin
+        closed := true;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+    in
+    let ep_send b =
+      if !closed then raise Closed;
+      let len = Bytes.length b in
+      let off = ref 0 in
+      try
+        while !off < len do
+          match Unix.write fd b !off (len - !off) with
+          | n -> off := !off + n
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        done
+      with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        ep_close ();
+        raise Closed
+    in
+    let ep_recv buf off len =
+      if !closed then raise Closed;
+      match Unix.read fd buf off len with
+      | n -> n
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        ->
+        raise Timeout
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> raise Timeout
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF), _, _) ->
+        ep_close ();
+        raise Closed
+    in
+    let ep_set_timeout = function
+      | None -> ( try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0. with Unix.Unix_error _ -> ())
+      | Some s -> (
+        try Unix.setsockopt_float fd Unix.SO_RCVTIMEO (max 0.001 s)
+        with Unix.Unix_error _ -> ())
+    in
+    { ep_peer = peer; ep_send; ep_recv; ep_set_timeout; ep_close }
+  in
+  { label = "tcp:" ^ peer; connect }
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic in-memory loopback                                    *)
+
+let loopback ?(identity = 1) srv =
+  let connect () =
+    let sess = Server.Session.create ~identity ~trace:true srv in
+    let closed = ref false in
+    let pending = ref Bytes.empty in
+    let ppos = ref 0 in
+    let refill () =
+      if !ppos >= Bytes.length !pending then begin
+        Server.Session.run sess;
+        pending := Server.Session.output sess;
+        ppos := 0
+      end
+    in
+    let ep_send b =
+      if !closed || Server.Session.closing sess then raise Closed;
+      Server.Session.feed sess b 0 (Bytes.length b);
+      Server.Session.run sess
+    in
+    let ep_recv buf off len =
+      if !closed then raise Closed;
+      refill ();
+      let avail = Bytes.length !pending - !ppos in
+      if avail = 0 then
+        if Server.Session.finished sess then 0 else raise Timeout
+      else begin
+        let n = min len avail in
+        Bytes.blit !pending !ppos buf off n;
+        ppos := !ppos + n;
+        n
+      end
+    in
+    {
+      ep_peer = "loopback";
+      ep_send;
+      ep_recv;
+      ep_set_timeout = (fun _ -> ());
+      ep_close = (fun () -> closed := true);
+    }
+  in
+  { label = "loopback"; connect }

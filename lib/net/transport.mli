@@ -1,0 +1,37 @@
+(** Byte-stream transports for the wire protocol.
+
+    Two implementations of one connection-oriented interface: real TCP
+    sockets, and a deterministic in-memory loopback that drives a
+    {!Server.Session} synchronously — every send runs the server
+    engine to completion, so loopback tests are single-threaded and
+    reproducible while exercising the same protocol code as TCP. *)
+
+exception Closed
+(** The connection is gone (EOF, reset, or closed locally). *)
+
+exception Timeout
+(** No data arrived within the configured receive timeout. *)
+
+type endpoint = {
+  ep_peer : string;  (** for messages: "127.0.0.1:7777", "loopback" *)
+  ep_send : Bytes.t -> unit;
+  ep_recv : Bytes.t -> int -> int -> int;
+      (** [ep_recv buf off len] reads at most [len] bytes; 0 = EOF *)
+  ep_set_timeout : float option -> unit;  (** receive timeout, seconds *)
+  ep_close : unit -> unit;
+}
+
+type t = { label : string; connect : unit -> endpoint }
+(** A way to reach a server; [connect] yields a fresh connection and
+    may raise ({!Closed} or [Unix.Unix_error]) when the server is
+    unreachable. *)
+
+val tcp : host:string -> port:int -> t
+
+val loopback : ?identity:int -> Server.t -> t
+(** Each [connect] opens a fresh {!Server.Session} with the given
+    connection identity (default 1). Sends are processed immediately;
+    receives return whatever the session owes, raise {!Timeout} when
+    it owes nothing, and return EOF once the session has finished.
+    Sessions are created with tracing enabled — loopback runs on the
+    caller's thread, where the span tracer is safe. *)

@@ -1,0 +1,69 @@
+(** Versioned, length-prefixed binary wire protocol for S4 RPC.
+
+    This is the drive's real security boundary: everything that
+    arrives on a connection is hostile until this codec has accepted
+    it. Each frame is
+
+    {v
+      offset size  field
+      0      4     magic "S4WP"
+      4      1     protocol version (currently 1)
+      5      1     frame kind
+      6      2     reserved (must be zero)
+      8      8     xid (request id; 0 for control frames)
+      16     4     payload length (bytes)
+      20     len   payload (kind-specific)
+      20+len 4     CRC-32 of bytes [0, 20+len)
+    v}
+
+    Decoding is strict and bounded: a declared payload longer than the
+    decoder's [max_frame] is rejected {e before} any payload arrives
+    (so a hostile peer cannot make the server buffer unbounded input),
+    the CRC must match, every payload must parse completely with no
+    trailing bytes, and embedded counts are validated against the
+    bytes actually present before any list is allocated. Malformed
+    input yields {!Corrupt}, never an exception. *)
+
+type frame =
+  | Hello of { version : int; claim : int }
+      (** client handshake; [claim] is the client id the host {e
+          claims} — the server derives the real identity from the
+          connection and echoes it in {!Hello_ack} *)
+  | Hello_ack of { version : int; identity : int; now : int64 }
+  | Request of { xid : int64; cred : S4.Rpc.credential; sync : bool; req : S4.Rpc.req }
+  | Response of { xid : int64; resp : S4.Rpc.resp }
+  | Proto_error of { xid : int64; message : string }
+      (** protocol-level rejection (bad frame, limit exceeded); the
+          sender closes the connection after emitting one *)
+  | Stat of { xid : int64 }
+  | Stat_ack of { xid : int64; total : int; free : int; now : int64 }
+  | Goodbye  (** graceful close: the peer drains in-flight requests *)
+
+val version : int
+val header_len : int
+(** Fixed frame header size (before the payload). *)
+
+val overhead : int
+(** Header plus CRC trailer: bytes a frame occupies beyond its payload. *)
+
+val max_frame_default : int
+(** Default payload-size cap (4 MiB). *)
+
+val encode : frame -> Bytes.t
+(** A complete frame, CRC included. *)
+
+type decoded =
+  | Frame of frame * int  (** a whole frame and the bytes it consumed *)
+  | Need_more of int  (** incomplete: at least this many more bytes *)
+  | Corrupt of string  (** unrecoverable: reject and close the stream *)
+
+val decode : ?max_frame:int -> Bytes.t -> pos:int -> avail:int -> decoded
+(** Decode one frame from [avail] bytes starting at [pos]. Never
+    raises and never allocates more than [avail + O(1)] bytes. *)
+
+val frame_name : frame -> string
+
+val ensure_metrics : unit -> unit
+(** Register the net layer's error-path counters
+    ([net/decode_reject], [net/retry], [net/reconnect]) at zero so
+    they are visible in a metrics dump even before any failure. *)

@@ -1,7 +1,8 @@
-type layer = Nfs | Router | Drive | Store | Seglog | Disk
+type layer = Nfs | Net | Router | Drive | Store | Seglog | Disk
 
 let layer_name = function
   | Nfs -> "nfs"
+  | Net -> "net"
   | Router -> "router"
   | Drive -> "drive"
   | Store -> "store"

@@ -17,7 +17,7 @@
     advances a clock, touches a disk, or mutates anything outside the
     tracer's own buffers; callers pass [~now] in explicitly. *)
 
-type layer = Nfs | Router | Drive | Store | Seglog | Disk
+type layer = Nfs | Net | Router | Drive | Store | Seglog | Disk
 
 val layer_name : layer -> string
 

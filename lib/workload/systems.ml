@@ -10,6 +10,9 @@ module Server = S4_nfs.Server
 module Upfs = S4_baseline.Upfs
 module Router = S4_shard.Router
 module Mirror = S4_multi.Mirror
+module Netserver = S4_net.Server
+module Netclient = S4_net.Client
+module Nettransport = S4_net.Transport
 
 type t = {
   name : string;
@@ -113,6 +116,78 @@ let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = fals
     translator = Some tr;
     router = Some router;
   }
+
+(* Networked deployments: the same drive stack served through lib/net's
+   wire protocol instead of an in-process call. *)
+
+let netclient_backend ~clock ~keep_data client =
+  {
+    Translator.b_clock = clock;
+    b_handle = Netclient.handle client;
+    b_keep_data = keep_data;
+    b_capacity = (fun () -> Netclient.capacity client);
+  }
+
+let s4_direct ?disk_mb ?(drive_config = benchmark_drive_config) () =
+  let clock, disk = mk_disk ?disk_mb () in
+  let drive = Drive.format ~config:drive_config disk in
+  let tr = Translator.mount (Translator.Local drive) in
+  {
+    name = "S4-direct";
+    server = Server.of_translator ~name:"S4-direct" tr;
+    clock;
+    disk;
+    drive = Some drive;
+    translator = Some tr;
+    router = None;
+  }
+
+let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) () =
+  let clock, disk = mk_disk ?disk_mb () in
+  let drive = Drive.format ~config:drive_config disk in
+  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  (* Identity 1 matches the translator's default credential client, so
+     the connection-derived identity leaves the audit trail identical
+     to the in-process deployment. *)
+  let client = Netclient.connect (Nettransport.loopback ~identity:1 srv) in
+  let keep_data = drive_config.Drive.store.Store.keep_data in
+  let tr = Translator.mount (Translator.Backend (netclient_backend ~clock ~keep_data client)) in
+  {
+    name = "S4-loopback";
+    server = Server.of_translator ~name:"S4-loopback" tr;
+    clock;
+    disk;
+    drive = Some drive;
+    translator = Some tr;
+    router = None;
+  }
+
+let s4_tcp ?disk_mb ?(drive_config = benchmark_drive_config) () =
+  let clock, disk = mk_disk ?disk_mb () in
+  let drive = Drive.format ~config:drive_config disk in
+  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let listener = Netserver.serve_tcp srv in
+  let client =
+    Netclient.connect (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
+  in
+  let keep_data = drive_config.Drive.store.Store.keep_data in
+  let tr = Translator.mount (Translator.Backend (netclient_backend ~clock ~keep_data client)) in
+  let sys =
+    {
+      name = "S4-tcp";
+      server = Server.of_translator ~name:"S4-tcp" tr;
+      clock;
+      disk;
+      drive = Some drive;
+      translator = Some tr;
+      router = None;
+    }
+  in
+  let stop () =
+    Netclient.close client;
+    Netserver.shutdown listener
+  in
+  (sys, stop)
 
 let baseline name cfg ?disk_mb () =
   let clock, disk = mk_disk ?disk_mb () in

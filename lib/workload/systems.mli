@@ -43,6 +43,26 @@ val s4_array :
     phantom mode (parallel-device accounting). [mirrored] makes every
     shard a two-drive {!S4_multi.Mirror}. *)
 
+val s4_direct :
+  ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
+(** Translator linked directly to the drive (in-process [Local]
+    transport, no modeled network): the reference point for the
+    networked-equivalence tests and the net bench. *)
+
+val s4_loopback :
+  ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
+(** Like {!s4_direct} but every S4 RPC is encoded through the
+    {!S4_net.Wire} codec and executed by a {!S4_net.Server.Session}
+    over the deterministic in-memory loopback transport. Adds no
+    simulated time, so it must produce a bit-identical disk image. *)
+
+val s4_tcp :
+  ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t * (unit -> unit)
+(** Like {!s4_loopback} but over a real TCP socket to an in-process
+    {!S4_net.Server.serve_tcp} daemon on 127.0.0.1. Returns the system
+    and a [stop] thunk that closes the client and shuts the daemon
+    down (call it; threads otherwise linger). *)
+
 val bsd_ffs : ?disk_mb:int -> unit -> t
 val linux_ext2 : ?disk_mb:int -> unit -> t
 

@@ -300,6 +300,39 @@ let test_tracing_free_array () =
     Alcotest.failf "trace checker: %s" (String.concat "; " r.Check.violations);
   Trace.clear ()
 
+(* --- The network layer is semantically invisible ---------------------- *)
+
+(* Serving every S4 RPC through the wire codec and a server session
+   (loopback transport) must be indistinguishable from calling the
+   drive in process: same NFS outcomes, same namespace, and — because
+   the net layer adds no simulated time — the same final simulated
+   clock and a sector-identical disk image. *)
+
+let run_networked_pair ops =
+  let mk f = f ?disk_mb:(Some 64) ?drive_config:(Some Systems.content_drive_config) () in
+  let run sys =
+    let dirs = setup sys in
+    let out = List.map (apply sys dirs) ops in
+    ( out,
+      snapshot sys dirs,
+      Simclock.now sys.Systems.clock,
+      List.map disk_digest (member_disks sys) )
+  in
+  let d_out, d_snap, d_clock, d_digests = run (mk Systems.s4_direct) in
+  let l_out, l_snap, l_clock, l_digests = run (mk Systems.s4_loopback) in
+  check (Alcotest.list Alcotest.string) "networked: same op outcomes" d_out l_out;
+  check (Alcotest.list Alcotest.string) "networked: same final namespace" d_snap l_snap;
+  check Alcotest.int64 "networked: identical final simulated clock" d_clock l_clock;
+  check (Alcotest.list Alcotest.string) "networked: identical disk images" d_digests l_digests
+
+let test_networked_fixed () = run_networked_pair trace_free_ops
+
+let prop_networked_agree =
+  QCheck.Test.make ~name:"loopback-served S4 is bit-identical to in-process" ~count:15 arb_ops
+    (fun ops ->
+      run_networked_pair ops;
+      true)
+
 let () =
   Alcotest.run "s4_equivalence"
     [
@@ -314,5 +347,10 @@ let () =
           Alcotest.test_case "tracing is free (single drive)" `Quick
             test_tracing_free_single_drive;
           Alcotest.test_case "tracing is free (3-shard array)" `Quick test_tracing_free_array;
+        ] );
+      ( "networked",
+        [
+          Alcotest.test_case "fixed sequence over loopback" `Quick test_networked_fixed;
+          qtest prop_networked_agree;
         ] );
     ]
