@@ -993,13 +993,13 @@ let net () =
   in
   let inproc = run_path "in-process" (Drive.handle (mk_drive ())) in
   let loop_row =
-    let srv = Netserver.create (Netserver.backend_of_drive (mk_drive ())) in
+    let srv = Netserver.of_drive (mk_drive ()) in
     let client = Netclient.connect (Nettransport.loopback srv) in
     let row = run_path "loopback" (Netclient.handle client) in
     Netclient.close client;
     row
   in
-  let srv = Netserver.create (Netserver.backend_of_drive (mk_drive ())) in
+  let srv = Netserver.of_drive (mk_drive ()) in
   let listener = Netserver.serve_tcp srv in
   let client =
     Netclient.connect (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
@@ -1081,6 +1081,155 @@ let net () =
   Report.note "wrote BENCH_net.json"
 
 (* ------------------------------------------------------------------ *)
+(* Batch: vectored submission with group commit                        *)
+
+(* Sweep the batch size over sync-bound mutations on three producers
+   of the S4.Backend.t surface. Every batch ends in one durability
+   barrier, so size 1 reproduces the old one-sync-per-mutation path
+   and larger sizes amortize the barrier (group commit). Direct and
+   sharded throughput is simulated time (the barrier is simulated disk
+   work); the TCP cell's win is round trips, so it reports wall time —
+   its clock is a client-side mirror the wire never advances. *)
+let batch () =
+  Report.heading "Batch: vectored submission group-commit sweep (batch size 1..64)";
+  let total = if !full_scale then 2048 else 512 in
+  let sizes = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let payload = Bytes.make 4096 'b' in
+  let cred = Rpc.user_cred ~user:1 ~client:1 in
+  (* Sync-bound configuration: the default 550us-per-RPC CPU charge
+     caps simulated throughput at ~1.8k ops/s regardless of barriers,
+     hiding exactly the cost this sweep measures. Dial it down so the
+     durability barrier dominates each cell. *)
+  let batch_drive_config =
+    { Systems.content_drive_config with Drive.cpu_us_per_rpc = 50.0 }
+  in
+  let mk_drive clock =
+    Drive.format ~config:batch_drive_config
+      (Sim_disk.create ~geometry:Geometry.cheetah_9gb clock)
+  in
+  let run_cell (backend : S4.Backend.t) ~total kind k =
+    let clock = backend.S4.Backend.clock in
+    let targets =
+      Array.init 8 (fun _ ->
+          match S4.Backend.handle backend cred (Rpc.Create { acl = Acl.default ~owner:1 }) with
+          | Rpc.R_oid oid -> oid
+          | r -> Format.kasprintf failwith "batch bench: create failed: %a" Rpc.pp_resp r)
+    in
+    let mk_req i =
+      match kind with
+      | `Write ->
+        Rpc.Write
+          { oid = targets.(i mod 8); off = 4096 * (i mod 16); len = 4096; data = Some payload }
+      | `Create -> Rpc.Create { acl = Acl.default ~owner:1 }
+    in
+    let t0 = Simclock.now clock in
+    let done_ = ref 0 in
+    let wall_s, () =
+      wall (fun () ->
+          while !done_ < total do
+            let n = min k (total - !done_) in
+            let reqs = Array.init n (fun j -> mk_req (!done_ + j)) in
+            let resps = backend.S4.Backend.submit cred ~sync:true reqs in
+            Array.iter
+              (function
+                | Rpc.R_error e ->
+                  Format.kasprintf failwith "batch bench: %s" (Rpc.error_to_string e)
+                | _ -> ())
+              resps;
+            done_ := !done_ + n
+          done)
+    in
+    let sim_s = Simclock.to_seconds (Int64.sub (Simclock.now clock) t0) in
+    (sim_s, wall_s)
+  in
+  (* Wall-clock cells get twice the ops: relative scheduler jitter
+     shrinks with run length, and they are still sub-second. *)
+  let total_for = function `Sim -> total | `Wall -> 2 * total in
+  let workloads = [ ("write", `Write); ("create", `Create) ] in
+  let cells =
+    [
+      ( "direct",
+        `Sim,
+        fun () ->
+          let clock = Simclock.create () in
+          (Drive.backend (mk_drive clock), fun () -> ()) );
+      ( "shard4",
+        `Sim,
+        fun () ->
+          let clock = Simclock.create () in
+          let members = List.init 4 (fun i -> (i, Router.Single (mk_drive clock))) in
+          (Router.backend (Router.create members), fun () -> ()) );
+      ( "tcp",
+        `Wall,
+        fun () ->
+          let srv = Netserver.of_drive (mk_drive (Simclock.create ())) in
+          let listener = Netserver.serve_tcp srv in
+          let client =
+            Netclient.connect
+              (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
+          in
+          let backend = Netclient.backend ~clock:(Simclock.create ()) ~keep_data:true client in
+          ( backend,
+            fun () ->
+              Netclient.close client;
+              Netserver.shutdown listener ) );
+    ]
+  in
+  List.iter
+    (fun (wl_name, kind) ->
+      Printf.printf "\nworkload: sync-bound %ss (%d ops, 1 barrier per batch)\n" wl_name total;
+      let rows =
+        List.map
+          (fun (be_name, basis, mk) ->
+            let base = ref 0.0 in
+            let row =
+              List.map
+                (fun k ->
+                  let total = total_for basis in
+                  let once () =
+                    let backend, stop = mk () in
+                    let r = run_cell backend ~total kind k in
+                    stop ();
+                    r
+                  in
+                  let sim_s, wall_s =
+                    match basis with
+                    | `Sim -> once ()
+                    | `Wall ->
+                      (* Wall cells jitter with the OS scheduler: take
+                         the best of three. *)
+                      List.fold_left
+                        (fun (bs, bw) (s, w) -> if w < bw then (s, w) else (bs, bw))
+                        (once ())
+                        [ once (); once () ]
+                  in
+                  let secs = match basis with `Sim -> sim_s | `Wall -> wall_s in
+                  let rate = float_of_int total /. secs in
+                  if k = 1 then base := rate;
+                  Report.record ~experiment:"batch"
+                    ~label:(Printf.sprintf "%s/%s/%d" be_name wl_name k)
+                    [
+                      ("batch", float_of_int k);
+                      ("ops", float_of_int total);
+                      ("sim_seconds", sim_s);
+                      ("wall_seconds", wall_s);
+                      ("ops_per_second", rate);
+                      ("speedup_vs_1", rate /. !base);
+                    ];
+                  Printf.sprintf "%.0f (%.1fx)" rate (rate /. !base))
+                sizes
+            in
+            (be_name ^ (match basis with `Sim -> " (sim)" | `Wall -> " (wall)")) :: row)
+          cells
+      in
+      Report.table
+        ~header:("backend \\ batch" :: List.map string_of_int sizes)
+        rows)
+    workloads;
+  Report.write_json ~experiments:[ "batch" ] "BENCH_batch.json";
+  Report.note "wrote BENCH_batch.json"
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -1100,6 +1249,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("faults", "media-fault sweep + crash-recovery spot check", faults);
     ("scale", "sharded-array throughput scaling + rebalance cost", scale);
     ("net", "wire protocol: in-process vs loopback vs TCP + pipelining", net);
+    ("batch", "vectored submission group-commit sweep, batch size 1..64", batch);
     ("trace", "span tracer + metrics registry over drive and array runs", trace);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
@@ -1108,7 +1258,7 @@ let experiments : (string * string * (unit -> unit)) list =
    default skips the redundant separate fig5 pass. *)
 let default_run =
   [ "table1"; "fig2"; "fig3"; "fig4"; "fundamental"; "fig6"; "audit-macro"; "fig7"; "diffstudy";
-    "snapshots"; "ablation"; "faults"; "scale"; "net"; "micro" ]
+    "snapshots"; "ablation"; "faults"; "scale"; "net"; "batch"; "micro" ]
 
 let () =
   let json_file = ref None in

@@ -57,6 +57,7 @@ let connect_arg =
         ~doc:"Operate on a running s4d daemon instead of a local image.")
 
 let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH")
+let paths_arg = Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH...")
 
 let at_arg =
   Arg.(
@@ -128,14 +129,7 @@ let open_remote ~user host port =
     exit 1);
   let rclock = Simclock.create () in
   Simclock.set rclock (Netclient.server_now rclient);
-  let backend =
-    {
-      Translator.b_clock = rclock;
-      b_handle = Netclient.handle rclient;
-      b_keep_data = true;
-      b_capacity = (fun () -> Netclient.capacity rclient);
-    }
-  in
+  let backend = Netclient.backend ~clock:rclock ~keep_data:true rclient in
   let rtr = Translator.mount ~cred:(Rpc.user_cred ~user ~client:1) (Translator.Backend backend) in
   { rclient; rtr }
 
@@ -184,28 +178,55 @@ let cmd_format =
 
 let cmd_write =
   let data = Arg.(value & opt (some string) None & info [ "data" ] ~docv:"STRING") in
-  let run image connect user path data =
+  (* All targets ride ONE vectored submission: n files, one
+     group-commit barrier. Results are positional. *)
+  let write_all tr paths contents ~announce =
+    let failed = ref false in
+    List.iter2
+      (fun path -> function
+        | Ok _ -> announce path
+        | Error e ->
+          Format.eprintf "error: %s: %a@." path N.pp_error e;
+          failed := true)
+      paths
+      (Translator.write_files tr (List.map (fun p -> (p, contents)) paths));
+    !failed
+  in
+  let run image connect user paths data =
     let contents =
       match data with
       | Some d -> Bytes.of_string d
       | None -> Bytes.of_string (In_channel.input_all In_channel.stdin)
     in
-    match target image connect with
-    | T_local image ->
-      let s = open_session image user in
-      let _fh = nfs_die (Translator.write_file s.tr path contents) in
-      Printf.printf "wrote %d bytes to %s at t=%Ld\n" (Bytes.length contents) path
-        (Simclock.now s.clock);
-      close_session image s
-    | T_remote (host, port) ->
-      let r = open_remote ~user host port in
-      let _fh = nfs_die (Translator.write_file r.rtr path contents) in
-      Printf.printf "wrote %d bytes to %s via %s:%d\n" (Bytes.length contents) path host port;
-      close_remote r
+    let failed =
+      match target image connect with
+      | T_local image ->
+        let s = open_session image user in
+        let failed =
+          write_all s.tr paths contents ~announce:(fun path ->
+              Printf.printf "wrote %d bytes to %s at t=%Ld\n" (Bytes.length contents) path
+                (Simclock.now s.clock))
+        in
+        close_session image s;
+        failed
+      | T_remote (host, port) ->
+        let r = open_remote ~user host port in
+        let failed =
+          write_all r.rtr paths contents ~announce:(fun path ->
+              Printf.printf "wrote %d bytes to %s via %s:%d\n" (Bytes.length contents) path
+                host port)
+        in
+        close_remote r;
+        failed
+    in
+    if failed then exit 1
   in
   Cmd.v
-    (Cmd.info "write" ~doc:"Write a file (creating parents); content from --data or stdin.")
-    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg $ data)
+    (Cmd.info "write"
+       ~doc:
+         "Write one or more files (creating parents) as a single batched submission; content \
+          from --data or stdin.")
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ paths_arg $ data)
 
 let cmd_cat =
   let run image connect user path at =
@@ -274,28 +295,39 @@ let cmd_ls =
     Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg $ at_arg)
 
 let cmd_rm =
-  let rm_via tr path =
-    let dir, _ = nfs_die (Translator.lookup_path tr (Filename.dirname path)) in
-    match Translator.handle tr (N.Remove { dir; name = Filename.basename path }) with
-    | N.R_unit -> Printf.printf "removed %s (the versions remain in the history pool)\n" path
-    | N.R_error e ->
-      Format.eprintf "error: %a@." N.pp_error e;
-      exit 1
-    | _ -> ()
+  (* One vectored submission for the whole set: n removals share a
+     single group-commit barrier. *)
+  let rm_via tr paths =
+    let failed = ref false in
+    List.iter2
+      (fun path -> function
+        | Ok () ->
+          Printf.printf "removed %s (the versions remain in the history pool)\n" path
+        | Error e ->
+          Format.eprintf "error: %s: %a@." path N.pp_error e;
+          failed := true)
+      paths
+      (Translator.remove_files tr paths);
+    !failed
   in
-  let run image connect user path =
-    match target image connect with
-    | T_local image ->
-      let s = open_session image user in
-      rm_via s.tr path;
-      close_session image s
-    | T_remote (host, port) ->
-      let r = open_remote ~user host port in
-      rm_via r.rtr path;
-      close_remote r
+  let run image connect user paths =
+    let failed =
+      match target image connect with
+      | T_local image ->
+        let s = open_session image user in
+        let failed = rm_via s.tr paths in
+        close_session image s;
+        failed
+      | T_remote (host, port) ->
+        let r = open_remote ~user host port in
+        let failed = rm_via r.rtr paths in
+        close_remote r;
+        failed
+    in
+    if failed then exit 1
   in
-  Cmd.v (Cmd.info "rm" ~doc:"Remove a file.")
-    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ path_arg)
+  Cmd.v (Cmd.info "rm" ~doc:"Remove one or more files as a single batched submission.")
+    Term.(const run $ image_opt_arg $ connect_arg $ user_arg $ paths_arg)
 
 let cmd_versions =
   let run image path =

@@ -42,6 +42,13 @@ let max_inflight_arg =
     & opt int Netserver.default_config.Netserver.max_inflight
     & info [ "max-inflight" ] ~docv:"N" ~doc:"Pipelined requests allowed per connection.")
 
+let max_batch_arg =
+  Arg.(
+    value
+    & opt int Netserver.default_config.Netserver.max_batch
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:"Largest accepted batch frame (advertised to v2 clients in Stat).")
+
 let no_admin_arg =
   Arg.(
     value & flag
@@ -62,7 +69,7 @@ let install_signals () =
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ()
 
-let run image host port max_frame max_inflight no_admin max_seconds =
+let run image host port max_frame max_inflight max_batch no_admin max_seconds =
   if not (Sys.file_exists image) then begin
     Printf.eprintf "error: no such image %s (create one with: s4cli format -i %s)\n" image image;
     exit 1
@@ -74,15 +81,17 @@ let run image host port max_frame max_inflight no_admin max_seconds =
       Netserver.default_config with
       Netserver.max_frame;
       max_inflight;
+      max_batch;
       allow_admin = not no_admin;
     }
   in
-  let srv = Netserver.create ~config (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive ~config drive in
   let listener = Netserver.serve_tcp ~host ~port srv in
   install_signals ();
-  Printf.printf "s4d: serving %s on %s:%d (window %.1f days%s)\n%!" image host
-    (Netserver.port listener)
+  Printf.printf "s4d: serving %s on %s:%d (window %.1f days, batches up to %d%s)\n%!" image
+    host (Netserver.port listener)
     (Simclock.to_seconds (Drive.window drive) /. 86400.0)
+    config.Netserver.max_batch
     (if no_admin then ", admin refused" else "");
   let t0 = Unix.gettimeofday () in
   while
@@ -106,6 +115,6 @@ let () =
   let term =
     Term.(
       const run $ image_arg $ host_arg $ port_arg $ max_frame_arg $ max_inflight_arg
-      $ no_admin_arg $ max_seconds_arg)
+      $ max_batch_arg $ no_admin_arg $ max_seconds_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,64 @@
+(** The one backend call surface.
+
+    Every S4 request producer in the repo — the in-process drive, a
+    mirrored pair behind a shard router, the sharded array itself, the
+    wire-protocol client, the modelled-network client stub — exposes
+    this single record, and every consumer (NFS translator, s4cli,
+    crashtest, the benches) speaks it. It replaces the translator's
+    private [backend] record and the half-dozen near-duplicate
+    [Drive.handle]-shaped closures that used to be rebuilt at each
+    layer boundary.
+
+    The surface is {e vectored}: {!submit} takes an array of requests
+    and returns the positionally matching array of responses. Requests
+    execute in array order with full per-request semantics (throttle,
+    ACL check, audit record, trace span), but the durability barrier
+    — when [sync:true] — is paid {e once}, after the last request
+    (group commit). Atomicity is per-request: a failed request yields
+    its [R_error] in its slot and the rest of the batch still runs.
+    If the end-of-batch barrier itself fails, every response that
+    reported success is rewritten to the barrier's [Io_error] — the
+    caller must not believe un-persisted mutations are stable, exactly
+    as with single-request [sync]. *)
+
+type t = {
+  clock : S4_util.Simclock.t;  (** the clock every request charges *)
+  keep_data : bool;
+      (** whether the backing store retains object contents (content
+          systems) or only sizes (timing-only benchmark config) *)
+  capacity : unit -> int * int;
+      (** (total bytes, free bytes) of the backing store *)
+  submit : Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array;
+      (** Execute a batch in order; one durability barrier at batch
+          end when [sync]. Response [i] answers request [i]. An empty
+          batch with [sync:true] is a pure barrier (no audit records). *)
+  close : unit -> unit;
+      (** Release transport resources (sockets, threads). In-process
+          backends make this a no-op. *)
+}
+
+val handle : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
+(** Single-request compatibility shim: [submit] of a one-element
+    batch. [handle b cred ~sync req] is bit-for-bit equivalent to the
+    old per-layer [handle] functions. *)
+
+val make :
+  clock:S4_util.Simclock.t ->
+  keep_data:bool ->
+  capacity:(unit -> int * int) ->
+  ?close:(unit -> unit) ->
+  (Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array) ->
+  t
+
+val of_handle :
+  clock:S4_util.Simclock.t ->
+  keep_data:bool ->
+  capacity:(unit -> int * int) ->
+  ?close:(unit -> unit) ->
+  (Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp) ->
+  t
+(** Wrap a legacy single-request handler that has no native group
+    commit: the batch runs one request at a time with [sync:false]
+    and, when [sync], the barrier is a trailing [Rpc.Sync] request.
+    Producers with a real group-commit path (drive, router, wire
+    client) should implement [submit] natively instead. *)

@@ -20,4 +20,12 @@ val call_exn : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
 (** Like {!call} but raises [Failure] on an [R_error] response; for
     tests and examples where errors are unexpected. *)
 
+val submit : t -> Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array
+(** Batched submission: one network exchange carrying the whole batch
+    (each request still pays its transfer size), group-committed by
+    the drive ({!Drive.submit}). *)
+
+val backend : t -> Backend.t
+(** This client stub as the uniform {!Backend.t} surface. *)
+
 val rpc_count : t -> int

@@ -351,7 +351,7 @@ let exec t (cred : Rpc.credential) (req : Rpc.req) : Rpc.resp =
     if not cred.Rpc.admin then raise Denied;
     Rpc.R_audit (Audit.records t.audit ~since ~until ())
 
-let handle_inner t (cred : Rpc.credential) ?(sync = false) req =
+let handle_inner t (cred : Rpc.credential) req =
   t.ops <- t.ops + 1;
   Simclock.advance (clock t) (Simclock.of_us t.cfg.cpu_us_per_rpc);
   (* DoS defence: penalise clients abusing the history pool. *)
@@ -397,32 +397,32 @@ let handle_inner t (cred : Rpc.credential) ?(sync = false) req =
          ok;
        }
    with Fault.Read_fault _ | Fault.Write_fault _ -> t.audit_drops <- t.audit_drops + 1);
-  let resp =
-    if sync && ok then
-      (* The RPC mutated state but its durability barrier failed: the
-         caller must not be told the op is stable. *)
-      try
-        Audit.flush t.audit;
-        Store.sync t.store;
-        resp
-      with
-      | Fault.Read_fault { lba; transient } -> io_failed lba transient "sync read"
-      | Fault.Write_fault { lba; transient } -> io_failed lba transient "sync write"
-    else resp
-  in
   if t.ops land 1023 = 0 then refresh_pressure t;
   resp
 
-let err_tag : Rpc.error -> string = function
-  | Rpc.Not_found -> "not_found"
-  | Rpc.Permission_denied -> "denied"
-  | Rpc.Object_deleted -> "deleted"
-  | Rpc.No_space -> "no_space"
-  | Rpc.Bad_request _ -> "bad_request"
-  | Rpc.Io_error _ -> "io_error"
+let barrier t =
+  (* The durability barrier, shared by single-request [sync] and batch
+     group commit: audit records buffered so far must survive a crash
+     once the barrier returns (the audit-at-Sync invariant), then the
+     store itself is made stable. A media fault here means the caller
+     must not be told its mutations are durable. *)
+  let io_failed lba transient kind =
+    t.io_errors <- t.io_errors + 1;
+    Some
+      (Rpc.Io_error
+         (Printf.sprintf "%s fault at lba %d%s" kind lba
+            (if transient then " (retries exhausted)" else "")))
+  in
+  try
+    Audit.flush t.audit;
+    Store.sync t.store;
+    None
+  with
+  | Fault.Read_fault { lba; transient } -> io_failed lba transient "sync read"
+  | Fault.Write_fault { lba; transient } -> io_failed lba transient "sync write"
 
-let handle t (cred : Rpc.credential) ?(sync = false) req =
-  if not (Trace.on ()) then handle_inner t cred ~sync req
+let handle_one t (cred : Rpc.credential) req =
+  if not (Trace.on ()) then handle_inner t cred req
   else begin
     let disk = Log.disk t.log in
     let dev0 =
@@ -445,12 +445,12 @@ let handle t (cred : Rpc.credential) ?(sync = false) req =
       in
       Trace.set_disk_ns tok (Int64.sub dev1 dev0)
     in
-    match handle_inner t cred ~sync req with
+    match handle_inner t cred req with
     | resp ->
       (match resp with
        | Rpc.R_oid oid -> Trace.set_oid tok oid  (* Create learns its oid here *)
        | Rpc.R_data b -> Trace.set_bytes tok (Bytes.length b)
-       | Rpc.R_error e -> Trace.fail tok (err_tag e)
+       | Rpc.R_error e -> Trace.fail tok (Rpc.err_tag e)
        | _ -> ());
       (match req with
        | Rpc.Write { len; _ } | Rpc.Append { len; _ } -> Trace.set_bytes tok len
@@ -464,6 +464,39 @@ let handle t (cred : Rpc.credential) ?(sync = false) req =
       Trace.abort tok ~now:(now t);
       raise e
   end
+
+let resp_ok = function Rpc.R_error _ -> false | _ -> true
+
+let submit t (cred : Rpc.credential) ?(sync = false) reqs =
+  (* The vectored entry point: every request runs with full
+     per-request semantics (throttle, ACL, audit record, trace span),
+     in array order; the durability barrier is paid once, after the
+     last request (group commit). An empty batch with [sync] is a pure
+     barrier. If the barrier fails, every response that claimed
+     success is rewritten: un-persisted mutations must not be reported
+     stable — the positional generalisation of the single-request
+     sync-failure rule. *)
+  let resps = Array.map (fun req -> handle_one t cred req) reqs in
+  if sync && (Array.length reqs = 0 || Array.exists resp_ok resps) then
+    match barrier t with
+    | None -> resps
+    | Some err ->
+      Array.map (fun r -> if resp_ok r then Rpc.R_error err else r) resps
+  else resps
+
+let handle t (cred : Rpc.credential) ?(sync = false) req =
+  (submit t cred ~sync [| req |]).(0)
+
+let capacity t =
+  let log = t.log in
+  let block = Log.block_size log in
+  (Log.usable_blocks log * block, (Log.usable_blocks log - Log.live_blocks log) * block)
+
+let backend t =
+  Backend.make ~clock:(clock t)
+    ~keep_data:t.cfg.store.Store.keep_data
+    ~capacity:(fun () -> capacity t)
+    (submit t)
 
 let run_cleaner t =
   (* Idle disk time accumulated since the last cleaner run: available

@@ -47,18 +47,36 @@ val attach : ?config:config -> S4_disk.Sim_disk.t -> t
     summaries, journal blocks, checkpoints, audit blocks,
     superblock). Unsynced pre-crash state is lost. *)
 
-val err_tag : Rpc.error -> string
-(** Stable short tag for an RPC error, used as the [err] field of
-    trace spans ("not_found", "denied", ...). *)
+val submit : t -> Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array
+(** Process a batch of RPCs inside the perimeter. Each request gets
+    full per-request treatment — throttle check, permission check,
+    execution, audit record, trace span — in array order; response
+    [i] answers request [i]. [?sync] is the drive's op+sync batching
+    generalised to group commit: ONE log flush + sync barrier after
+    the last request makes the whole batch (and its audit records)
+    durable at once. An empty batch with [sync:true] is a pure
+    barrier. If the end-of-batch barrier fails, every response that
+    claimed success is rewritten to the barrier's [Io_error]. Media
+    faults surface as [R_error Io_error] after the configured retries;
+    the only exception that escapes is {!S4_disk.Fault.Crashed} — a
+    crashed device has no valid in-memory state, the owner must
+    {!attach} a fresh drive. *)
 
 val handle : t -> Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp
-(** Process one RPC inside the perimeter: throttle check, permission
-    check, execution, audit. [?sync] models the drive's op+sync
-    batching: the modification and its stability sync count as one
-    request. Media faults surface as [R_error Io_error] after the
-    configured retries; the only exception that escapes is
-    {!S4_disk.Fault.Crashed} — a crashed device has no valid
-    in-memory state, the owner must {!attach} a fresh drive. *)
+(** [submit] of a one-element batch (compatibility shim). *)
+
+val barrier : t -> Rpc.error option
+(** The durability barrier on its own: flush buffered audit records,
+    then sync the store. [None] on success; [Some (Io_error _)] if the
+    media failed while persisting (the drive keeps serving, degraded).
+    Exposed so multi-drive layers (mirror, shard router) can end their
+    own batches with one barrier per member. *)
+
+val capacity : t -> int * int
+(** (total bytes, free bytes) of the backing log. *)
+
+val backend : t -> Backend.t
+(** This drive as the uniform {!Backend.t} surface. *)
 
 val clock : t -> S4_util.Simclock.t
 val store : t -> S4_store.Obj_store.t

@@ -151,6 +151,16 @@ let pp_error ppf = function
   | Bad_request m -> Format.fprintf ppf "bad request: %s" m
   | Io_error m -> Format.fprintf ppf "I/O error: %s" m
 
+let err_tag : error -> string = function
+  | Not_found -> "not_found"
+  | Permission_denied -> "denied"
+  | Object_deleted -> "deleted"
+  | No_space -> "no_space"
+  | Bad_request _ -> "bad_request"
+  | Io_error _ -> "io_error"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
 let pp_resp ppf = function
   | R_unit -> Format.fprintf ppf "ok"
   | R_oid oid -> Format.fprintf ppf "oid %Ld" oid

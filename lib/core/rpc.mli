@@ -80,3 +80,12 @@ val req_wire_bytes : req -> int
 val resp_wire_bytes : resp -> int
 val pp_error : Format.formatter -> error -> unit
 val pp_resp : Format.formatter -> resp -> unit
+
+val err_tag : error -> string
+(** Stable short tag for an error ([not_found], [denied], [deleted],
+    [no_space], [bad_request], [io_error]). The single home for error
+    naming: trace spans, the net server, the router and the translator
+    all share it. *)
+
+val error_to_string : error -> string
+(** [pp_error] rendered to a string, for one-line diagnostics. *)

@@ -106,6 +106,42 @@ let handle t cred ?(sync = false) req =
     | true, true -> Rpc.R_error (Rpc.Bad_request "mirror: no live replica")
   end
 
+let barrier t =
+  (* End-of-batch durability barrier on every live replica. A replica
+     whose barrier fails is failed over exactly like one answering
+     [Io_error]: the batch is durable as long as one replica persisted
+     it (its in-memory state is intact, so there is nothing to
+     journal — later mutations will be). *)
+  match (t.primary_failed, t.secondary_failed) with
+  | true, true -> Some (Rpc.Bad_request "mirror: no live replica")
+  | false, true -> Drive.barrier t.primary
+  | true, false -> Drive.barrier t.secondary
+  | false, false -> (
+    let e1 = Drive.barrier t.primary in
+    let e2 = Drive.barrier t.secondary in
+    match (e1, e2) with
+    | None, None -> None
+    | Some _, None ->
+      t.primary_failed <- true;
+      if t.lagging = None then t.lagging <- Some Primary;
+      None
+    | None, Some _ ->
+      t.secondary_failed <- true;
+      if t.lagging = None then t.lagging <- Some Secondary;
+      None
+    | Some e, Some _ -> Some e)
+
+let resp_ok = function Rpc.R_error _ -> false | _ -> true
+
+let submit t cred ?(sync = false) reqs =
+  let resps = Array.map (fun req -> handle t cred ~sync:false req) reqs in
+  if sync && (Array.length reqs = 0 || Array.exists resp_ok resps) then
+    match barrier t with
+    | None -> resps
+    | Some err ->
+      Array.map (fun r -> if resp_ok r then Rpc.R_error err else r) resps
+  else resps
+
 let resync t =
   if t.primary_failed && t.secondary_failed then Error "mirror: no live replica to resync from"
   else

@@ -31,6 +31,18 @@ val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
     secondary is dropped as failed); reads are served by the first
     live replica. *)
 
+val submit :
+  t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req array -> S4.Rpc.resp array
+(** Batched {!handle}: requests run in order (unsynced), then one
+    {!barrier} makes the whole batch durable when [sync]. If the
+    barrier fails on every live replica, successful responses are
+    rewritten to the barrier's error. *)
+
+val barrier : t -> S4.Rpc.error option
+(** Durability barrier on every live replica. A replica whose barrier
+    fails is failed over (like an [Io_error] response); the result is
+    [None] as long as one replica persisted the batch. *)
+
 val set_failed : t -> replica -> bool -> unit
 (** Fault injection / repair. While a replica is failed its missed
     mutations are journalled for {!resync}. *)

@@ -9,6 +9,10 @@ type config = {
   jitter : float;
   seed : int;
   claim_client : int;
+  advertise_version : int;
+      (* protocol version offered in Hello; lower it to exercise the
+         v1 fallback against a batch-capable server *)
+  max_batch : int;  (* largest Batch frame this client will send *)
 }
 
 let default_config =
@@ -19,6 +23,8 @@ let default_config =
     jitter = 0.25;
     seed = 42;
     claim_client = 1;
+    advertise_version = Wire.version;
+    max_batch = 256;
   }
 
 type t = {
@@ -28,6 +34,8 @@ type t = {
   mutable ep : Transport.endpoint option;
   mutable c_identity : int;
   mutable c_server_now : int64;
+  mutable c_version : int;  (* negotiated in the handshake *)
+  mutable c_batch_limit : int;  (* server's advertised max batch; 0 unknown *)
   mutable next_xid : int64;
   mutable inbuf : Bytes.t;
   mutable in_len : int;
@@ -47,6 +55,8 @@ let connect ?(config = default_config) transport =
     ep = None;
     c_identity = 0;
     c_server_now = 0L;
+    c_version = min config.advertise_version Wire.version;
+    c_batch_limit = 0;
     next_xid = 1L;
     inbuf = Bytes.create 4096;
     in_len = 0;
@@ -57,6 +67,8 @@ let connect ?(config = default_config) transport =
 
 let identity t = t.c_identity
 let server_now t = t.c_server_now
+let version t = t.c_version
+let server_batch_limit t = t.c_batch_limit
 let retries t = t.n_retries
 let reconnects t = t.n_reconnects
 
@@ -70,8 +82,8 @@ let fresh_xid t =
   t.next_xid <- Int64.add x 1L;
   x
 
-let send e frame =
-  let b = Wire.encode frame in
+let send ?version e frame =
+  let b = Wire.encode ?version frame in
   Metrics.incr "net/frames_out";
   Metrics.incr ~by:(Bytes.length b) "net/bytes_out";
   e.Transport.ep_send b
@@ -117,10 +129,15 @@ let ensure_ep t =
         e.Transport.ep_set_timeout (Some t.cfg.req_timeout_s);
         t.ep <- Some e;
         t.in_len <- 0;
-        send e (Wire.Hello { version = Wire.version; claim = t.cfg.claim_client });
+        (* The Hello bootstraps negotiation, so its header version is
+           the floor every peer can decode; the payload advertises our
+           best. The server acks the min of the two. *)
+        send ~version:Wire.min_version e
+          (Wire.Hello { version = t.cfg.advertise_version; claim = t.cfg.claim_client });
         let rec await () =
           match recv_frame t e with
-          | Wire.Hello_ack { version = _; identity; now } ->
+          | Wire.Hello_ack { version; identity; now } ->
+            t.c_version <- max Wire.min_version (min version t.cfg.advertise_version);
             t.c_identity <- identity;
             t.c_server_now <- now
           | Wire.Proto_error { message; _ } ->
@@ -140,7 +157,7 @@ let ensure_ep t =
 let rpc_once t cred sync req : Rpc.resp =
   let e = ensure_ep t in
   let xid = fresh_xid t in
-  send e (Wire.Request { xid; cred; sync; req });
+  send ~version:t.c_version e (Wire.Request { xid; cred; sync; req });
   let rec await () =
     match recv_frame t e with
     | Wire.Response { xid = x; resp } when Int64.equal x xid -> resp
@@ -152,8 +169,8 @@ let rpc_once t cred sync req : Rpc.resp =
       t.c_identity <- identity;
       t.c_server_now <- now;
       await ()
-    | Wire.Stat_ack _ -> await ()
-    | Wire.Hello _ | Wire.Request _ | Wire.Stat _ | Wire.Goodbye ->
+    | Wire.Stat_ack _ | Wire.Batch_reply _ -> await ()
+    | Wire.Hello _ | Wire.Request _ | Wire.Stat _ | Wire.Goodbye | Wire.Batch _ ->
       drop_ep t;
       raise Transport.Closed
   in
@@ -209,7 +226,7 @@ let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
           List.map
             (fun req ->
               let xid = fresh_xid t in
-              send e (Wire.Request { xid; cred; sync; req });
+              send ~version:t.c_version e (Wire.Request { xid; cred; sync; req });
               xid)
             reqs
         in
@@ -239,15 +256,134 @@ let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
         drop_ep t;
         fallback (failure_message exn)))
 
+(* One batched exchange on the live endpoint. On a v2 session this is
+   a single [Batch] frame (one group-commit barrier server-side); a
+   peer negotiated down to v1 gets pipelined [Request] frames with the
+   durability barrier riding on the last one — the closest v1
+   approximation of group commit. *)
+let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array =
+  let e = ensure_ep t in
+  if t.c_version >= 2 then begin
+    let xid = fresh_xid t in
+    send ~version:t.c_version e (Wire.Batch { xid; cred; sync; reqs });
+    let rec await () =
+      match recv_frame t e with
+      | Wire.Batch_reply { xid = x; resps } when Int64.equal x xid ->
+        if Array.length resps = Array.length reqs then resps
+        else begin
+          drop_ep t;
+          raise (Permanent "batch response count mismatch")
+        end
+      | Wire.Batch_reply _ | Wire.Response _ -> await () (* stale answers *)
+      | Wire.Proto_error { message; _ } ->
+        drop_ep t;
+        raise (Permanent ("server rejected request: " ^ message))
+      | Wire.Hello_ack { identity; now; _ } ->
+        t.c_identity <- identity;
+        t.c_server_now <- now;
+        await ()
+      | Wire.Stat_ack _ -> await ()
+      | Wire.Hello _ | Wire.Request _ | Wire.Stat _ | Wire.Goodbye | Wire.Batch _ ->
+        drop_ep t;
+        raise Transport.Closed
+    in
+    await ()
+  end
+  else begin
+    let n = Array.length reqs in
+    if n = 0 then begin
+      (* No request to carry the barrier on a v1 session: an explicit
+         (audited) Sync is the only barrier v1 has. *)
+      if sync then ignore (rpc_once t cred true Rpc.Sync);
+      [||]
+    end
+    else begin
+      let xids =
+        Array.mapi
+          (fun i req ->
+            let xid = fresh_xid t in
+            send ~version:t.c_version e
+              (Wire.Request { xid; cred; sync = sync && i = n - 1; req });
+            xid)
+          reqs
+      in
+      let answers : (int64, Rpc.resp) Hashtbl.t = Hashtbl.create n in
+      let outstanding = ref n in
+      while !outstanding > 0 do
+        match recv_frame t e with
+        | Wire.Response { xid; resp } ->
+          if not (Hashtbl.mem answers xid) then begin
+            Hashtbl.add answers xid resp;
+            decr outstanding
+          end
+        | Wire.Proto_error { message; _ } ->
+          drop_ep t;
+          raise (Permanent ("server rejected request: " ^ message))
+        | _ -> ()
+      done;
+      Array.map
+        (fun xid ->
+          match Hashtbl.find_opt answers xid with
+          | Some r -> r
+          | None -> Rpc.R_error (Rpc.Io_error "no response"))
+        xids
+    end
+  end
+
+let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
+  let n = Array.length reqs in
+  let limit =
+    let l = if t.c_batch_limit > 0 then min t.c_batch_limit t.cfg.max_batch else t.cfg.max_batch in
+    max 1 l
+  in
+  let idempotent = not (Array.exists Rpc.is_mutation reqs) in
+  let out = Array.make n (Rpc.R_error (Rpc.Io_error "not executed")) in
+  let fill_from pos msg =
+    for i = pos to n - 1 do
+      out.(i) <- Rpc.R_error (Rpc.Io_error msg)
+    done
+  in
+  (* An oversize submission is sliced to the batch limit; the barrier
+     rides only on the last slice, so the whole submission still pays
+     one group commit. *)
+  let rec run pos =
+    if pos >= n && not (n = 0 && sync) then ()
+    else begin
+      let len = min limit (n - pos) in
+      let chunk = if n = 0 then [||] else Array.sub reqs pos len in
+      let last = pos + len >= n in
+      let rec attempt k =
+        match batch_once t cred (sync && last) chunk with
+        | resps ->
+          Array.blit resps 0 out pos len;
+          if last then () else run (pos + len)
+        | exception Permanent msg -> fill_from pos msg
+        | exception exn when transient_failure exn ->
+          drop_ep t;
+          if idempotent && k < t.cfg.max_retries then begin
+            t.n_retries <- t.n_retries + 1;
+            Metrics.incr "net/retry";
+            backoff t k;
+            attempt (k + 1)
+          end
+          else fill_from pos (failure_message exn)
+      in
+      attempt 0
+    end
+  in
+  run 0;
+  out
+
 let capacity t =
   let once () =
     let e = ensure_ep t in
     let xid = fresh_xid t in
-    send e (Wire.Stat { xid });
+    send ~version:t.c_version e (Wire.Stat { xid });
     let rec await () =
       match recv_frame t e with
-      | Wire.Stat_ack { xid = x; total; free; now } when Int64.equal x xid ->
+      | Wire.Stat_ack { xid = x; total; free; now; batch } when Int64.equal x xid ->
         t.c_server_now <- now;
+        if batch > 0 then t.c_batch_limit <- batch;
         (total, free)
       | Wire.Proto_error { message; _ } ->
         drop_ep t;
@@ -274,6 +410,12 @@ let capacity t =
 
 let close t =
   (match t.ep with
-  | Some e -> ( try send e Wire.Goodbye with _ -> ())
+  | Some e -> ( try send ~version:t.c_version e Wire.Goodbye with _ -> ())
   | None -> ());
   drop_ep t
+
+let backend ~clock ~keep_data t =
+  S4.Backend.make ~clock ~keep_data
+    ~capacity:(fun () -> capacity t)
+    ~close:(fun () -> close t)
+    (submit t)

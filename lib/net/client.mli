@@ -16,6 +16,10 @@ type config = {
   jitter : float;  (** multiplicative jitter fraction, e.g. 0.25 *)
   seed : int;  (** jitter rng seed (deterministic) *)
   claim_client : int;  (** client id claimed in the handshake *)
+  advertise_version : int;
+      (** protocol version offered in [Hello] (default
+          {!Wire.version}); set 1 to force the pipelining fallback *)
+  max_batch : int;  (** largest [Batch] frame sent; bigger submissions are sliced *)
 }
 
 val default_config : config
@@ -35,8 +39,34 @@ val pipeline :
     multiplexing); responses come back in request order. No retries —
     a drop mid-batch yields [Io_error] for the unanswered tail. *)
 
+val submit :
+  t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req array -> S4.Rpc.resp array
+(** Vectored submission with group commit. On a v2 session the batch
+    crosses the wire as ONE [Batch] frame and the server pays a single
+    durability barrier after the last request; on a session negotiated
+    down to v1 it falls back to pipelined [Request] frames with [sync]
+    riding on the last one. Submissions larger than the batch limit
+    (the server's [Stat_ack] advertisement once known, else
+    [config.max_batch]) are sliced, the barrier still only on the
+    final slice. Retried (bounded backoff) only when the whole
+    submission is idempotent; a failure mid-way yields [Io_error] for
+    the unexecuted tail. Never raises. *)
+
+val backend : clock:S4_util.Simclock.t -> keep_data:bool -> t -> S4.Backend.t
+(** This connection as the uniform {!S4.Backend.t} surface. [clock]
+    and [keep_data] describe the server-side stack (the wire carries
+    no clock). [Backend.close] sends [Goodbye]. *)
+
 val capacity : t -> int * int
-(** (total_bytes, free_bytes) via [Stat]; (0, 0) if unreachable. *)
+(** (total_bytes, free_bytes) via [Stat]; (0, 0) if unreachable. Also
+    learns the server's batch limit on a v2 session. *)
+
+val version : t -> int
+(** Protocol version negotiated at the last handshake. *)
+
+val server_batch_limit : t -> int
+(** Max batch the server advertised in [Stat_ack]; 0 until a [Stat]
+    has been answered on a v2 session. *)
 
 val identity : t -> int
 (** Connection identity the server assigned (from {!Wire.Hello_ack});

@@ -1,38 +1,30 @@
 module Rpc = S4.Rpc
 module Drive = S4.Drive
+module Backend = S4.Backend
 module Simclock = S4_util.Simclock
 module Metrics = S4_obs.Metrics
 module Trace = S4_obs.Trace
 
-type backend = {
-  bk_handle : Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp;
-  bk_clock : Simclock.t;
-  bk_capacity : unit -> int * int;
-  bk_audit_garbage : (client:int -> info:string -> unit) option;
+type audit_garbage = client:int -> info:string -> unit
+
+(* The garbage-audit hook for a drive-backed server: malformed input
+   is recorded inside the perimeter like any other request, charged to
+   the connection-derived identity. *)
+let drive_audit_garbage drive ~client ~info =
+  let audit = Drive.audit drive in
+  let at = Simclock.now (Drive.clock drive) in
+  try
+    S4.Audit.append audit
+      { S4.Audit.at; user = -1; client; op = "net_reject"; oid = 0L; info; ok = false }
+  with _ -> ()
+
+type config = {
+  max_frame : int;
+  max_inflight : int;
+  max_io : int;
+  allow_admin : bool;
+  max_batch : int;  (** largest accepted [Batch]; advertised in [Stat_ack] *)
 }
-
-let backend_of_drive drive =
-  let module L = S4_seglog.Log in
-  let log = Drive.log drive in
-  let block = L.block_size log in
-  {
-    bk_handle = Drive.handle drive;
-    bk_clock = Drive.clock drive;
-    bk_capacity =
-      (fun () ->
-        (L.usable_blocks log * block, (L.usable_blocks log - L.live_blocks log) * block));
-    bk_audit_garbage =
-      Some
-        (fun ~client ~info ->
-          let audit = Drive.audit drive in
-          let at = Simclock.now (Drive.clock drive) in
-          try
-            S4.Audit.append audit
-              { S4.Audit.at; user = -1; client; op = "net_reject"; oid = 0L; info; ok = false }
-          with _ -> ());
-  }
-
-type config = { max_frame : int; max_inflight : int; max_io : int; allow_admin : bool }
 
 let default_config =
   {
@@ -40,17 +32,24 @@ let default_config =
     max_inflight = 64;
     max_io = 16 * 1024 * 1024;
     allow_admin = true;
+    max_batch = 256;
   }
 
 type t = {
-  backend : backend;
+  backend : Backend.t;
+  audit_garbage : audit_garbage option;
   cfg : config;
   lock : Mutex.t;  (** serializes backend calls: the drive stack is not thread-safe *)
 }
 
-let create ?(config = default_config) backend =
+let create ?(config = default_config) ?audit_garbage backend =
   Wire.ensure_metrics ();
-  { backend; cfg = config; lock = Mutex.create () }
+  { backend; audit_garbage; cfg = config; lock = Mutex.create () }
+
+let of_drive ?config drive =
+  create ?config
+    ~audit_garbage:(drive_audit_garbage drive)
+    (Drive.backend drive)
 
 let config t = t.cfg
 
@@ -62,14 +61,24 @@ let with_lock t f =
 (* Sans-IO protocol session                                            *)
 
 module Session = struct
+  type work =
+    | W_one of int64 * Rpc.credential * bool * Rpc.req
+    | W_batch of int64 * Rpc.credential * bool * Rpc.req array
+
+  let work_units = function W_one _ -> 1 | W_batch (_, _, _, reqs) -> Array.length reqs
+
   type s = {
     srv : t;
     s_identity : int;
     s_trace : bool;
+    mutable s_version : int;
+        (* negotiated protocol version: every frame out is encoded at
+           it. Starts at our best; a [Hello] can only lower it. *)
     mutable inbuf : Bytes.t;
     mutable in_start : int;
     mutable in_len : int;
-    pending : (int64 * Rpc.credential * bool * Rpc.req) Queue.t;
+    pending : work Queue.t;
+    mutable s_inflight : int;  (* requests queued, batches flattened *)
     out : Buffer.t;
     mutable s_closing : bool;
   }
@@ -79,20 +88,23 @@ module Session = struct
       srv;
       s_identity = identity;
       s_trace = trace;
+      s_version = Wire.version;
       inbuf = Bytes.create 4096;
       in_start = 0;
       in_len = 0;
       pending = Queue.create ();
+      s_inflight = 0;
       out = Buffer.create 256;
       s_closing = false;
     }
 
   let identity s = s.s_identity
+  let version s = s.s_version
   let closing s = s.s_closing
   let finished s = s.s_closing && Queue.is_empty s.pending && Buffer.length s.out = 0
 
   let emit s frame =
-    let b = Wire.encode frame in
+    let b = Wire.encode ~version:s.s_version frame in
     Metrics.incr "net/frames_out";
     Metrics.incr ~by:(Bytes.length b) "net/bytes_out";
     Buffer.add_bytes s.out b
@@ -106,7 +118,7 @@ module Session = struct
      reading. Queued valid requests still execute before the close. *)
   let reject s msg =
     Metrics.incr "net/decode_reject";
-    (match s.srv.backend.bk_audit_garbage with
+    (match s.srv.audit_garbage with
     | Some f -> f ~client:s.s_identity ~info:msg
     | None -> ());
     emit s (Wire.Proto_error { xid = 0L; message = msg });
@@ -114,26 +126,45 @@ module Session = struct
     s.in_len <- 0;
     s.in_start <- 0
 
-  let now s = Simclock.now s.srv.backend.bk_clock
+  let now s = Simclock.now s.srv.backend.Backend.clock
+
+  let enqueue s w =
+    let n = work_units w in
+    if s.s_inflight + n > s.srv.cfg.max_inflight then
+      reject s (Printf.sprintf "more than %d requests in flight" s.srv.cfg.max_inflight)
+    else begin
+      s.s_inflight <- s.s_inflight + n;
+      Queue.add w s.pending
+    end
 
   let on_frame s (frame : Wire.frame) =
     match frame with
     | Wire.Hello { version; claim = _ } ->
-      if version <> Wire.version then
+      if version < Wire.min_version then
         reject s (Printf.sprintf "unsupported client version %d" version)
-      else
+      else begin
+        (* Negotiate down to the best version both sides speak. *)
+        s.s_version <- min version Wire.version;
         emit s
-          (Wire.Hello_ack { version = Wire.version; identity = s.s_identity; now = now s })
-    | Wire.Request { xid; cred; sync; req } ->
-      if Queue.length s.pending >= s.srv.cfg.max_inflight then
+          (Wire.Hello_ack { version = s.s_version; identity = s.s_identity; now = now s })
+      end
+    | Wire.Request { xid; cred; sync; req } -> enqueue s (W_one (xid, cred, sync, req))
+    | Wire.Batch { xid; cred; sync; reqs } ->
+      (* The decoder already rejects kind-8 frames in a v1 stream; this
+         catches a peer that negotiated v1 yet still sent v2 frames. *)
+      if s.s_version < 2 then reject s "batch frame on a v1 session"
+      else if Array.length reqs > s.srv.cfg.max_batch then
         reject s
-          (Printf.sprintf "more than %d requests in flight" s.srv.cfg.max_inflight)
-      else Queue.add (xid, cred, sync, req) s.pending
+          (Printf.sprintf "batch of %d exceeds limit %d" (Array.length reqs)
+             s.srv.cfg.max_batch)
+      else enqueue s (W_batch (xid, cred, sync, reqs))
     | Wire.Stat { xid } ->
-      let total, free = with_lock s.srv (fun () -> s.srv.backend.bk_capacity ()) in
-      emit s (Wire.Stat_ack { xid; total; free; now = now s })
+      let total, free = with_lock s.srv (fun () -> s.srv.backend.Backend.capacity ()) in
+      emit s
+        (Wire.Stat_ack { xid; total; free; now = now s; batch = s.srv.cfg.max_batch })
     | Wire.Goodbye -> s.s_closing <- true
-    | Wire.Hello_ack _ | Wire.Response _ | Wire.Proto_error _ | Wire.Stat_ack _ ->
+    | Wire.Hello_ack _ | Wire.Response _ | Wire.Proto_error _ | Wire.Stat_ack _
+    | Wire.Batch_reply _ ->
       reject s (Printf.sprintf "unexpected %s frame from client" (Wire.frame_name frame))
 
   let compact s =
@@ -191,37 +222,76 @@ module Session = struct
       Bytes.length d <> len
     | _ -> false
 
-  let execute s cred sync req =
+  (* Execute a (possibly one-element) batch. Per-request policy
+     violations (oversized IO, inconsistent data length) answer
+     positionally without reaching the backend; the surviving
+     requests go down as ONE vectored submission, so a [sync] batch
+     pays a single group-commit barrier. *)
+  let execute_batch s cred sync reqs =
     let cfg = s.srv.cfg in
     (* The connection, not the request, names the client. *)
     let cred = { cred with Rpc.client = s.s_identity } in
-    if cred.Rpc.admin && not cfg.allow_admin then Rpc.R_error Rpc.Permission_denied
-    else if oversized_io cfg req then
-      Rpc.R_error (Rpc.Bad_request "io size exceeds server limit")
-    else if bad_data req then Rpc.R_error (Rpc.Bad_request "data length mismatch")
-    else
+    let n = Array.length reqs in
+    if cred.Rpc.admin && not cfg.allow_admin then
+      Array.make n (Rpc.R_error Rpc.Permission_denied)
+    else begin
+      let resps = Array.make n Rpc.R_unit in
+      let valid = ref [] in
+      Array.iteri
+        (fun i req ->
+          if oversized_io cfg req then
+            resps.(i) <- Rpc.R_error (Rpc.Bad_request "io size exceeds server limit")
+          else if bad_data req then
+            resps.(i) <- Rpc.R_error (Rpc.Bad_request "data length mismatch")
+          else valid := (i, req) :: !valid)
+        reqs;
+      let valid = Array.of_list (List.rev !valid) in
       with_lock s.srv (fun () ->
+          let kind =
+            if n = 1 then Rpc.op_name reqs.(0)
+            else Printf.sprintf "batch/%d" n
+          in
           let tok =
-            if s.s_trace && Trace.on () then
-              Trace.enter Trace.Net ~kind:(Rpc.op_name req) ~now:(now s)
+            if s.s_trace && Trace.on () then Trace.enter Trace.Net ~kind ~now:(now s)
             else Trace.null
           in
-          let resp =
-            try s.srv.backend.bk_handle cred ~sync req
-            with exn -> Rpc.R_error (Rpc.Io_error (Printexc.to_string exn))
+          let sub = Array.map snd valid in
+          let out =
+            try s.srv.backend.Backend.submit cred ~sync sub
+            with exn ->
+              Array.make (Array.length sub) (Rpc.R_error (Rpc.Io_error (Printexc.to_string exn)))
           in
-          (match resp with
-          | Rpc.R_error e -> Trace.fail tok (Drive.err_tag e)
+          if Array.length out = Array.length sub then
+            Array.iteri (fun j (i, _) -> resps.(i) <- out.(j)) valid
+          else
+            (* A backend answering off-count is broken: fail the batch. *)
+            Array.iteri
+              (fun j (i, _) ->
+                resps.(i) <-
+                  (if j < Array.length out then out.(j)
+                   else Rpc.R_error (Rpc.Io_error "backend response count mismatch")))
+              valid;
+          (match resps with
+          | [| Rpc.R_error e |] -> Trace.fail tok (Rpc.err_tag e)
           | _ -> ());
           Trace.finish tok ~now:(now s);
-          resp)
+          resps)
+    end
+
+  let execute s cred sync req = (execute_batch s cred sync [| req |]).(0)
 
   let step s =
     match Queue.take_opt s.pending with
     | None -> false
-    | Some (xid, cred, sync, req) ->
-      let resp = execute s cred sync req in
-      emit s (Wire.Response { xid; resp });
+    | Some w ->
+      s.s_inflight <- s.s_inflight - work_units w;
+      (match w with
+      | W_one (xid, cred, sync, req) ->
+        let resp = execute s cred sync req in
+        emit s (Wire.Response { xid; resp })
+      | W_batch (xid, cred, sync, reqs) ->
+        let resps = execute_batch s cred sync reqs in
+        emit s (Wire.Batch_reply { xid; resps }));
       true
 
   let rec run s = if step s then run s

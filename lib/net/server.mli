@@ -1,4 +1,4 @@
-(** Concurrent wire-protocol server for any [Drive.handle]-shaped backend.
+(** Concurrent wire-protocol server for any {!S4.Backend.t}.
 
     The protocol engine is sans-IO: a {!Session.t} consumes raw bytes,
     parses frames, queues requests and produces response bytes, with no
@@ -20,36 +20,39 @@
     a peer sends can make the server raise or allocate beyond the
     configured frame cap. *)
 
-type backend = {
-  bk_handle : S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp;
-  bk_clock : S4_util.Simclock.t;
-  bk_capacity : unit -> int * int;  (** (total_bytes, free_bytes) *)
-  bk_audit_garbage : (client:int -> info:string -> unit) option;
-      (** record a protocol-level rejection in the audit trail *)
-}
-
-val backend_of_drive : S4.Drive.t -> backend
-(** Serve a single drive; garbage frames land in its audit log under
-    op ["net_reject"]. *)
+type audit_garbage = client:int -> info:string -> unit
+(** Record a protocol-level rejection in the audit trail. *)
 
 type config = {
   max_frame : int;  (** largest accepted frame payload, bytes *)
-  max_inflight : int;  (** queued-but-unexecuted requests per connection *)
+  max_inflight : int;
+      (** queued-but-unexecuted requests per connection (a batch of
+          [n] counts as [n]) *)
   max_io : int;  (** largest single read/write/append/truncate, bytes *)
   allow_admin : bool;
       (** accept frames whose credential claims [admin]; refuse with
           [Permission_denied] when false (admin stays console-only) *)
+  max_batch : int;
+      (** largest accepted [Batch] frame (requests per batch);
+          advertised to v2 peers in [Stat_ack] *)
 }
 
 val default_config : config
-(** 4 MiB frames, 64 in-flight, 16 MiB io, admin allowed. *)
+(** 4 MiB frames, 64 in-flight, 16 MiB io, admin allowed, 256-request
+    batches. *)
 
 type t
 
-val create : ?config:config -> backend -> t
-(** Backend calls are serialized under an internal lock, so one server
+val create : ?config:config -> ?audit_garbage:audit_garbage -> S4.Backend.t -> t
+(** Serve any backend — a drive, a shard router, a mirrored pair.
+    Backend calls are serialized under an internal lock, so one server
     can safely carry many concurrent connections to a single
     (thread-oblivious) drive stack. *)
+
+val of_drive : ?config:config -> S4.Drive.t -> t
+(** [create] over {!S4.Drive.backend} with the drive's garbage-audit
+    hook wired: garbage frames land in its audit log under op
+    ["net_reject"]. *)
 
 val config : t -> config
 
@@ -70,8 +73,10 @@ module Session : sig
       are queued for {!step}. Input after close is discarded. *)
 
   val step : s -> bool
-  (** Execute one queued request against the backend (under the server
-      lock) and queue its response bytes. False if nothing was pending. *)
+  (** Execute one queued request — or one whole queued batch, as ONE
+      vectored backend submission with a single group-commit barrier —
+      under the server lock, and queue its response bytes. False if
+      nothing was pending. *)
 
   val run : s -> unit
   (** {!step} until the pending queue is empty. *)
@@ -87,6 +92,10 @@ module Session : sig
   (** Closing, nothing pending, nothing buffered: drop the connection. *)
 
   val identity : s -> int
+
+  val version : s -> int
+  (** Negotiated protocol version (set by the peer's [Hello]; starts
+      at {!Wire.version}). Batch frames are refused below 2. *)
 end
 
 (** {1 TCP daemon} *)

@@ -12,10 +12,18 @@ type frame =
   | Response of { xid : int64; resp : Rpc.resp }
   | Proto_error of { xid : int64; message : string }
   | Stat of { xid : int64 }
-  | Stat_ack of { xid : int64; total : int; free : int; now : int64 }
+  | Stat_ack of { xid : int64; total : int; free : int; now : int64; batch : int }
   | Goodbye
+  | Batch of { xid : int64; cred : Rpc.credential; sync : bool; reqs : Rpc.req array }
+  | Batch_reply of { xid : int64; resps : Rpc.resp array }
 
-let version = 1
+(* Version 2 adds the vectored frames ([Batch]/[Batch_reply]) and a
+   max-batch field in [Stat_ack]. A peer advertises its best version
+   in [Hello]; the server acks the minimum of the two and every
+   subsequent frame on the connection is encoded at that version.
+   Version-1 sessions are still fully supported (minus batching). *)
+let version = 2
+let min_version = 1
 let magic = "S4WP"
 let header_len = 20
 let overhead = header_len + 4
@@ -30,6 +38,8 @@ let frame_name = function
   | Stat _ -> "stat"
   | Stat_ack _ -> "stat_ack"
   | Goodbye -> "goodbye"
+  | Batch _ -> "batch"
+  | Batch_reply _ -> "batch_reply"
 
 let ensure_metrics () =
   Metrics.incr ~by:0 "net/decode_reject";
@@ -360,14 +370,16 @@ let kind_code = function
   | Stat _ -> 5
   | Stat_ack _ -> 6
   | Goodbye -> 7
+  | Batch _ -> 8
+  | Batch_reply _ -> 9
 
 let frame_xid = function
   | Hello _ | Hello_ack _ | Goodbye -> 0L
   | Request { xid; _ } | Response { xid; _ } | Proto_error { xid; _ } | Stat { xid }
-  | Stat_ack { xid; _ } ->
+  | Stat_ack { xid; _ } | Batch { xid; _ } | Batch_reply { xid; _ } ->
     xid
 
-let payload_of = function
+let payload_of v = function
   | Hello { version; claim } ->
     let w = Bcodec.writer () in
     Bcodec.w_u16 w version;
@@ -394,16 +406,35 @@ let payload_of = function
     Bcodec.w_string w message;
     Bcodec.contents w
   | Stat _ -> Bytes.empty
-  | Stat_ack { xid = _; total; free; now } ->
+  | Stat_ack { xid = _; total; free; now; batch } ->
     let w = Bcodec.writer () in
     Bcodec.w_int w total;
     Bcodec.w_int w free;
     Bcodec.w_i64 w now;
+    (* The batch-support advertisement only exists in the v2 payload;
+       a v1 peer never learns of it (and could not use it). *)
+    if v >= 2 then Bcodec.w_int w batch;
     Bcodec.contents w
   | Goodbye -> Bytes.empty
+  | Batch { xid = _; cred; sync; reqs } ->
+    let w = Bcodec.writer () in
+    w_cred w cred;
+    w_bool w sync;
+    Bcodec.w_int w (Array.length reqs);
+    Array.iter (w_req w) reqs;
+    Bcodec.contents w
+  | Batch_reply { xid = _; resps } ->
+    let w = Bcodec.writer () in
+    Bcodec.w_int w (Array.length resps);
+    Array.iter (w_resp w) resps;
+    Bcodec.contents w
 
-let encode frame =
-  let payload = payload_of frame in
+let encode ?(version = version) frame =
+  (match frame with
+   | (Batch _ | Batch_reply _) when version < 2 ->
+     invalid_arg "Wire.encode: batch frames require protocol version 2"
+   | _ -> ());
+  let payload = payload_of version frame in
   let plen = Bytes.length payload in
   let b = Bytes.create (overhead + plen) in
   Bytes.blit_string magic 0 b 0 4;
@@ -422,7 +453,7 @@ let encode frame =
 
 type decoded = Frame of frame * int | Need_more of int | Corrupt of string
 
-let parse_payload kind xid payload : frame =
+let parse_payload v kind xid payload : frame =
   let r = Bcodec.reader payload in
   let f =
     match kind with
@@ -443,8 +474,20 @@ let parse_payload kind xid payload : frame =
     | 6 ->
       let total = Bcodec.r_int r in
       let free = Bcodec.r_int r in
-      Stat_ack { xid; total; free; now = Bcodec.r_i64 r }
+      let now = Bcodec.r_i64 r in
+      let batch = if v >= 2 then Bcodec.r_int r else 0 in
+      Stat_ack { xid; total; free; now; batch }
     | 7 -> Goodbye
+    | 8 ->
+      let cred = r_cred r in
+      let sync = r_bool r in
+      let n = Bcodec.r_int r in
+      checked_count r n;
+      Batch { xid; cred; sync; reqs = Array.init n (fun _ -> r_req r) }
+    | 9 ->
+      let n = Bcodec.r_int r in
+      checked_count r n;
+      Batch_reply { xid; resps = Array.init n (fun _ -> r_resp r) }
     | k -> fail (Printf.sprintf "bad frame kind %d" k)
   in
   if Bcodec.remaining r <> 0 then
@@ -469,8 +512,9 @@ let decode ?(max_frame = max_frame_default) buf ~pos ~avail =
       let reserved = Bcodec.get_u16 buf (pos + 6) in
       let xid = Bcodec.get_i64 buf (pos + 8) in
       let plen = Bcodec.get_u32 buf (pos + 16) in
-      if v <> version then reject "unsupported version %d" v
-      else if kind > 7 then reject "bad frame kind %d" kind
+      if v < min_version || v > version then reject "unsupported version %d" v
+      else if kind > 9 then reject "bad frame kind %d" kind
+      else if kind >= 8 && v < 2 then reject "batch frame in a v%d stream" v
       else if reserved <> 0 then reject "nonzero reserved field"
       else if plen > max_frame then reject "frame payload %d exceeds limit %d" plen max_frame
       else begin
@@ -482,7 +526,7 @@ let decode ?(max_frame = max_frame_default) buf ~pos ~avail =
           if Int32.to_int crc land 0xFFFFFFFF <> stored then reject "crc mismatch"
           else begin
             let payload = Bytes.sub buf (pos + header_len) plen in
-            match parse_payload kind xid payload with
+            match parse_payload v kind xid payload with
             | f -> Frame (f, total)
             | exception Reject m -> Corrupt m
             | exception Bcodec.Decode_error m -> Corrupt m

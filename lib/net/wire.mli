@@ -7,7 +7,7 @@
     {v
       offset size  field
       0      4     magic "S4WP"
-      4      1     protocol version (currently 1)
+      4      1     protocol version (1 or 2)
       5      1     frame kind
       6      2     reserved (must be zero)
       8      8     xid (request id; 0 for control frames)
@@ -15,6 +15,15 @@
       20     len   payload (kind-specific)
       20+len 4     CRC-32 of bytes [0, 20+len)
     v}
+
+    {b Versioning.} A peer advertises its best protocol version in
+    [Hello]; the server answers [Hello_ack] with the minimum of the
+    two and every later frame on the connection is encoded at that
+    negotiated version. Version 2 adds the vectored [Batch] /
+    [Batch_reply] frames (group-commit submission) and a max-batch
+    advertisement in [Stat_ack]; both are rejected inside a v1
+    stream, and a client negotiated down to v1 falls back to
+    pipelining individual [Request] frames.
 
     Decoding is strict and bounded: a declared payload longer than the
     decoder's [max_frame] is rejected {e before} any payload arrives
@@ -36,10 +45,23 @@ type frame =
       (** protocol-level rejection (bad frame, limit exceeded); the
           sender closes the connection after emitting one *)
   | Stat of { xid : int64 }
-  | Stat_ack of { xid : int64; total : int; free : int; now : int64 }
+  | Stat_ack of { xid : int64; total : int; free : int; now : int64; batch : int }
+      (** [batch] is the server's max accepted batch size (0 on a v1
+          session: the field is absent from the v1 payload) *)
   | Goodbye  (** graceful close: the peer drains in-flight requests *)
+  | Batch of
+      { xid : int64; cred : S4.Rpc.credential; sync : bool; reqs : S4.Rpc.req array }
+      (** v2: one vectored submission; [sync] asks for a single
+          group-commit barrier after the last request *)
+  | Batch_reply of { xid : int64; resps : S4.Rpc.resp array }
+      (** v2: positional responses to a [Batch] *)
 
 val version : int
+(** Best protocol version this build speaks (2). *)
+
+val min_version : int
+(** Oldest version still accepted on the wire (1). *)
+
 val header_len : int
 (** Fixed frame header size (before the payload). *)
 
@@ -49,8 +71,10 @@ val overhead : int
 val max_frame_default : int
 (** Default payload-size cap (4 MiB). *)
 
-val encode : frame -> Bytes.t
-(** A complete frame, CRC included. *)
+val encode : ?version:int -> frame -> Bytes.t
+(** A complete frame, CRC included, encoded at the session's
+    negotiated [version] (default: this build's best). Encoding a
+    batch frame at v1 is a programming error ([Invalid_argument]). *)
 
 type decoded =
   | Frame of frame * int  (** a whole frame and the bytes it consumed *)

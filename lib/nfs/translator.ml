@@ -1,23 +1,22 @@
 module Rpc = S4.Rpc
 module Drive = S4.Drive
 module Client = S4.Client
+module Backend = S4.Backend
 module N = Nfs_types
 module Trace = S4_obs.Trace
-
-(* A drive-shaped backend that is not a single drive (e.g. a shard
-   router aggregating several). Function-based so this library does
-   not depend on the aggregation layer. *)
-type backend = {
-  b_clock : S4_util.Simclock.t;
-  b_handle : Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp;
-  b_keep_data : bool;
-  b_capacity : unit -> int * int;  (* (total_bytes, free_bytes) *)
-}
 
 type transport =
   | Local of Drive.t
   | Remote of Client.t
-  | Backend of backend
+  | Backend of Backend.t
+
+(* Every transport normalizes to the one vectored backend surface; the
+   constructors only exist so callers can hand over a raw drive or
+   simulated client without building the record themselves. *)
+let backend_of = function
+  | Local d -> Drive.backend d
+  | Remote c -> Client.backend c
+  | Backend b -> b
 
 (* Cached directory image: occupied slots and the slot-array length. *)
 type dircache = { mutable dents : (N.dirent * int) list; mutable nslots : int }
@@ -31,6 +30,7 @@ let loopback_us = 400.0
 
 type t = {
   transport : transport;
+  backend : Backend.t;
   cred : Rpc.credential;
   root : N.fh;
   attr_cache : (N.fh, N.attr) Hashtbl.t;
@@ -42,32 +42,38 @@ type t = {
 
 exception Err of N.error
 
-let clock_of = function
-  | Local d -> Drive.clock d
-  | Remote c -> Drive.clock (Client.drive c)
-  | Backend b -> b.b_clock
-
-let call_t transport cred ?sync req =
-  match transport with
-  | Local d -> Drive.handle d cred ?sync req
-  | Remote c -> Client.call c cred ?sync req
-  | Backend b -> b.b_handle cred ?sync req
+let clock_of t = t.backend.Backend.clock
 
 let fail e = raise (Err e)
 
+let nfs_of_rpc_error = function
+  | Rpc.Not_found -> N.Enoent
+  | Rpc.Permission_denied -> N.Eacces
+  | Rpc.Object_deleted -> N.Enoent
+  | Rpc.No_space -> N.Enospc
+  | Rpc.Bad_request m -> N.Eio m
+  | Rpc.Io_error m -> N.Eio m
+
 let lift = function
-  | Rpc.R_error Rpc.Not_found -> fail N.Enoent
-  | Rpc.R_error Rpc.Permission_denied -> fail N.Eacces
-  | Rpc.R_error Rpc.Object_deleted -> fail N.Enoent
-  | Rpc.R_error Rpc.No_space -> fail N.Enospc
-  | Rpc.R_error (Rpc.Bad_request m) -> fail (N.Eio m)
-  | Rpc.R_error (Rpc.Io_error m) -> fail (N.Eio m)
+  | Rpc.R_error e -> fail (nfs_of_rpc_error e)
   | resp -> resp
 
 let call t ?sync req =
   t.rpcs <- t.rpcs + 1;
-  S4_util.Simclock.advance (clock_of t.transport) (S4_util.Simclock.of_us daemon_cpu_us);
-  lift (call_t t.transport t.cred ?sync req)
+  S4_util.Simclock.advance (clock_of t) (S4_util.Simclock.of_us daemon_cpu_us);
+  lift (Backend.handle t.backend t.cred ?sync req)
+
+(* Vectored submission: the daemon still pays per-request marshalling
+   cpu, but the whole array crosses the backend as ONE submit — with
+   [sync] that is one group-commit barrier instead of one per request.
+   Responses are positional and NOT lifted: batch callers must inspect
+   each slot (a failed slot must not mask its successors). *)
+let call_batch t ~sync reqs =
+  let n = Array.length reqs in
+  t.rpcs <- t.rpcs + n;
+  S4_util.Simclock.advance (clock_of t)
+    (S4_util.Simclock.of_us (daemon_cpu_us *. float_of_int n));
+  t.backend.Backend.submit t.cred ~sync reqs
 
 let expect_unit = function
   | Rpc.R_unit -> ()
@@ -81,7 +87,7 @@ let expect_oid = function
   | Rpc.R_oid oid -> oid
   | _ -> fail (N.Eio "unexpected response")
 
-let now t = S4_util.Simclock.now (clock_of t.transport)
+let now t = S4_util.Simclock.now (clock_of t)
 
 (* ------------------------------------------------------------------ *)
 (* Attribute and directory access with read caching                    *)
@@ -159,12 +165,13 @@ let invalidate t fh =
 (* Mount                                                               *)
 
 let mount ?(partition = "root") ?(cred = Rpc.user_cred ~user:1 ~client:1) transport =
-  let call ?sync req = lift (call_t transport cred ?sync req) in
+  let backend = backend_of transport in
+  let call ?sync req = lift (Backend.handle backend cred ?sync req) in
   let root =
-    match call_t transport cred (Rpc.P_mount { name = partition; at = None }) with
+    match Backend.handle backend cred (Rpc.P_mount { name = partition; at = None }) with
     | Rpc.R_oid oid -> oid
     | Rpc.R_error Rpc.Not_found ->
-      let clock = clock_of transport in
+      let clock = backend.Backend.clock in
       let oid = expect_oid (call (Rpc.Create { acl = [] })) in
       let attr = N.fresh_attr N.Fdir ~uid:cred.Rpc.user ~now:(S4_util.Simclock.now clock) in
       expect_unit (call (Rpc.Set_attr { oid; attr = N.encode_attr attr }));
@@ -174,6 +181,7 @@ let mount ?(partition = "root") ?(cred = Rpc.user_cred ~user:1 ~client:1) transp
   in
   {
     transport;
+    backend;
     cred;
     root;
     attr_cache = Hashtbl.create 1024;
@@ -194,14 +202,7 @@ let invalidate_caches t =
   (* A timing-only drive (keep_data:false) cannot serve directory
      contents back, so the directory cache is the namespace's only
      authoritative copy and must survive cache-drop experiments. *)
-  let keep_data =
-    match t.transport with
-    | Local d -> (S4_store.Obj_store.config (Drive.store d)).S4_store.Obj_store.keep_data
-    | Remote c ->
-      (S4_store.Obj_store.config (Drive.store (Client.drive c))).S4_store.Obj_store.keep_data
-    | Backend b -> b.b_keep_data
-  in
-  if keep_data then Hashtbl.reset t.dir_cache
+  if t.backend.Backend.keep_data then Hashtbl.reset t.dir_cache
 
 (* ------------------------------------------------------------------ *)
 (* NFS operations                                                      *)
@@ -239,9 +240,20 @@ let do_write t fh off data =
   let len = Bytes.length data in
   let attr = get_attr t fh in
   if attr.N.ftype = N.Fdir then fail N.Eisdir;
-  expect_unit (call t (Rpc.Write { oid = fh; off; len; data = Some data }));
   let attr = { attr with N.size = max attr.N.size (off + len); mtime = now t } in
-  set_attr t ~sync:true fh attr;
+  (* The payload write and the attribute update ride one vectored
+     submission: the NFSv2 stability barrier is paid once, after the
+     second request, instead of once per RPC. *)
+  let resps =
+    call_batch t ~sync:true
+      [|
+        Rpc.Write { oid = fh; off; len; data = Some data };
+        Rpc.Set_attr { oid = fh; attr = N.encode_attr attr };
+      |]
+  in
+  expect_unit (lift resps.(0));
+  expect_unit (lift resps.(1));
+  Hashtbl.replace t.attr_cache fh attr;
   attr
 
 let do_setattr t fh mode size =
@@ -293,20 +305,8 @@ let do_symlink t ~dir ~name ~target =
   set_attr t fh { attr with N.size = Bytes.length data };
   add_entry t ~sync:true dir { N.name; fh }
 
-let drive_capacity d =
-  let log = Drive.log d in
-  let block = S4_seglog.Log.block_size log in
-  let total = S4_seglog.Log.usable_blocks log * block in
-  let free = (S4_seglog.Log.usable_blocks log - S4_seglog.Log.live_blocks log) * block in
-  (total, free)
-
 let statfs t =
-  let total, free =
-    match t.transport with
-    | Local d -> drive_capacity d
-    | Remote c -> drive_capacity (Client.drive c)
-    | Backend b -> b.b_capacity ()
-  in
+  let total, free = t.backend.Backend.capacity () in
   N.R_statfs { total_bytes = total; free_bytes = free }
 
 let nfs_kind : N.req -> string = function
@@ -337,7 +337,7 @@ let nfs_err_tag : N.error -> string = function
 
 let handle_inner t req =
   (match t.transport with
-   | Remote _ -> S4_util.Simclock.advance (clock_of t.transport) (S4_util.Simclock.of_us loopback_us)
+   | Remote _ -> S4_util.Simclock.advance (clock_of t) (S4_util.Simclock.of_us loopback_us)
    | Local _ | Backend _ -> ());
   try
     match req with
@@ -385,7 +385,7 @@ let handle_inner t req =
 let handle t req =
   if not (Trace.on ()) then handle_inner t req
   else begin
-    let now () = S4_util.Simclock.now (clock_of t.transport) in
+    let now () = S4_util.Simclock.now (clock_of t) in
     let h0 = t.attr_hits and m0 = t.attr_misses in
     let tok = Trace.enter Trace.Nfs ~kind:(nfs_kind req) ~now:(now ()) in
     (match req with
@@ -482,3 +482,121 @@ let read_file t path =
      | N.R_data b -> Ok b
      | N.R_error e -> Error e
      | _ -> Error (N.Eio "read"))
+
+(* ------------------------------------------------------------------ *)
+(* Multi-file batch operations                                         *)
+
+(* Both helpers run the namespace preparation (parent dirs, create or
+   lookup, slot bookkeeping) through the normal cached path but with
+   every intermediate RPC unsynced, then push the whole set of
+   mutations across the backend as ONE [submit ~sync:true]: n files
+   share a single group-commit barrier instead of paying one each.
+   Results are positional; one file's failure leaves the others'
+   outcomes intact (per-request atomicity, per-batch durability). *)
+
+let check_slots resps ~first ~stop ok =
+  let rec check i =
+    if i >= stop then Ok (ok ())
+    else
+      match resps.(i) with
+      | Rpc.R_unit -> check (i + 1)
+      | Rpc.R_error err -> Error (nfs_of_rpc_error err)
+      | _ -> Error (N.Eio "unexpected response")
+  in
+  check first
+
+let write_files t files =
+  let reqs = ref [] in
+  let nreq = ref 0 in
+  let push r =
+    reqs := r :: !reqs;
+    incr nreq
+  in
+  let preps =
+    List.map
+      (fun (path, data) ->
+        try
+          match dirname_basename path with
+          | Error e -> Error e
+          | Ok (dirs, base) -> (
+            match mkdir_p t (String.concat "/" dirs) with
+            | Error e -> Error e
+            | Ok dir ->
+              let len = Bytes.length data in
+              let fh, attr, fresh =
+                match find_entry (read_dir t dir) base with
+                | Some { N.fh; _ } ->
+                  let a = get_attr t fh in
+                  if a.N.ftype = N.Fdir then fail N.Eisdir;
+                  (fh, a, false)
+                | None ->
+                  let fh, a = create_object t N.Freg ~mode:0o644 ~sync_last:false in
+                  add_entry t ~sync:false dir { N.name = base; fh };
+                  (fh, a, true)
+              in
+              let first = !nreq in
+              if (not fresh) && attr.N.size > 0 then push (Rpc.Truncate { oid = fh; size = 0 });
+              let attr = { attr with N.size = len; mtime = now t } in
+              push (Rpc.Write { oid = fh; off = 0; len; data = Some data });
+              push (Rpc.Set_attr { oid = fh; attr = N.encode_attr attr });
+              Ok (fh, attr, first, !nreq))
+        with Err e -> Error e)
+      files
+  in
+  let resps = call_batch t ~sync:true (Array.of_list (List.rev !reqs)) in
+  List.map
+    (function
+      | Error e -> Error e
+      | Ok (fh, attr, first, stop) ->
+        check_slots resps ~first ~stop (fun () ->
+            Hashtbl.replace t.attr_cache fh attr;
+            fh))
+    preps
+
+let remove_files t paths =
+  let reqs = ref [] in
+  let nreq = ref 0 in
+  let push r =
+    reqs := r :: !reqs;
+    incr nreq
+  in
+  let preps =
+    List.map
+      (fun path ->
+        try
+          match dirname_basename path with
+          | Error e -> Error e
+          | Ok (dirs, base) -> (
+            match lookup_path t (String.concat "/" dirs) with
+            | Error e -> Error e
+            | Ok (dir, _) -> (
+              let dc = load_dir t dir in
+              match List.find_opt (fun (e, _) -> e.N.name = base) dc.dents with
+              | None -> Error N.Enoent
+              | Some ({ N.fh; _ }, slot) ->
+                let attr = get_attr t fh in
+                if attr.N.ftype = N.Fdir then fail N.Eisdir;
+                let first = !nreq in
+                push (Rpc.Delete { oid = fh });
+                push
+                  (Rpc.Write
+                     {
+                       oid = dir;
+                       off = slot * N.slot_size;
+                       len = N.slot_size;
+                       data = Some (N.encode_slot None);
+                     });
+                (* Optimistic cache update, mirroring the single-op
+                   path: the mutation is in flight once enqueued. *)
+                dc.dents <- List.filter (fun (_, i) -> i <> slot) dc.dents;
+                invalidate t fh;
+                Ok (first, !nreq)))
+        with Err e -> Error e)
+      paths
+  in
+  let resps = call_batch t ~sync:true (Array.of_list (List.rev !reqs)) in
+  List.map
+    (function
+      | Error e -> Error e
+      | Ok (first, stop) -> check_slots resps ~first ~stop (fun () -> ()))
+    preps

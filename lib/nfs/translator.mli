@@ -17,21 +17,14 @@
     drive sync, batched onto the final S4 RPC of the operation. The
     translator keeps read-only attribute and directory caches. *)
 
-type backend = {
-  b_clock : S4_util.Simclock.t;
-  b_handle : S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp;
-  b_keep_data : bool;
-  b_capacity : unit -> int * int;  (** (total_bytes, free_bytes) *)
-}
-(** A drive-shaped backend that is not a single drive — e.g. a shard
-    router aggregating several drives behind {!S4.Drive.handle}'s
-    contract. Function-based so this library stays independent of the
-    aggregation layer. *)
-
 type transport =
   | Local of S4.Drive.t
   | Remote of S4.Client.t
-  | Backend of backend
+  | Backend of S4.Backend.t
+      (** any producer of the uniform vectored surface — a shard
+          router, a networked client, a mirrored pair. (This replaces
+          the translator-private [backend] record: one
+          {!S4.Backend.t} now serves every consumer.) *)
 
 type t
 
@@ -71,3 +64,19 @@ val write_file : t -> string -> Bytes.t -> (Nfs_types.fh, Nfs_types.error) resul
 (** Create-or-truncate then write the whole contents. *)
 
 val read_file : t -> string -> (Bytes.t, Nfs_types.error) result
+
+(** {1 Batched multi-file operations}
+
+    The whole set of mutations crosses the backend as one vectored
+    [submit ~sync:true]: n files share a single group-commit barrier
+    instead of paying one each. Results are positional — one file's
+    failure does not disturb the others (per-request atomicity,
+    per-batch durability). *)
+
+val write_files :
+  t -> (string * Bytes.t) list -> (Nfs_types.fh, Nfs_types.error) result list
+(** Create-or-truncate-then-write each [(path, contents)]; parent
+    directories are created as needed. *)
+
+val remove_files : t -> string list -> (unit, Nfs_types.error) result list
+(** Remove each file or symlink (never a directory). *)

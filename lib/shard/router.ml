@@ -310,7 +310,7 @@ let handle t cred ?(sync = false) req =
           | Rpc.Create _ -> Trace.set_shard tok (Ring.owner t.ring oid)
           | _ -> ())
        | Rpc.R_data b -> Trace.set_bytes tok (Bytes.length b)
-       | Rpc.R_error e -> Trace.fail tok (Drive.err_tag e)
+       | Rpc.R_error e -> Trace.fail tok (Rpc.err_tag e)
        | _ -> ());
       Trace.finish tok ~now:(Simclock.now t.clock);
       resp
@@ -319,6 +319,47 @@ let handle t cred ?(sync = false) req =
       Trace.abort tok ~now:(Simclock.now t.clock);
       raise e
   end
+
+let barrier t =
+  (* Group commit across the array: one durability barrier fanned out
+     to every member, charged as parallel work (the batch completes
+     when the slowest member's barrier does). Mutations of a batch may
+     have landed on any shard, so all of them flush. *)
+  let all = shards t in
+  charge t all (fun () ->
+      let errs =
+        List.filter_map
+          (fun sh ->
+            let e =
+              match sh.sh_member with
+              | Single d -> Drive.barrier d
+              | Mirrored m -> Mirror.barrier m
+            in
+            (match e with
+             | Some (Rpc.Io_error _) ->
+               sh.sh_degraded <- true;
+               sh.sh_io_errors <- sh.sh_io_errors + 1
+             | _ -> ());
+            e)
+          all
+      in
+      match errs with [] -> None | e :: _ -> Some e)
+
+let resp_ok = function Rpc.R_error _ -> false | _ -> true
+
+let submit t cred ?(sync = false) reqs =
+  (* Requests run in arrival order through the normal per-request
+     dispatch (each charged its own shard's time, exactly as
+     sequential submission would), so a batched run is bit-identical
+     to an unsynced sequential one; the group-commit win is the single
+     end-of-batch barrier replacing a per-mutation barrier. *)
+  let resps = Array.map (fun req -> handle t cred ~sync:false req) reqs in
+  if sync && (Array.length reqs = 0 || Array.exists resp_ok resps) then
+    match barrier t with
+    | None -> resps
+    | Some err ->
+      Array.map (fun r -> if resp_ok r then Rpc.R_error err else r) resps
+  else resps
 
 (* ------------------------------------------------------------------ *)
 (* Degraded-mode reporting                                             *)
@@ -645,3 +686,16 @@ let pp_stats ppf t =
      | [] -> ""
      | ds ->
        Printf.sprintf " [DEGRADED shards: %s]" (String.concat "," (List.map string_of_int ds)))
+
+let backend t =
+  S4.Backend.make ~clock:t.clock
+    ~keep_data:
+      (S4_store.Obj_store.config (Drive.store (List.hd (all_drives t))))
+        .S4_store.Obj_store.keep_data
+    ~capacity:(fun () ->
+      List.fold_left
+        (fun (total, free) d ->
+          let dt, df = Drive.capacity d in
+          (total + dt, free + df))
+        (0, 0) (all_drives t))
+    (submit t)

@@ -44,6 +44,23 @@ val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
     ops to the meta shard, [Sync]/[Flush]/[SetWindow]/[ReadAudit]
     fan-out-and-merge. *)
 
+val submit :
+  t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req array -> S4.Rpc.resp array
+(** Batched {!handle} with group commit: requests execute in arrival
+    order through the normal per-request routing (so a batched run is
+    bit-identical to an unsynced sequential one), then — when [sync]
+    — ONE durability {!barrier} fans out across every member, charged
+    as parallel work (slowest member). If the barrier fails,
+    successful responses are rewritten to its error. *)
+
+val barrier : t -> S4.Rpc.error option
+(** One durability barrier on every member ([Drive.barrier] /
+    [Mirror.barrier]), charged slowest-member. A member whose barrier
+    surfaces [Io_error] marks its shard degraded. *)
+
+val backend : t -> S4.Backend.t
+(** The array as the uniform {!S4.Backend.t} surface. *)
+
 val clock : t -> S4_util.Simclock.t
 val shard_ids : t -> int list
 val meta_shard : t -> int

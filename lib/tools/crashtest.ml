@@ -137,9 +137,12 @@ let gen_req o rng i =
   end
 
 (* Run the seeded workload until it completes or the disk crashes.
-   Returns (completed ops, crashed, in-flight violations). [handle] is
-   any drive-shaped request surface: a bare drive or a shard router. *)
-let exec_workload ~ops ~seed ~handle ~clock o =
+   Returns (completed ops, crashed, in-flight violations). [backend]
+   is any producer of the uniform vectored surface: a bare drive or a
+   shard router. *)
+let exec_workload ~ops ~seed ~(backend : S4.Backend.t) o =
+  let clock = backend.S4.Backend.clock in
+  let handle req = S4.Backend.handle backend cred req in
   let rng = Rng.create ~seed in
   let completed = ref 0 in
   let violations = ref [] in
@@ -275,9 +278,7 @@ let build () =
   (disk, Drive.format disk)
 
 let drive_workload ~ops ~seed ~drive o =
-  exec_workload ~ops ~seed
-    ~handle:(fun req -> Drive.handle drive cred req)
-    ~clock:(Drive.clock drive) o
+  exec_workload ~ops ~seed ~backend:(Drive.backend drive) o
 
 let workload_writes ?(ops = default_ops) ~seed () =
   let disk, drive = build () in
@@ -345,9 +346,7 @@ let array_scenario ~ops ~seed ~crash_after =
     Router.create [ (0, Router.Single (Drive.format d0)); (1, Router.Single (Drive.format d1)) ]
   in
   let o = fresh_oracle () in
-  let completed, _, wviol =
-    exec_workload ~ops ~seed ~handle:(fun req -> Router.handle router cred req) ~clock o
-  in
+  let completed, _, wviol = exec_workload ~ops ~seed ~backend:(Router.backend router) o in
   ignore (Router.add_shard router 2 (Router.Single (Drive.format d2)));
   let policy = Fault.create (Rng.create ~seed:((seed * 31) + 5)) in
   Sim_disk.set_fault d2 (Some policy);
@@ -365,7 +364,7 @@ let rebalance_writes ?(ops = default_ops) ~seed () =
     Router.create [ (0, Router.Single (Drive.format d0)); (1, Router.Single (Drive.format d1)) ]
   in
   let o = fresh_oracle () in
-  ignore (exec_workload ~ops ~seed ~handle:(fun req -> Router.handle router cred req) ~clock o);
+  ignore (exec_workload ~ops ~seed ~backend:(Router.backend router) o);
   let base = (Sim_disk.stats d2).Sim_disk.writes in
   ignore (Router.add_shard router 2 (Router.Single (Drive.format d2)));
   ignore (Router.rebalance router);

@@ -67,26 +67,6 @@ let s4_nfs_server ?disk_mb ?(drive_config = benchmark_drive_config) () =
   let server = Server.over_net net (Server.of_translator ~name:"S4-NFS" tr) in
   { name = "S4-NFS"; server; clock; disk; drive = Some drive; translator = Some tr; router = None }
 
-let drive_capacity d =
-  let log = Drive.log d in
-  let module L = S4_seglog.Log in
-  let block = L.block_size log in
-  (L.usable_blocks log * block, (L.usable_blocks log - L.live_blocks log) * block)
-
-let router_backend ~clock ~keep_data router =
-  {
-    Translator.b_clock = clock;
-    b_handle = Router.handle router;
-    b_keep_data = keep_data;
-    b_capacity =
-      (fun () ->
-        List.fold_left
-          (fun (t, f) d ->
-            let dt, df = drive_capacity d in
-            (t + dt, f + df))
-          (0, 0) (Router.all_drives router));
-  }
-
 let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = false) ~shards ()
     =
   if shards <= 0 then invalid_arg "Systems.s4_array: need at least one shard";
@@ -103,8 +83,7 @@ let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = fals
         else (i, Router.Single (mk_drive ())))
   in
   let router = Router.create members in
-  let keep_data = drive_config.Drive.store.Store.keep_data in
-  let tr = Translator.mount (Translator.Backend (router_backend ~clock ~keep_data router)) in
+  let tr = Translator.mount (Translator.Backend (Router.backend router)) in
   let name = Printf.sprintf "S4-array-%d%s" shards (if mirrored then "m" else "") in
   let net = Net.create clock in
   {
@@ -119,14 +98,6 @@ let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = fals
 
 (* Networked deployments: the same drive stack served through lib/net's
    wire protocol instead of an in-process call. *)
-
-let netclient_backend ~clock ~keep_data client =
-  {
-    Translator.b_clock = clock;
-    b_handle = Netclient.handle client;
-    b_keep_data = keep_data;
-    b_capacity = (fun () -> Netclient.capacity client);
-  }
 
 let s4_direct ?disk_mb ?(drive_config = benchmark_drive_config) () =
   let clock, disk = mk_disk ?disk_mb () in
@@ -145,13 +116,13 @@ let s4_direct ?disk_mb ?(drive_config = benchmark_drive_config) () =
 let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) () =
   let clock, disk = mk_disk ?disk_mb () in
   let drive = Drive.format ~config:drive_config disk in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   (* Identity 1 matches the translator's default credential client, so
      the connection-derived identity leaves the audit trail identical
      to the in-process deployment. *)
   let client = Netclient.connect (Nettransport.loopback ~identity:1 srv) in
   let keep_data = drive_config.Drive.store.Store.keep_data in
-  let tr = Translator.mount (Translator.Backend (netclient_backend ~clock ~keep_data client)) in
+  let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data client)) in
   {
     name = "S4-loopback";
     server = Server.of_translator ~name:"S4-loopback" tr;
@@ -165,13 +136,13 @@ let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) () =
 let s4_tcp ?disk_mb ?(drive_config = benchmark_drive_config) () =
   let clock, disk = mk_disk ?disk_mb () in
   let drive = Drive.format ~config:drive_config disk in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   let listener = Netserver.serve_tcp srv in
   let client =
     Netclient.connect (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
   in
   let keep_data = drive_config.Drive.store.Store.keep_data in
-  let tr = Translator.mount (Translator.Backend (netclient_backend ~clock ~keep_data client)) in
+  let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data client)) in
   let sys =
     {
       name = "S4-tcp";

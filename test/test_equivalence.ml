@@ -333,6 +333,341 @@ let prop_networked_agree =
       run_networked_pair ops;
       true)
 
+(* --- Batched submission is equivalent to one-at-a-time ----------------- *)
+
+(* The vectored [S4.Backend.submit] contract: splitting a request
+   sequence into arbitrary batches must not be observable. Each batch
+   runs its requests in order with full per-request semantics and pays
+   one group-commit barrier at batch end, so the reference run is
+   one-at-a-time [handle ~sync:false] followed by an explicit
+   empty-batch barrier wherever the batched run would pay one. We
+   compare responses, final per-slot object state, audit record
+   count, the simulated clock and a sector-level digest of every
+   member disk — on a single drive, a 3-shard array, and a
+   loopback-served drive (where batches travel as one wire frame). *)
+
+module Backend = S4.Backend
+module Rpc = S4.Rpc
+module Acl = S4.Acl
+module Netserver = S4_net.Server
+module Netclient = S4_net.Client
+module Nettransport = S4_net.Transport
+
+let s4_cred = Rpc.user_cred ~user:1 ~client:1
+
+(* Abstract S4-level ops over four object slots; slots are bound to
+   concrete oids by a pilot run, so the same concrete request list can
+   be replayed on fresh instances. *)
+type sop =
+  | Screate of int
+  | Swrite of int * int * int * char  (* slot, off, len, fill *)
+  | Sappend of int * int * char
+  | Struncate of int * int
+  | Sread of int * int * int
+  | Sgetattr of int
+  | Ssetattr of int * string
+  | Sdelete of int
+  | Ssync
+
+let pp_sop = function
+  | Screate s -> Printf.sprintf "create(%d)" s
+  | Swrite (s, off, len, c) -> Printf.sprintf "write(%d,%d,%d,%c)" s off len c
+  | Sappend (s, len, c) -> Printf.sprintf "append(%d,%d,%c)" s len c
+  | Struncate (s, size) -> Printf.sprintf "trunc(%d,%d)" s size
+  | Sread (s, off, len) -> Printf.sprintf "read(%d,%d,%d)" s off len
+  | Sgetattr s -> Printf.sprintf "getattr(%d)" s
+  | Ssetattr (s, a) -> Printf.sprintf "setattr(%d,%s)" s a
+  | Sdelete s -> Printf.sprintf "rm(%d)" s
+  | Ssync -> "sync"
+
+let gen_sop =
+  QCheck.Gen.(
+    let slot = 0 -- 3 in
+    oneof
+      [
+        map (fun s -> Screate s) slot;
+        (let* s = slot and* off = 0 -- 4000 and* len = 1 -- 2000 and* c = char_range 'a' 'z' in
+         return (Swrite (s, off, len, c)));
+        (let* s = slot and* len = 1 -- 1000 and* c = char_range 'a' 'z' in
+         return (Sappend (s, len, c)));
+        map2 (fun s size -> Struncate (s, size)) slot (0 -- 5000);
+        (let* s = slot and* off = 0 -- 4000 and* len = 0 -- 2000 in
+         return (Sread (s, off, len)));
+        map (fun s -> Sgetattr s) slot;
+        map2
+          (fun s a -> Ssetattr (s, a))
+          slot
+          (string_size ~gen:(char_range 'a' 'z') (0 -- 24));
+        map (fun s -> Sdelete s) slot;
+        return Ssync;
+      ])
+
+(* A sequence plus a cyclic pattern of batch sizes: the partition is
+   part of the generated input, so shrinking finds minimal splits. *)
+let gen_batched_case =
+  QCheck.Gen.(
+    let* ops = list_size (1 -- 28) gen_sop in
+    let* cuts = list_size (1 -- 6) (1 -- 7) in
+    return (ops, cuts))
+
+let arb_batched_case =
+  QCheck.make
+    ~print:(fun (ops, cuts) ->
+      Printf.sprintf "[%s] / batches %s"
+        (String.concat "; " (List.map pp_sop ops))
+        (String.concat "," (List.map string_of_int cuts)))
+    gen_batched_case
+
+(* Slot with no object yet: a deliberately absent oid, so the request
+   deterministically fails the same way on every run. *)
+let absent_oid = 999_999_999L
+
+let concretize oids op =
+  let oid_of s = match oids.(s) with Some o -> o | None -> absent_oid in
+  match op with
+  | Screate _ -> Rpc.Create { acl = Acl.default ~owner:1 }
+  | Swrite (s, off, len, c) ->
+    Rpc.Write { oid = oid_of s; off; len; data = Some (Bytes.make len c) }
+  | Sappend (s, len, c) -> Rpc.Append { oid = oid_of s; len; data = Some (Bytes.make len c) }
+  | Struncate (s, size) -> Rpc.Truncate { oid = oid_of s; size }
+  | Sread (s, off, len) -> Rpc.Read { oid = oid_of s; off; len; at = None }
+  | Sgetattr s -> Rpc.Get_attr { oid = oid_of s; at = None }
+  | Ssetattr (s, a) -> Rpc.Set_attr { oid = oid_of s; attr = Bytes.of_string a }
+  | Sdelete s -> Rpc.Delete { oid = oid_of s }
+  | Ssync -> Rpc.Sync
+
+type binstance = {
+  b_backend : Backend.t;
+  b_drives : Drive.t list;
+  b_cleanup : unit -> unit;
+}
+
+let bgeom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
+
+let bmk_drive clock =
+  Drive.format ~config:Systems.content_drive_config
+    (Sim_disk.create ~geometry:(bgeom 64) clock)
+
+let mk_single_b () =
+  let drive = bmk_drive (Simclock.create ()) in
+  { b_backend = Drive.backend drive; b_drives = [ drive ]; b_cleanup = (fun () -> ()) }
+
+let mk_shard_b () =
+  let clock = Simclock.create () in
+  let members = List.init 3 (fun i -> (i, Router.Single (bmk_drive clock))) in
+  let router = Router.create members in
+  {
+    b_backend = Router.backend router;
+    b_drives = Router.all_drives router;
+    b_cleanup = (fun () -> ());
+  }
+
+let mk_loopback_b () =
+  let drive = bmk_drive (Simclock.create ()) in
+  let srv = Netserver.of_drive drive in
+  let client = Netclient.connect (Nettransport.loopback srv) in
+  {
+    b_backend = Netclient.backend ~clock:(Drive.clock drive) ~keep_data:true client;
+    b_drives = [ drive ];
+    b_cleanup = (fun () -> Netclient.close client);
+  }
+
+let backend_kinds =
+  [ ("single-drive", mk_single_b); ("3-shard-array", mk_shard_b); ("loopback", mk_loopback_b) ]
+
+(* Bind slots to concrete oids on a throwaway instance of the same
+   kind (oid allocation is deterministic per kind, not across kinds). *)
+let concrete_reqs mk ops =
+  let inst = mk () in
+  let oids = Array.make 4 None in
+  let reqs =
+    List.map
+      (fun op ->
+        let req = concretize oids op in
+        (match (op, Backend.handle inst.b_backend s4_cred req) with
+        | Screate s, Rpc.R_oid oid -> oids.(s) <- Some oid
+        | _ -> ());
+        req)
+      ops
+  in
+  inst.b_cleanup ();
+  (reqs, oids)
+
+let partition cuts reqs =
+  let sizes = match List.filter (fun k -> k > 0) cuts with [] -> [ 3 ] | l -> l in
+  let nsizes = List.length sizes in
+  let rec take n = function
+    | [] -> ([], [])
+    | l when n = 0 -> ([], l)
+    | x :: tl ->
+      let a, b = take (n - 1) tl in
+      (x :: a, b)
+  in
+  let rec go i = function
+    | [] -> []
+    | l ->
+      let batch, rest = take (List.nth sizes (i mod nsizes)) l in
+      batch :: go (i + 1) rest
+  in
+  go 0 reqs
+
+let resp_str r = Format.asprintf "%a" Rpc.pp_resp r
+let resp_ok = function Rpc.R_error _ -> false | _ -> true
+
+(* Reference: one-at-a-time, unsynced, then the barrier the batched
+   run would pay (an empty sync submit) — skipped, as [submit] skips
+   it, when nothing in the batch succeeded. *)
+let run_sequential backend batches =
+  List.concat_map
+    (fun batch ->
+      let rs = List.map (fun req -> Backend.handle backend s4_cred req) batch in
+      if batch = [] || List.exists resp_ok rs then
+        ignore (backend.Backend.submit s4_cred ~sync:true [||]);
+      List.map resp_str rs)
+    batches
+
+let run_batched backend batches =
+  List.concat_map
+    (fun batch ->
+      backend.Backend.submit s4_cred ~sync:true (Array.of_list batch)
+      |> Array.to_list |> List.map resp_str)
+    batches
+
+let audit_count inst =
+  List.fold_left
+    (fun n d -> n + List.length (Audit.records (Drive.audit d) ()))
+    0 inst.b_drives
+
+let bstate inst =
+  ( audit_count inst,
+    List.map (fun d -> disk_digest (Log.disk (Drive.log d))) inst.b_drives,
+    Simclock.now (Drive.clock (List.hd inst.b_drives)) )
+
+(* Final namespace at the RPC surface: attributes and contents of
+   every slot that was ever bound. Probed after [bstate] so the probe
+   itself cannot mask a divergence. *)
+let probe_slots inst oids =
+  Array.to_list oids
+  |> List.concat_map (function
+       | None -> []
+       | Some oid ->
+         [
+           resp_str (Backend.handle inst.b_backend s4_cred (Rpc.Get_attr { oid; at = None }));
+           resp_str
+             (Backend.handle inst.b_backend s4_cred
+                (Rpc.Read { oid; off = 0; len = 8192; at = None }));
+         ])
+
+let run_batched_equivalence (ops, cuts) =
+  List.iter
+    (fun (kind, mk) ->
+      let reqs, oids = concrete_reqs mk ops in
+      let batches = partition cuts reqs in
+      let seq = mk () and bat = mk () in
+      let out_s = run_sequential seq.b_backend batches in
+      let out_b = run_batched bat.b_backend batches in
+      if out_s <> out_b then
+        QCheck.Test.fail_reportf "%s: batched responses diverged:\n%s\nvs sequential\n%s" kind
+          (String.concat ";" out_b) (String.concat ";" out_s);
+      let audit_s, digests_s, clock_s = bstate seq in
+      let audit_b, digests_b, clock_b = bstate bat in
+      if audit_s <> audit_b then
+        QCheck.Test.fail_reportf "%s: audit record count %d (batched) vs %d (sequential)" kind
+          audit_b audit_s;
+      if clock_s <> clock_b then
+        QCheck.Test.fail_reportf "%s: clock %Ld (batched) vs %Ld (sequential)" kind clock_b
+          clock_s;
+      if digests_s <> digests_b then
+        QCheck.Test.fail_reportf "%s: member disk images diverged" kind;
+      let ns_s = probe_slots seq oids and ns_b = probe_slots bat oids in
+      if ns_s <> ns_b then
+        QCheck.Test.fail_reportf "%s: final namespace diverged:\n%s\nvs\n%s" kind
+          (String.concat ";" ns_b) (String.concat ";" ns_s);
+      seq.b_cleanup ();
+      bat.b_cleanup ())
+    backend_kinds;
+  true
+
+let prop_batched_equals_sequential =
+  QCheck.Test.make
+    ~name:"arbitrary batching is unobservable (drive, 3-shard array, loopback)" ~count:20
+    arb_batched_case run_batched_equivalence
+
+(* Cheap fixed split for debugging, same machinery. *)
+let test_batched_fixed () =
+  let ops =
+    [
+      Screate 0; Swrite (0, 0, 2048, 'a'); Screate 1; Sappend (1, 700, 'b'); Sread (0, 0, 4096);
+      Struncate (0, 900); Ssetattr (1, "label"); Sgetattr 0; Sdelete 1; Sread (1, 0, 100);
+      Ssync; Swrite (2, 10, 10, 'c') (* slot 2 never created: deterministic failure *);
+    ]
+  in
+  check Alcotest.bool "batched ≡ sequential" true (run_batched_equivalence (ops, [ 4; 1; 3 ]))
+
+(* Group commit pays one barrier: a sync batch matches — bit for bit,
+   clock tick for clock tick — sequential unsynced execution plus a
+   single trailing barrier. (The throughput consequence is measured by
+   [bench/main.exe batch], not asserted here: on workloads this small
+   the simulated flush pattern can favour either side.) *)
+let test_group_commit_single_barrier () =
+  let ops =
+    [ Screate 0; Swrite (0, 0, 2048, 'x'); Sappend (0, 512, 'y'); Screate 1; Swrite (1, 100, 300, 'z') ]
+  in
+  let reqs, _ = concrete_reqs mk_single_b ops in
+  let bat = mk_single_b () in
+  let resps = bat.b_backend.Backend.submit s4_cred ~sync:true (Array.of_list reqs) in
+  Array.iter (fun r -> check Alcotest.bool "batch response ok" true (resp_ok r)) resps;
+  let seq = mk_single_b () in
+  List.iter (fun r -> ignore (Backend.handle seq.b_backend s4_cred r)) reqs;
+  ignore (seq.b_backend.Backend.submit s4_cred ~sync:true [||]);
+  check Alcotest.bool "one trailing barrier reproduces the sync batch" true
+    (bstate bat = bstate seq)
+
+(* A batched workload under the span tracer still satisfies the
+   whole-run checker, including the positional audit↔span bijection:
+   [Drive.submit] emits one Drive span per request, exactly as the
+   one-at-a-time path does. *)
+let test_batched_trace_checker () =
+  Trace.clear ();
+  Trace.enable ();
+  let inst =
+    Fun.protect ~finally:Trace.disable (fun () ->
+        let inst = mk_single_b () in
+        let submit reqs =
+          inst.b_backend.Backend.submit s4_cred ~sync:true (Array.of_list reqs)
+        in
+        let oids =
+          submit (List.init 4 (fun _ -> Rpc.Create { acl = Acl.default ~owner:1 }))
+          |> Array.to_list
+          |> List.map (function
+               | Rpc.R_oid oid -> oid
+               | r -> Alcotest.failf "create: %a" Rpc.pp_resp r)
+        in
+        let w i oid =
+          Rpc.Write { oid; off = i * 512; len = 1024; data = Some (Bytes.make 1024 'b') }
+        in
+        ignore (submit (List.mapi w oids @ List.mapi w oids));
+        ignore
+          (submit (List.map (fun oid -> Rpc.Read { oid; off = 0; len = 2048; at = None }) oids));
+        let victim = List.hd oids in
+        ignore
+          (submit
+             [ Rpc.Delete { oid = victim }; Rpc.Get_attr { oid = victim; at = None }; Rpc.Sync ]);
+        inst)
+  in
+  let drive = List.hd inst.b_drives in
+  let audit =
+    List.map
+      (fun (r : Audit.record) ->
+        { Check.a_at = r.Audit.at; a_op = r.Audit.op; a_oid = r.Audit.oid; a_ok = r.Audit.ok })
+      (Audit.records (Drive.audit drive) ())
+  in
+  let r = Check.run ~audit ~complete:true (Trace.spans ()) in
+  if r.Check.violations <> [] then
+    Alcotest.failf "trace checker over batched run: %s" (String.concat "; " r.Check.violations);
+  check Alcotest.bool "audit records matched to spans" true (r.Check.audit_matched > 0);
+  Trace.clear ()
+
 let () =
   Alcotest.run "s4_equivalence"
     [
@@ -352,5 +687,14 @@ let () =
         [
           Alcotest.test_case "fixed sequence over loopback" `Quick test_networked_fixed;
           qtest prop_networked_agree;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "fixed split" `Quick test_batched_fixed;
+          Alcotest.test_case "group commit pays one barrier" `Quick
+            test_group_commit_single_barrier;
+          Alcotest.test_case "trace checker over a batched workload" `Quick
+            test_batched_trace_checker;
+          qtest prop_batched_equals_sequential;
         ] );
     ]

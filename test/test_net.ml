@@ -168,9 +168,16 @@ let gen_frame =
         (1, map (fun xid -> Wire.Stat { xid }) xid);
         ( 1,
           let* xid = xid and* total = 0 -- 1_000_000 and* free = 0 -- 1_000_000
-          and* now = gen_time in
-          return (Wire.Stat_ack { xid; total; free; now }) );
+          and* now = gen_time and* batch = 0 -- 1024 in
+          return (Wire.Stat_ack { xid; total; free; now; batch }) );
         (1, return Wire.Goodbye);
+        ( 2,
+          let* xid = xid and* cred = gen_cred and* sync = bool
+          and* reqs = list_size (0 -- 4) gen_req in
+          return (Wire.Batch { xid; cred; sync; reqs = Array.of_list reqs }) );
+        ( 2,
+          let* xid = xid and* resps = list_size (0 -- 4) gen_resp in
+          return (Wire.Batch_reply { xid; resps = Array.of_list resps }) );
       ])
 
 let print_frame f = Wire.frame_name f
@@ -243,7 +250,7 @@ let request xid req =
 
 let test_session_garbage_audited () =
   let drive = mk_drive () in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   let sess = Netserver.Session.create ~identity:9 srv in
   let before = Metrics.counter "net/decode_reject" in
   let garbage = Bytes.of_string "GARBAGE GARBAGE GARBAGE" in
@@ -272,7 +279,7 @@ let test_session_garbage_audited () =
 let test_session_max_inflight () =
   let drive = mk_drive () in
   let config = { Netserver.default_config with Netserver.max_inflight = 2 } in
-  let srv = Netserver.create ~config (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive ~config drive in
   let sess = Netserver.Session.create srv in
   let burst = Bytes.concat Bytes.empty (List.init 3 (fun i -> request i Rpc.Sync)) in
   Netserver.Session.feed sess burst 0 (Bytes.length burst);
@@ -289,12 +296,9 @@ let test_session_max_inflight () =
 let test_session_backend_exception () =
   let clock = Simclock.create () in
   let backend =
-    {
-      Netserver.bk_handle = (fun _ ?sync:_ _ -> failwith "backend blew up");
-      bk_clock = clock;
-      bk_capacity = (fun () -> (0, 0));
-      bk_audit_garbage = None;
-    }
+    S4.Backend.make ~clock ~keep_data:true
+      ~capacity:(fun () -> (0, 0))
+      (fun _ ?sync:_ _ -> failwith "backend blew up")
   in
   let srv = Netserver.create backend in
   let client = Netclient.connect (Nettransport.loopback srv) in
@@ -310,7 +314,7 @@ let test_session_backend_exception () =
 
 let test_loopback_rpc () =
   let drive = mk_drive () in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   let client = Netclient.connect (Nettransport.loopback srv) in
   let oid = create_object (Netclient.handle client) in
   let payload = Bytes.of_string "networked self-securing storage" in
@@ -333,7 +337,7 @@ let test_loopback_rpc () =
 
 let test_identity_not_spoofable () =
   let drive = mk_drive () in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   let spoofing = Rpc.user_cred ~user:1 ~client:99 in
   let payload = Bytes.make 4096 'q' in
   let run identity =
@@ -364,13 +368,13 @@ let test_identity_not_spoofable () =
 
 let test_admin_gating () =
   let drive = mk_drive () in
-  let open_srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let open_srv = Netserver.of_drive drive in
   let client = Netclient.connect (Nettransport.loopback open_srv) in
   (match Netclient.handle client Rpc.admin_cred Rpc.Sync with
   | Rpc.R_unit -> ()
   | r -> Alcotest.failf "admin sync: %a" Rpc.pp_resp r);
   let config = { Netserver.default_config with Netserver.allow_admin = false } in
-  let gated = Netserver.create ~config (Netserver.backend_of_drive drive) in
+  let gated = Netserver.of_drive ~config drive in
   let client = Netclient.connect (Nettransport.loopback gated) in
   (match Netclient.handle client Rpc.admin_cred Rpc.Sync with
   | Rpc.R_error Rpc.Permission_denied -> ()
@@ -382,7 +386,7 @@ let test_admin_gating () =
 let test_oversized_io_rejected () =
   let drive = mk_drive () in
   let config = { Netserver.default_config with Netserver.max_io = 64 * 1024 } in
-  let srv = Netserver.create ~config (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive ~config drive in
   let client = Netclient.connect (Nettransport.loopback srv) in
   let oid = create_object (Netclient.handle client) in
   (match
@@ -400,7 +404,7 @@ let test_oversized_io_rejected () =
 
 let test_retry_and_reconnect () =
   let drive = mk_drive () in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   let inner = Nettransport.loopback srv in
   let endpoints = ref [] in
   let transport =
@@ -454,7 +458,7 @@ let test_retry_and_reconnect () =
 
 let with_tcp_server ?config f =
   let drive = mk_drive () in
-  let srv = Netserver.create ?config (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive ?config drive in
   let listener = Netserver.serve_tcp srv in
   Fun.protect
     ~finally:(fun () -> Netserver.shutdown listener)
@@ -531,7 +535,7 @@ let test_tcp_garbage_then_service () =
 
 let test_tcp_shutdown_refuses_new_work () =
   let drive = mk_drive () in
-  let srv = Netserver.create (Netserver.backend_of_drive drive) in
+  let srv = Netserver.of_drive drive in
   let listener = Netserver.serve_tcp srv in
   let port = Netserver.port listener in
   let client = tcp_client port in
@@ -543,6 +547,123 @@ let test_tcp_shutdown_refuses_new_work () =
   with
   | Rpc.R_error (Rpc.Io_error _) -> ()
   | r -> Alcotest.failf "expected Io_error after shutdown, got %a" Rpc.pp_resp r
+
+(* --- batched submission and version negotiation ----------------------- *)
+
+let test_loopback_batch_submit () =
+  let drive = mk_drive () in
+  let srv = Netserver.of_drive drive in
+  let client = Netclient.connect (Nettransport.loopback srv) in
+  let oid = create_object (Netclient.handle client) in
+  ignore (Netclient.capacity client);
+  check Alcotest.int "server advertised its batch limit" 256
+    (Netclient.server_batch_limit client);
+  let payload = Bytes.make 256 'z' in
+  (* Interleaved writes and reads: each read must observe the write
+     that precedes it in the SAME batch (in-order vectored execution). *)
+  let reqs =
+    Array.init 40 (fun i ->
+        if i mod 2 = 0 then
+          Rpc.Write { oid; off = i / 2 * 256; len = 256; data = Some payload }
+        else Rpc.Read { oid; off = i / 2 * 256; len = 256; at = None })
+  in
+  let resps = Netclient.submit client cred ~sync:true reqs in
+  check Alcotest.int "positional responses" 40 (Array.length resps);
+  Array.iteri
+    (fun i r ->
+      match (i mod 2, r) with
+      | 0, Rpc.R_unit -> ()
+      | 1, Rpc.R_data b -> check Alcotest.bytes "batched read" payload b
+      | _ -> Alcotest.failf "slot %d: %a" i Rpc.pp_resp r)
+    resps;
+  check Alcotest.int "session stayed at v2" 2 (Netclient.version client);
+  (* An empty batch with sync is a pure barrier. *)
+  let none = Netclient.submit client cred ~sync:true [||] in
+  check Alcotest.int "empty batch" 0 (Array.length none);
+  Netclient.close client
+
+let test_batch_chunking () =
+  (* A submission larger than the server's advertised limit is sliced
+     client-side; every slice is answered and reassembled in order. *)
+  let config = { Netserver.default_config with Netserver.max_batch = 8 } in
+  with_tcp_server ~config (fun _drive port ->
+      let client = tcp_client port in
+      let oid = create_object (Netclient.handle client) in
+      ignore (Netclient.capacity client);
+      check Alcotest.int "small limit learned" 8 (Netclient.server_batch_limit client);
+      let payload = Bytes.of_string "chunked" in
+      (match
+         Netclient.handle client cred
+           (Rpc.Write { oid; off = 0; len = Bytes.length payload; data = Some payload })
+       with
+      | Rpc.R_unit -> ()
+      | r -> Alcotest.failf "seed write: %a" Rpc.pp_resp r);
+      let reqs =
+        Array.init 20 (fun _ -> Rpc.Read { oid; off = 0; len = Bytes.length payload; at = None })
+      in
+      let resps = Netclient.submit client cred ~sync:true reqs in
+      check Alcotest.int "all slices answered" 20 (Array.length resps);
+      Array.iter
+        (function
+          | Rpc.R_data b -> check Alcotest.bytes "chunked read" payload b
+          | r -> Alcotest.failf "chunked read: %a" Rpc.pp_resp r)
+        resps;
+      Netclient.close client)
+
+let test_v1_negotiation_fallback () =
+  let drive = mk_drive () in
+  let srv = Netserver.of_drive drive in
+  let config = { Netclient.default_config with Netclient.advertise_version = 1 } in
+  let client = Netclient.connect ~config (Nettransport.loopback srv) in
+  let oid = create_object (Netclient.handle client) in
+  check Alcotest.int "negotiated down to v1" 1 (Netclient.version client);
+  let payload = Bytes.make 512 'v' in
+  let reqs =
+    Array.init 8 (fun i -> Rpc.Write { oid; off = i * 512; len = 512; data = Some payload })
+  in
+  (* submit still works: it degrades to pipelined Requests with the
+     sync riding on the last one. *)
+  let resps = Netclient.submit client cred ~sync:true reqs in
+  check Alcotest.int "positional responses over v1" 8 (Array.length resps);
+  Array.iter
+    (function Rpc.R_unit -> () | r -> Alcotest.failf "v1 submit: %a" Rpc.pp_resp r)
+    resps;
+  (match Netclient.handle client cred (Rpc.Read { oid; off = 0; len = 512; at = None }) with
+  | Rpc.R_data b -> check Alcotest.bytes "v1 batch landed" payload b
+  | r -> Alcotest.failf "read: %a" Rpc.pp_resp r);
+  (* The batch advertisement is a v2 payload field; a v1 session never
+     sees it. *)
+  ignore (Netclient.capacity client);
+  check Alcotest.int "no batch advertisement on v1" 0 (Netclient.server_batch_limit client);
+  Netclient.close client
+
+let test_batch_frame_on_v1_session_rejected () =
+  let drive = mk_drive () in
+  let srv = Netserver.of_drive drive in
+  let sess = Netserver.Session.create srv in
+  let hello = Wire.encode ~version:Wire.min_version (Wire.Hello { version = 1; claim = 1 }) in
+  Netserver.Session.feed sess hello 0 (Bytes.length hello);
+  check Alcotest.int "session dropped to v1" 1 (Netserver.Session.version sess);
+  let batch = Wire.encode (Wire.Batch { xid = 7L; cred; sync = false; reqs = [| Rpc.Sync |] }) in
+  Netserver.Session.feed sess batch 0 (Bytes.length batch);
+  Netserver.Session.run sess;
+  check Alcotest.bool "connection closed" true (Netserver.Session.closing sess);
+  match decode_all (Netserver.Session.output sess) with
+  | [ Wire.Hello_ack _; Wire.Proto_error _ ] -> ()
+  | fs -> Alcotest.failf "expected Hello_ack then Proto_error, got %d frames" (List.length fs)
+
+let test_oversized_batch_rejected () =
+  let drive = mk_drive () in
+  let config = { Netserver.default_config with Netserver.max_batch = 4 } in
+  let srv = Netserver.of_drive ~config drive in
+  let sess = Netserver.Session.create srv in
+  let reqs = Array.make 5 Rpc.Sync in
+  let batch = Wire.encode (Wire.Batch { xid = 9L; cred; sync = false; reqs }) in
+  Netserver.Session.feed sess batch 0 (Bytes.length batch);
+  Netserver.Session.run sess;
+  match decode_all (Netserver.Session.output sess) with
+  | [ Wire.Proto_error _ ] -> ()
+  | fs -> Alcotest.failf "expected Proto_error, got %d frames" (List.length fs)
 
 (* --- live-session fuzz ------------------------------------------------ *)
 
@@ -567,7 +688,7 @@ let prop_session_fuzz =
     (QCheck.make ~print:(fun cs -> Printf.sprintf "%d chunks" (List.length cs)) gen_chunks)
     (fun chunks ->
       let drive = mk_drive () in
-      let srv = Netserver.create (Netserver.backend_of_drive drive) in
+      let srv = Netserver.of_drive drive in
       let sess = Netserver.Session.create srv in
       List.iter (fun c -> Netserver.Session.feed sess c 0 (Bytes.length c)) chunks;
       Netserver.Session.run sess;
@@ -605,6 +726,17 @@ let () =
           Alcotest.test_case "oversized io rejected" `Quick test_oversized_io_rejected;
           Alcotest.test_case "retry, reconnect, no mutation replay" `Quick
             test_retry_and_reconnect;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "vectored submit over loopback" `Quick test_loopback_batch_submit;
+          Alcotest.test_case "oversized submissions sliced at the limit" `Quick
+            test_batch_chunking;
+          Alcotest.test_case "v1 peer falls back to pipelining" `Quick
+            test_v1_negotiation_fallback;
+          Alcotest.test_case "batch frame refused on a v1 session" `Quick
+            test_batch_frame_on_v1_session_rejected;
+          Alcotest.test_case "over-limit batch refused" `Quick test_oversized_batch_rejected;
         ] );
       ( "tcp",
         [
