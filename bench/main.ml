@@ -1230,6 +1230,156 @@ let batch () =
   Report.note "wrote BENCH_batch.json"
 
 (* ------------------------------------------------------------------ *)
+(* Persist: what real durability costs                                 *)
+
+module File_disk = S4_disk.File_disk
+module Crashtest = S4_tools.Crashtest
+
+(* The batch-16 sync-bound write workload from the group-commit sweep,
+   run over the three sector backings: in-memory (the simulation
+   baseline, no host I/O), file-backed (pwrite + one fsync per
+   barrier), and file-backed with O_DSYNC (every write synchronous).
+   Simulated time is identical across backings by construction — the
+   timing model doesn't know where sectors live — so the wall-clock
+   column is the durability price. *)
+let persist () =
+  Report.heading "Persist: sector-store backings under sync-bound writes (batch 16)";
+  let total = if !full_scale then 2048 else 512 in
+  let k = 16 in
+  let payload = Bytes.make 4096 'p' in
+  let cred = Rpc.user_cred ~user:1 ~client:1 in
+  let config = { Systems.content_drive_config with Drive.cpu_us_per_rpc = 50.0 } in
+  let pgeom = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(64 * 1024 * 1024) in
+  let run_cell (backend : S4.Backend.t) =
+    let clock = backend.S4.Backend.clock in
+    let targets =
+      Array.init 8 (fun _ ->
+          match S4.Backend.handle backend cred (Rpc.Create { acl = Acl.default ~owner:1 }) with
+          | Rpc.R_oid oid -> oid
+          | r -> Format.kasprintf failwith "persist bench: create failed: %a" Rpc.pp_resp r)
+    in
+    let t0 = Simclock.now clock in
+    let done_ = ref 0 in
+    let wall_s, () =
+      wall (fun () ->
+          while !done_ < total do
+            let n = min k (total - !done_) in
+            let reqs =
+              Array.init n (fun j ->
+                  let i = !done_ + j in
+                  Rpc.Write
+                    { oid = targets.(i mod 8); off = 4096 * (i mod 16); len = 4096;
+                      data = Some payload })
+            in
+            let resps = backend.S4.Backend.submit cred ~sync:true reqs in
+            Array.iter
+              (function
+                | Rpc.R_error e ->
+                  Format.kasprintf failwith "persist bench: %s" (Rpc.error_to_string e)
+                | _ -> ())
+              resps;
+            done_ := !done_ + n
+          done)
+    in
+    (Simclock.to_seconds (Int64.sub (Simclock.now clock) t0), wall_s)
+  in
+  let cells =
+    [
+      ( "sim",
+        fun () ->
+          let disk = Sim_disk.create ~geometry:pgeom (Simclock.create ()) in
+          (disk, fun () -> ()) );
+      ( "file",
+        fun () ->
+          let path = Filename.temp_file "s4persist" ".s4" in
+          let disk = Sim_disk.of_file (File_disk.create ~path pgeom) in
+          (disk, fun () -> (try Sys.remove path with Sys_error _ -> ())) );
+      ( "file-dsync",
+        fun () ->
+          let path = Filename.temp_file "s4persist" ".s4" in
+          let disk = Sim_disk.of_file (File_disk.create ~dsync:true ~path pgeom) in
+          (disk, fun () -> (try Sys.remove path with Sys_error _ -> ())) );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let once () =
+          let disk, cleanup = mk () in
+          let r = run_cell (Drive.backend (Drive.format ~config disk)) in
+          let fsyncs =
+            match Sim_disk.file_backing disk with Some f -> File_disk.syncs f | None -> 0
+          in
+          Sim_disk.close disk;
+          cleanup ();
+          (r, fsyncs)
+        in
+        (* Wall cells jitter with the OS scheduler: best of three. *)
+        let (sim_s, wall_s), fsyncs =
+          List.fold_left
+            (fun ((((_, bw), _) as best) : (float * float) * int) (((_, w), _) as r) ->
+              if w < bw then r else best)
+            (once ())
+            [ once (); once () ]
+        in
+        let wall_rate = float_of_int total /. wall_s in
+        Report.record ~experiment:"persist" ~label:name
+          [
+            ("batch", float_of_int k);
+            ("ops", float_of_int total);
+            ("sim_seconds", sim_s);
+            ("wall_seconds", wall_s);
+            ("wall_ops_per_second", wall_rate);
+            ("sim_ops_per_second", float_of_int total /. sim_s);
+            ("fsyncs", float_of_int fsyncs);
+          ];
+        [
+          name;
+          Printf.sprintf "%.3f" sim_s;
+          Printf.sprintf "%.4f" wall_s;
+          Printf.sprintf "%.0f" wall_rate;
+          string_of_int fsyncs;
+        ])
+      cells
+  in
+  Report.table
+    ~header:[ "backing"; "sim s"; "wall s (best of 3)"; "wall writes/s"; "fsyncs" ]
+    rows;
+  Report.write_json ~experiments:[ "persist" ] "BENCH_persist.json";
+  Report.note "wrote BENCH_persist.json"
+
+(* ------------------------------------------------------------------ *)
+(* Kill -9: acked-write durability across real process kills           *)
+
+let kill9 () =
+  Report.heading "Kill -9: fork a server, kill it cold, verify every acked sync";
+  let runs = if !full_scale then 60 else 30 in
+  let seed = rng_seed 42 in
+  let reports = Crashtest.kill9_sweep ~seed ~runs () in
+  List.iter (fun r -> Format.printf "  %a@." Crashtest.pp_report r) reports;
+  let failed = Crashtest.failed_reports reports in
+  let sum f = List.fold_left (fun a r -> a + f r) 0 reports in
+  let acked = sum (fun r -> r.Crashtest.ops_before_crash) in
+  let snaps = sum (fun r -> r.Crashtest.snapshots) in
+  let audit = sum (fun r -> r.Crashtest.audit_checked) in
+  Report.record ~experiment:"kill9" ~label:"sweep"
+    [
+      ("runs", float_of_int runs);
+      ("failed", float_of_int (List.length failed));
+      ("acked_ops", float_of_int acked);
+      ("snapshots_checked", float_of_int snaps);
+      ("audit_records_matched", float_of_int audit);
+    ];
+  Printf.printf
+    "%d kills: %d acked ops, %d synced snapshots verified, %d audit records matched, %d failed\n"
+    runs acked snaps audit (List.length failed);
+  if failed <> [] then begin
+    Printf.eprintf "kill9: %d runs lost acknowledged writes or broke invariants\n"
+      (List.length failed);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -1250,6 +1400,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("scale", "sharded-array throughput scaling + rebalance cost", scale);
     ("net", "wire protocol: in-process vs loopback vs TCP + pipelining", net);
     ("batch", "vectored submission group-commit sweep, batch size 1..64", batch);
+    ("persist", "sector-store backings: sim vs file vs file+O_DSYNC", persist);
+    ("kill9", "kill -9 a live server at random points; verify acked syncs", kill9);
     ("trace", "span tracer + metrics registry over drive and array runs", trace);
     ("micro", "bechamel micro-benchmarks", micro);
   ]
@@ -1258,7 +1410,7 @@ let experiments : (string * string * (unit -> unit)) list =
    default skips the redundant separate fig5 pass. *)
 let default_run =
   [ "table1"; "fig2"; "fig3"; "fig4"; "fundamental"; "fig6"; "audit-macro"; "fig7"; "diffstudy";
-    "snapshots"; "ablation"; "faults"; "scale"; "net"; "batch"; "micro" ]
+    "snapshots"; "ablation"; "faults"; "scale"; "net"; "batch"; "persist"; "micro" ]
 
 let () =
   let json_file = ref None in

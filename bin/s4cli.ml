@@ -77,7 +77,7 @@ type session = {
 }
 
 let open_session image user =
-  let clock, disk = S4_tools.Disk_image.load image in
+  let clock, disk = S4_tools.Disk_image.load_any image in
   let drive = Drive.attach disk in
   let tr = Translator.mount ~cred:(Rpc.user_cred ~user ~client:1) (Translator.Local drive) in
   (* Each CLI invocation is a new instant. *)
@@ -88,7 +88,8 @@ let close_session image s =
   (match Drive.handle s.drive Rpc.admin_cred Rpc.Sync with Rpc.R_unit -> () | _ -> ());
   Audit.flush (Drive.audit s.drive);
   Log.sync (Drive.log s.drive);
-  S4_tools.Disk_image.save image s.clock s.disk
+  S4_tools.Disk_image.save_any image s.clock s.disk;
+  Sim_disk.close s.disk
 
 (* --- remote sessions (s4cli --connect) -------------------------------- *)
 
@@ -154,12 +155,22 @@ let cmd_format =
   let window_days =
     Arg.(value & opt float 7.0 & info [ "window-days" ] ~doc:"Guaranteed detection window.")
   in
-  let run image size_mb window_days =
-    let clock = Simclock.create () in
-    let disk =
-      Sim_disk.create
-        ~geometry:(Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(size_mb * 1024 * 1024))
-        clock
+  let file_backed =
+    Arg.(
+      value & flag
+      & info [ "file-backed" ]
+          ~doc:"Back sectors with the host file itself (pwrite + fsync barriers) instead of a \
+                serialized image: acknowledged writes then survive kill -9 of the daemon.")
+  in
+  let run image size_mb window_days file_backed =
+    let geometry = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(size_mb * 1024 * 1024) in
+    let clock, disk =
+      if file_backed then
+        let disk = Sim_disk.of_file (S4_disk.File_disk.create ~path:image geometry) in
+        (Sim_disk.clock disk, disk)
+      else
+        let clock = Simclock.create () in
+        (clock, Sim_disk.create ~geometry clock)
     in
     let config =
       { Drive.default_config with Drive.window = Simclock.of_seconds (window_days *. 86400.0) }
@@ -169,12 +180,14 @@ let cmd_format =
     ignore tr;
     Audit.flush (Drive.audit drive);
     Log.sync (Drive.log drive);
-    S4_tools.Disk_image.save image clock disk;
-    Printf.printf "formatted %s: %d MB self-securing drive, %.1f-day window\n" image size_mb
+    S4_tools.Disk_image.save_any image clock disk;
+    Sim_disk.close disk;
+    Printf.printf "formatted %s: %d MB self-securing drive, %.1f-day window%s\n" image size_mb
       window_days
+      (if file_backed then " (file-backed)" else "")
   in
   Cmd.v (Cmd.info "format" ~doc:"Create a fresh self-securing drive image.")
-    Term.(const run $ image_arg $ size_mb $ window_days)
+    Term.(const run $ image_arg $ size_mb $ window_days $ file_backed)
 
 let cmd_write =
   let data = Arg.(value & opt (some string) None & info [ "data" ] ~docv:"STRING") in

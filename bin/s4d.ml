@@ -62,6 +62,13 @@ let max_seconds_arg =
     & info [ "max-seconds" ] ~docv:"SECS"
         ~doc:"Exit (gracefully) after this long; for scripted runs.")
 
+let dsync_arg =
+  Arg.(
+    value & flag
+    & info [ "dsync" ]
+        ~doc:"Open a file-backed store with O_DSYNC (every write synchronous); ignored for \
+              serialized images.")
+
 let stop = ref false
 
 let install_signals () =
@@ -69,12 +76,12 @@ let install_signals () =
   (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
   try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ()
 
-let run image host port max_frame max_inflight max_batch no_admin max_seconds =
+let run image host port max_frame max_inflight max_batch no_admin max_seconds dsync =
   if not (Sys.file_exists image) then begin
     Printf.eprintf "error: no such image %s (create one with: s4cli format -i %s)\n" image image;
     exit 1
   end;
-  let clock, disk = S4_tools.Disk_image.load image in
+  let clock, disk = S4_tools.Disk_image.load_any ~dsync image in
   let drive = Drive.attach disk in
   let config =
     {
@@ -103,10 +110,27 @@ let run image host port max_frame max_inflight max_batch no_admin max_seconds =
   Printf.printf "s4d: shutting down (%d connections served)\n%!"
     (Netserver.connections listener);
   Netserver.shutdown listener;
-  (match Drive.handle drive Rpc.admin_cred Rpc.Sync with Rpc.R_unit -> () | _ -> ());
-  Audit.flush (Drive.audit drive);
-  Log.sync (Drive.log drive);
-  S4_tools.Disk_image.save image clock disk;
+  (* The final flush must not fail silently: if any step errors, leave
+     the previous on-disk image intact (save is atomic; a file-backed
+     store keeps its last barrier) and exit nonzero so scripts notice. *)
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "s4d: shutdown sync FAILED: %s (previous image kept)\n%!" s;
+        exit 1)
+      fmt
+  in
+  (match Drive.handle drive Rpc.admin_cred Rpc.Sync with
+   | Rpc.R_unit -> ()
+   | Rpc.R_error e -> fail "final Sync refused: %s" (Format.asprintf "%a" Rpc.pp_error e)
+   | _ -> fail "final Sync returned an unexpected ack"
+   | exception e -> fail "final Sync raised: %s" (Printexc.to_string e));
+  (try
+     Audit.flush (Drive.audit drive);
+     Log.sync (Drive.log drive);
+     S4_tools.Disk_image.save_any image clock disk;
+     S4_disk.Sim_disk.close disk
+   with e -> fail "%s" (Printexc.to_string e));
   Printf.printf "s4d: image saved\n%!"
 
 let () =
@@ -115,6 +139,6 @@ let () =
   let term =
     Term.(
       const run $ image_arg $ host_arg $ port_arg $ max_frame_arg $ max_inflight_arg
-      $ max_batch_arg $ no_admin_arg $ max_seconds_arg)
+      $ max_batch_arg $ no_admin_arg $ max_seconds_arg $ dsync_arg)
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -1,5 +1,6 @@
 module Bcodec = S4_util.Bcodec
 module Crc32 = S4_util.Crc32
+module Simclock = S4_util.Simclock
 module Log = S4_seglog.Log
 module Tag = S4_seglog.Tag
 
@@ -206,4 +207,11 @@ let recover t =
         | _ -> None)
       (Log.all_tagged t.log)
   in
-  t.blocks <- List.sort (fun (_, a) (_, b) -> compare b a) found
+  t.blocks <- List.sort (fun (_, a) (_, b) -> compare b a) found;
+  (* Same monotonicity guard as Obj_store.recover: recovered audit
+     records may postdate the barrier clock a file-backed restart
+     resumed from. *)
+  let tmax = List.fold_left (fun acc (_, newest) -> max acc newest) Int64.min_int found in
+  let clock = Log.clock t.log in
+  if Int64.compare tmax (Simclock.now clock) >= 0 then
+    Simclock.set clock (Int64.add tmax 1L)

@@ -44,6 +44,38 @@ let modern_50gb =
   }
 
 let capacity_bytes t = t.sectors * t.sector_size
+
+(* On-disk codec, shared by the host-file image format
+   (S4_tools.Disk_image) and the file-backed sector store header
+   (File_disk). *)
+
+module Bcodec = S4_util.Bcodec
+
+let encode w t =
+  Bcodec.w_string w t.name;
+  Bcodec.w_int w t.sector_size;
+  Bcodec.w_int w t.sectors;
+  Bcodec.w_int w t.rpm;
+  Bcodec.w_int w t.track_sectors;
+  Bcodec.w_i64 w (Int64.bits_of_float t.min_seek_ms);
+  Bcodec.w_i64 w (Int64.bits_of_float t.avg_seek_ms);
+  Bcodec.w_i64 w (Int64.bits_of_float t.max_seek_ms);
+  Bcodec.w_i64 w (Int64.bits_of_float t.transfer_mb_s)
+
+let decode r =
+  let name = Bcodec.r_string r in
+  let sector_size = Bcodec.r_int r in
+  let sectors = Bcodec.r_int r in
+  let rpm = Bcodec.r_int r in
+  let track_sectors = Bcodec.r_int r in
+  let min_seek_ms = Int64.float_of_bits (Bcodec.r_i64 r) in
+  let avg_seek_ms = Int64.float_of_bits (Bcodec.r_i64 r) in
+  let max_seek_ms = Int64.float_of_bits (Bcodec.r_i64 r) in
+  let transfer_mb_s = Int64.float_of_bits (Bcodec.r_i64 r) in
+  if sector_size <= 0 || sector_size > 1 lsl 20 || sectors <= 0 then
+    raise (Bcodec.Decode_error "Geometry.decode: implausible geometry");
+  { name; sector_size; sectors; rpm; track_sectors; min_seek_ms; avg_seek_ms; max_seek_ms;
+    transfer_mb_s }
 let rotation_ms t = 60_000.0 /. float_of_int t.rpm
 
 let seek_ms t ~distance_sectors =

@@ -31,6 +31,15 @@ val with_capacity : t -> bytes:int -> t
 (** Same mechanics, different capacity. *)
 
 val capacity_bytes : t -> int
+
+val encode : S4_util.Bcodec.writer -> t -> unit
+(** Append the full geometry to a writer; the codec shared by the
+    serialized-image format and the file-backed store header. *)
+
+val decode : S4_util.Bcodec.reader -> t
+(** @raise S4_util.Bcodec.Decode_error on truncation or an implausible
+    geometry (non-positive sector size or count). *)
+
 val rotation_ms : t -> float
 (** Time of one full revolution in milliseconds. *)
 

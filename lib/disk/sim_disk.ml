@@ -27,10 +27,17 @@ let fresh_stats () =
     write_latency = Histogram.create ();
   }
 
+(* Where sector contents live: the sparse in-memory table (simulation)
+   or a real host file (durability). Timing, stats, fault injection
+   and the whole stack above are identical over both. *)
+type backing =
+  | Mem of (int, Bytes.t) Hashtbl.t  (* sector lba -> sector bytes *)
+  | File of File_disk.t
+
 type t = {
   geometry : Geometry.t;
   clock : Simclock.t;
-  contents : (int, Bytes.t) Hashtbl.t;  (* sector lba -> 512 bytes *)
+  backing : backing;
   mutable head : int;  (* lba just past the last request *)
   mutable stats : stats;
   mutable phantom : bool;
@@ -42,13 +49,36 @@ let create ?(geometry = Geometry.cheetah_9gb) clock =
   {
     geometry;
     clock;
-    contents = Hashtbl.create 4096;
+    backing = Mem (Hashtbl.create 4096);
     head = 0;
     stats = fresh_stats ();
     phantom = false;
     phantom_ns = 0L;
     fault = None;
   }
+
+let of_file file =
+  let clock = Simclock.create () in
+  Simclock.set clock (File_disk.clock_ns file);
+  {
+    geometry = File_disk.geometry file;
+    clock;
+    backing = File file;
+    head = 0;
+    stats = fresh_stats ();
+    phantom = false;
+    phantom_ns = 0L;
+    fault = None;
+  }
+
+let file_backing t = match t.backing with File f -> Some f | Mem _ -> None
+
+let barrier t =
+  match t.backing with
+  | Mem _ -> ()
+  | File f -> File_disk.sync f ~clock_ns:(Simclock.now t.clock)
+
+let close t = match t.backing with Mem _ -> () | File f -> File_disk.close f
 
 let set_fault t policy = t.fault <- policy
 let fault t = t.fault
@@ -133,17 +163,25 @@ let read t ~lba ~sectors =
 
 let store_data t ~lba ~sectors data =
   let ss = t.geometry.Geometry.sector_size in
-  match data with
-  | None ->
-    for i = lba to lba + sectors - 1 do
-      Hashtbl.remove t.contents i
-    done
-  | Some b ->
-    if Bytes.length b <> sectors * ss then
-      invalid_arg "Sim_disk.write: data length mismatch";
-    for i = 0 to sectors - 1 do
-      Hashtbl.replace t.contents (lba + i) (Bytes.sub b (i * ss) ss)
-    done
+  (match data with
+   | Some b when Bytes.length b <> sectors * ss ->
+     invalid_arg "Sim_disk.write: data length mismatch"
+   | _ -> ());
+  match t.backing with
+  | Mem contents ->
+    (match data with
+     | None ->
+       for i = lba to lba + sectors - 1 do
+         Hashtbl.remove contents i
+       done
+     | Some b ->
+       for i = 0 to sectors - 1 do
+         Hashtbl.replace contents (lba + i) (Bytes.sub b (i * ss) ss)
+       done)
+  | File f ->
+    (match data with
+     | None -> File_disk.erase f ~lba ~sectors
+     | Some b -> File_disk.write f ~lba b)
 
 (* Persist only the first [k] sectors of the request, leaving the tail
    untouched on the platter (torn write / crash mid-transfer). *)
@@ -184,14 +222,17 @@ let write t ?tcq ?data ~lba ~sectors () =
 
 let peek t ~lba ~sectors =
   check_range t ~lba ~sectors;
-  let ss = t.geometry.Geometry.sector_size in
-  let out = Bytes.make (sectors * ss) '\000' in
-  for i = 0 to sectors - 1 do
-    match Hashtbl.find_opt t.contents (lba + i) with
-    | Some sector -> Bytes.blit sector 0 out (i * ss) ss
-    | None -> ()
-  done;
-  out
+  match t.backing with
+  | Mem contents ->
+    let ss = t.geometry.Geometry.sector_size in
+    let out = Bytes.make (sectors * ss) '\000' in
+    for i = 0 to sectors - 1 do
+      (match Hashtbl.find_opt contents (lba + i) with
+       | Some sector -> Bytes.blit sector 0 out (i * ss) ss
+       | None -> ())
+    done;
+    out
+  | File f -> File_disk.read f ~lba ~sectors
 
 let poke t ~lba ~data =
   let ss = t.geometry.Geometry.sector_size in

@@ -28,6 +28,29 @@ val create : ?geometry:Geometry.t -> S4_util.Simclock.t -> t
 (** A fresh disk (default geometry {!Geometry.cheetah_9gb}) with the
     head parked at sector 0. *)
 
+(** {1 File backing}
+
+    A disk constructed over a {!File_disk.t} keeps its sector contents
+    in a real host file instead of the in-memory table: every content
+    write goes straight to [pwrite] and {!barrier} flushes the file, so
+    acknowledged data survives [kill -9] (and, after a barrier, a host
+    crash). Timing, stats and fault injection behave identically. *)
+
+val of_file : File_disk.t -> t
+(** Wrap an open file-backed store. Geometry comes from the store's
+    header and a fresh clock resumes from the last barrier's
+    [clock_ns]; recovery then advances it past any newer replayed
+    journal entries. *)
+
+val file_backing : t -> File_disk.t option
+val barrier : t -> unit
+(** Durability barrier: flush a file backing ({!File_disk.sync} at the
+    current clock); a no-op for memory-backed disks. *)
+
+val close : t -> unit
+(** Release the file backing's descriptor (no-op for memory). Not a
+    barrier. *)
+
 val geometry : t -> Geometry.t
 val clock : t -> S4_util.Simclock.t
 val capacity_sectors : t -> int

@@ -325,7 +325,13 @@ let append_inner t tag ?data () =
 let append t tag ?data () =
   traced t "append" ~bytes:t.block_size (fun () -> append_inner t tag ?data ())
 
-let sync t = traced t "sync" ~bytes:0 (fun () -> flush_buffered t)
+let sync t =
+  traced t "sync" ~bytes:0 (fun () ->
+      flush_buffered t;
+      (* On a file-backed disk this is the real durability point: fsync
+         (or nothing extra under O_DSYNC) after the buffered blocks
+         reach the backing file. Memory backings ignore it. *)
+      Sim_disk.barrier t.disk)
 
 let write_superblock t payload =
   if Bytes.length payload > t.block_size then invalid_arg "Log.write_superblock: too big";

@@ -1239,12 +1239,14 @@ let recover ?(config = default_config) log =
   let jbs = Log.journal_blocks log in
   (* Collect entries per object, ascending by seq. *)
   let per_obj : (oid, rentry list ref) Hashtbl.t = Hashtbl.create 256 in
+  let tmax = ref Int64.min_int in
   let note jaddr je =
     let e = Entry.decode je in
     let re = { e; jaddr } in
     (match Hashtbl.find_opt per_obj e.Entry.oid with
      | Some l -> l := re :: !l
      | None -> Hashtbl.replace per_obj e.Entry.oid (ref [ re ]));
+    if Int64.compare e.Entry.time !tmax > 0 then tmax := e.Entry.time;
     if Int64.compare e.Entry.oid t.oid_counter >= 0 then
       t.oid_counter <- Int64.add e.Entry.oid 1L
   in
@@ -1450,6 +1452,12 @@ let recover ?(config = default_config) log =
     Hashtbl.replace t.objects oid obj
   in
   Hashtbl.iter rebuild per_obj;
+  (* A file-backed restart resumes the clock from the last barrier, but
+     journal blocks flushed at segment close may carry newer entry
+     times. Keep mutation times monotone across the restart. *)
+  (let clock = Log.clock log in
+   if Int64.compare !tmax (Simclock.now clock) >= 0 then
+     Simclock.set clock (Int64.add !tmax 1L));
   t
 
 (* ------------------------------------------------------------------ *)

@@ -69,6 +69,24 @@ val rebalance_sweep : seed:int -> runs:int -> unit -> report list
 (** {!rebalance_run} at [runs] crash points drawn uniformly from each
     derived workload's rebalance write range. *)
 
+val kill9_run :
+  ?dir:string -> seed:int -> kill_after:int -> midflight:bool -> unit -> report
+(** A {e real} crash: format a file-backed store under [dir], fork a
+    child that serves it over TCP, run the seeded workload through a
+    network client for [kill_after] acked requests (snapshot instants
+    taken from the server's clock at each acked Sync), then [kill -9]
+    the child and verify the surviving host file with the same oracle
+    as {!run}. With [midflight] a 64-write batch is put in flight on a
+    second connection just before the kill; it is never acked, so the
+    oracle ignores it, and the audit check tolerates its trailing
+    records ([crash_after] reports [kill_after]; [crashed] is always
+    true). The store file is deleted on a clean report, kept for
+    post-mortem otherwise. *)
+
+val kill9_sweep : ?dir:string -> seed:int -> runs:int -> unit -> report list
+(** {!kill9_run} at [runs] randomized kill points (8–79 acked ops,
+    midflight on a coin flip), each with a distinct derived seed. *)
+
 type resync_report = {
   r_seed : int;
   fail_writes : int;  (** secondary disk writes forced to fail *)
