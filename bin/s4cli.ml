@@ -34,6 +34,7 @@ module Check = S4_obs.Check
 module Netclient = S4_net.Client
 module Nettransport = S4_net.Transport
 module Wire = S4_net.Wire
+module Chain = S4_integrity.Chain
 
 open Cmdliner
 
@@ -497,9 +498,132 @@ let cmd_metrics =
        ~doc:"Walk the drive with tracing on and print the metrics registry (counters + latency histograms).")
     Term.(const run $ image_opt_arg $ connect_arg $ user_arg)
 
+(* --state FILE holds the last verified sealed head, one line:
+   "epoch records hex(sha256)". It is the admin's off-drive trust
+   anchor — with it, verify-log resumes incrementally and detects
+   rollback (a drive restored to before the anchor) and forks (a
+   rewritten history that no longer contains it). *)
+let hash_of_hex s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+    | _ -> None
+  in
+  if String.length s <> 2 * Chain.hash_len then None
+  else
+    let b = Bytes.create Chain.hash_len in
+    let ok = ref true in
+    for i = 0 to Chain.hash_len - 1 do
+      match (digit s.[2 * i], digit s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set b i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some (Bytes.to_string b) else None
+
+let read_state file =
+  if not (Sys.file_exists file) then None
+  else
+    match In_channel.with_open_text file In_channel.input_all with
+    | s -> (
+      match String.split_on_char ' ' (String.trim s) with
+      | [ e; r; hex ] -> (
+        match (int_of_string_opt e, int_of_string_opt r, hash_of_hex hex) with
+        | Some epoch, Some records, Some hash -> Some { Chain.epoch; records; hash }
+        | _ ->
+          prerr_endline ("error: unparsable trust anchor in " ^ file);
+          exit 1)
+      | _ ->
+        prerr_endline ("error: unparsable trust anchor in " ^ file);
+        exit 1)
+    | exception Sys_error m ->
+      prerr_endline ("error: " ^ m);
+      exit 1
+
+let write_state file (h : Chain.head) =
+  Out_channel.with_open_text file (fun oc ->
+      Printf.fprintf oc "%d %d %s\n" h.Chain.epoch h.Chain.records
+        (S4_util.Sha256.to_hex h.Chain.hash))
+
+let cmd_verify_log =
+  let state_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"FILE"
+          ~doc:
+            "Trust-anchor file. If it exists, verification resumes from the head it records \
+             (detecting rollback and rewritten history); on a clean verify it is updated to the \
+             newest sealed head.")
+  in
+  let lenient_arg =
+    Arg.(
+      value & flag
+      & info [ "lenient" ]
+          ~doc:
+            "Accept a torn unsealed tail (the state a crash legitimately leaves). Local images \
+             only.")
+  in
+  let finish ~state ~clean (newest : Chain.head option) =
+    (match (state, clean, newest) with
+     | Some file, true, Some h ->
+       write_state file h;
+       Printf.printf "trust anchor %s updated: %s\n" file
+         (Format.asprintf "%a" Chain.pp_head h)
+     | Some _, true, None ->
+       print_endline "trust anchor left unchanged (nothing sealed to anchor)"
+     | Some _, false, _ -> print_endline "trust anchor left unchanged (verification failed)"
+     | None, _, _ -> ());
+    if not clean then exit 1
+  in
+  let run image connect state lenient =
+    match target image connect with
+    | T_local image ->
+      let s = open_session image 0 in
+      let from = Option.join (Option.map read_state state) in
+      let res = Audit.verify ?from ~lenient_tail:lenient (Drive.audit s.drive) in
+      Format.printf "%a@." Chain.pp_result res;
+      (* Seal whatever the session itself appended, so the anchor we
+         save covers the newest sealed epoch. *)
+      (match Drive.handle s.drive Rpc.admin_cred Rpc.Sync with Rpc.R_unit -> () | _ -> ());
+      let newest = Audit.sealed_head (Drive.audit s.drive) in
+      let clean = Chain.clean res in
+      close_session image s;
+      finish ~state ~clean (if newest.Chain.records = 0 then None else Some newest)
+    | T_remote (host, port) ->
+      if lenient then begin
+        prerr_endline "error: --lenient needs the image; a live drive's chain must be whole";
+        exit 1
+      end;
+      let r = open_remote ~user:0 host port in
+      let from = Option.join (Option.map read_state state) in
+      (match Netclient.handle r.rclient Rpc.admin_cred (Rpc.Verify_log { from }) with
+       | Rpc.R_verify res ->
+         Format.printf "%a@." Chain.pp_result res;
+         close_remote r;
+         (* Only a fully sealed head is a safe anchor: an unsealed
+            tail may legitimately vanish in a crash. *)
+         let newest =
+           match res.Chain.v_head with Some h when res.Chain.v_tail = 0 -> Some h | _ -> None
+         in
+         finish ~state ~clean:(Chain.clean res) newest
+       | r' ->
+         Format.eprintf "error: %a@." Rpc.pp_resp r';
+         close_remote r;
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify-log"
+       ~doc:
+         "Re-walk the audit log's tamper-evident hash chain (admin). Detects rewritten, dropped, \
+          reordered and forked history; with --state, resumes from and maintains an off-drive \
+          trust anchor.")
+    Term.(const run $ image_opt_arg $ connect_arg $ state_arg $ lenient_arg)
+
 let () =
   let doc = "operate a simulated self-securing (S4) storage drive" in
   let info = Cmd.info "s4cli" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ cmd_format; cmd_write; cmd_cat; cmd_ls; cmd_rm; cmd_versions; cmd_log; cmd_restore;
-      cmd_fsck; cmd_info; cmd_trace; cmd_metrics ]))
+      cmd_fsck; cmd_verify_log; cmd_info; cmd_trace; cmd_metrics ]))

@@ -12,7 +12,14 @@
     Records are buffered in memory and written out when a full block
     accumulates — the paper's "one disk write roughly every 750
     operations" behaviour — so a crash can lose the tail of the audit
-    log, as in the prototype. *)
+    log, as in the prototype.
+
+    The persisted log is additionally tamper-evident: each flushed
+    record extends a SHA-256 hash chain ({!S4_integrity.Chain}), every
+    block records its chain position and prior head, and {!seal} pins
+    the head into an epoch record at each durability barrier. {!verify}
+    re-walks the persisted chain and pinpoints any rewrite, drop,
+    reorder or fork of sealed history. *)
 
 type record = {
   at : int64;  (** simulated time of the request *)
@@ -64,3 +71,44 @@ val record_wire_bytes : record -> int
 
 val decode_block : Bytes.t -> record list option
 (** Exposed for tests and forensic tools. *)
+
+(** {1 Hash chain} *)
+
+val canonical : record -> Bytes.t
+(** The canonical encoding the hash chain runs over (independent of
+    the block-level delta encoding). *)
+
+val chain_head : t -> string
+(** Running SHA-256 head after the last flushed record. *)
+
+val chained : t -> int
+(** Global index of the next record to be chained (flushed records
+    since format). *)
+
+val sealed_head : t -> S4_integrity.Chain.head
+(** Head pinned by the newest seal; {!S4_integrity.Chain.genesis} if
+    nothing is sealed yet. *)
+
+val seal_count : t -> int
+
+val prospective_head : t -> S4_integrity.Chain.head
+(** The head the next {!seal} would write (equals {!sealed_head} when
+    nothing new has been flushed). The shard router records these in
+    the integrity catalog before fanning out member barriers. *)
+
+val seal : t -> unit
+(** Seal the chain at a durability barrier: call after {!flush} and
+    before the log sync so the epoch record travels in the same flush
+    as the records it covers. No-op when nothing new was flushed. *)
+
+val live_addrs : t -> int list
+(** Record blocks plus seals (for cross-layer liveness checks). *)
+
+val verify :
+  ?from:S4_integrity.Chain.head ->
+  ?lenient_tail:bool ->
+  t ->
+  S4_integrity.Chain.verify_result
+(** Re-walk the persisted chain from the log (forensic reads,
+    uncharged). [from] resumes from a trusted head; [lenient_tail]
+    accepts a torn unsealed tail (crash recovery). *)

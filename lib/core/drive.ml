@@ -11,6 +11,7 @@ type config = {
   store : Store.config;
   window : int64;
   audit_enabled : bool;
+  integrity : bool;
   throttle : Throttle.config option;
   history_reserve : float;
   cleaner_live_threshold : float;
@@ -27,6 +28,7 @@ let default_config =
     store = Store.default_config;
     window = Int64.mul 7L day_ns;
     audit_enabled = true;
+    integrity = true;
     throttle = Some Throttle.default_config;
     history_reserve = 0.5;
     cleaner_live_threshold = 0.75;
@@ -129,6 +131,16 @@ let write_ptable t entries =
   Store.write t.store t.ptable_oid ~off:0 ~data ~len ();
   if Store.size t.store t.ptable_oid > len then Store.truncate t.store t.ptable_oid ~size:len
 
+(* Silent name-table access for array-internal objects (the shard
+   router's integrity catalog): no audit record, no RPC cpu charge. *)
+let named_oid t name = List.assoc_opt name (read_ptable t ())
+
+let register_name t name oid =
+  let entries = read_ptable t () in
+  if List.mem_assoc name entries then
+    invalid_arg (Printf.sprintf "Drive.register_name: %s exists" name);
+  write_ptable t ((name, oid) :: entries)
+
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
 
@@ -141,6 +153,11 @@ let build cfg log store ~ptable_oid =
   Cleaner.set_on_audit_move cleaner (fun old_addr new_addr -> Audit.on_move audit ~old_addr ~new_addr);
   let throttle = Option.map (fun tc -> Throttle.create ~config:tc (Log.clock log)) cfg.throttle in
   Log.set_io_retry log ~limit:cfg.io_retry_limit ~backoff_ms:cfg.io_retry_backoff_ms;
+  (* Every device-level sync snapshots the sealed chain head into the
+     disk's own header — a second, device-held trust anchor an attacker
+     rewriting the log cannot update without also forging SHA-256. *)
+  Sim_disk.set_head_provider (Log.disk log) (fun () ->
+      if cfg.integrity && Audit.enabled audit then Some (Audit.sealed_head audit) else None);
   {
     cfg;
     log;
@@ -176,6 +193,20 @@ let attach ?(config = default_config) disk =
   in
   let t = build { config with window } log store ~ptable_oid in
   Audit.recover t.audit;
+  (* Cross-check the device-held anchor: the head recorded in the disk
+     header at the last successful sync must still lie on the recovered
+     chain. A recovered chain *newer* than the anchor is ordinary crash
+     state; an anchor the chain cannot reproduce means the log was
+     rewound or rewritten behind the device's back. *)
+  (if config.integrity then
+     match Sim_disk.saved_head (Log.disk log) with
+     | None -> ()
+     | Some h ->
+       let r = Audit.verify ~from:h ~lenient_tail:true t.audit in
+       if not (S4_integrity.Chain.clean r) then
+         Logs.warn (fun m ->
+             m "attach: audit chain disagrees with device anchor: %a"
+               S4_integrity.Chain.pp_result r));
   t
 
 (* ------------------------------------------------------------------ *)
@@ -212,7 +243,7 @@ let oid_of_req : Rpc.req -> int64 = function
     oid
   | Rpc.P_create { oid; _ } -> oid
   | Rpc.Create _ | Rpc.P_delete _ | Rpc.P_list _ | Rpc.P_mount _ | Rpc.Sync | Rpc.Flush _
-  | Rpc.Set_window _ | Rpc.Read_audit _ ->
+  | Rpc.Set_window _ | Rpc.Read_audit _ | Rpc.Verify_log _ ->
     0L
 
 exception Denied
@@ -325,8 +356,11 @@ let exec t (cred : Rpc.credential) (req : Rpc.req) : Rpc.resp =
      | None -> Rpc.R_error Rpc.Not_found)
   | Rpc.Sync ->
     (* The audit trail shares the durability barrier: records buffered
-       up to this point must survive a crash once the sync returns. *)
+       up to this point must survive a crash once the sync returns. The
+       seal travels in the same flush as the records it covers, so a
+       torn flush loses the seal before it can orphan any record. *)
     Audit.flush t.audit;
+    if t.cfg.integrity then Audit.seal t.audit;
     Store.sync st;
     Rpc.R_unit
   | Rpc.Flush { until } ->
@@ -350,6 +384,9 @@ let exec t (cred : Rpc.credential) (req : Rpc.req) : Rpc.resp =
   | Rpc.Read_audit { since; until } ->
     if not cred.Rpc.admin then raise Denied;
     Rpc.R_audit (Audit.records t.audit ~since ~until ())
+  | Rpc.Verify_log { from } ->
+    if not cred.Rpc.admin then raise Denied;
+    Rpc.R_verify (Audit.verify ?from t.audit)
 
 let handle_inner t (cred : Rpc.credential) req =
   t.ops <- t.ops + 1;
@@ -415,6 +452,7 @@ let barrier t =
   in
   try
     Audit.flush t.audit;
+    if t.cfg.integrity then Audit.seal t.audit;
     Store.sync t.store;
     None
   with
@@ -517,8 +555,10 @@ let run_cleaner t =
   refresh_pressure t;
   report
 
+let integrity_enabled t = t.cfg.integrity
+
 let fsck t =
-  Store.check ~extra_live:(Audit.block_addrs t.audit) t.store
+  Store.check ~extra_live:(Audit.live_addrs t.audit) t.store
 
 let pp_stats ppf t =
   Format.fprintf ppf

@@ -20,6 +20,10 @@ type config = {
   store : S4_store.Obj_store.config;
   window : int64;  (** guaranteed detection window, ns *)
   audit_enabled : bool;
+  integrity : bool;
+      (** seal the audit hash chain at every durability barrier and
+          snapshot the sealed head into the disk header (chaining
+          itself always runs; this gates only the persisted seals) *)
   throttle : Throttle.config option;  (** [None] disables throttling *)
   history_reserve : float;
       (** fraction of capacity budgeted for the history pool, used to
@@ -85,6 +89,14 @@ val ptable_oid : t -> int64
 (** The oid of this drive's partition-table object (drive-private
     metadata: a shard router must exclude it from migration). *)
 
+val named_oid : t -> string -> int64 option
+(** Look a name up in the partition table without the RPC surface: no
+    audit record, no cpu charge (array-internal bootstrap). *)
+
+val register_name : t -> string -> int64 -> unit
+(** Silent counterpart of [P_create], for drive/array-private objects.
+    Raises [Invalid_argument] if the name exists. *)
+
 val log : t -> S4_seglog.Log.t
 val audit : t -> Audit.t
 val cleaner : t -> S4_store.Cleaner.t
@@ -104,6 +116,8 @@ val pool_pressure : t -> float
 
 val fsck : t -> string list
 (** Full cross-layer invariant check; empty = healthy. *)
+
+val integrity_enabled : t -> bool
 
 val ops_handled : t -> int
 

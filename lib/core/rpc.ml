@@ -24,6 +24,7 @@ type req =
   | Flush_object of { oid : int64; until : int64 }
   | Set_window of { window : int64 }
   | Read_audit of { since : int64; until : int64 }
+  | Verify_log of { from : S4_integrity.Chain.head option }
 
 type error =
   | Not_found
@@ -42,6 +43,7 @@ type resp =
   | R_acl of Acl.entry
   | R_names of string list
   | R_audit of Audit.record list
+  | R_verify of S4_integrity.Chain.verify_result
   | R_error of error
 
 let op_name = function
@@ -65,6 +67,7 @@ let op_name = function
   | Flush_object _ -> "flusho"
   | Set_window _ -> "setwindow"
   | Read_audit _ -> "readaudit"
+  | Verify_log _ -> "verifylog"
 
 let at_info = function None -> "" | Some t -> Printf.sprintf " at=%Ld" t
 
@@ -90,17 +93,21 @@ let op_info = function
   | Flush_object { oid; until } -> Printf.sprintf "oid=%Ld until=%Ld" oid until
   | Set_window { window } -> Printf.sprintf "window=%Ld" window
   | Read_audit { since; until } -> Printf.sprintf "since=%Ld until=%Ld" since until
+  | Verify_log { from } -> (
+    match from with
+    | None -> ""
+    | Some h -> Printf.sprintf "from=%d/%d" h.S4_integrity.Chain.epoch h.S4_integrity.Chain.records)
 
 let is_mutation = function
   | Create _ | Delete _ | Write _ | Append _ | Truncate _ | Set_attr _ | Set_acl _ | P_create _
   | P_delete _ | Sync | Flush _ | Flush_object _ | Set_window _ ->
     true
   | Read _ | Get_attr _ | Get_acl_by_user _ | Get_acl_by_index _ | P_list _ | P_mount _
-  | Read_audit _ ->
+  | Read_audit _ | Verify_log _ ->
     false
 
 let is_admin_op = function
-  | Flush _ | Flush_object _ | Set_window _ | Read_audit _ -> true
+  | Flush _ | Flush_object _ | Set_window _ | Read_audit _ | Verify_log _ -> true
   | Create _ | Delete _ | Read _ | Write _ | Append _ | Truncate _ | Get_attr _ | Set_attr _
   | Get_acl_by_user _ | Get_acl_by_index _ | Set_acl _ | P_create _ | P_delete _ | P_list _
   | P_mount _ | Sync ->
@@ -131,6 +138,7 @@ let req_wire_bytes = function
   | Flush_object _ -> header + 16
   | Set_window _ -> header + 8
   | Read_audit _ -> header + 16
+  | Verify_log { from } -> header + (match from with None -> 1 | Some _ -> 45)
 
 let resp_wire_bytes = function
   | R_unit -> header
@@ -141,6 +149,9 @@ let resp_wire_bytes = function
   | R_acl _ -> header + 16
   | R_names names -> header + List.fold_left (fun acc n -> acc + String.length n + 4) 0 names
   | R_audit rs -> header + (64 * List.length rs)
+  | R_verify r ->
+    header + 64
+    + List.fold_left (fun acc e -> acc + String.length e + 4) 0 r.S4_integrity.Chain.v_errors
   | R_error _ -> header + 4
 
 let pp_error ppf = function
@@ -170,4 +181,5 @@ let pp_resp ppf = function
   | R_acl e -> Acl.pp_entry ppf e
   | R_names names -> Format.fprintf ppf "names [%s]" (String.concat "; " names)
   | R_audit rs -> Format.fprintf ppf "%d audit records" (List.length rs)
+  | R_verify r -> Format.fprintf ppf "verify: %a" S4_integrity.Chain.pp_result r
   | R_error e -> Format.fprintf ppf "error: %a" pp_error e

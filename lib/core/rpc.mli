@@ -40,6 +40,9 @@ type req =
   | Flush_object of { oid : int64; until : int64 }
   | Set_window of { window : int64 }
   | Read_audit of { since : int64; until : int64 }
+  | Verify_log of { from : S4_integrity.Chain.head option }
+      (** admin: re-walk the persisted audit hash chain, optionally
+          resuming from a previously trusted head *)
 
 type error =
   | Not_found
@@ -59,6 +62,7 @@ type resp =
   | R_acl of Acl.entry
   | R_names of string list
   | R_audit of Audit.record list
+  | R_verify of S4_integrity.Chain.verify_result
   | R_error of error
 
 val op_name : req -> string

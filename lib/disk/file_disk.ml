@@ -10,6 +10,7 @@
 
 module Bcodec = S4_util.Bcodec
 module Crc32 = S4_util.Crc32
+module Chain = S4_integrity.Chain
 
 let magic = "S4FDSK1\n"
 let header_bytes = 4096
@@ -20,6 +21,7 @@ type t = {
   geometry : Geometry.t;
   dsync : bool;
   mutable clock_ns : int64;  (* as of the last completed barrier *)
+  mutable head : Chain.head option;  (* sealed audit-chain head, ditto *)
   mutable syncs : int;
   mutable closed : bool;
   lock : Mutex.t;
@@ -64,12 +66,20 @@ let really_pwrite fd ~off buf =
 
 (* ------------------------------------------------------------------ *)
 (* Format header: magic | u32 payload length | u32 CRC-32 of payload |
-   payload (geometry + barrier clock), zero-padded to [header_bytes]. *)
+   payload (geometry + barrier clock + optional sealed chain head),
+   zero-padded to [header_bytes]. The head field is absent entirely in
+   pre-integrity stores (payload ends after the clock), so old files
+   open unchanged. *)
 
-let encode_header ~geometry ~clock_ns =
+let encode_header ~geometry ~clock_ns ~head =
   let w = Bcodec.writer () in
   Geometry.encode w geometry;
   Bcodec.w_i64 w clock_ns;
+  (match head with
+   | None -> Bcodec.w_u8 w 0
+   | Some h ->
+     Bcodec.w_u8 w 1;
+     Chain.write_head w h);
   let payload = Bcodec.contents w in
   let plen = Bytes.length payload in
   if String.length magic + 8 + plen > header_bytes then invalid_arg "File_disk: header overflow";
@@ -94,14 +104,19 @@ let decode_header path b =
     let r = Bcodec.reader payload in
     let geometry = Geometry.decode r in
     let clock_ns = Bcodec.r_i64 r in
-    (geometry, clock_ns)
+    let head =
+      if Bcodec.remaining r = 0 then None
+      else if Bcodec.r_u8 r = 0 then None
+      else Some (Chain.read_head r)
+    in
+    (geometry, clock_ns, head)
   with
-  | geometry, clock_ns when Int64.compare clock_ns 0L >= 0 -> (geometry, clock_ns)
-  | _ -> corrupt path "negative clock"
+  | (_, clock_ns, _) when Int64.compare clock_ns 0L < 0 -> corrupt path "negative clock"
+  | parsed -> parsed
   | exception Bcodec.Decode_error m -> corrupt path "bad header payload: %s" m
 
 let write_header t =
-  really_pwrite t.fd ~off:0 (encode_header ~geometry:t.geometry ~clock_ns:t.clock_ns)
+  really_pwrite t.fd ~off:0 (encode_header ~geometry:t.geometry ~clock_ns:t.clock_ns ~head:t.head)
 
 (* ------------------------------------------------------------------ *)
 
@@ -122,7 +137,7 @@ let create ?(dsync = false) ~path geometry =
     Unix.openfile path (open_flags ~dsync [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ]) 0o644
   in
   let t =
-    { path; fd; geometry; dsync; clock_ns = 0L; syncs = 0; closed = false;
+    { path; fd; geometry; dsync; clock_ns = 0L; head = None; syncs = 0; closed = false;
       lock = Mutex.create () }
   in
   (try
@@ -145,19 +160,22 @@ let open_file ?(dsync = false) path =
     really_pread fd ~off:0 b;
     decode_header path b
   with
-  | geometry, clock_ns ->
+  | geometry, clock_ns, head ->
     (* Heal a short file (e.g. a crash between create's ftruncate and
        the first barrier): missing tail sectors read back as zeros,
        exactly as if never written. *)
     if (Unix.fstat fd).Unix.st_size < full_size geometry then
       Unix.ftruncate fd (full_size geometry);
-    { path; fd; geometry; dsync; clock_ns; syncs = 0; closed = false; lock = Mutex.create () }
+    { path; fd; geometry; dsync; clock_ns; head; syncs = 0; closed = false;
+      lock = Mutex.create () }
   | exception e ->
     Unix.close fd;
     raise e
 
 let geometry t = t.geometry
 let clock_ns t = t.clock_ns
+let head t = t.head
+let set_head t h = t.head <- h
 let path t = t.path
 let dsync t = t.dsync
 let syncs t = t.syncs

@@ -38,6 +38,16 @@ val clock_ns : t -> int64
     restart resumes from; recovery advances past any newer journal
     entries it replays). *)
 
+val head : t -> S4_integrity.Chain.head option
+(** Sealed audit-chain head as of the last completed barrier ([None]
+    for pre-integrity stores, or when sealing is disabled). A second,
+    device-held trust anchor: rewriting the log file cannot update it
+    without also passing the header CRC and forging SHA-256. *)
+
+val set_head : t -> S4_integrity.Chain.head option -> unit
+(** Stage the head the next {!sync} will persist (it is not written
+    until the barrier). *)
+
 val path : t -> string
 val dsync : t -> bool
 

@@ -43,6 +43,10 @@ type t = {
   mutable phantom : bool;
   mutable phantom_ns : int64;
   mutable fault : Fault.t option;
+  mutable head_provider : (unit -> S4_integrity.Chain.head option) option;
+      (* the drive above registers this; barriers snapshot its result *)
+  mutable saved_head : S4_integrity.Chain.head option;
+      (* device-held anchor as of the last barrier (or image load) *)
 }
 
 let create ?(geometry = Geometry.cheetah_9gb) clock =
@@ -55,6 +59,8 @@ let create ?(geometry = Geometry.cheetah_9gb) clock =
     phantom = false;
     phantom_ns = 0L;
     fault = None;
+    head_provider = None;
+    saved_head = None;
   }
 
 let of_file file =
@@ -69,14 +75,24 @@ let of_file file =
     phantom = false;
     phantom_ns = 0L;
     fault = None;
+    head_provider = None;
+    saved_head = File_disk.head file;
   }
 
 let file_backing t = match t.backing with File f -> Some f | Mem _ -> None
 
+let set_head_provider t f = t.head_provider <- Some f
+let current_head t = match t.head_provider with Some f -> f () | None -> t.saved_head
+let saved_head t = t.saved_head
+let set_saved_head t h = t.saved_head <- h
+
 let barrier t =
+  t.saved_head <- current_head t;
   match t.backing with
   | Mem _ -> ()
-  | File f -> File_disk.sync f ~clock_ns:(Simclock.now t.clock)
+  | File f ->
+    File_disk.set_head f t.saved_head;
+    File_disk.sync f ~clock_ns:(Simclock.now t.clock)
 
 let close t = match t.backing with Mem _ -> () | File f -> File_disk.close f
 

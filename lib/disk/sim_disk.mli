@@ -44,8 +44,29 @@ val of_file : File_disk.t -> t
 
 val file_backing : t -> File_disk.t option
 val barrier : t -> unit
-(** Durability barrier: flush a file backing ({!File_disk.sync} at the
-    current clock); a no-op for memory-backed disks. *)
+(** Durability barrier: snapshot the registered chain head into the
+    device anchor, then flush a file backing ({!File_disk.sync} at the
+    current clock); contents flushing is a no-op for memory-backed
+    disks. *)
+
+(** {1 Chain-head anchor}
+
+    The drive above registers a provider for its sealed audit-chain
+    head; every {!barrier} snapshots the provider's current value as
+    the device-held anchor (persisted in the {!File_disk} header, and
+    carried by {!S4_tools.Disk_image} saves). On reattach the anchor
+    cross-checks the recovered chain: a log rewound or rewritten behind
+    the device's back can no longer reproduce it. *)
+
+val set_head_provider : t -> (unit -> S4_integrity.Chain.head option) -> unit
+val current_head : t -> S4_integrity.Chain.head option
+(** The provider's live value ({!saved_head} when none is registered). *)
+
+val saved_head : t -> S4_integrity.Chain.head option
+(** Anchor as of the last barrier (or image load / file open). *)
+
+val set_saved_head : t -> S4_integrity.Chain.head option -> unit
+(** Used by image load to install the anchor carried in the image. *)
 
 val close : t -> unit
 (** Release the file backing's descriptor (no-op for memory). Not a

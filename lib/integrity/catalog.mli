@@ -1,0 +1,19 @@
+(** Cross-shard integrity catalog: the meta shard's replicated copy of
+    every member drive's sealed chain head, refreshed at each
+    array-wide barrier. Entries are a floor — the member's chain must
+    contain the catalog head as an ancestor. *)
+
+type entry = { shard : int; replica : int; head : Chain.head }
+
+val encode : entry list -> Bytes.t
+val decode : Bytes.t -> entry list option
+val find : entry list -> shard:int -> replica:int -> Chain.head option
+val set : entry list -> shard:int -> replica:int -> Chain.head -> entry list
+
+type status =
+  | Consistent
+  | Stale_catalog
+  | Rolled_back
+  | Forked
+
+val check : catalog:Chain.head -> member:Chain.head -> status

@@ -1,0 +1,62 @@
+(** Tamper-evident hash chain over the audit trail.
+
+    Every audit record extends a running SHA-256 head
+    ([head' = SHA256(head || canonical_record)]); at each durability
+    barrier the head is sealed into an epoch record flushed with the
+    records it covers. A drive-level attacker can truncate the unsealed
+    tail (indistinguishable from a crash, and reported as tail loss),
+    but cannot rewrite, drop, reorder or fork any sealed record without
+    {!verify} pinpointing the damage. *)
+
+type head = {
+  epoch : int;  (** seal count; 0 = nothing sealed yet *)
+  records : int;  (** records chained up to this head *)
+  hash : string;  (** 32-byte SHA-256 running digest *)
+}
+
+val hash_len : int
+val genesis_hash : string
+val genesis : head
+
+val extend : string -> Bytes.t -> string
+(** [extend head canon] is the head after chaining one record. *)
+
+val extend_all : string -> Bytes.t list -> string
+val equal_head : head -> head -> bool
+val pp_head : Format.formatter -> head -> unit
+val short_hex : string -> string
+
+val write_head : S4_util.Bcodec.writer -> head -> unit
+val read_head : S4_util.Bcodec.reader -> head
+(** Raises [Bcodec.Decode_error] on truncated or negative input. *)
+
+(** {1 Verification} *)
+
+type block = { b_start : int; b_prior : string; b_canons : Bytes.t list }
+type seal = { s_head : head; s_at : int64 }
+
+type item = Block of block | Seal of seal | Bad of string
+
+type verify_result = {
+  v_records : int;
+  v_sealed : int;
+  v_epochs : int;
+  v_head : head option;
+  v_tail : int;
+  v_pruned : int;
+  v_first_bad : int;  (** global index of the first provably bad record; -1 = none *)
+  v_errors : string list;
+}
+
+val verify : ?from:head -> ?lenient_tail:bool -> item list -> verify_result
+(** Pure chain verification. [from] is a previously trusted head that
+    must still lie on the chain (incremental verification / rollback
+    detection). [lenient_tail] accepts undecodable blocks as long as
+    every sealed record is accounted for — the kill -9 recovery case,
+    where only the unsealed suffix of the final flush can be torn. *)
+
+val clean : verify_result -> bool
+val pp_result : Format.formatter -> verify_result -> unit
+
+val write_result : S4_util.Bcodec.writer -> verify_result -> unit
+val read_result : ?max_errors:int -> S4_util.Bcodec.reader -> verify_result

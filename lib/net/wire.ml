@@ -4,6 +4,7 @@ module Rpc = S4.Rpc
 module Acl = S4.Acl
 module Audit = S4.Audit
 module Metrics = S4_obs.Metrics
+module Chain = S4_integrity.Chain
 
 type frame =
   | Hello of { version : int; claim : int }
@@ -110,6 +111,17 @@ let r_entry r =
   let recovery = r_bool r in
   { Acl.user; client; perms; recovery }
 
+(* Chain heads and verify results cross the wire through the same
+   strict bounded decoder as everything else: [Chain.read_head] and
+   [Chain.read_result] raise [Bcodec.Decode_error], which the framing
+   layer already maps to a protocol failure. *)
+let r_chain_head r =
+  try Chain.read_head r with Bcodec.Decode_error m -> fail m
+
+let r_verify_result r =
+  try Chain.read_result ~max_errors:(Bcodec.remaining r) r
+  with Bcodec.Decode_error m -> fail m
+
 let w_cred w (c : Rpc.credential) =
   w_id w c.Rpc.user;
   w_id w c.Rpc.client;
@@ -202,6 +214,13 @@ let w_req w (req : Rpc.req) =
     Bcodec.w_u8 w 19;
     Bcodec.w_i64 w since;
     Bcodec.w_i64 w until
+  | Rpc.Verify_log { from } -> (
+    Bcodec.w_u8 w 20;
+    match from with
+    | None -> Bcodec.w_u8 w 0
+    | Some h ->
+      Bcodec.w_u8 w 1;
+      Chain.write_head w h)
 
 let r_req r : Rpc.req =
   match Bcodec.r_u8 r with
@@ -259,6 +278,9 @@ let r_req r : Rpc.req =
   | 19 ->
     let since = Bcodec.r_i64 r in
     Rpc.Read_audit { since; until = Bcodec.r_i64 r }
+  | 20 ->
+    let from = match Bcodec.r_u8 r with 0 -> None | _ -> Some (r_chain_head r) in
+    Rpc.Verify_log { from }
   | op -> fail (Printf.sprintf "bad opcode %d" op)
 
 let w_error w (e : Rpc.error) =
@@ -335,6 +357,9 @@ let w_resp w (resp : Rpc.resp) =
     Bcodec.w_u8 w 7;
     Bcodec.w_int w (List.length records);
     List.iter (w_audit_record w) records
+  | Rpc.R_verify res ->
+    Bcodec.w_u8 w 9;
+    Chain.write_result w res
   | Rpc.R_error e ->
     Bcodec.w_u8 w 8;
     w_error w e
@@ -356,6 +381,7 @@ let r_resp r : Rpc.resp =
     checked_count r n;
     Rpc.R_audit (List.init n (fun _ -> r_audit_record r))
   | 8 -> Rpc.R_error (r_error r)
+  | 9 -> Rpc.R_verify (r_verify_result r)
   | n -> fail (Printf.sprintf "bad response tag %d" n)
 
 (* ------------------------------------------------------------------ *)

@@ -22,7 +22,7 @@ let existence_kinds = [ "create"; "write"; "append"; "truncate"; "setattr"; "set
 
 let dur s = Int64.sub s.Trace.stop_ns s.Trace.start_ns
 
-let run ?(audit : audit_view list option) ?(complete = false) ?(versions = []) sp =
+let run ?(audit : audit_view list option) ?chain ?(complete = false) ?(versions = []) sp =
   let violations = ref [] in
   let nviol = ref 0 in
   let add fmt =
@@ -109,6 +109,15 @@ let run ?(audit : audit_view list option) ?(complete = false) ?(versions = []) s
        in
        go 0 records drive_spans
      end);
+
+  (* --- audit chain integrity --------------------------------------- *)
+  (* The tamper-evidence verdict folds into the same violation stream:
+     a trace whose audit trail fails chain verification is as broken as
+     one whose spans disagree with it. The caller ran the (uncharged)
+     walk; we only re-report its findings. *)
+  (match (chain : S4_integrity.Chain.verify_result option) with
+   | None -> ()
+   | Some r -> List.iter (fun e -> add "%s" e) r.S4_integrity.Chain.v_errors);
 
   (* --- per-object mutation monotonicity --------------------------- *)
   let last_start : (int64, int64) Hashtbl.t = Hashtbl.create 64 in

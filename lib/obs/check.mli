@@ -37,13 +37,16 @@ type result = {
 
 val run :
   ?audit:audit_view list ->
+  ?chain:S4_integrity.Chain.verify_result ->
   ?complete:bool ->
   ?versions:(int64 * (int * int64) list) list ->
   Trace.span array ->
   result
-(** [run ?audit ?complete ?versions spans] checks every invariant the
-    inputs allow. [audit] are the recovered audit records in log order
-    (possibly a crash-truncated prefix); [complete] (default false)
+(** [run ?audit ?chain ?complete ?versions spans] checks every
+    invariant the inputs allow. [audit] are the recovered audit records
+    in log order (possibly a crash-truncated prefix); [chain] is the
+    audit hash-chain verdict ({!S4_integrity.Chain.verify}) whose
+    errors fold into the violation stream; [complete] (default false)
     asserts the audit trail is loss-free so the span/audit match must
     be a bijection. [versions] are per-object [(seq, time)] version
     chains, oldest first, as exported by the store. *)

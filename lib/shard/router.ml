@@ -1,6 +1,10 @@
 module Rpc = S4.Rpc
 module Drive = S4.Drive
 module Audit = S4.Audit
+module Acl = S4.Acl
+module Fault = S4_disk.Fault
+module Chain = S4_integrity.Chain
+module Catalog = S4_integrity.Catalog
 module Store = S4_store.Obj_store
 module Sim_disk = S4_disk.Sim_disk
 module Log = S4_seglog.Log
@@ -33,6 +37,8 @@ type t = {
   forward : (int64, int) Hashtbl.t;  (* oid -> pre-cutover holder *)
   mutable migrations : migration list;  (* FIFO *)
   private_oids : (int64, unit) Hashtbl.t;  (* per-drive ptable objects *)
+  mutable catalog_oid : int64 option;  (* meta-shard integrity catalog *)
+  mutable catalog_cache : Catalog.entry list option;  (* last written *)
   pmount_cache : (string, int64) Hashtbl.t;
   mutable ops : int;
   mutable migrated_objects : int;
@@ -117,7 +123,7 @@ let register t id m =
   List.iter (fun d -> Sim_disk.set_phantom d true) (shard_disks sh);
   sh
 
-let create ?vnodes members =
+let create_raw ?vnodes members =
   match members with
   | [] -> invalid_arg "Router.create: need at least one shard"
   | (_, m0) :: _ ->
@@ -134,6 +140,8 @@ let create ?vnodes members =
         forward = Hashtbl.create 64;
         migrations = [];
         private_oids = Hashtbl.create 8;
+        catalog_oid = None;
+        catalog_cache = None;
         pmount_cache = Hashtbl.create 16;
         ops = 0;
         migrated_objects = 0;
@@ -222,6 +230,265 @@ let merge_audit resps =
   in
   collect [] resps
 
+(* ------------------------------------------------------------------ *)
+(* Integrity catalog                                                   *)
+
+(* A meta-shard object replicating every member drive's sealed audit
+   chain head. It is written inside the same durability barrier that
+   seals the members, so after any crash the catalog is at most one
+   epoch away from each member; any deeper disagreement means a chain
+   was rolled back or forked behind the array's back. The object is
+   array-private (admin-only ACL, excluded from placement) and found
+   again at attach through a reserved name in the meta drive's
+   partition table. *)
+
+let catalog_name = ".s4/integrity"
+
+let all_drives t = List.concat_map shard_drives (shards t)
+
+let replica_name = function 0 -> "primary" | _ -> "secondary"
+
+let drive_entries t =
+  List.concat_map
+    (fun sh -> List.mapi (fun i d -> (sh.sh_id, i, d)) (shard_drives sh))
+    (shards t)
+
+(* A catalog exists only when there is more than one chain to keep
+   honest: a single-drive array stays byte-identical to a bare drive
+   (its own seals plus the disk-header anchor already cover it). *)
+let catalog_wanted t =
+  (match all_drives t with [] | [ _ ] -> false | _ -> true)
+  && List.exists
+       (fun d -> Drive.integrity_enabled d && Audit.enabled (Drive.audit d))
+       (all_drives t)
+
+(* The stores a catalog write lands on: every live replica of the meta
+   member (a failed replica's store may be unusable; the next write
+   after resync reconverges it, since the whole object is rewritten). *)
+let catalog_stores t =
+  match (shard t t.meta).sh_member with
+  | Single d -> [ Drive.store d ]
+  | Mirrored m ->
+    List.filter_map
+      (fun r -> if Mirror.is_failed m r then None else Some (Drive.store (Mirror.drive m r)))
+      [ Mirror.Primary; Mirror.Secondary ]
+
+let read_catalog t =
+  match t.catalog_oid with
+  | None -> `No_catalog
+  | Some oid -> (
+    let st = shard_store (shard t t.meta) in
+    match Store.size st oid with
+    | 0 -> `Ok []
+    | size -> (
+      match Catalog.decode (Store.read st oid ~off:0 ~len:size) with
+      | Some entries -> `Ok entries
+      | None -> `Bad)
+    | exception Store.No_such_object _ -> `Bad)
+
+let write_catalog t entries =
+  match t.catalog_oid with
+  | None -> ()
+  | Some oid ->
+    let data = Catalog.encode entries in
+    let len = Bytes.length data in
+    List.iter
+      (fun st ->
+        Store.write st oid ~off:0 ~data ~len ();
+        if Store.size st oid > len then Store.truncate st oid ~size:len)
+      (catalog_stores t);
+    t.catalog_cache <- Some entries
+
+let catalog_init t =
+  if t.catalog_oid = None && catalog_wanted t then begin
+    let meta_sh = shard t t.meta in
+    let meta_drives = shard_drives meta_sh in
+    match List.find_map (fun d -> Drive.named_oid d catalog_name) meta_drives with
+    | Some oid ->
+      t.catalog_oid <- Some oid;
+      Hashtbl.replace t.private_oids oid ()
+    | None ->
+      let g = t.next_oid in
+      t.pending_oid <- Some g;
+      Fun.protect
+        ~finally:(fun () -> t.pending_oid <- None)
+        (fun () ->
+          List.iter
+            (fun st ->
+              let oid = Store.create_object st in
+              if not (Int64.equal oid g) then
+                invalid_arg (Printf.sprintf "Router: catalog allocated oid %Ld, expected %Ld" oid g);
+              (* Empty ACL: only the admin credential passes. *)
+              Store.set_acl_raw st oid (Acl.encode []))
+            (shard_stores meta_sh));
+      t.next_oid <- Int64.add g 1L;
+      List.iter (fun d -> Drive.register_name d catalog_name g) meta_drives;
+      t.catalog_oid <- Some g;
+      Hashtbl.replace t.private_oids g ()
+  end
+
+(* Pin every member's about-to-be-sealed head into the catalog. Runs
+   inside the barrier's charge, after chaining all buffered records and
+   before the member barriers, so the catalog write is made durable by
+   the same barrier whose seals it records. Direct store access: the
+   catalog write itself must not generate audit records, or the heads
+   it just recorded would be stale the moment it landed. *)
+let update_catalog t =
+  match t.catalog_oid with
+  | None -> ()
+  | Some _ -> (
+    try
+      List.iter (fun d -> Audit.flush (Drive.audit d)) (all_drives t);
+      let entries =
+        List.filter_map
+          (fun (sid, ri, d) ->
+            if Drive.integrity_enabled d && Audit.enabled (Drive.audit d) then
+              Some
+                { Catalog.shard = sid; replica = ri; head = Audit.prospective_head (Drive.audit d) }
+            else None)
+          (drive_entries t)
+      in
+      if t.catalog_cache <> Some entries then write_catalog t entries
+    with Fault.Read_fault _ | Fault.Write_fault _ | Log.Log_full ->
+      let sh = shard t t.meta in
+      sh.sh_degraded <- true;
+      sh.sh_io_errors <- sh.sh_io_errors + 1)
+
+(* Catalog vs. member cross-check, shared by [fsck] and [Verify_log].
+   The catalog is a floor: a member chain must contain its catalog
+   entry as an ancestor. *)
+let catalog_errors t =
+  match read_catalog t with
+  | `No_catalog -> []
+  | `Bad -> [ "integrity catalog is undecodable" ]
+  | `Ok entries ->
+    List.concat_map
+      (fun (sid, ri, d) ->
+        if not (Drive.integrity_enabled d && Audit.enabled (Drive.audit d)) then []
+        else begin
+          let member = Audit.sealed_head (Drive.audit d) in
+          let where = Printf.sprintf "shard %d/%s" sid (replica_name ri) in
+          match Catalog.find entries ~shard:sid ~replica:ri with
+          | None ->
+            if member.Chain.records > 0 then
+              [ where ^ ": sealed chain missing from the integrity catalog" ]
+            else []
+          | Some ch -> (
+            match Catalog.check ~catalog:ch ~member with
+            | Catalog.Consistent -> []
+            | Catalog.Forked ->
+              [ Printf.sprintf
+                  "%s: chain forked against the catalog at epoch %d (%d records): history                    rewritten"
+                  where ch.Chain.epoch ch.Chain.records ]
+            | Catalog.Rolled_back ->
+              [ Printf.sprintf
+                  "%s: chain rolled back behind the catalog (catalog epoch %d/%d records, member                    %d/%d)"
+                  where ch.Chain.epoch ch.Chain.records member.Chain.epoch member.Chain.records ]
+            | Catalog.Stale_catalog ->
+              if Chain.clean (Audit.verify ~from:ch (Drive.audit d)) then
+                [ Printf.sprintf "%s: catalog entry is stale (epoch %d/%d behind member %d/%d)"
+                    where ch.Chain.epoch ch.Chain.records member.Chain.epoch member.Chain.records ]
+              else
+                [ where
+                  ^ ": catalog head is not an ancestor of the member chain: history rewritten" ])
+        end)
+      (drive_entries t)
+
+(* Attach-time repair: a crash can strand the catalog one epoch away
+   from a member in either direction — behind it (the meta barrier was
+   the one that died) or ahead by exactly one (the catalog synced but
+   the member's seal was torn with the rest of its un-acked batch).
+   Both are repaired to the member's recovered head; anything deeper,
+   or a forked hash, is evidence and is left in place for [fsck] and
+   verify-log to report. *)
+let repair_catalog t =
+  match read_catalog t with
+  | `No_catalog | `Bad -> ()
+  | `Ok entries ->
+    let entries' =
+      List.fold_left
+        (fun acc (sid, ri, d) ->
+          if not (Drive.integrity_enabled d && Audit.enabled (Drive.audit d)) then acc
+          else begin
+            let member = Audit.sealed_head (Drive.audit d) in
+            match Catalog.find acc ~shard:sid ~replica:ri with
+            | None -> Catalog.set acc ~shard:sid ~replica:ri member
+            | Some ch -> (
+              match Catalog.check ~catalog:ch ~member with
+              | Catalog.Consistent -> acc
+              | Catalog.Stale_catalog ->
+                if Chain.clean (Audit.verify ~from:ch (Drive.audit d)) then
+                  Catalog.set acc ~shard:sid ~replica:ri member
+                else acc
+              | Catalog.Rolled_back when ch.Chain.epoch - member.Chain.epoch <= 1 ->
+                Catalog.set acc ~shard:sid ~replica:ri member
+              | Catalog.Rolled_back | Catalog.Forked -> acc)
+          end)
+        entries (drive_entries t)
+    in
+    if entries' <> entries then begin
+      write_catalog t entries';
+      List.iter Store.sync (catalog_stores t)
+    end
+    else t.catalog_cache <- Some entries
+
+(* Fan a Verify_log out to every drive of every shard — mirror
+   secondaries included, which ordinary dispatch never reaches — and
+   merge the per-chain results under shard/replica prefixes, folding in
+   the catalog cross-check. A caller-supplied anchor only names a
+   specific chain when the array has exactly one; otherwise the catalog
+   plays that role and the anchor is ignored. *)
+let verify_all t cred ~from =
+  let entries = drive_entries t in
+  let from = if List.length entries = 1 then from else None in
+  let results =
+    charge t (shards t)
+      (fun () ->
+        List.map
+          (fun (sid, ri, d) -> (sid, ri, Drive.handle d cred (Rpc.Verify_log { from })))
+          entries)
+  in
+  match List.find_opt (fun (_, _, r) -> match r with Rpc.R_verify _ -> false | _ -> true) results with
+  | Some (_, _, r) -> r
+  | None ->
+    let vs =
+      List.filter_map
+        (fun (sid, ri, r) -> match r with Rpc.R_verify v -> Some (sid, ri, v) | _ -> None)
+        results
+    in
+    let sum f = List.fold_left (fun acc (_, _, v) -> acc + f v) 0 vs in
+    let catalog_errs = List.map (fun e -> "catalog: " ^ e) (catalog_errors t) in
+    let errors =
+      List.concat_map
+        (fun (sid, ri, v) ->
+          List.map
+            (fun e -> Printf.sprintf "shard %d/%s: %s" sid (replica_name ri) e)
+            v.Chain.v_errors)
+        vs
+      @ catalog_errs
+    in
+    let first_bad =
+      List.fold_left
+        (fun acc (_, _, v) -> if acc = -1 then v.Chain.v_first_bad else acc)
+        (-1) vs
+    in
+    Rpc.R_verify
+      {
+        Chain.v_records = sum (fun v -> v.Chain.v_records);
+        v_sealed = sum (fun v -> v.Chain.v_sealed);
+        v_epochs = sum (fun v -> v.Chain.v_epochs);
+        v_head = (match vs with [ (_, _, v) ] -> v.Chain.v_head | _ -> None);
+        v_tail = sum (fun v -> v.Chain.v_tail);
+        v_pruned = sum (fun v -> v.Chain.v_pruned);
+        v_first_bad = (if catalog_errs <> [] && first_bad = -1 then 0 else first_bad);
+        v_errors = errors;
+      }
+
+let create ?vnodes members =
+  let t = create_raw ?vnodes members in
+  catalog_init t;
+  t
+
 let handle_inner t cred ~sync req =
   t.ops <- t.ops + 1;
   match req with
@@ -245,9 +512,13 @@ let handle_inner t cred ~sync req =
     Hashtbl.remove t.pmount_cache name;
     let sh = shard t t.meta in
     charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
-  | Rpc.P_list _ ->
+  | Rpc.P_list _ -> (
     let sh = shard t t.meta in
-    charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
+    match charge t [ sh ] (fun () -> dispatch t sh cred ~sync req) with
+    | Rpc.R_names ns ->
+      (* The catalog's reserved name is array-private. *)
+      Rpc.R_names (List.filter (fun n -> not (String.equal n catalog_name)) ns)
+    | r -> r)
   | Rpc.P_mount { name; at = None } -> (
     match Hashtbl.find_opt t.pmount_cache name with
     | Some oid -> Rpc.R_oid oid
@@ -262,8 +533,19 @@ let handle_inner t cred ~sync req =
     (* Time-based mounts see the meta shard's history; never cached. *)
     let sh = shard t t.meta in
     charge t [ sh ] (fun () -> dispatch t sh cred ~sync req)
-  | Rpc.Sync | Rpc.Flush _ | Rpc.Set_window _ -> fanout t cred ~sync req ~merge:merge_units
+  | Rpc.Sync ->
+    (* The admin-path durability barrier: pin every member's head into
+       the catalog first, then fan the Sync out — each member's seal
+       then matches the entry just recorded, and the catalog write
+       itself is synced by the meta member's barrier. *)
+    let all = shards t in
+    charge t all
+      (fun () ->
+        update_catalog t;
+        merge_units (List.map (fun sh -> (sh, dispatch t sh cred ~sync req)) all))
+  | Rpc.Flush _ | Rpc.Set_window _ -> fanout t cred ~sync req ~merge:merge_units
   | Rpc.Read_audit _ -> fanout t cred ~sync req ~merge:merge_audit
+  | Rpc.Verify_log { from } -> verify_all t cred ~from
   | Rpc.Delete { oid }
   | Rpc.Read { oid; _ }
   | Rpc.Write { oid; _ }
@@ -327,6 +609,7 @@ let barrier t =
      have landed on any shard, so all of them flush. *)
   let all = shards t in
   charge t all (fun () ->
+      update_catalog t;
       let errs =
         List.filter_map
           (fun sh ->
@@ -420,6 +703,8 @@ let plan_moves t ~against =
 
 let add_shard t id m =
   ignore (register t id m);
+  (* Growing past one drive brings the cross-shard catalog into play. *)
+  catalog_init t;
   let held =
     List.concat_map (fun sh -> List.map (fun oid -> (oid, sh.sh_id)) (held_oids sh)) (shards t)
   in
@@ -645,12 +930,11 @@ let attach ?vnodes members =
       end)
     holders;
   t.migrations <- List.sort compare !moves;
+  repair_catalog t;
   t
 
 (* ------------------------------------------------------------------ *)
 (* Health and stats                                                    *)
-
-let all_drives t = List.concat_map shard_drives (shards t)
 
 let fsck t =
   let errs = ref [] in
@@ -663,14 +947,19 @@ let fsck t =
             (Drive.fsck d))
         (shard_drives sh);
       (* Placement: every eligible object must live on exactly its
-         routing target. *)
+         routing target (array-private objects, like the integrity
+         catalog, are pinned to the meta shard by construction). *)
       List.iter
         (fun oid ->
-          let h = holder t oid in
-          if h <> sh.sh_id then
-            errs := Printf.sprintf "oid %Ld held by shard %d, routed to %d" oid sh.sh_id h :: !errs)
+          if not (is_private t oid) then begin
+            let h = holder t oid in
+            if h <> sh.sh_id then
+              errs :=
+                Printf.sprintf "oid %Ld held by shard %d, routed to %d" oid sh.sh_id h :: !errs
+          end)
         (held_oids sh))
     (shards t);
+  List.iter (fun e -> errs := ("catalog: " ^ e) :: !errs) (catalog_errors t);
   List.rev !errs
 
 type migration_stats = { objects : int; entries : int; bytes : int }

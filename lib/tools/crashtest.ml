@@ -1,5 +1,8 @@
 module Rng = S4_util.Rng
 module Simclock = S4_util.Simclock
+module Bcodec = S4_util.Bcodec
+module Crc32 = S4_util.Crc32
+module Chain = S4_integrity.Chain
 module Geometry = S4_disk.Geometry
 module Sim_disk = S4_disk.Sim_disk
 module Fault = S4_disk.Fault
@@ -185,6 +188,24 @@ let exec_workload ~ops ~seed ~(backend : S4.Backend.t) o =
 
 let resp_str r = Format.asprintf "%a" Rpc.pp_resp r
 
+(* The recovered drive must keep serving: create, write, sync, read
+   back. [adds] receives one message per broken step. *)
+let service_check adds t2 =
+  match Drive.handle t2 cred (Rpc.Create { acl = [] }) with
+  | Rpc.R_oid oid -> (
+    let data = Bytes.of_string "post-recovery write" in
+    let len = Bytes.length data in
+    match Drive.handle t2 cred (Rpc.Write { oid; off = 0; len; data = Some data }) with
+    | Rpc.R_unit -> (
+      match Drive.handle t2 cred Rpc.Sync with
+      | Rpc.R_unit -> (
+        match Drive.handle t2 cred (Rpc.Read { oid; off = 0; len; at = None }) with
+        | Rpc.R_data b when Bytes.equal b data -> ()
+        | r -> adds ("post-recovery read: " ^ resp_str r))
+      | r -> adds ("post-recovery sync: " ^ resp_str r))
+    | r -> adds ("post-recovery write: " ^ resp_str r))
+  | r -> adds ("post-recovery create: " ^ resp_str r)
+
 (* Reattach the surviving disk contents and check every invariant.
    Returns (snapshots checked, audit records matched, violations).
    [lenient_audit_tail] permits recovered records beyond the acked
@@ -202,6 +223,12 @@ let verify ?(lenient_audit_tail = false) ~disk o =
        below are themselves audited and would pollute it. *)
     let recovered_audit = Audit.records (Drive.audit t2) () in
     List.iter (fun m -> add "fsck: %s" m) (Drive.fsck t2);
+    (* The recovered hash chain must show truncation at worst, never
+       tampering: a crash can tear or lose the unsealed tail of the
+       final flush (hence lenient), but every sealed record must walk. *)
+    List.iter
+      (fun e -> add "%s" e)
+      (Audit.verify ~lenient_tail:true (Drive.audit t2)).Chain.v_errors;
     let st = Drive.store t2 in
     (* Window survival: every synced version is still readable with a
        time-based read at its sync time. *)
@@ -257,21 +284,7 @@ let verify ?(lenient_audit_tail = false) ~disk o =
           add "audit trail has %d records beyond the ops handled" (List.length rs)
     in
     go recovered expected;
-    (* The recovered drive must keep serving. *)
-    (match Drive.handle t2 cred (Rpc.Create { acl = [] }) with
-     | Rpc.R_oid oid ->
-       let data = Bytes.of_string "post-recovery write" in
-       let len = Bytes.length data in
-       (match Drive.handle t2 cred (Rpc.Write { oid; off = 0; len; data = Some data }) with
-        | Rpc.R_unit ->
-          (match Drive.handle t2 cred Rpc.Sync with
-           | Rpc.R_unit ->
-             (match Drive.handle t2 cred (Rpc.Read { oid; off = 0; len; at = None }) with
-              | Rpc.R_data b when Bytes.equal b data -> ()
-              | r -> add "post-recovery read: %s" (resp_str r))
-           | r -> add "post-recovery sync: %s" (resp_str r))
-        | r -> add "post-recovery write: %s" (resp_str r))
-     | r -> add "post-recovery create: %s" (resp_str r));
+    service_check (fun s -> add "%s" s) t2;
     (List.length o.snaps, !matched, List.rev !violations)
 
 (* ------------------------------------------------------------------ *)
@@ -726,6 +739,349 @@ let kill9_sweep ?dir ~seed ~runs () =
       let kill_after = 8 + Rng.int rng 72 in
       let midflight = Rng.int rng 2 = 1 in
       kill9_run ?dir ~seed:wseed ~kill_after ~midflight ())
+
+(* ------------------------------------------------------------------ *)
+(* Tamper injection: the attacker the hash chain exists for            *)
+
+type tamper = Rewrite | Drop | Reorder | Fork
+
+let tamper_name = function
+  | Rewrite -> "rewrite"
+  | Drop -> "drop"
+  | Reorder -> "reorder"
+  | Fork -> "fork"
+
+let final_sync drive =
+  match Drive.handle drive cred Rpc.Sync with
+  | Rpc.R_unit -> ()
+  | r -> failwith ("tamper: final sync: " ^ resp_str r)
+
+let verify_log drive ~from =
+  match Drive.handle drive cred (Rpc.Verify_log { from }) with
+  | Rpc.R_verify r -> r
+  | r -> failwith ("verify-log: " ^ resp_str r)
+
+(* Block CRCs are integrity against media error, not against an
+   attacker: anyone with platter access recomputes them. The forgeries
+   below do exactly that, so only the hash chain stands in the way. *)
+let recrc b =
+  let n = Bytes.length b in
+  let crc = Int32.to_int (Crc32.sub b ~pos:0 ~len:(n - 4)) land 0xFFFFFFFF in
+  Bcodec.set_u32 b (n - 4) crc;
+  b
+
+(* Forge a CRC-valid variant of a persisted audit block whose records
+   decode differently — a surgical edit of sealed history. Scans for a
+   single-byte flip in the record region that keeps the block
+   decodable; if none exists the flip at the scan origin stands (an
+   undecodable block is also a rewrite the chain must catch). *)
+let forge_record_edit original =
+  let n = Bytes.length original in
+  let flipped i =
+    let b = Bytes.copy original in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    recrc b
+  in
+  let base = Audit.decode_block original in
+  let rec scan i =
+    if i >= n - 4 then flipped 44
+    else
+      let b = flipped i in
+      match (base, Audit.decode_block b) with
+      | Some r0, Some r1 when r0 <> r1 -> b
+      | _ -> scan (i + 1)
+  in
+  scan 44
+
+let tamper_scenario ~seed inject =
+  let disk, drive = build () in
+  let o = fresh_oracle () in
+  ignore (drive_workload ~ops:default_ops ~seed ~drive o);
+  final_sync drive;
+  let audit = Drive.audit drive in
+  let trusted = Audit.sealed_head audit in
+  let log = Drive.log drive in
+  let spb = Log.block_size log / (Sim_disk.geometry disk).Geometry.sector_size in
+  let poke addr data = Sim_disk.poke disk ~lba:(addr * spb) ~data in
+  (* Sealed record blocks, oldest first (everything is sealed after the
+     final sync). *)
+  let addrs = List.rev (Audit.block_addrs audit) in
+  inject ~log ~poke ~addrs;
+  let res = verify_log drive ~from:(Some trusted) in
+  (not (Chain.clean res), res.Chain.v_errors)
+
+let too_few () = failwith "tamper: workload produced too few audit blocks"
+
+let tamper_run ~seed tamper =
+  match tamper with
+  | Rewrite ->
+    tamper_scenario ~seed (fun ~log ~poke ~addrs ->
+        match addrs with
+        | addr :: _ -> poke addr (forge_record_edit (Log.peek log addr))
+        | [] -> too_few ())
+  | Drop ->
+    (* Zero a middle block. (Dropping the oldest block is expiry, which
+       is legitimate and indistinguishable by design — the catalog's
+       epoch floor, not the chain, bounds how much may age out.) *)
+    tamper_scenario ~seed (fun ~log ~poke ~addrs ->
+        match addrs with
+        | _ :: addr :: _ -> poke addr (Bytes.make (Log.block_size log) '\000')
+        | _ -> too_few ())
+  | Reorder ->
+    (* Relocate a block on the chain: patch its claimed start index
+       (the low bit of the varint at offset 10, after magic and block
+       base time) and re-CRC. Physical placement is immaterial — the
+       walk orders blocks by claimed position — so a reorder attack is
+       precisely a block claiming somebody else's position. *)
+    tamper_scenario ~seed (fun ~log ~poke ~addrs ->
+        match addrs with
+        | _ :: addr :: _ ->
+          let b = Log.peek log addr in
+          Bytes.set b 10 (Char.chr (Char.code (Bytes.get b 10) lxor 1));
+          poke addr (recrc b)
+        | _ -> too_few ())
+  | Fork ->
+    (* The attacker restores a stale image behind a "crash" and regrows
+       different history past the admin's trusted head. Determinism
+       stands in for the stolen image: replaying the first half of the
+       seeded workload reproduces it bit-for-bit. *)
+    let _, drive1 = build () in
+    ignore (drive_workload ~ops:default_ops ~seed ~drive:drive1 (fresh_oracle ()));
+    final_sync drive1;
+    let trusted = Audit.sealed_head (Drive.audit drive1) in
+    let _, drive2 = build () in
+    let o2 = fresh_oracle () in
+    ignore (drive_workload ~ops:(default_ops / 2) ~seed ~drive:drive2 o2);
+    ignore (drive_workload ~ops:default_ops ~seed:(seed + 7777) ~drive:drive2 o2);
+    final_sync drive2;
+    let res = verify_log drive2 ~from:(Some trusted) in
+    (not (Chain.clean res), res.Chain.v_errors)
+
+let tamper_clean ~seed =
+  let detected, errs = tamper_scenario ~seed (fun ~log:_ ~poke:_ ~addrs:_ -> ()) in
+  (detected, errs)
+
+(* ------------------------------------------------------------------ *)
+(* Seal atomicity: dying in the flush-to-seal gap is truncation        *)
+
+(* The barrier writes audit records, then the seal, then syncs — one
+   flush. A SIGKILL can still land after the records reach the platter
+   but before (or while) the seal does; this reproduces that exact
+   state in-process: flush and sync the records, tear the freshly
+   flushed block down to its first sector, and abandon the process
+   state without sealing. Recovery must read it as tail truncation —
+   a crash — and never as tampering. *)
+let seal_gap_run ?(dir = Filename.get_temp_dir_name ()) ~seed () =
+  let path = Filename.concat dir (Printf.sprintf "sealgap_%d.s4" seed) in
+  let disk0 = Sim_disk.of_file (File_disk.create ~path geom) in
+  let drive = Drive.format disk0 in
+  let o = fresh_oracle () in
+  ignore (drive_workload ~ops:48 ~seed ~drive o);
+  let handled = List.length o.audit_log in
+  Audit.flush (Drive.audit drive);
+  Log.sync (Drive.log drive);
+  (match Audit.block_addrs (Drive.audit drive) with
+   | addr :: _ ->
+     let log = Drive.log drive in
+     let bs = Log.block_size log in
+     let ss = (Sim_disk.geometry disk0).Geometry.sector_size in
+     let torn = Log.peek log addr in
+     Bytes.fill torn ss (bs - ss) '\000';
+     Sim_disk.poke disk0 ~lba:(addr * (bs / ss)) ~data:torn
+   | [] -> ());
+  Sim_disk.close disk0;
+  let disk2 = Sim_disk.of_file (File_disk.open_file path) in
+  let snapshots, audit_checked, rviol = verify ~lenient_audit_tail:true ~disk:disk2 o in
+  Sim_disk.close disk2;
+  (* Strict re-walk of what survived: the gap must read as unsealed
+     tail loss (no bad record, no chain error), not tampering. *)
+  let disk3 = Sim_disk.of_file (File_disk.open_file path) in
+  let strict =
+    match (try Ok (Drive.attach disk3) with e -> Error e) with
+    | Ok t3 -> Audit.verify (Drive.audit t3)
+    | Error e -> failwith ("seal gap: reattach raised " ^ Printexc.to_string e)
+  in
+  Sim_disk.close disk3;
+  let report =
+    {
+      seed;
+      crash_after = 0;
+      crashed = true;
+      ops_before_crash = handled;
+      snapshots;
+      audit_checked;
+      violations = rviol @ trace_violations ();
+    }
+  in
+  if report.violations = [] && Chain.clean strict then (try Sys.remove path with Sys_error _ -> ());
+  (report, strict)
+
+(* ------------------------------------------------------------------ *)
+(* PostMark under kill -9: zero acked-write loss                       *)
+
+module Systems = S4_workload.Systems
+module Postmark = S4_workload.Postmark
+module Translator = S4_nfs.Translator
+module Nfsserver = S4_nfs.Server
+
+type postmark_report = {
+  pm_seed : int;
+  pm_completed : bool;  (** PostMark finished all transactions before the kill *)
+  pm_checkpoints : int;
+  pm_acked : int;  (** audit records covered by the newest checkpoint *)
+  pm_recovered : int;  (** audit records recovered after the kill *)
+  pm_violations : string list;
+}
+
+(* PostMark runs over the full client stack — NFS-level benchmark,
+   translator, wire protocol — against the forked server, while a
+   second connection takes durability checkpoints: read the server
+   clock, Sync, then Read_audit up to the pre-sync instant. Every
+   record strictly below that instant was appended before the Sync was
+   acked, so the barrier has made it durable; after the SIGKILL the
+   recovered audit log must reproduce each checkpoint's records
+   exactly. The audit trail is the acked-write oracle — one record per
+   accepted RPC. *)
+let kill9_postmark_run ?(dir = Filename.get_temp_dir_name ()) ?(transactions = 1500)
+    ?(checkpoints = 6) ~seed () =
+  if Trace.on () then Trace.clear ();
+  let path = Filename.concat dir (Printf.sprintf "kill9pm_%d.s4" seed) in
+  (let disk0 = Sim_disk.of_file (File_disk.create ~path geom) in
+   ignore (Drive.format disk0);
+   Sim_disk.close disk0);
+  let pid, port = fork_server ~path in
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let clock = Simclock.create () in
+  let client =
+    Netclient.connect
+      ~config:{ Netclient.default_config with Netclient.req_timeout_s = 10.0; max_retries = 1; seed }
+      (Transport.tcp ~host:"127.0.0.1" ~port)
+  in
+  let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data:true client)) in
+  let sys =
+    {
+      Systems.name = "S4-kill9";
+      server = Nfsserver.of_translator ~name:"S4-kill9" tr;
+      clock;
+      disk = Sim_disk.create ~geometry:geom clock;  (* client-side bookkeeping only *)
+      drive = None;
+      translator = Some tr;
+      router = None;
+    }
+  in
+  let pm_config =
+    {
+      Postmark.files = 60;
+      transactions;
+      subdirectories = 4;
+      min_size = 512;
+      max_size = 4096;
+      seed;
+      cleaner_every = None;
+    }
+  in
+  let pm_done = ref false in
+  let pm_thread =
+    Thread.create
+      (fun () -> match Postmark.run ~config:pm_config sys with _ -> pm_done := true | exception _ -> ())
+      ()
+  in
+  let c2 =
+    Netclient.connect
+      ~config:
+        { Netclient.default_config with Netclient.req_timeout_s = 10.0; max_retries = 1; seed = seed + 1 }
+      (Transport.tcp ~host:"127.0.0.1" ~port)
+  in
+  let taken = ref [] in
+  Thread.delay 0.1;
+  for _k = 1 to checkpoints do
+    Thread.delay 0.04;
+    let t_before = server_instant c2 in
+    match Netclient.handle c2 cred Rpc.Sync with
+    | Rpc.R_unit -> (
+      match
+        Netclient.handle c2 cred (Rpc.Read_audit { since = 0L; until = Int64.pred t_before })
+      with
+      | Rpc.R_audit rs -> taken := (t_before, rs) :: !taken
+      | r -> add "checkpoint read_audit: %s" (resp_str r))
+    | r -> add "checkpoint sync: %s" (resp_str r)
+  done;
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Thread.join pm_thread;
+  (try Netclient.close client with _ -> ());
+  (try Netclient.close c2 with _ -> ());
+  let checkpoints_chrono = List.rev !taken in
+  if checkpoints_chrono = [] then add "no checkpoint was captured before the kill";
+  let disk2 = Sim_disk.of_file (File_disk.open_file path) in
+  let recovered = ref 0 in
+  (match (try Ok (Drive.attach disk2) with e -> Error e) with
+   | Error e -> add "attach raised %s" (Printexc.to_string e)
+   | Ok t2 ->
+     let recovered_audit = Audit.records (Drive.audit t2) () in
+     recovered := List.length recovered_audit;
+     List.iter (fun m -> add "fsck: %s" m) (Drive.fsck t2);
+     List.iter
+       (fun e -> add "%s" e)
+       (Audit.verify ~lenient_tail:true (Drive.audit t2)).Chain.v_errors;
+     (* Zero acked-write loss: each checkpoint's records must survive
+        verbatim. Records at or past the checkpoint instant were still
+        in flight and are the server's business, not the contract's. *)
+     List.iter
+       (fun (t_before, rs) ->
+         let upto =
+           List.filter (fun r -> Int64.compare r.Audit.at t_before < 0) recovered_audit
+         in
+         let rec go i xs ys =
+           match (xs, ys) with
+           | [], _ -> ()
+           | x :: xs', y :: ys' ->
+             if x = y then go (i + 1) xs' ys'
+             else add "checkpoint@%Ld: acked audit record %d differs after recovery" t_before i
+           | rest, [] ->
+             add "checkpoint@%Ld: %d acked audit records lost by the kill" t_before
+               (List.length rest)
+         in
+         go 0 rs upto)
+       checkpoints_chrono;
+     (* Namespace walk: every surviving name must mount and answer. *)
+     (match Drive.handle t2 cred (Rpc.P_list { at = None }) with
+      | Rpc.R_names names ->
+        List.iter
+          (fun name ->
+            match Drive.handle t2 cred (Rpc.P_mount { name; at = None }) with
+            | Rpc.R_oid oid -> (
+              match Drive.handle t2 cred (Rpc.Get_attr { oid; at = None }) with
+              | Rpc.R_attr _ -> ()
+              | r -> add "walk: attr of %s: %s" name (resp_str r))
+            | r -> add "walk: mount %s: %s" name (resp_str r))
+          names
+      | r -> add "walk: list: %s" (resp_str r));
+     service_check (fun s -> add "%s" s) t2);
+  Sim_disk.close disk2;
+  let report =
+    {
+      pm_seed = seed;
+      pm_completed = !pm_done;
+      pm_checkpoints = List.length checkpoints_chrono;
+      pm_acked =
+        (match !taken with (_, rs) :: _ -> List.length rs | [] -> 0);
+      pm_recovered = !recovered;
+      pm_violations = List.rev !violations @ trace_violations ();
+    }
+  in
+  if report.pm_violations = [] then (try Sys.remove path with Sys_error _ -> ());
+  report
+
+let pp_postmark_report ppf r =
+  Format.fprintf ppf "postmark kill9 seed=%d: %s, %d checkpoints, %d acked, %d recovered%s"
+    r.pm_seed
+    (if r.pm_completed then "completed" else "killed mid-run")
+    r.pm_checkpoints r.pm_acked r.pm_recovered
+    (match r.pm_violations with
+     | [] -> ""
+     | v -> Printf.sprintf ", %d VIOLATIONS: %s" (List.length v) (String.concat "; " v))
 
 let failed_reports rs = List.filter (fun r -> r.violations <> []) rs
 

@@ -104,6 +104,69 @@ val resync_run : seed:int -> fail_writes:int -> unit -> resync_report
 
 val resync_sweep : seed:int -> runs:int -> unit -> resync_report list
 
+(** {1 Tamper injection}
+
+    The attacker of the paper's threat model: full control of the host,
+    and here even of the platter, between two admin verifications. Each
+    scenario runs the seeded workload to a sealed chain, injects one
+    class of damage into the persisted audit log (recomputing block
+    CRCs, as any attacker can), and re-verifies against the previously
+    trusted head. *)
+
+type tamper =
+  | Rewrite  (** forge a CRC-valid edit of a sealed audit record *)
+  | Drop  (** zero a middle audit block *)
+  | Reorder  (** relocate a block's claimed position on the chain *)
+  | Fork  (** restore a stale image behind a "crash" and regrow
+              different history past the trusted head *)
+
+val tamper_name : tamper -> string
+
+val tamper_run : seed:int -> tamper -> bool * string list
+(** [(detected, errors)]: whether [verify-log] against the pre-tamper
+    trusted head flagged the damage, and what it reported. Every
+    tamper class must come back [true]. *)
+
+val tamper_clean : seed:int -> bool * string list
+(** Control: the same scenario with no injection must verify clean
+    ([false], no errors). *)
+
+val seal_gap_run :
+  ?dir:string -> seed:int -> unit -> report * S4_integrity.Chain.verify_result
+(** Seal-atomicity regression: flush and sync audit records, tear the
+    flushed block to its first sector, and abandon the process without
+    sealing — the state a SIGKILL leaves when it lands between the
+    record write and the seal write of one barrier. The report must be
+    violation-free (lenient recovery reads it as a crash) and the
+    strict re-walk must show no chain error and no bad record — tail
+    truncation, never tampering. *)
+
+(** {1 PostMark under kill -9} *)
+
+type postmark_report = {
+  pm_seed : int;
+  pm_completed : bool;  (** PostMark finished all transactions before the kill *)
+  pm_checkpoints : int;  (** durability checkpoints captured *)
+  pm_acked : int;  (** audit records covered by the newest checkpoint *)
+  pm_recovered : int;  (** audit records recovered after the kill *)
+  pm_violations : string list;
+}
+
+val kill9_postmark_run :
+  ?dir:string -> ?transactions:int -> ?checkpoints:int -> seed:int -> unit -> postmark_report
+(** Full PostMark (files, subdirectories, create/delete/read/append
+    transactions) through the NFS translator and wire protocol against
+    a forked server that is then SIGKILLed mid-run. A second
+    connection meanwhile checkpoints durability: server instant,
+    [Sync], [Read_audit] up to that instant — every record strictly
+    below the instant was acked durable by the Sync. Verification
+    reattaches the surviving file and asserts {e zero acked-write
+    loss}: each checkpoint's records recovered verbatim, fsck clean,
+    the hash chain crash-consistent, every surviving name mountable,
+    and the drive still serving. *)
+
+val pp_postmark_report : Format.formatter -> postmark_report -> unit
+
 val failed_reports : report list -> report list
 (** Reports with at least one violation. *)
 

@@ -14,6 +14,7 @@ module Simclock = S4_util.Simclock
 module Geometry = S4_disk.Geometry
 module Sim_disk = S4_disk.Sim_disk
 module File_disk = S4_disk.File_disk
+module Chain = S4_integrity.Chain
 
 let magic_v1 = "S4IMG1\n"
 let magic = "S4IMG2\n"
@@ -29,6 +30,14 @@ let encode_body (clock : Simclock.t) (disk : Sim_disk.t) =
   let w = Bcodec.writer () in
   Geometry.encode w g;
   Bcodec.w_i64 w (Simclock.now clock);
+  (* The sealed audit-chain head rides in the image header: a saved
+     image is a device-level copy, anchor included. Absent entirely in
+     pre-integrity images (header ends after the clock). *)
+  (match Sim_disk.current_head disk with
+   | None -> Bcodec.w_u8 w 0
+   | Some h ->
+     Bcodec.w_u8 w 1;
+     Chain.write_head w h);
   let header = Bcodec.contents w in
   let body = Buffer.create (1 lsl 20) in
   Buffer.add_int32_be body (Int32.of_int (Bytes.length header));
@@ -139,14 +148,19 @@ let load_body ~v1 path body =
   let hlen = r_u32 c "header length" in
   if hlen < 0 || hlen > remaining c then corrupt path "bad header length %d" hlen;
   let header = r_bytes c hlen "header" in
-  let geometry, now =
+  let geometry, now, head =
     match
       let r = Bcodec.reader header in
       let g = if v1 then decode_geometry_v1 r else Geometry.decode r in
       let now = Bcodec.r_i64 r in
-      (g, now)
+      let head =
+        if v1 || Bcodec.remaining r = 0 then None
+        else if Bcodec.r_u8 r = 0 then None
+        else Some (Chain.read_head r)
+      in
+      (g, now, head)
     with
-    | g, now -> (g, now)
+    | g, now, head -> (g, now, head)
     | exception Bcodec.Decode_error m -> corrupt path "bad header: %s" m
   in
   if Int64.compare now 0L < 0 then corrupt path "negative clock";
@@ -159,6 +173,7 @@ let load_body ~v1 path body =
   let clock = Simclock.create () in
   Simclock.set clock now;
   let disk = Sim_disk.create ~geometry clock in
+  Sim_disk.set_saved_head disk head;
   for _ = 1 to count do
     let lba = r_u32 c "sector lba" in
     if lba < 0 || lba >= geometry.Geometry.sectors then
@@ -222,5 +237,8 @@ let load_any ?(dsync = false) path =
 
 let save_any path (clock : Simclock.t) (disk : Sim_disk.t) =
   match Sim_disk.file_backing disk with
-  | Some f -> File_disk.sync f ~clock_ns:(Simclock.now clock)
+  | Some f ->
+    Sim_disk.set_saved_head disk (Sim_disk.current_head disk);
+    File_disk.set_head f (Sim_disk.saved_head disk);
+    File_disk.sync f ~clock_ns:(Simclock.now clock)
   | None -> save path clock disk

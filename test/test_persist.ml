@@ -304,6 +304,28 @@ let test_kill9_smoke () =
     (fun r -> check Alcotest.bool "acked ops ran" true (r.Crashtest.ops_before_crash > 0))
     reports
 
+(* SIGKILL between the audit flush and the seal write must read back as
+   a crash-truncated tail, never as tampering. *)
+let test_seal_gap () =
+  let report, strict = Crashtest.seal_gap_run ~seed:907 () in
+  if report.Crashtest.violations <> [] then
+    Alcotest.failf "seal gap %a" Crashtest.pp_report report;
+  check Alcotest.bool "strict chain clean" true (S4_integrity.Chain.clean strict);
+  check Alcotest.int "no record read as tampered" (-1) strict.S4_integrity.Chain.v_first_bad
+
+(* Full PostMark through NFS + wire against a forked server killed
+   mid-run: zero acked-write loss. Every audit record below a
+   checkpoint instant (instant read, then acked Sync) must be recovered
+   verbatim from the surviving file. *)
+let test_postmark_kill9 () =
+  let r = Crashtest.kill9_postmark_run ~seed:2042 () in
+  if r.Crashtest.pm_violations <> [] then
+    Alcotest.failf "postmark kill9 %a" Crashtest.pp_postmark_report r;
+  check Alcotest.bool "checkpoints taken" true (r.Crashtest.pm_checkpoints > 0);
+  check Alcotest.bool "writes were acked" true (r.Crashtest.pm_acked > 0);
+  check Alcotest.bool "acked records all recovered" true
+    (r.Crashtest.pm_recovered >= r.Crashtest.pm_acked)
+
 let () =
   Alcotest.run "s4_persist"
     [
@@ -327,5 +349,10 @@ let () =
           Alcotest.test_case "recovery keeps mutation times monotone" `Quick
             test_recovery_clock_monotone;
         ] );
-      ( "kill9", [ Alcotest.test_case "three real kills" `Quick test_kill9_smoke ] );
+      ( "kill9",
+        [
+          Alcotest.test_case "three real kills" `Quick test_kill9_smoke;
+          Alcotest.test_case "seal gap reads as truncation" `Quick test_seal_gap;
+          Alcotest.test_case "postmark: zero acked-write loss" `Quick test_postmark_kill9;
+        ] );
     ]
