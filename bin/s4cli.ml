@@ -401,6 +401,92 @@ let cmd_restore =
     (Cmd.info "restore" ~doc:"Restore a subtree to a past instant (admin; copy-forward).")
     Term.(const run $ image_arg $ path_arg $ at_req)
 
+let cmd_landmark =
+  let take_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "take" ] ~docv:"NAME"
+          ~doc:"Take a new named mark (quiesce, seal the audit chain, record its head).")
+  in
+  let run image take =
+    let s = open_session image 0 in
+    let lm =
+      try S4_tools.Landmark.create s.drive
+      with Failure m ->
+        prerr_endline ("error: " ^ m);
+        close_session image s;
+        exit 1
+    in
+    (match take with
+     | Some name ->
+       let m = or_die (S4_tools.Landmark.mark lm ~name) in
+       Format.printf "took %a@." S4_tools.Landmark.pp_mark m
+     | None ->
+       let marks = S4_tools.Landmark.marks lm in
+       Printf.printf "%d marks:\n" (List.length marks);
+       List.iter (fun m -> Format.printf "  %a@." S4_tools.Landmark.pp_mark m) marks;
+       let lms = S4_tools.Landmark.list lm in
+       Printf.printf "%d per-object landmarks:\n" (List.length lms);
+       List.iter
+         (fun (l : S4_tools.Landmark.landmark) ->
+           Printf.printf "  %S oid=%Ld at=%Ld (%d bytes archived in oid %Ld)\n" l.l_name
+             l.l_source l.l_taken_at l.l_bytes l.l_object)
+         lms);
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "landmark"
+       ~doc:
+         "List named rollback marks (and per-object landmarks), or take a new one with --take \
+          (admin). A mark records the barrier instant and the sealed audit-chain head, so a later \
+          $(b,recover) can prove the history it rolls back through is untampered.")
+    Term.(const run $ image_arg $ take_arg)
+
+let cmd_recover =
+  let to_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "to" ] ~docv:"NAME" ~doc:"Mark to roll back to (see $(b,landmark)).")
+  in
+  let path_opt =
+    Arg.(value & opt string "" & info [ "path" ] ~docv:"PATH" ~doc:"Subtree to restore (default: whole tree).")
+  in
+  let run image name path =
+    let s = open_session image 0 in
+    let lm =
+      try S4_tools.Landmark.create s.drive
+      with Failure m ->
+        prerr_endline ("error: " ^ m);
+        close_session image s;
+        exit 1
+    in
+    (match S4_tools.Landmark.find_mark lm name with
+     | None ->
+       prerr_endline ("error: no mark named " ^ name);
+       close_session image s;
+       exit 1
+     | Some m ->
+       (match S4_tools.Landmark.verify_since lm m with
+        | Ok () -> Printf.printf "audit chain since mark %S verifies\n" name
+        | Error errs ->
+          List.iter (fun e -> prerr_endline ("error: " ^ e)) errs;
+          close_session image s;
+          exit 1);
+       let rec_ = Recovery.create s.drive in
+       let report = or_die (Recovery.restore_tree rec_ ~at:m.S4_tools.Landmark.m_at ~path) in
+       Format.printf "rolled back to %a@.%a@." S4_tools.Landmark.pp_mark m Recovery.pp_report
+         report);
+    close_session image s
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Roll a subtree back to a named mark (admin; copy-forward). Verifies the audit chain \
+          from the mark's recorded head first — a rollback through tampered history is refused.")
+    Term.(const run $ image_arg $ to_arg $ path_opt)
+
 let cmd_fsck =
   let run image =
     let s = open_session image 0 in
@@ -626,4 +712,4 @@ let () =
   let info = Cmd.info "s4cli" ~version:"1.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ cmd_format; cmd_write; cmd_cat; cmd_ls; cmd_rm; cmd_versions; cmd_log; cmd_restore;
-      cmd_fsck; cmd_verify_log; cmd_info; cmd_trace; cmd_metrics ]))
+      cmd_landmark; cmd_recover; cmd_fsck; cmd_verify_log; cmd_info; cmd_trace; cmd_metrics ]))

@@ -20,6 +20,7 @@ module Translator = S4_nfs.Translator
 module History = S4_tools.History
 module Recovery = S4_tools.Recovery
 module Diagnosis = S4_tools.Diagnosis
+module Diag_target = S4_tools.Target
 
 let section title = Printf.printf "\n=== %s ===\n" title
 
@@ -72,10 +73,10 @@ let () =
 
   section "day 3: diagnosis from inside the perimeter";
   Simclock.advance clock (Simclock.of_seconds 3600.0);
-  let report = Diagnosis.damage_report ~client:10 ~since:pre_intrusion ~until:(Simclock.now clock) drive in
+  let report = Diagnosis.damage_report ~client:10 ~since:pre_intrusion ~until:(Simclock.now clock) (Diag_target.of_drive drive) in
   Printf.printf "objects touched by the compromised client since the intrusion:\n";
   List.iter (fun a -> Format.printf "  %a@." Diagnosis.pp_activity a) report;
-  let denials = Diagnosis.suspicious_denials ~since:pre_intrusion ~until:(Simclock.now clock) drive in
+  let denials = Diagnosis.suspicious_denials ~since:pre_intrusion ~until:(Simclock.now clock) (Diag_target.of_drive drive) in
   Printf.printf "denied (probing) requests: %d\n" (List.length denials);
 
   (* The scrubbed log lines are still in the history pool. (The

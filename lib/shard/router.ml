@@ -628,6 +628,36 @@ let barrier t =
       in
       match errs with [] -> None | e :: _ -> Some e)
 
+(* ------------------------------------------------------------------ *)
+(* Cross-shard landmark barrier                                        *)
+
+(* A consistent array-wide rollback point. Requests are routed
+   synchronously (there is no queued work beyond what [submit] is
+   currently running), so by the time this is called the array is
+   quiescent; the barrier then pins every member's head into the
+   integrity catalog and fans one durability barrier out to all
+   members, sealing each chain. The sealed heads collected afterwards
+   are therefore mutually consistent: every operation acknowledged
+   before the landmark is covered by some head, and none after it is.
+   The returned [(shard, replica, head)] list is the landmark record a
+   caller persists; verification later replays each chain from its
+   recorded head. *)
+let landmark_barrier t =
+  match barrier t with
+  | Some e -> Error (Format.asprintf "landmark barrier: %a" Rpc.pp_error e)
+  | None ->
+    Ok
+      (List.filter_map
+         (fun (sid, ri, d) ->
+           if Audit.enabled (Drive.audit d) then
+             Some (sid, ri, Audit.sealed_head (Drive.audit d))
+           else None)
+         (drive_entries t))
+
+let members = drive_entries
+
+let store_of t oid = shard_store (shard t (holder t oid))
+
 let resp_ok = function Rpc.R_error _ -> false | _ -> true
 
 let submit t cred ?(sync = false) reqs =

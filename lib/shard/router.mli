@@ -58,6 +58,29 @@ val barrier : t -> S4.Rpc.error option
     [Mirror.barrier]), charged slowest-member. A member whose barrier
     surfaces [Io_error] marks its shard degraded. *)
 
+val landmark_barrier :
+  t -> ((int * int * S4_integrity.Chain.head) list, string) result
+(** A consistent array-wide rollback point: quiesce (request routing
+    is synchronous, so the array is idle between calls), pin every
+    member's chain head into the integrity catalog, fan one durability
+    barrier out to all members (sealing each audit chain), and collect
+    the sealed [(shard, replica, head)] triples. Every operation
+    acknowledged before the call is covered by some returned head and
+    none after it is, so the triples form one consistent landmark
+    record for {!S4_tools}' [Landmark]/[Recovery] to persist and later
+    verify the chains from. [Error] if any member's barrier failed —
+    no landmark must be trusted over an unflushed member. *)
+
+val members : t -> (int * int * S4.Drive.t) list
+(** Every member drive as [(shard, replica, drive)], mirror
+    secondaries included (replica 0 is the primary). Device-side
+    administrative access for forensics tools. *)
+
+val store_of : t -> int64 -> S4_store.Obj_store.t
+(** The authoritative store currently holding an oid (the mirror's
+    live up-to-date replica for a mirrored shard) — device-side access
+    for tools that need raw version chains or ACL history. *)
+
 val backend : t -> S4.Backend.t
 (** The array as the uniform {!S4.Backend.t} surface. *)
 

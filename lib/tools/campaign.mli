@@ -1,0 +1,80 @@
+(** Seeded intrusion campaigns: the paper's threat model made
+    executable.
+
+    A compromised client machine holding a legitimate user's
+    credentials attacks the system tree while two honest users keep
+    working — trojaned binaries, scrubbed logs, timestomped
+    attributes, mass deletion, and slow exfiltration reads interleaved
+    into ordinary traffic. A storage-side detector scans the
+    device-side audit trail (which the intruder cannot scrub — it
+    lives below the security perimeter); forensics attributes the
+    damage; recovery rolls the system tree back to a pre-intrusion
+    cross-shard {!Landmark} mark; and a ground-truth oracle checks the
+    paper's core claims: every attacker mutation detected and
+    reverted, every legitimate write preserved, the audit chain
+    verifiable end to end.
+
+    Everything is deterministic given [seed] and runs identically on a
+    single drive and on a sharded (optionally mirrored) array. *)
+
+type deployment = Single_drive | Array of { shards : int; mirrored : bool }
+
+type config = {
+  seed : int;
+  deployment : deployment;
+  files_per_dir : int;  (** per populated directory; [>= 6] keeps every attack class viable *)
+  legit_ops : int;  (** honest operations interleaved into the window *)
+  attacks_per_class : int;  (** [>= 2] so every class has enough volume to detect *)
+  detect_every_s : float;  (** detector scan period (simulated seconds) *)
+  disk_mb : int;
+  trace : bool;  (** run the cross-layer trace checker over the whole story *)
+}
+
+val default : config
+(** Single drive, seed 42, 8 files/dir, 60 legitimate ops, 4 attacks
+    per class, 2 s detection scans. *)
+
+type outcome = {
+  o_mark : Landmark.mark;  (** the pre-intrusion rollback point *)
+  o_classes : (string * float) list;
+      (** per attack class, detection latency in simulated seconds
+          from the class's first operation to the detector scan that
+          flagged it; negative if never detected *)
+  o_attack_ops : int;
+  o_legit_ops : int;
+  o_denied_probes : int;  (** {!Diagnosis.suspicious_denials} in the window *)
+  o_damage_objects : int;  (** distinct objects the attacker mutated *)
+  o_damage_bytes : int;
+  o_false_negatives : string list;
+      (** attacker activity missing from {!Diagnosis.damage_report} *)
+  o_false_positives : string list;
+      (** damage-report entries with no ground truth behind them *)
+  o_rollback_s : float;  (** simulated time for the rollback *)
+  o_recovery_rpcs : int;
+  o_recovery_ops_per_s : float;
+  o_report : Recovery.report;
+  o_surviving : string list;  (** attacker effects that outlived the rollback *)
+  o_lost : string list;  (** legitimate data the rollback destroyed *)
+  o_violations : string list;
+      (** audit-chain, landmark-verification, fsck or trace-checker failures *)
+}
+
+val run : config -> outcome
+(** Build the deployment, populate it, take a pre-intrusion mark, run
+    the campaign with periodic detection scans, attribute the damage,
+    roll back, and judge the whole story against ground truth.
+    @raise Failure only on harness errors (setup RPCs failing), never
+    for attack outcomes — those land in the outcome's lists. *)
+
+val detected : outcome -> bool
+(** Every attack class was flagged by the detector. *)
+
+val clean : outcome -> bool
+(** The paper's claims all held: all classes detected, no surviving
+    attacker effect, no lost legitimate write, exact attribution, no
+    verification failures. *)
+
+val problems : outcome -> string list
+(** Everything {!clean} would complain about, as one flat list. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,4 +1,3 @@
-module Drive = S4.Drive
 module Audit = S4.Audit
 
 type activity = {
@@ -8,6 +7,7 @@ type activity = {
   a_deleted : bool;
   a_created : bool;
   a_acl_changed : bool;
+  a_denied : int;
   a_first : int64;
   a_last : int64;
 }
@@ -16,13 +16,12 @@ let matches ?user ?client (r : Audit.record) =
   (match user with Some u -> r.Audit.user = u | None -> true)
   && (match client with Some c -> r.Audit.client = c | None -> true)
 
-let records_in drive ~since ~until =
-  Audit.records (Drive.audit drive) ~since ~until ()
+let records_in target ~since ~until = Target.audit_records ~since ~until target
 
-let damage_report ?user ?client ~since ~until drive =
+let damage_report ?user ?client ~since ~until target =
   let tbl : (int64, activity) Hashtbl.t = Hashtbl.create 64 in
   let note (r : Audit.record) =
-    if r.Audit.ok && r.Audit.oid <> 0L && matches ?user ?client r then begin
+    if r.Audit.oid <> 0L && matches ?user ?client r then begin
       let a =
         match Hashtbl.find_opt tbl r.Audit.oid with
         | Some a -> a
@@ -34,23 +33,30 @@ let damage_report ?user ?client ~since ~until drive =
             a_deleted = false;
             a_created = false;
             a_acl_changed = false;
+            a_denied = 0;
             a_first = r.Audit.at;
             a_last = r.Audit.at;
           }
       in
+      (* A rejected request is damage evidence too — an attacker's
+         failed probe (ACL-denied delete, rejected admin call) must
+         stay visible to forensics — but it changed nothing, so it
+         only bumps the denial counter. *)
       let a =
-        match r.Audit.op with
-        | "read" | "getattr" | "getacl_user" | "getacl_index" -> { a with a_reads = a.a_reads + 1 }
-        | "write" | "append" | "truncate" | "setattr" -> { a with a_writes = a.a_writes + 1 }
-        | "delete" -> { a with a_deleted = true }
-        | "create" -> { a with a_created = true }
-        | "setacl" -> { a with a_acl_changed = true }
-        | _ -> a
+        if not r.Audit.ok then { a with a_denied = a.a_denied + 1 }
+        else
+          match r.Audit.op with
+          | "read" | "getattr" | "getacl_user" | "getacl_index" -> { a with a_reads = a.a_reads + 1 }
+          | "write" | "append" | "truncate" | "setattr" -> { a with a_writes = a.a_writes + 1 }
+          | "delete" -> { a with a_deleted = true }
+          | "create" -> { a with a_created = true }
+          | "setacl" -> { a with a_acl_changed = true }
+          | _ -> a
       in
       Hashtbl.replace tbl r.Audit.oid { a with a_last = max a.a_last r.Audit.at }
     end
   in
-  List.iter note (records_in drive ~since ~until);
+  List.iter note (records_in target ~since ~until);
   Hashtbl.fold (fun _ a acc -> a :: acc) tbl []
   |> List.sort (fun x y -> compare y.a_last x.a_last)
 
@@ -59,9 +65,9 @@ type taint_edge = { src : int64; dst : int64; gap_ns : int64 }
 let is_read_op op = op = "read"
 let is_write_op op = op = "write" || op = "append"
 
-let taint_edges ?user ?client ?(horizon_ns = 5_000_000_000L) ~since ~until drive =
+let taint_edges ?user ?client ?(horizon_ns = 5_000_000_000L) ~since ~until target =
   let records =
-    List.filter (fun r -> r.Audit.ok && matches ?user ?client r) (records_in drive ~since ~until)
+    List.filter (fun r -> r.Audit.ok && matches ?user ?client r) (records_in target ~since ~until)
   in
   let seen = Hashtbl.create 64 in
   let edges = ref [] in
@@ -93,17 +99,18 @@ let taint_edges ?user ?client ?(horizon_ns = 5_000_000_000L) ~since ~until drive
   scan_back writes reads;
   List.rev !edges
 
-let timeline ~oid ~since ~until drive =
-  List.filter (fun (r : Audit.record) -> r.Audit.oid = oid) (records_in drive ~since ~until)
+let timeline ~oid ~since ~until target =
+  List.filter (fun (r : Audit.record) -> r.Audit.oid = oid) (records_in target ~since ~until)
 
-let suspicious_denials ~since ~until drive =
-  List.filter (fun (r : Audit.record) -> not r.Audit.ok) (records_in drive ~since ~until)
+let suspicious_denials ~since ~until target =
+  List.filter (fun (r : Audit.record) -> not r.Audit.ok) (records_in target ~since ~until)
 
 let pp_activity ppf a =
-  Format.fprintf ppf "oid %Ld: %d reads, %d writes%s%s%s" a.a_oid a.a_reads a.a_writes
+  Format.fprintf ppf "oid %Ld: %d reads, %d writes%s%s%s%s" a.a_oid a.a_reads a.a_writes
     (if a.a_created then ", created" else "")
     (if a.a_deleted then ", DELETED" else "")
     (if a.a_acl_changed then ", ACL CHANGED" else "")
+    (if a.a_denied > 0 then Printf.sprintf ", %d DENIED" a.a_denied else "")
 
 let pp_taint_edge ppf e =
   Format.fprintf ppf "%Ld -> %Ld (read %.2f s before write)" e.src e.dst

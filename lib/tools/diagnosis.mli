@@ -1,11 +1,15 @@
-(** Intrusion diagnosis from the drive's audit log (Section 3.6).
+(** Intrusion diagnosis from the audit log (Section 3.6).
 
     Given the audit records for the compromise window, these tools
     answer the administrator's questions: which objects did the
     suspicious client or account touch, what was the order of events,
     and where might tainted data have propagated (an object read
     shortly before another was written is a candidate dependency, e.g.
-    a trojaned source file and the object file compiled from it). *)
+    a trojaned source file and the object file compiled from it).
+
+    Every function takes a {!Target.t}, so diagnosis runs identically
+    over a single drive and a sharded array (records merged across
+    shards in time order). *)
 
 type activity = {
   a_oid : int64;
@@ -14,15 +18,21 @@ type activity = {
   a_deleted : bool;
   a_created : bool;
   a_acl_changed : bool;
+  a_denied : int;
+      (** rejected requests against this object — an attacker's failed
+          probes (ACL-denied deletes, rejected admin calls) are
+          evidence, not noise *)
   a_first : int64;
   a_last : int64;
 }
 
 val damage_report :
-  ?user:int -> ?client:int -> since:int64 -> until:int64 -> S4.Drive.t -> activity list
+  ?user:int -> ?client:int -> since:int64 -> until:int64 -> Target.t -> activity list
 (** Per-object summary of what the given principal did in the window,
     most recently touched first. Omitting both [user] and [client]
-    reports everyone's activity. *)
+    reports everyone's activity. Denied requests are counted in
+    [a_denied] (they changed nothing, but they place the principal at
+    the object). *)
 
 type taint_edge = {
   src : int64;  (** object read *)
@@ -32,15 +42,15 @@ type taint_edge = {
 
 val taint_edges :
   ?user:int -> ?client:int -> ?horizon_ns:int64 ->
-  since:int64 -> until:int64 -> S4.Drive.t -> taint_edge list
+  since:int64 -> until:int64 -> Target.t -> taint_edge list
 (** Read-before-write dependency candidates within [horizon_ns]
     (default 5 simulated seconds), deduplicated; an imperfect but
     useful propagation estimate, as the paper notes. *)
 
-val timeline : oid:int64 -> since:int64 -> until:int64 -> S4.Drive.t -> S4.Audit.record list
+val timeline : oid:int64 -> since:int64 -> until:int64 -> Target.t -> S4.Audit.record list
 (** Every audited request touching one object, in order. *)
 
-val suspicious_denials : since:int64 -> until:int64 -> S4.Drive.t -> S4.Audit.record list
+val suspicious_denials : since:int64 -> until:int64 -> Target.t -> S4.Audit.record list
 (** Rejected requests (permission probes) in the window. *)
 
 val pp_activity : Format.formatter -> activity -> unit

@@ -1,13 +1,13 @@
 module Rpc = S4.Rpc
-module Drive = S4.Drive
 module Store = S4_store.Obj_store
 module Entry = S4_store.Entry
 module N = S4_nfs.Nfs_types
 
-type t = { drive : Drive.t; cred : Rpc.credential }
+type t = { target : Target.t; cred : Rpc.credential }
 
-let create ?(cred = Rpc.admin_cred) drive = { drive; cred }
-let call t req = Drive.handle t.drive t.cred req
+let of_target ?(cred = Rpc.admin_cred) target = { target; cred }
+let create ?cred drive = of_target ?cred (Target.Drive drive)
+let call t req = Target.handle t.target t.cred req
 
 let err fmt = Format.kasprintf (fun s -> Error s) fmt
 
@@ -80,7 +80,7 @@ let cat_path t ?at path =
   | Error e -> Error e
   | Ok fh -> cat t ?at fh
 
-let versions_of t fh = Store.versions (Drive.store t.drive) fh
+let versions_of t fh = Store.versions (Target.store_of t.target fh) fh
 
 let version_times t fh =
   versions_of t fh

@@ -15,6 +15,9 @@ val create : ?cred:S4.Rpc.credential -> S4.Drive.t -> t
 (** Default credential: the administrator (needed to see other users'
     history and deleted objects). *)
 
+val of_target : ?cred:S4.Rpc.credential -> Target.t -> t
+(** Same, over a drive or a whole sharded array. *)
+
 val mount_at : t -> ?at:int64 -> string -> (Nfs_fh.fh, string) result
 (** Root handle of a partition as of [at] (PMount with time). *)
 

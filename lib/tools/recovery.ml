@@ -1,10 +1,9 @@
 module Rpc = S4.Rpc
 module Acl = S4.Acl
-module Drive = S4.Drive
 module Store = S4_store.Obj_store
 module N = S4_nfs.Nfs_types
 
-type t = { drive : Drive.t; cred : Rpc.credential; hist : History.t }
+type t = { target : Target.t; cred : Rpc.credential; hist : History.t }
 
 type report = {
   files_restored : int;
@@ -13,8 +12,11 @@ type report = {
   bytes_restored : int;
 }
 
-let create ?(cred = Rpc.admin_cred) drive = { drive; cred; hist = History.create ~cred drive }
-let call t req = Drive.handle t.drive t.cred req
+let of_target ?(cred = Rpc.admin_cred) target =
+  { target; cred; hist = History.of_target ~cred target }
+
+let create ?cred drive = of_target ?cred (Target.Drive drive)
+let call t req = Target.handle t.target t.cred req
 
 let err fmt = Format.kasprintf (fun s -> Error s) fmt
 
@@ -25,6 +27,27 @@ let unit_exn t req =
   | Rpc.R_unit -> ()
   | Rpc.R_error e -> raise (Fail (Format.asprintf "%s: %a" (Rpc.op_name req) Rpc.pp_error e))
   | _ -> raise (Fail "unexpected response")
+
+(* An entry that grants nothing: [Set_acl] can only overwrite slots,
+   never shorten the list, so entries added since [at] are blanked
+   with this instead of removed. *)
+let inert_entry = { Acl.user = Acl.any_user; client = Acl.any_client; perms = []; recovery = false }
+
+(* Copy an object's ACL at [at] forward over its current ACL (slot by
+   slot through the ordinary Set_acl surface — audited and versioned
+   like everything else). Slots the intruder appended are blanked. *)
+let restore_acl t ~at fh =
+  let st = Target.store_of t.target fh in
+  let old_raw = Store.get_acl_raw st ~at fh in
+  let now_raw = Store.current_acl_raw st fh in
+  if not (Bytes.equal old_raw now_raw) then begin
+    let old_acl = Acl.decode old_raw in
+    let now_len = List.length (Acl.decode now_raw) in
+    List.iteri (fun index entry -> unit_exn t (Rpc.Set_acl { oid = fh; index; entry })) old_acl;
+    for index = List.length old_acl to now_len - 1 do
+      unit_exn t (Rpc.Set_acl { oid = fh; index; entry = inert_entry })
+    done
+  end
 
 let restore_file t ~at fh =
   match History.stat t.hist ~at fh with
@@ -38,6 +61,7 @@ let restore_file t ~at fh =
           if Bytes.length data > 0 then
             unit_exn t (Rpc.Write { oid = fh; off = 0; len = Bytes.length data; data = Some data });
           unit_exn t (Rpc.Set_attr { oid = fh; attr = N.encode_attr old_attr });
+          restore_acl t ~at fh;
           unit_exn t Rpc.Sync;
           Ok (Bytes.length data)
         with Fail m -> Error m))
@@ -57,13 +81,15 @@ let restore_tree t ~at ~path =
     | _ -> raise (Fail "create failed")
   in
   (* Directory slot surgery through the drive interface: rebuild the
-     slot array of [dir] so its entries match [wanted]. *)
+     slot array of [dir] so its entries match [wanted], and restore
+     the directory's own attributes (a timestomped mtime included) to
+     their state at [at], corrected for the rebuilt size. *)
   let write_dir_slots dir (wanted : (N.dirent * N.attr) list) =
     let data = N.encode_dir (List.map fst wanted) in
     unit_exn t (Rpc.Truncate { oid = dir; size = 0 });
     if Bytes.length data > 0 then
       unit_exn t (Rpc.Write { oid = dir; off = 0; len = Bytes.length data; data = Some data });
-    (match History.stat t.hist dir with
+    (match History.stat t.hist ~at dir with
      | Ok attr -> unit_exn t (Rpc.Set_attr { oid = dir; attr = N.encode_attr { attr with N.size = Bytes.length data } })
      | Error m -> raise (Fail m))
   in
@@ -73,7 +99,7 @@ let restore_tree t ~at ~path =
     let fresh = create_object () in
     (* Carry the original object's ACL over so ownership and the
        Recovery flag survive resurrection. *)
-    (let old_acl = Acl.decode (Store.get_acl_raw (Drive.store t.drive) ~at e.N.fh) in
+    (let old_acl = Acl.decode (Store.get_acl_raw (Target.store_of t.target e.N.fh) ~at e.N.fh) in
      List.iteri
        (fun index entry -> unit_exn t (Rpc.Set_acl { oid = fresh; index; entry }))
        old_acl);
@@ -153,6 +179,7 @@ let restore_tree t ~at ~path =
             ({ N.name = e.N.name; fh }, a))
           old
       in
+      restore_acl t ~at dir;
       write_dir_slots dir rebuilt
   in
   match History.resolve t.hist ~at path with

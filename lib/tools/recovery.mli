@@ -18,9 +18,15 @@ type report = {
 
 val create : ?cred:S4.Rpc.credential -> S4.Drive.t -> t
 
+val of_target : ?cred:S4.Rpc.credential -> Target.t -> t
+(** Same, over a drive or a whole sharded array (restoration RPCs are
+    routed by the array exactly like client traffic). *)
+
 val restore_file : t -> at:int64 -> Nfs_fh.fh -> (int, string) result
-(** Copy one object's contents and attributes at [at] forward to the
-    current version; returns bytes restored. The object must still
+(** Copy one object's contents, attributes and ACL at [at] forward to
+    the current version; returns bytes restored. ACL slots added since
+    [at] are overwritten with inert (nothing-granting) entries, since
+    [Set_acl] cannot shorten the list. The object must still
     exist as an object (possibly deleted-in-window). For deleted
     objects a fresh object is created and returned through
     {!restore_tree}'s directory relinking; at this level restoring a
@@ -31,7 +37,10 @@ val restore_tree : t -> at:int64 -> path:string -> (report, string) result
     files that existed then are restored (recreated if they were
     deleted — resurrecting "scrubbed" logs and short-lived exploit
     tools), entries created since are removed, directories are
-    recursed. The restoration itself is versioned and audited like any
-    other client activity. *)
+    recursed, and per-object attributes and ACLs (timestomped mtimes,
+    intruder-granted permissions) are rolled back with the data. The
+    restoration itself is versioned and audited like any other client
+    activity. [path = ""] restores the whole partition from the
+    root. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -12,6 +12,7 @@ module Translator = S4_nfs.Translator
 module History = S4_tools.History
 module Recovery = S4_tools.Recovery
 module Diagnosis = S4_tools.Diagnosis
+module Target = S4_tools.Target
 
 let check = Alcotest.check
 
@@ -289,7 +290,7 @@ let test_damage_report () =
   ignore (Drive.handle drive intruder (Rpc.Write { oid; off = 0; len = 4; data = Some (Bytes.of_string "evil") }));
   tick clock;
   ignore (Drive.handle drive intruder (Rpc.Read { oid; off = 0; len = 4; at = None }));
-  let report = Diagnosis.damage_report ~client:666 ~since ~until:Int64.max_int drive in
+  let report = Diagnosis.damage_report ~client:666 ~since ~until:Int64.max_int (Target.of_drive drive) in
   (match List.find_opt (fun a -> a.Diagnosis.a_oid = oid) report with
    | Some a ->
      check Alcotest.bool "write counted" true (a.Diagnosis.a_writes >= 1);
@@ -297,7 +298,7 @@ let test_damage_report () =
    | None -> Alcotest.fail "object missing from report");
   (* Another client's view is empty. *)
   check Alcotest.int "innocent client clean" 0
-    (List.length (Diagnosis.damage_report ~client:1234 ~since ~until:Int64.max_int drive))
+    (List.length (Diagnosis.damage_report ~client:1234 ~since ~until:Int64.max_int (Target.of_drive drive)))
 
 let test_taint_edges () =
   let clock, drive, _ = mk () in
@@ -316,7 +317,7 @@ let test_taint_edges () =
   ignore (Drive.handle drive user (Rpc.Read { oid = src; off = 0; len = 3; at = None }));
   Simclock.advance clock 100_000_000L;
   ignore (Drive.handle drive user (Rpc.Write { oid = dst; off = 0; len = 3; data = Some (Bytes.of_string "out") }));
-  let edges = Diagnosis.taint_edges ~client:50 ~since ~until:Int64.max_int drive in
+  let edges = Diagnosis.taint_edges ~client:50 ~since ~until:Int64.max_int (Target.of_drive drive) in
   check Alcotest.bool "src->dst edge found" true
     (List.exists (fun e -> e.Diagnosis.src = src && e.Diagnosis.dst = dst) edges)
 
@@ -334,7 +335,7 @@ let test_taint_horizon () =
   (* A long pause: outside the dependency horizon. *)
   Simclock.advance clock 60_000_000_000L;
   ignore (Drive.handle drive user (Rpc.Write { oid = dst; off = 0; len = 1; data = Some (Bytes.of_string "x") }));
-  let edges = Diagnosis.taint_edges ~client:50 ~since ~until:Int64.max_int drive in
+  let edges = Diagnosis.taint_edges ~client:50 ~since ~until:Int64.max_int (Target.of_drive drive) in
   check Alcotest.bool "no stale edge" false
     (List.exists (fun e -> e.Diagnosis.src = src && e.Diagnosis.dst = dst) edges)
 
@@ -351,9 +352,9 @@ let test_timeline_and_denials () =
   ignore (Drive.handle drive alice (Rpc.Write { oid; off = 0; len = 1; data = Some (Bytes.of_string "x") }));
   ignore (Drive.handle drive bob (Rpc.Read { oid; off = 0; len = 1; at = None }));
   (* denied *)
-  let tl = Diagnosis.timeline ~oid ~since ~until:Int64.max_int drive in
+  let tl = Diagnosis.timeline ~oid ~since ~until:Int64.max_int (Target.of_drive drive) in
   check Alcotest.bool "timeline has write" true (List.exists (fun r -> r.S4.Audit.op = "write") tl);
-  let denials = Diagnosis.suspicious_denials ~since ~until:Int64.max_int drive in
+  let denials = Diagnosis.suspicious_denials ~since ~until:Int64.max_int (Target.of_drive drive) in
   check Alcotest.bool "bob's probe flagged" true
     (List.exists (fun r -> r.S4.Audit.user = 2 && not r.S4.Audit.ok) denials)
 
