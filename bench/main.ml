@@ -1602,6 +1602,407 @@ let intrusion () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Readscale: replica reads + client cache + per-client fair queueing  *)
+
+module Mirror = S4_multi.Mirror
+module Wire = S4_net.Wire
+module Wfq = S4_qos.Wfq
+
+(* Read-path scale-out, oracle-gated:
+   (a) balanced mirror reads + overlapped batch charging must beat
+       primary-only reads by >= 1.5x at >= 4 clients;
+   (b) the lease-backed client cache must serve hot-set hits without
+       touching the wire at all;
+   (c) under a flooding client, an honest client's p99 read latency on
+       the weighted-fair server must stay within 2x of the no-hog
+       baseline. *)
+let readscale () =
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let cred = Rpc.user_cred ~user:1 ~client:1 in
+  let p99 lats =
+    let a = Array.of_list lats in
+    Array.sort compare a;
+    let n = Array.length a in
+    a.(min (n - 1) (int_of_float (ceil (0.99 *. float_of_int n)) - 1))
+  in
+
+  (* --- (a) replica reads: ops/s vs client count ------------------- *)
+  Report.heading "Readscale: replica reads — mirrored 4-shard array, balanced vs primary-only";
+  let objects = 1024 in
+  let obj_bytes = 4096 in
+  let reads_per_client = 16 in
+  let rounds = if !full_scale then 60 else 20 in
+  let client_counts = [ 1; 2; 4; 8; 16 ] in
+  let payload = Bytes.make obj_bytes 'r' in
+  (* Caches sized well below the 4 MB working set per replica: random
+     reads are spindle reads, so the sweep measures disk parallelism,
+     not RAM. *)
+  let mirror_drive_config =
+    {
+      Systems.content_drive_config with
+      Drive.store =
+        {
+          Systems.content_drive_config.Drive.store with
+          Store.block_cache_bytes = 256 * 1024;
+          object_cache_bytes = 256 * 1024;
+        };
+    }
+  in
+  let read_rate ~balanced clients =
+    let sys =
+      Systems.s4_array ~shards:4 ~mirrored:true ~balanced ~read_overlap:true
+        ~drive_config:mirror_drive_config ()
+    in
+    let router = Option.get sys.Systems.router in
+    let oids =
+      Array.init objects (fun i ->
+          match Router.handle router cred (Rpc.Create { acl = S4.Acl.default ~owner:1 }) with
+          | Rpc.R_oid oid ->
+            ignore
+              (Router.handle router cred
+                 (Rpc.Write { oid; off = 0; len = obj_bytes; data = Some payload }));
+            oid
+          | r -> Format.kasprintf failwith "readscale: create %d failed: %a" i Rpc.pp_resp r)
+    in
+    Router.sync_all router;
+    let rng = Rng.create ~seed:(rng_seed 1811) in
+    let idx = Array.init objects (fun i -> i) in
+    let shuffle () =
+      for i = objects - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let tmp = idx.(i) in
+        idx.(i) <- idx.(j);
+        idx.(j) <- tmp
+      done
+    in
+    Systems.drop_all_caches sys;
+    let t0 = Simclock.now sys.Systems.clock in
+    for _ = 1 to rounds do
+      (* Distinct objects per round; each client contributes a run of
+         reads, interleaved round-robin the way concurrent readers
+         arrive at a shared array. *)
+      shuffle ();
+      let n = clients * reads_per_client in
+      let reqs =
+        Array.init n (fun k ->
+            Rpc.Read { oid = oids.(idx.(k mod objects)); off = 0; len = obj_bytes; at = None })
+      in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Rpc.R_data _ -> ()
+          | r -> Format.kasprintf failwith "readscale: read %d failed: %a" i Rpc.pp_resp r)
+        (Router.submit router cred reqs)
+    done;
+    let secs = Simclock.to_seconds (Int64.sub (Simclock.now sys.Systems.clock) t0) in
+    let prim, sec =
+      List.fold_left
+        (fun (p, s) id ->
+          match Router.member router id with
+          | Router.Mirrored m ->
+            let mp, ms = Mirror.read_counts m in
+            (p + mp, s + ms)
+          | Router.Single _ -> (p, s))
+        (0, 0) (Router.shard_ids router)
+    in
+    (float_of_int (rounds * clients * reads_per_client) /. secs, prim, sec)
+  in
+  let mirror_rows =
+    List.map
+      (fun clients ->
+        let base, _, _ = read_rate ~balanced:false clients in
+        let bal, prim, sec = read_rate ~balanced:true clients in
+        let speedup = bal /. base in
+        Report.record ~experiment:"readscale_mirror" ~label:(string_of_int clients)
+          [
+            ("clients", float_of_int clients);
+            ("primary_only_ops_per_s", base);
+            ("balanced_ops_per_s", bal);
+            ("speedup", speedup);
+            ("balanced_primary_reads", float_of_int prim);
+            ("balanced_secondary_reads", float_of_int sec);
+          ];
+        (clients, base, bal, speedup, prim, sec))
+      client_counts
+  in
+  Report.table
+    ~header:[ "clients"; "primary-only ops/s"; "balanced ops/s"; "speedup"; "replica split" ]
+    (List.map
+       (fun (c, base, bal, sp, prim, sec) ->
+         [
+           string_of_int c;
+           Printf.sprintf "%.0f" base;
+           Printf.sprintf "%.0f" bal;
+           Printf.sprintf "%.2fx" sp;
+           Printf.sprintf "%d/%d" prim sec;
+         ])
+       mirror_rows);
+  if
+    not
+      (List.exists (fun (c, _, _, sp, _, _) -> c >= 4 && sp >= 1.5) mirror_rows)
+  then
+    violate "mirrored reads never reached 1.5x primary-only at >= 4 clients";
+  (List.iter (fun (c, _, _, _, prim, sec) ->
+       if c >= 2 && (prim = 0 || sec = 0) then
+         violate "balanced policy never touched one replica (%d clients: %d/%d)" c prim sec))
+    mirror_rows;
+
+  (* --- (b) lease-backed client cache: hot-set sweep ---------------- *)
+  print_newline ();
+  Report.heading "Readscale: lease-backed client cache — hot-set hit-rate sweep (loopback wire)";
+  let files = 96 in
+  let hot_set = 8 in
+  let sweep_reads = if !full_scale then 4_000 else 1_500 in
+  let file_bytes = 1024 in
+  let cache_cell hot_fraction =
+    let clock = Simclock.create () in
+    let drive =
+      Drive.format ~config:Systems.content_drive_config
+        (Sim_disk.create ~geometry:Geometry.cheetah_9gb clock)
+    in
+    let server_config =
+      { Netserver.default_config with Netserver.lease_ns = 120_000_000_000L }
+    in
+    let srv = Netserver.of_drive ~config:server_config drive in
+    (* Budget ~24 cached reads: the 8-object hot set fits and stays,
+       the cold tail churns through the LRU. *)
+    let client_config =
+      {
+        Netclient.default_config with
+        Netclient.cache_budget = 24 * (file_bytes + 32);
+        cache_journal = true;
+      }
+    in
+    let client = Netclient.connect ~config:client_config (Nettransport.loopback srv) in
+    let data = Bytes.make file_bytes 'c' in
+    let oids =
+      Array.init files (fun i ->
+          match Netclient.handle client cred (Rpc.Create { acl = S4.Acl.default ~owner:1 }) with
+          | Rpc.R_oid oid ->
+            ignore
+              (Netclient.handle client cred
+                 (Rpc.Write { oid; off = 0; len = file_bytes; data = Some data }));
+            oid
+          | r -> Format.kasprintf failwith "cache cell: create %d: %a" i Rpc.pp_resp r)
+    in
+    ignore (Netclient.handle client Rpc.admin_cred Rpc.Sync);
+    let rng = Rng.create ~seed:(rng_seed 2203) in
+    let frames_before = Metrics.counter "net/frames_in" in
+    let t0 = Simclock.now clock in
+    for _ = 1 to sweep_reads do
+      let oid =
+        if Rng.float rng 1.0 < hot_fraction then oids.(Rng.int rng hot_set)
+        else oids.(hot_set + Rng.int rng (files - hot_set))
+      in
+      match Netclient.handle client cred (Rpc.Read { oid; off = 0; len = file_bytes; at = None }) with
+      | Rpc.R_data _ -> ()
+      | r -> Format.kasprintf failwith "cache cell: read: %a" Rpc.pp_resp r
+    done;
+    let secs = Simclock.to_seconds (Int64.sub (Simclock.now clock) t0) in
+    let wire_frames = Metrics.counter "net/frames_in" - frames_before in
+    let cache = Option.get (Netclient.cache client) in
+    let hits = S4_net.Cache.hits cache and misses = S4_net.Cache.misses cache in
+    (match S4_net.Cache.check cache with
+     | Ok () -> ()
+     | Error e -> violate "lease checker (hot=%.1f): %s" hot_fraction e);
+    if hits + misses <> sweep_reads then
+      violate "cache accounting: %d hits + %d misses <> %d reads" hits misses sweep_reads;
+    (* The whole point: a hit never crosses the wire. Wire traffic is
+       bounded by the misses (one Request frame each). *)
+    if hot_fraction > 0.0 && hits = 0 then violate "hot set produced no cache hits";
+    (* One miss = one round trip = two frame-received events (one at
+       the server, one at the client). A hit contributes neither. *)
+    if wire_frames > 2 * (sweep_reads - hits) then
+      violate "cache hits leaked onto the wire: %d frame events for %d misses" wire_frames
+        (sweep_reads - hits);
+    Netclient.close client;
+    (hot_fraction, float_of_int sweep_reads /. secs, hits, misses, wire_frames / 2)
+  in
+  let cache_rows = List.map cache_cell [ 0.0; 0.5; 0.9 ] in
+  List.iter
+    (fun (hot, rate, hits, misses, frames) ->
+      Report.record ~experiment:"readscale_cache" ~label:(Printf.sprintf "hot%.1f" hot)
+        [
+          ("hot_fraction", hot);
+          ("reads", float_of_int sweep_reads);
+          ("ops_per_s", rate);
+          ("cache_hits", float_of_int hits);
+          ("cache_misses", float_of_int misses);
+          ("wire_round_trips", float_of_int frames);
+          ("hit_rate", float_of_int hits /. float_of_int sweep_reads);
+        ])
+    cache_rows;
+  Report.table
+    ~header:[ "hot fraction"; "ops/s"; "hits"; "misses"; "wire round trips" ]
+    (List.map
+       (fun (hot, rate, hits, misses, frames) ->
+         [
+           Printf.sprintf "%.1f" hot;
+           Printf.sprintf "%.0f" rate;
+           string_of_int hits;
+           string_of_int misses;
+           string_of_int frames;
+         ])
+       cache_rows);
+
+  (* --- (c) noisy neighbor: honest p99 under a flooding client ------ *)
+  print_newline ();
+  Report.heading "Readscale: per-client fair queueing — honest p99 under a flooding client";
+  let qos_rounds = if !full_scale then 120 else 60 in
+  let hog_batches = 6 and hog_batch = 24 in
+  let hog_bytes = 2048 in
+  let mk_pair ~qos =
+    let clock = Simclock.create () in
+    let drive =
+      Drive.format ~config:Systems.content_drive_config
+        (Sim_disk.create ~geometry:Geometry.cheetah_9gb clock)
+    in
+    let config =
+      { Netserver.default_config with Netserver.qos; max_inflight = 4096 }
+    in
+    let srv = Netserver.of_drive ~config drive in
+    let hog = Netserver.Session.create ~identity:7 srv in
+    let honest = Netserver.Session.create ~identity:8 srv in
+    (* Seed one object per client. *)
+    let mk_oid sess =
+      let frame =
+        Wire.encode
+          (Wire.Request { xid = 1L; cred; sync = false; req = Rpc.Create { acl = [] } })
+      in
+      Netserver.Session.feed sess frame 0 (Bytes.length frame);
+      Netserver.Session.run sess;
+      let rec find pos b =
+        match Wire.decode b ~pos ~avail:(Bytes.length b - pos) with
+        | Wire.Frame (Wire.Response { resp = Rpc.R_oid oid; _ }, _) -> oid
+        | Wire.Frame (_, used) -> find (pos + used) b
+        | _ -> failwith "readscale qos: no oid response"
+      in
+      find 0 (Netserver.Session.output sess)
+    in
+    let hog_oid = mk_oid hog and honest_oid = mk_oid honest in
+    let wframe =
+      let data = Some (Bytes.make hog_bytes 'h') in
+      Wire.encode
+        (Wire.Batch
+           {
+             xid = 99L;
+             cred = Rpc.user_cred ~user:2 ~client:7;
+             sync = false;
+             reqs =
+               Array.init hog_batch (fun _ ->
+                   Rpc.Write { oid = hog_oid; off = 0; len = hog_bytes; data });
+           })
+    in
+    let seed =
+      Wire.encode
+        (Wire.Request
+           {
+             xid = 2L;
+             cred;
+             sync = false;
+             req = Rpc.Write { oid = honest_oid; off = 0; len = 1024; data = Some (Bytes.make 1024 'o') };
+           })
+    in
+    Netserver.Session.feed honest seed 0 (Bytes.length seed);
+    Netserver.Session.run honest;
+    ignore (Netserver.Session.output honest);
+    (clock, drive, srv, hog, honest, honest_oid, wframe)
+  in
+  let honest_read honest_oid xid =
+    Wire.encode
+      (Wire.Request
+         { xid; cred; sync = false; req = Rpc.Read { oid = honest_oid; off = 0; len = 1024; at = None } })
+  in
+  let run_cell ~qos ~with_hog label =
+    let clock, drive, srv, hog, honest, honest_oid, wframe = mk_pair ~qos in
+    ignore drive;
+    let lats = ref [] in
+    for round = 1 to qos_rounds do
+      Store.drop_caches (Drive.store drive);
+      if with_hog then
+        for _ = 1 to hog_batches do
+          Netserver.Session.feed hog wframe 0 (Bytes.length wframe)
+        done;
+      let rframe = honest_read honest_oid (Int64.of_int (100 + round)) in
+      Netserver.Session.feed honest rframe 0 (Bytes.length rframe);
+      let t0 = Simclock.now clock in
+      if not qos then begin
+        (* Per-session FIFO service in arrival order: the flood runs
+           first, the honest read waits behind all of it. *)
+        if with_hog then Netserver.Session.run hog;
+        ignore (Netserver.Session.step honest)
+      end
+      else begin
+        (* Shared weighted-fair queue: step until the honest reply is
+           out; its cost-1 read outranks the hog's cost-24 batches. *)
+        let answered = ref false in
+        while not !answered do
+          if not (Netserver.Session.step honest) then answered := true
+          else if Bytes.length (Netserver.Session.output honest) > 0 then answered := true
+        done
+      end;
+      lats := Int64.to_float (Int64.sub (Simclock.now clock) t0) :: !lats;
+      (* Drain the remaining flood before the next round. *)
+      Netserver.Session.run hog;
+      ignore (Netserver.Session.output hog);
+      ignore (Netserver.Session.output honest)
+    done;
+    (match Netserver.scheduler srv with
+     | Some sched ->
+       Printf.printf "  %s: wfq served hog=%.0f honest=%.0f units, vtime %.1f\n" label
+         (Wfq.served sched ~client:7) (Wfq.served sched ~client:8)
+         (Wfq.virtual_time sched)
+     | None -> ());
+    !lats
+  in
+  let base = run_cell ~qos:true ~with_hog:false "no-hog" in
+  let fifo = run_cell ~qos:false ~with_hog:true "fifo+hog" in
+  let fair = run_cell ~qos:true ~with_hog:true "wfq+hog" in
+  let ms v = v /. 1e6 in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let rows =
+    [
+      ("no hog (baseline)", base); ("hog, per-session FIFO", fifo); ("hog, weighted-fair", fair);
+    ]
+  in
+  List.iter
+    (fun (label, lats) ->
+      Report.record ~experiment:"readscale_qos" ~label
+        [
+          ("rounds", float_of_int qos_rounds);
+          ("p99_ms", ms (p99 lats));
+          ("mean_ms", ms (mean lats));
+        ])
+    rows;
+  Report.table
+    ~header:[ "cell"; "honest mean (ms)"; "honest p99 (ms)" ]
+    (List.map
+       (fun (label, lats) ->
+         [ label; Printf.sprintf "%.2f" (ms (mean lats)); Printf.sprintf "%.2f" (ms (p99 lats)) ])
+       rows);
+  let p99_base = p99 base and p99_fair = p99 fair and p99_fifo = p99 fifo in
+  if p99_fair > 2.0 *. p99_base then
+    violate "honest p99 under WFQ is %.2f ms, more than 2x the %.2f ms no-hog baseline"
+      (ms p99_fair) (ms p99_base);
+  if p99_fifo < p99_fair then
+    violate "FIFO out-isolated WFQ (%.2f ms < %.2f ms): scheduler not engaging" (ms p99_fifo)
+      (ms p99_fair);
+
+  Report.write_json
+    ~experiments:[ "readscale_mirror"; "readscale_cache"; "readscale_qos" ]
+    "BENCH_readscale.json";
+  Report.note "wrote BENCH_readscale.json";
+  Report.note
+    "oracle-gated: balanced reads >= 1.5x at >= 4 clients; cache hits never touch the wire \
+     (lease checker clean); honest p99 under a hog within 2x of no-hog";
+  match !violations with
+  | [] -> ()
+  | vs ->
+    List.iter (fun v -> Printf.eprintf "readscale ORACLE VIOLATION: %s\n" v) (List.rev vs);
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
 let experiments : (string * string * (unit -> unit)) list =
@@ -1626,6 +2027,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("persist", "sector-store backings: sim vs file vs file+O_DSYNC", persist);
     ("kill9", "kill -9 a live server at random points; verify acked syncs", kill9);
     ("intrusion", "attacker campaigns: detect, attribute, roll back (oracle-gated)", intrusion);
+    ("readscale", "read-path scale-out: replica reads, client cache, WFQ (oracle-gated)", readscale);
     ("trace", "span tracer + metrics registry over drive and array runs", trace);
     ("micro", "bechamel micro-benchmarks", micro);
   ]

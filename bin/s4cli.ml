@@ -566,6 +566,9 @@ let cmd_metrics =
       Trace.enable ();
       metrics_walk s.tr (Translator.root s.tr);
       Trace.disable ();
+      (match Drive.throttle s.drive with
+       | Some th -> S4.Throttle.export_metrics th
+       | None -> ());
       Format.printf "%a" Metrics.pp ();
       Printf.printf "(%d spans recorded)\n" (Trace.count ());
       close_session image s

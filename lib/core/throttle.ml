@@ -112,3 +112,29 @@ let throttled_clients t =
   Hashtbl.fold (fun client _ acc -> if is_throttled t ~client then client :: acc else acc)
     t.clients []
   |> List.sort compare
+
+let client_counters t =
+  Hashtbl.fold (fun client c acc -> (client, decayed t c) :: acc) t.clients []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* A healthy client schedules at full weight; an active pool-pressure
+   penalty shrinks the weight so weighted fair queueing serves the
+   offender less often instead of (only) stalling it. 1 ms of penalty
+   halves the weight; the WFQ floor keeps even a fully-penalized
+   client draining. *)
+let weight t ~client =
+  let p_ms = Int64.to_float (penalty t ~client) /. 1e6 in
+  1.0 /. (1.0 +. p_ms)
+
+let export_metrics t =
+  S4_obs.Metrics.set "qos/pool_pressure_pct" (int_of_float (t.pressure *. 100.0));
+  S4_obs.Metrics.set "qos/tracked_clients" (Hashtbl.length t.clients);
+  S4_obs.Metrics.set "qos/throttled_clients" (List.length (throttled_clients t));
+  List.iter
+    (fun (client, bytes) ->
+      S4_obs.Metrics.set (Printf.sprintf "qos/client%d/history_bytes" client)
+        (int_of_float bytes);
+      S4_obs.Metrics.set
+        (Printf.sprintf "qos/client%d/penalty_us" client)
+        (Int64.to_int (Int64.div (penalty t ~client) 1_000L)))
+    (client_counters t)

@@ -47,3 +47,18 @@ val client_share : t -> client:int -> float
 (** This client's decayed share of recent history growth (0..1). *)
 
 val throttled_clients : t -> int list
+
+val client_counters : t -> (int * float) list
+(** Every tracked client with its decayed history-growth counter
+    (bytes), sorted by client id — the state QoS decisions are made
+    from. *)
+
+val weight : t -> client:int -> float
+(** Weighted-fair-queueing weight for this client: 1.0 when healthy,
+    shrinking as the pool-pressure penalty grows (1 ms of penalty
+    halves it). Feeds the server's per-client scheduler. *)
+
+val export_metrics : t -> unit
+(** Snapshot the per-client counters, penalties, pool pressure and
+    throttled-client count into the {!S4_obs.Metrics} registry as
+    [qos/*] gauges. *)

@@ -10,10 +10,10 @@ module Bcodec = S4_util.Bcodec
    write for barrier N lands inside barrier N itself), so the check is
    "the catalog head must still lie on the member's chain". *)
 
-type entry = { shard : int; replica : int; head : Chain.head }
+type entry = { shard : int; replica : int; head : Chain.head; at : int64 }
 
 let magic = 0x5343 (* "CS" *)
-let version = 1
+let version = 2 (* v2 added the [at] refresh stamp; v1 still decodes *)
 
 let encode entries =
   let w = Bcodec.writer () in
@@ -24,6 +24,7 @@ let encode entries =
     (fun e ->
       Bcodec.w_int w e.shard;
       Bcodec.w_int w e.replica;
+      Bcodec.w_i64 w e.at;
       Chain.write_head w e.head)
     entries;
   Bcodec.contents w
@@ -34,17 +35,21 @@ let decode b =
     try
       let r = Bcodec.reader b in
       if Bcodec.r_u16 r <> magic then None
-      else if Bcodec.r_u8 r <> version then None
       else begin
-        let n = Bcodec.r_int r in
-        if n < 0 || n > Bcodec.remaining r then None
-        else
-          Some
-            (List.init n (fun _ ->
-                 let shard = Bcodec.r_int r in
-                 let replica = Bcodec.r_int r in
-                 let head = Chain.read_head r in
-                 { shard; replica; head }))
+        let v = Bcodec.r_u8 r in
+        if v < 1 || v > version then None
+        else begin
+          let n = Bcodec.r_int r in
+          if n < 0 || n > Bcodec.remaining r then None
+          else
+            Some
+              (List.init n (fun _ ->
+                   let shard = Bcodec.r_int r in
+                   let replica = Bcodec.r_int r in
+                   let at = if v >= 2 then Bcodec.r_i64 r else 0L in
+                   let head = Chain.read_head r in
+                   { shard; replica; head; at }))
+        end
       end
     with Bcodec.Decode_error _ -> None
 
@@ -53,9 +58,18 @@ let find entries ~shard ~replica =
     (fun e -> if e.shard = shard && e.replica = replica then Some e.head else None)
     entries
 
-let set entries ~shard ~replica head =
-  { shard; replica; head }
+let find_entry entries ~shard ~replica =
+  List.find_opt (fun e -> e.shard = shard && e.replica = replica) entries
+
+let set entries ~shard ~replica ~at head =
+  { shard; replica; head; at }
   :: List.filter (fun e -> not (e.shard = shard && e.replica = replica)) entries
+
+let prune entries ~now ~window ~live =
+  let floor = Int64.sub now window in
+  List.filter
+    (fun e -> live ~shard:e.shard ~replica:e.replica || Int64.compare e.at floor >= 0)
+    entries
 
 (* Head-level comparison of a member against its catalog entry. The
    full ancestry proof ([Chain.verify ~from:catalog_head] over the

@@ -5,6 +5,7 @@ module Sim_disk = S4_disk.Sim_disk
 module Log = S4_seglog.Log
 
 type replica = Primary | Secondary
+type read_policy = Primary_only | Balanced
 
 type t = {
   primary : Drive.t;
@@ -16,13 +17,37 @@ type t = {
      fresh one from whatever allocator the target runs. *)
   mutable missed : (Rpc.credential * bool * Rpc.req * int64 option) list;
   mutable lagging : replica option;  (* who the missed mutations are for *)
+  mutable read_policy : read_policy;
+  mutable rr_next : replica;  (* next balanced read goes here *)
+  (* Freshness index over [missed], kept in sync with it: a balanced
+     read may only touch the lagging replica when nothing journalled
+     could have changed what that read observes. *)
+  missed_oids : (int64, unit) Hashtbl.t;
+  mutable missed_namespace : bool;  (* a P_create/P_delete is journalled *)
+  mutable missed_global : bool;  (* a Sync/Flush/Set_window is journalled *)
+  mutable primary_reads : int;
+  mutable secondary_reads : int;
 }
 
 let create primary secondary =
   (* Mirrored writes happen in parallel: only the primary's disk time
      is charged to the shared clock. *)
   Sim_disk.set_phantom (Log.disk (Drive.log secondary)) true;
-  { primary; secondary; primary_failed = false; secondary_failed = false; missed = []; lagging = None }
+  {
+    primary;
+    secondary;
+    primary_failed = false;
+    secondary_failed = false;
+    missed = [];
+    lagging = None;
+    read_policy = Primary_only;
+    rr_next = Primary;
+    missed_oids = Hashtbl.create 64;
+    missed_namespace = false;
+    missed_global = false;
+    primary_reads = 0;
+    secondary_reads = 0;
+  }
 
 let drive t = function Primary -> t.primary | Secondary -> t.secondary
 let is_failed t = function Primary -> t.primary_failed | Secondary -> t.secondary_failed
@@ -34,6 +59,62 @@ let set_failed t r v =
   | Secondary -> t.secondary_failed <- v
 
 let lag t = List.length t.missed
+
+let set_read_policy t p = t.read_policy <- p
+let read_policy t = t.read_policy
+let read_counts t = (t.primary_reads, t.secondary_reads)
+
+let other = function Primary -> Secondary | Secondary -> Primary
+
+(* While one replica lags, the other is the authoritative copy; in sync
+   the primary is, by convention (it keeps balanced and primary-only
+   runs answering audit-class reads identically). *)
+let authoritative t =
+  match t.lagging with Some r -> other r | None -> Primary
+
+let index_missed_req t req resolved =
+  match req with
+  | Rpc.Create _ -> (
+    match resolved with
+    | Some g -> Hashtbl.replace t.missed_oids g ()
+    | None -> t.missed_global <- true)
+  | Rpc.Delete { oid }
+  | Rpc.Write { oid; _ }
+  | Rpc.Append { oid; _ }
+  | Rpc.Truncate { oid; _ }
+  | Rpc.Set_attr { oid; _ }
+  | Rpc.Set_acl { oid; _ }
+  | Rpc.Flush_object { oid; _ } -> Hashtbl.replace t.missed_oids oid ()
+  | Rpc.P_create _ | Rpc.P_delete _ -> t.missed_namespace <- true
+  | Rpc.Sync | Rpc.Flush _ | Rpc.Set_window _ -> t.missed_global <- true
+  | _ -> ()
+
+let refresh_missed_index t =
+  Hashtbl.reset t.missed_oids;
+  t.missed_namespace <- false;
+  t.missed_global <- false;
+  List.iter (fun (_, _, req, resolved) -> index_missed_req t req resolved) t.missed
+
+(* Reads eligible for replica balancing. Audit-trail reads are not:
+   each replica audits only the reads it served, so [Read_audit] and
+   [Verify_log] must always see the authoritative replica's log. *)
+let balanceable = function
+  | Rpc.Read _ | Rpc.Get_attr _ | Rpc.Get_acl_by_user _ | Rpc.Get_acl_by_index _
+  | Rpc.P_list _ | Rpc.P_mount _ -> true
+  | _ -> false
+
+(* The freshness rule: a read may be served by the lagging replica only
+   when no journalled mutation could change what it observes. *)
+let read_is_stale t req =
+  t.missed_global
+  ||
+  match req with
+  | Rpc.Read { oid; _ }
+  | Rpc.Get_attr { oid; _ }
+  | Rpc.Get_acl_by_user { oid; _ }
+  | Rpc.Get_acl_by_index { oid; _ } -> Hashtbl.mem t.missed_oids oid
+  | Rpc.P_list _ | Rpc.P_mount _ -> t.missed_namespace
+  | _ -> true
 
 let is_mutation = Rpc.is_mutation
 
@@ -52,7 +133,8 @@ let agree (a : Rpc.resp) (b : Rpc.resp) =
 let journal t lagger cred sync req resp =
   let oid = match resp with Rpc.R_oid g -> Some g | _ -> None in
   t.lagging <- Some lagger;
-  t.missed <- (cred, sync, req, oid) :: t.missed
+  t.missed <- (cred, sync, req, oid) :: t.missed;
+  index_missed_req t req oid
 
 let handle t cred ?(sync = false) req =
   if is_mutation req then begin
@@ -91,18 +173,36 @@ let handle t cred ?(sync = false) req =
       r
   end
   else begin
+    let serve r =
+      (match r with
+       | Primary -> t.primary_reads <- t.primary_reads + 1
+       | Secondary -> t.secondary_reads <- t.secondary_reads + 1);
+      Drive.handle (drive t r) cred ~sync req
+    in
     match (t.primary_failed, t.secondary_failed) with
     | false, false ->
-      let r = Drive.handle t.primary cred ~sync req in
-      if is_io_error r then begin
-        (* Read fault on the primary: fail over to the secondary. *)
-        t.primary_failed <- true;
-        if t.lagging = None then t.lagging <- Some Primary;
-        Drive.handle t.secondary cred ~sync req
+      let target =
+        match t.read_policy with
+        | Primary_only -> Primary
+        | Balanced ->
+          if not (balanceable req) then authoritative t
+          else if t.missed <> [] && read_is_stale t req then authoritative t
+          else begin
+            let r = t.rr_next in
+            t.rr_next <- other r;
+            r
+          end
+      in
+      let resp = serve target in
+      if is_io_error resp then begin
+        (* Read fault on the serving replica: fail it over. *)
+        set_failed t target true;
+        if t.lagging = None then t.lagging <- Some target;
+        serve (other target)
       end
-      else r
-    | false, true -> Drive.handle t.primary cred ~sync req
-    | true, false -> Drive.handle t.secondary cred ~sync req
+      else resp
+    | false, true -> serve Primary
+    | true, false -> serve Secondary
     | true, true -> Rpc.R_error (Rpc.Bad_request "mirror: no live replica")
   end
 
@@ -156,6 +256,7 @@ let resync t =
         | [] ->
           t.missed <- [];
           t.lagging <- None;
+          refresh_missed_index t;
           Ok n
         | (cred, sync, req, oid) :: rest as remaining ->
           let run () = Drive.handle target cred ~sync req in
@@ -180,6 +281,7 @@ let resync t =
                 idempotent, so double-applying them diverges the
                 replicas the resync is meant to converge. *)
              t.missed <- List.rev remaining;
+             refresh_missed_index t;
              Error (Format.asprintf "mirror resync: %s failed: %a" (Rpc.op_name req) Rpc.pp_error e)
            | _ -> go (n + 1) rest)
       in

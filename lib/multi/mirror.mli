@@ -21,15 +21,36 @@ type t
 
 type replica = Primary | Secondary
 
+type read_policy =
+  | Primary_only  (** reads always hit the primary (legacy behaviour) *)
+  | Balanced
+      (** reads alternate across live replicas — safe because versions
+          are immutable once written — except that a read routes to the
+          authoritative replica whenever the missed-op journal holds a
+          mutation that could change what it observes: a journalled op
+          on the same oid, a journalled namespace op for [P_list]/
+          [P_mount], or any journalled [Sync]/[Flush]/[Set_window].
+          Audit-trail reads ([Read_audit], [Verify_log]) always go to
+          the authoritative replica, since each replica audits only the
+          reads it served. *)
+
 val create : S4.Drive.t -> S4.Drive.t -> t
 (** Both drives must be freshly formatted with identical
-    configurations (identical mutation history so far). *)
+    configurations (identical mutation history so far). Read policy
+    starts as [Primary_only]. *)
+
+val set_read_policy : t -> read_policy -> unit
+val read_policy : t -> read_policy
+
+val read_counts : t -> int * int
+(** Reads served by (primary, secondary) since creation — how balanced
+    the balancing actually is. *)
 
 val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
 (** Mutations are applied to every live replica (responses must agree
     — a mismatch is reported as a [Bad_request] error and the
-    secondary is dropped as failed); reads are served by the first
-    live replica. *)
+    secondary is dropped as failed); reads are served per the
+    {!read_policy} (default: the first live replica). *)
 
 val submit :
   t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req array -> S4.Rpc.resp array

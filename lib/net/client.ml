@@ -13,6 +13,11 @@ type config = {
       (* protocol version offered in Hello; lower it to exercise the
          v1 fallback against a batch-capable server *)
   max_batch : int;  (* largest Batch frame this client will send *)
+  cache_budget : int;
+      (* lease-cache LRU budget in bytes; 0 disables the cache. Only
+         effective on a v3 session — an older server grants no leases,
+         which leaves the cache permanently empty. *)
+  cache_journal : bool;  (* record the cache event journal for Cache.check *)
 }
 
 let default_config =
@@ -25,6 +30,8 @@ let default_config =
     claim_client = 1;
     advertise_version = Wire.version;
     max_batch = 256;
+    cache_budget = 0;
+    cache_journal = false;
   }
 
 type t = {
@@ -42,6 +49,7 @@ type t = {
   mutable connected_once : bool;
   mutable n_retries : int;
   mutable n_reconnects : int;
+  c_cache : Cache.t option;
 }
 
 exception Permanent of string
@@ -63,10 +71,21 @@ let connect ?(config = default_config) transport =
     connected_once = false;
     n_retries = 0;
     n_reconnects = 0;
+    c_cache =
+      (if config.cache_budget > 0 then
+         Some (Cache.create ~journal:config.cache_journal ~budget:config.cache_budget ())
+       else None);
   }
 
 let identity t = t.c_identity
 let server_now t = t.c_server_now
+let cache t = t.c_cache
+
+(* Every v3 reply carries the server clock; the cache judges lease
+   expiry against the freshest value seen. *)
+let observe_now t now =
+  if now > t.c_server_now then t.c_server_now <- now;
+  match t.c_cache with Some c -> Cache.observe_now c now | None -> ()
 let version t = t.c_version
 let server_batch_limit t = t.c_batch_limit
 let retries t = t.n_retries
@@ -139,7 +158,8 @@ let ensure_ep t =
           | Wire.Hello_ack { version; identity; now } ->
             t.c_version <- max Wire.min_version (min version t.cfg.advertise_version);
             t.c_identity <- identity;
-            t.c_server_now <- now
+            if now > t.c_server_now then t.c_server_now <- now;
+            (match t.c_cache with Some c -> Cache.observe_now c now | None -> ())
           | Wire.Proto_error { message; _ } ->
             raise (Permanent ("handshake refused: " ^ message))
           | _ -> await ()
@@ -154,20 +174,27 @@ let ensure_ep t =
     if not !ok then t.ep <- None;
     e
 
-let rpc_once t cred sync req : Rpc.resp =
+(* One request on the live endpoint; answers with the response and the
+   lease the server piggybacked on it (0 on a v1/v2 session). *)
+let rpc_once t cred sync req : Rpc.resp * int64 =
   let e = ensure_ep t in
   let xid = fresh_xid t in
   send ~version:t.c_version e (Wire.Request { xid; cred; sync; req });
   let rec await () =
     match recv_frame t e with
-    | Wire.Response { xid = x; resp } when Int64.equal x xid -> resp
-    | Wire.Response _ -> await () (* stale answer from a timed-out request *)
+    | Wire.Response { xid = x; resp; now; lease } when Int64.equal x xid ->
+      observe_now t now;
+      (resp, lease)
+    | Wire.Response { now; _ } ->
+      (* stale answer from a timed-out request *)
+      observe_now t now;
+      await ()
     | Wire.Proto_error { message; _ } ->
       drop_ep t;
       raise (Permanent ("server rejected request: " ^ message))
     | Wire.Hello_ack { identity; now; _ } ->
       t.c_identity <- identity;
-      t.c_server_now <- now;
+      observe_now t now;
       await ()
     | Wire.Stat_ack _ | Wire.Batch_reply _ -> await ()
     | Wire.Hello _ | Wire.Request _ | Wire.Stat _ | Wire.Goodbye | Wire.Batch _ ->
@@ -192,12 +219,12 @@ let failure_message = function
   | Unix.Unix_error (e, _, _) -> Unix.error_message e
   | exn -> Printexc.to_string exn
 
-let handle t cred ?(sync = false) req : Rpc.resp =
+let handle_wire t cred ~sync req : Rpc.resp * int64 =
   let idempotent = not (Rpc.is_mutation req) in
   let rec go attempt =
     match rpc_once t cred sync req with
-    | resp -> resp
-    | exception Permanent msg -> Rpc.R_error (Rpc.Io_error msg)
+    | answer -> answer
+    | exception Permanent msg -> (Rpc.R_error (Rpc.Io_error msg), 0L)
     | exception exn when transient_failure exn ->
       drop_ep t;
       if idempotent && attempt < t.cfg.max_retries then begin
@@ -206,9 +233,23 @@ let handle t cred ?(sync = false) req : Rpc.resp =
         backoff t attempt;
         go (attempt + 1)
       end
-      else Rpc.R_error (Rpc.Io_error (failure_message exn))
+      else (Rpc.R_error (Rpc.Io_error (failure_message exn)), 0L)
   in
   go 0
+
+let handle t cred ?(sync = false) req : Rpc.resp =
+  match t.c_cache with
+  | None -> fst (handle_wire t cred ~sync req)
+  | Some cache -> (
+    match Cache.find cache req with
+    | Some resp ->
+      Metrics.incr "net/cache_served";
+      resp
+    | None ->
+      let resp, lease = handle_wire t cred ~sync req in
+      if Rpc.is_mutation req then Cache.invalidate_req cache req
+      else Cache.store cache req resp ~lease;
+      resp)
 
 let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
   match reqs with
@@ -234,7 +275,8 @@ let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
         let outstanding = ref (List.length reqs) in
         while !outstanding > 0 do
           match recv_frame t e with
-          | Wire.Response { xid; resp } ->
+          | Wire.Response { xid; resp; now; _ } ->
+            observe_now t now;
             if not (Hashtbl.mem answers xid) then begin
               Hashtbl.add answers xid resp;
               decr outstanding
@@ -261,15 +303,19 @@ let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
    peer negotiated down to v1 gets pipelined [Request] frames with the
    durability barrier riding on the last one — the closest v1
    approximation of group commit. *)
-let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array =
+let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array * int64 array =
   let e = ensure_ep t in
   if t.c_version >= 2 then begin
     let xid = fresh_xid t in
     send ~version:t.c_version e (Wire.Batch { xid; cred; sync; reqs });
     let rec await () =
       match recv_frame t e with
-      | Wire.Batch_reply { xid = x; resps } when Int64.equal x xid ->
-        if Array.length resps = Array.length reqs then resps
+      | Wire.Batch_reply { xid = x; resps; now; leases } when Int64.equal x xid ->
+        observe_now t now;
+        if Array.length resps = Array.length reqs then
+          ( resps,
+            if Array.length leases = Array.length resps then leases
+            else Array.make (Array.length resps) 0L )
         else begin
           drop_ep t;
           raise (Permanent "batch response count mismatch")
@@ -280,7 +326,7 @@ let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array =
         raise (Permanent ("server rejected request: " ^ message))
       | Wire.Hello_ack { identity; now; _ } ->
         t.c_identity <- identity;
-        t.c_server_now <- now;
+        observe_now t now;
         await ()
       | Wire.Stat_ack _ -> await ()
       | Wire.Hello _ | Wire.Request _ | Wire.Stat _ | Wire.Goodbye | Wire.Batch _ ->
@@ -295,7 +341,7 @@ let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array =
       (* No request to carry the barrier on a v1 session: an explicit
          (audited) Sync is the only barrier v1 has. *)
       if sync then ignore (rpc_once t cred true Rpc.Sync);
-      [||]
+      ([||], [||])
     end
     else begin
       let xids =
@@ -311,7 +357,8 @@ let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array =
       let outstanding = ref n in
       while !outstanding > 0 do
         match recv_frame t e with
-        | Wire.Response { xid; resp } ->
+        | Wire.Response { xid; resp; now; _ } ->
+          observe_now t now;
           if not (Hashtbl.mem answers xid) then begin
             Hashtbl.add answers xid resp;
             decr outstanding
@@ -321,16 +368,17 @@ let batch_once t cred sync (reqs : Rpc.req array) : Rpc.resp array =
           raise (Permanent ("server rejected request: " ^ message))
         | _ -> ()
       done;
-      Array.map
-        (fun xid ->
-          match Hashtbl.find_opt answers xid with
-          | Some r -> r
-          | None -> Rpc.R_error (Rpc.Io_error "no response"))
-        xids
+      ( Array.map
+          (fun xid ->
+            match Hashtbl.find_opt answers xid with
+            | Some r -> r
+            | None -> Rpc.R_error (Rpc.Io_error "no response"))
+          xids,
+        Array.make n 0L )
     end
   end
 
-let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
+let submit_wire t cred ~sync (reqs : Rpc.req array) : Rpc.resp array * int64 array =
   let n = Array.length reqs in
   let limit =
     let l = if t.c_batch_limit > 0 then min t.c_batch_limit t.cfg.max_batch else t.cfg.max_batch in
@@ -338,6 +386,7 @@ let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
   in
   let idempotent = not (Array.exists Rpc.is_mutation reqs) in
   let out = Array.make n (Rpc.R_error (Rpc.Io_error "not executed")) in
+  let out_leases = Array.make n 0L in
   let fill_from pos msg =
     for i = pos to n - 1 do
       out.(i) <- Rpc.R_error (Rpc.Io_error msg)
@@ -354,8 +403,9 @@ let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
       let last = pos + len >= n in
       let rec attempt k =
         match batch_once t cred (sync && last) chunk with
-        | resps ->
+        | resps, leases ->
           Array.blit resps 0 out pos len;
+          if Array.length leases = len then Array.blit leases 0 out_leases pos len;
           if last then () else run (pos + len)
         | exception Permanent msg -> fill_from pos msg
         | exception exn when transient_failure exn ->
@@ -372,7 +422,46 @@ let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
     end
   in
   run 0;
-  out
+  (out, out_leases)
+
+let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
+  match t.c_cache with
+  | None -> fst (submit_wire t cred ~sync reqs)
+  | Some cache ->
+    let n = Array.length reqs in
+    let out : Rpc.resp option array = Array.make n None in
+    (* Serve what the cache can locally; those requests never cross the
+       wire at all. A cached read is only consulted when no {e earlier}
+       request in this submission mutates its oid — the server would
+       have executed them in order. *)
+    let dirty = ref false in
+    Array.iteri
+      (fun i req ->
+        if Rpc.is_mutation req then dirty := true
+        else if not !dirty then
+          match Cache.find cache req with
+          | Some resp ->
+            Metrics.incr "net/cache_served";
+            out.(i) <- Some resp
+          | None -> ())
+      reqs;
+    let miss_idx = ref [] in
+    Array.iteri (fun i _ -> if out.(i) = None then miss_idx := i :: !miss_idx) reqs;
+    let miss_idx = Array.of_list (List.rev !miss_idx) in
+    let sub = Array.map (fun i -> reqs.(i)) miss_idx in
+    (* All hits: an unsynced submission is fully answered locally; a
+       synced one still owes the server its group-commit barrier. *)
+    if Array.length sub > 0 || sync then begin
+      let resps, leases = submit_wire t cred ~sync sub in
+      Array.iteri
+        (fun j i ->
+          let req = reqs.(i) and resp = resps.(j) in
+          out.(i) <- Some resp;
+          if Rpc.is_mutation req then Cache.invalidate_req cache req
+          else Cache.store cache req resp ~lease:leases.(j))
+        miss_idx
+    end;
+    Array.map (function Some r -> r | None -> Rpc.R_error (Rpc.Io_error "not executed")) out
 
 let capacity t =
   let once () =
@@ -382,7 +471,7 @@ let capacity t =
     let rec await () =
       match recv_frame t e with
       | Wire.Stat_ack { xid = x; total; free; now; batch } when Int64.equal x xid ->
-        t.c_server_now <- now;
+        observe_now t now;
         if batch > 0 then t.c_batch_limit <- batch;
         (total, free)
       | Wire.Proto_error { message; _ } ->

@@ -20,6 +20,14 @@ type config = {
       (** protocol version offered in [Hello] (default
           {!Wire.version}); set 1 to force the pipelining fallback *)
   max_batch : int;  (** largest [Batch] frame sent; bigger submissions are sliced *)
+  cache_budget : int;
+      (** lease-cache LRU budget in bytes; 0 (the default) disables
+          the client cache. Only effective on a v3 session: an older
+          server grants no leases, leaving the cache permanently
+          empty. *)
+  cache_journal : bool;
+      (** record the cache's grant/hit/invalidate journal so
+          {!Cache.check} can prove no stale reply was ever served *)
 }
 
 val default_config : config
@@ -31,7 +39,10 @@ val connect : ?config:config -> Transport.t -> t
 
 val handle : t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req -> S4.Rpc.resp
 (** Same shape as [Drive.handle]. Never raises: permanent transport
-    failure becomes [R_error (Io_error _)]. *)
+    failure becomes [R_error (Io_error _)]. With a cache configured, a
+    read covered by an unexpired lease is answered locally without
+    touching the wire; a mutation drops the cached entries it could
+    supersede before its response is returned. *)
 
 val pipeline :
   t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req list -> S4.Rpc.resp list
@@ -73,7 +84,12 @@ val identity : t -> int
     0 before the first successful handshake. *)
 
 val server_now : t -> int64
-(** Server simulated clock at the last handshake or stat. *)
+(** Freshest server simulated-clock value observed on any reply frame
+    (v3 piggybacks it on every response). *)
+
+val cache : t -> Cache.t option
+(** The lease cache, when [config.cache_budget > 0] — for hit/miss
+    stats and the {!Cache.check} safety rule. *)
 
 val retries : t -> int
 val reconnects : t -> int

@@ -24,6 +24,12 @@ type config = {
   max_io : int;
   allow_admin : bool;
   max_batch : int;  (** largest accepted [Batch]; advertised in [Stat_ack] *)
+  lease_ns : int64;
+      (** client-cache lease term granted on read replies (v3
+          sessions); 0 grants no leases *)
+  qos : bool;
+      (** arbitrate pending work across every session with weighted
+          fair queueing instead of per-session FIFO *)
 }
 
 let default_config =
@@ -33,6 +39,8 @@ let default_config =
     max_io = 16 * 1024 * 1024;
     allow_admin = true;
     max_batch = 256;
+    lease_ns = 0L;
+    qos = false;
   }
 
 type t = {
@@ -40,18 +48,40 @@ type t = {
   audit_garbage : audit_garbage option;
   cfg : config;
   lock : Mutex.t;  (** serializes backend calls: the drive stack is not thread-safe *)
+  sched : (unit -> unit) S4_qos.Wfq.t option;
+      (** [qos] mode: one WFQ over every session's pending work; items
+          are execute-and-reply thunks, guarded by [lock] *)
 }
 
-let create ?(config = default_config) ?audit_garbage backend =
+let create ?(config = default_config) ?audit_garbage ?weight_of backend =
   Wire.ensure_metrics ();
-  { backend; audit_garbage; cfg = config; lock = Mutex.create () }
+  {
+    backend;
+    audit_garbage;
+    cfg = config;
+    lock = Mutex.create ();
+    sched = (if config.qos then Some (S4_qos.Wfq.create ?weight_of ()) else None);
+  }
 
-let of_drive ?config drive =
-  create ?config
+(* A drive-backed server schedules clients by the drive's own DoS
+   detector: an active history-pool penalty shrinks the client's WFQ
+   weight, so the noisy client is served less often while honest
+   clients keep their share. *)
+let of_drive ?config ?weight_of drive =
+  let weight_of =
+    match weight_of with
+    | Some _ -> weight_of
+    | None -> (
+      match Drive.throttle drive with
+      | Some th -> Some (fun client -> S4.Throttle.weight th ~client)
+      | None -> None)
+  in
+  create ?config ?weight_of
     ~audit_garbage:(drive_audit_garbage drive)
     (Drive.backend drive)
 
 let config t = t.cfg
+let scheduler t = t.sched
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -80,6 +110,10 @@ module Session = struct
     pending : work Queue.t;
     mutable s_inflight : int;  (* requests queued, batches flattened *)
     out : Buffer.t;
+    out_lock : Mutex.t;
+        (* In [qos] mode any session's thread may execute this
+           session's work and emit its reply; the buffer gets its own
+           lock (always innermost, after the server lock). *)
     mutable s_closing : bool;
   }
 
@@ -95,23 +129,30 @@ module Session = struct
       pending = Queue.create ();
       s_inflight = 0;
       out = Buffer.create 256;
+      out_lock = Mutex.create ();
       s_closing = false;
     }
 
   let identity s = s.s_identity
   let version s = s.s_version
   let closing s = s.s_closing
-  let finished s = s.s_closing && Queue.is_empty s.pending && Buffer.length s.out = 0
+
+  let finished s =
+    s.s_closing && s.s_inflight = 0 && Queue.is_empty s.pending && Buffer.length s.out = 0
 
   let emit s frame =
     let b = Wire.encode ~version:s.s_version frame in
     Metrics.incr "net/frames_out";
     Metrics.incr ~by:(Bytes.length b) "net/bytes_out";
-    Buffer.add_bytes s.out b
+    Mutex.lock s.out_lock;
+    Buffer.add_bytes s.out b;
+    Mutex.unlock s.out_lock
 
   let output s =
+    Mutex.lock s.out_lock;
     let b = Buffer.to_bytes s.out in
     Buffer.clear s.out;
+    Mutex.unlock s.out_lock;
     b
 
   (* Reject the stream: protocol error out, audit the garbage, stop
@@ -128,14 +169,120 @@ module Session = struct
 
   let now s = Simclock.now s.srv.backend.Backend.clock
 
+  let oversized_io cfg (req : Rpc.req) =
+    match req with
+    | Rpc.Read { len; _ } | Rpc.Write { len; _ } | Rpc.Append { len; _ } ->
+      len > cfg.max_io || len < 0
+    | Rpc.Truncate { size; _ } -> size > cfg.max_io || size < 0
+    | _ -> false
+
+  let bad_data (req : Rpc.req) =
+    match req with
+    | Rpc.Write { len; data = Some d; _ } | Rpc.Append { len; data = Some d; _ } ->
+      Bytes.length d <> len
+    | _ -> false
+
+  (* Execute a (possibly one-element) batch; the caller must hold the
+     server lock. Per-request policy violations (oversized IO,
+     inconsistent data length) answer positionally without reaching
+     the backend; the surviving requests go down as ONE vectored
+     submission, so a [sync] batch pays a single group-commit
+     barrier. *)
+  let execute_batch_locked s cred sync reqs =
+    let cfg = s.srv.cfg in
+    (* The connection, not the request, names the client. *)
+    let cred = { cred with Rpc.client = s.s_identity } in
+    let n = Array.length reqs in
+    if cred.Rpc.admin && not cfg.allow_admin then
+      Array.make n (Rpc.R_error Rpc.Permission_denied)
+    else begin
+      let resps = Array.make n Rpc.R_unit in
+      let valid = ref [] in
+      Array.iteri
+        (fun i req ->
+          if oversized_io cfg req then
+            resps.(i) <- Rpc.R_error (Rpc.Bad_request "io size exceeds server limit")
+          else if bad_data req then
+            resps.(i) <- Rpc.R_error (Rpc.Bad_request "data length mismatch")
+          else valid := (i, req) :: !valid)
+        reqs;
+      let valid = Array.of_list (List.rev !valid) in
+      let kind =
+        if n = 1 then Rpc.op_name reqs.(0) else Printf.sprintf "batch/%d" n
+      in
+      let tok =
+        if s.s_trace && Trace.on () then Trace.enter Trace.Net ~kind ~now:(now s)
+        else Trace.null
+      in
+      let sub = Array.map snd valid in
+      let out =
+        try s.srv.backend.Backend.submit cred ~sync sub
+        with exn ->
+          Array.make (Array.length sub) (Rpc.R_error (Rpc.Io_error (Printexc.to_string exn)))
+      in
+      if Array.length out = Array.length sub then
+        Array.iteri (fun j (i, _) -> resps.(i) <- out.(j)) valid
+      else
+        (* A backend answering off-count is broken: fail the batch. *)
+        Array.iteri
+          (fun j (i, _) ->
+            resps.(i) <-
+              (if j < Array.length out then out.(j)
+               else Rpc.R_error (Rpc.Io_error "backend response count mismatch")))
+          valid;
+      (match resps with
+      | [| Rpc.R_error e |] -> Trace.fail tok (Rpc.err_tag e)
+      | _ -> ());
+      Trace.finish tok ~now:(now s);
+      resps
+    end
+
+  (* The lease piggybacked on a read reply: how long the client may
+     serve this answer from its cache, as an absolute expiry on the
+     server's clock. Only granted on v3 sessions, only for plain
+     object reads — never for errors, and never for audit-trail reads
+     (whose answers must always come from the drive). *)
+  let lease_for s (req : Rpc.req) (resp : Rpc.resp) =
+    let term = s.srv.cfg.lease_ns in
+    if s.s_version < 3 || Int64.compare term 0L <= 0 then 0L
+    else
+      match (req, resp) with
+      | (Rpc.Read _ | Rpc.Get_attr _), (Rpc.R_data _ | Rpc.R_attr _) ->
+        Int64.add (now s) term
+      | _ -> 0L
+
+  (* Execute one unit of queued work and emit its reply; the caller
+     must hold the server lock in [qos] mode. *)
+  let finish_work s w =
+    s.s_inflight <- s.s_inflight - work_units w;
+    match w with
+    | W_one (xid, cred, sync, req) ->
+      let resp = (execute_batch_locked s cred sync [| req |]).(0) in
+      emit s (Wire.Response { xid; resp; now = now s; lease = lease_for s req resp })
+    | W_batch (xid, cred, sync, reqs) ->
+      let resps = execute_batch_locked s cred sync reqs in
+      let leases = Array.mapi (fun i resp -> lease_for s reqs.(i) resp) resps in
+      emit s (Wire.Batch_reply { xid; resps; now = now s; leases })
+
   let enqueue s w =
     let n = work_units w in
     if s.s_inflight + n > s.srv.cfg.max_inflight then
       reject s (Printf.sprintf "more than %d requests in flight" s.srv.cfg.max_inflight)
-    else begin
-      s.s_inflight <- s.s_inflight + n;
-      Queue.add w s.pending
-    end
+    else
+      match s.srv.sched with
+      | None ->
+        s.s_inflight <- s.s_inflight + n;
+        Queue.add w s.pending
+      | Some sched ->
+        (* Shared weighted-fair queue: the item's cost is its request
+           count and its weight is sampled from the server's weight
+           source (the drive throttle, under [of_drive]), so a noisy
+           client's flood interleaves behind honest clients' work
+           instead of ahead of it. *)
+        with_lock s.srv (fun () ->
+            s.s_inflight <- s.s_inflight + n;
+            S4_qos.Wfq.enqueue sched ~client:s.s_identity ~cost:(float_of_int n)
+              (fun () -> finish_work s w))
 
   let on_frame s (frame : Wire.frame) =
     match frame with
@@ -209,90 +356,26 @@ module Session = struct
       parse s
     end
 
-  let oversized_io cfg (req : Rpc.req) =
-    match req with
-    | Rpc.Read { len; _ } | Rpc.Write { len; _ } | Rpc.Append { len; _ } ->
-      len > cfg.max_io || len < 0
-    | Rpc.Truncate { size; _ } -> size > cfg.max_io || size < 0
-    | _ -> false
-
-  let bad_data (req : Rpc.req) =
-    match req with
-    | Rpc.Write { len; data = Some d; _ } | Rpc.Append { len; data = Some d; _ } ->
-      Bytes.length d <> len
-    | _ -> false
-
-  (* Execute a (possibly one-element) batch. Per-request policy
-     violations (oversized IO, inconsistent data length) answer
-     positionally without reaching the backend; the surviving
-     requests go down as ONE vectored submission, so a [sync] batch
-     pays a single group-commit barrier. *)
-  let execute_batch s cred sync reqs =
-    let cfg = s.srv.cfg in
-    (* The connection, not the request, names the client. *)
-    let cred = { cred with Rpc.client = s.s_identity } in
-    let n = Array.length reqs in
-    if cred.Rpc.admin && not cfg.allow_admin then
-      Array.make n (Rpc.R_error Rpc.Permission_denied)
-    else begin
-      let resps = Array.make n Rpc.R_unit in
-      let valid = ref [] in
-      Array.iteri
-        (fun i req ->
-          if oversized_io cfg req then
-            resps.(i) <- Rpc.R_error (Rpc.Bad_request "io size exceeds server limit")
-          else if bad_data req then
-            resps.(i) <- Rpc.R_error (Rpc.Bad_request "data length mismatch")
-          else valid := (i, req) :: !valid)
-        reqs;
-      let valid = Array.of_list (List.rev !valid) in
-      with_lock s.srv (fun () ->
-          let kind =
-            if n = 1 then Rpc.op_name reqs.(0)
-            else Printf.sprintf "batch/%d" n
-          in
-          let tok =
-            if s.s_trace && Trace.on () then Trace.enter Trace.Net ~kind ~now:(now s)
-            else Trace.null
-          in
-          let sub = Array.map snd valid in
-          let out =
-            try s.srv.backend.Backend.submit cred ~sync sub
-            with exn ->
-              Array.make (Array.length sub) (Rpc.R_error (Rpc.Io_error (Printexc.to_string exn)))
-          in
-          if Array.length out = Array.length sub then
-            Array.iteri (fun j (i, _) -> resps.(i) <- out.(j)) valid
-          else
-            (* A backend answering off-count is broken: fail the batch. *)
-            Array.iteri
-              (fun j (i, _) ->
-                resps.(i) <-
-                  (if j < Array.length out then out.(j)
-                   else Rpc.R_error (Rpc.Io_error "backend response count mismatch")))
-              valid;
-          (match resps with
-          | [| Rpc.R_error e |] -> Trace.fail tok (Rpc.err_tag e)
-          | _ -> ());
-          Trace.finish tok ~now:(now s);
-          resps)
-    end
-
-  let execute s cred sync req = (execute_batch s cred sync [| req |]).(0)
-
+  (* One scheduling step. FIFO mode serves this session's own queue;
+     [qos] mode serves whichever session's work the weighted-fair
+     queue puts first — any session's [run] drains everyone's
+     highest-priority work, which is what makes the arbitration
+     global. *)
   let step s =
-    match Queue.take_opt s.pending with
-    | None -> false
-    | Some w ->
-      s.s_inflight <- s.s_inflight - work_units w;
-      (match w with
-      | W_one (xid, cred, sync, req) ->
-        let resp = execute s cred sync req in
-        emit s (Wire.Response { xid; resp })
-      | W_batch (xid, cred, sync, reqs) ->
-        let resps = execute_batch s cred sync reqs in
-        emit s (Wire.Batch_reply { xid; resps }));
-      true
+    match s.srv.sched with
+    | None -> (
+      match Queue.take_opt s.pending with
+      | None -> false
+      | Some w ->
+        with_lock s.srv (fun () -> finish_work s w);
+        true)
+    | Some sched ->
+      with_lock s.srv (fun () ->
+          match S4_qos.Wfq.pop sched with
+          | None -> false
+          | Some thunk ->
+            thunk ();
+            true)
 
   let rec run s = if step s then run s
 end

@@ -35,26 +35,51 @@ type config = {
   max_batch : int;
       (** largest accepted [Batch] frame (requests per batch);
           advertised to v2 peers in [Stat_ack] *)
+  lease_ns : int64;
+      (** client-cache lease term: every successful [Read]/[Get_attr]
+          reply on a v3 session carries an absolute expiry of
+          [now + lease_ns], authorizing the client to serve that
+          answer from its cache until then. 0 grants no leases. *)
+  qos : bool;
+      (** serve queued work in weighted-fair order across {e every}
+          session instead of per-session FIFO, so one flooding client
+          cannot starve the rest (the paper's DoS stance, upgraded
+          for multi-tenancy) *)
 }
 
 val default_config : config
 (** 4 MiB frames, 64 in-flight, 16 MiB io, admin allowed, 256-request
-    batches. *)
+    batches, no leases, FIFO scheduling. *)
 
 type t
 
-val create : ?config:config -> ?audit_garbage:audit_garbage -> S4.Backend.t -> t
+val create :
+  ?config:config ->
+  ?audit_garbage:audit_garbage ->
+  ?weight_of:(int -> float) ->
+  S4.Backend.t ->
+  t
 (** Serve any backend — a drive, a shard router, a mirrored pair.
     Backend calls are serialized under an internal lock, so one server
     can safely carry many concurrent connections to a single
-    (thread-oblivious) drive stack. *)
+    (thread-oblivious) drive stack. [weight_of] is the per-client
+    weight source sampled by the [qos] scheduler (default: everyone
+    weighs 1.0). *)
 
-val of_drive : ?config:config -> S4.Drive.t -> t
+val of_drive : ?config:config -> ?weight_of:(int -> float) -> S4.Drive.t -> t
 (** [create] over {!S4.Drive.backend} with the drive's garbage-audit
     hook wired: garbage frames land in its audit log under op
-    ["net_reject"]. *)
+    ["net_reject"]. When the drive runs a {!S4.Throttle} and no
+    explicit [weight_of] is given, QoS weights come from
+    {!S4.Throttle.weight}: a client with an active history-pool
+    penalty is served proportionally less often. *)
 
 val config : t -> config
+
+val scheduler : t -> (unit -> unit) S4_qos.Wfq.t option
+(** The shared weighted-fair queue, when [config.qos] is set — for
+    observability ([Wfq.served], [Wfq.virtual_time]) in tests and
+    benchmarks. *)
 
 (** {1 Protocol sessions (sans-IO)} *)
 
@@ -79,7 +104,10 @@ module Session : sig
       nothing was pending. *)
 
   val run : s -> unit
-  (** {!step} until the pending queue is empty. *)
+  (** {!step} until the pending queue is empty. In [qos] mode this
+      drains the {e shared} weighted-fair queue: a session's [run] may
+      execute other sessions' work (and emit into their buffers) in
+      fair order. *)
 
   val output : s -> Bytes.t
   (** Drain the bytes owed to the peer (empty when none). *)

@@ -10,20 +10,28 @@ type frame =
   | Hello of { version : int; claim : int }
   | Hello_ack of { version : int; identity : int; now : int64 }
   | Request of { xid : int64; cred : Rpc.credential; sync : bool; req : Rpc.req }
-  | Response of { xid : int64; resp : Rpc.resp }
+  | Response of { xid : int64; resp : Rpc.resp; now : int64; lease : int64 }
   | Proto_error of { xid : int64; message : string }
   | Stat of { xid : int64 }
   | Stat_ack of { xid : int64; total : int; free : int; now : int64; batch : int }
   | Goodbye
   | Batch of { xid : int64; cred : Rpc.credential; sync : bool; reqs : Rpc.req array }
-  | Batch_reply of { xid : int64; resps : Rpc.resp array }
+  | Batch_reply of { xid : int64; resps : Rpc.resp array; now : int64; leases : int64 array }
 
 (* Version 2 adds the vectored frames ([Batch]/[Batch_reply]) and a
    max-batch field in [Stat_ack]. A peer advertises its best version
    in [Hello]; the server acks the minimum of the two and every
    subsequent frame on the connection is encoded at that version.
-   Version-1 sessions are still fully supported (minus batching). *)
-let version = 2
+   Version-1 sessions are still fully supported (minus batching).
+
+   Version 3 piggybacks the server's clock and cache leases on reply
+   frames: [Response] carries [now] (server time when the reply was
+   made) and [lease] (absolute server-time expiry until which the
+   client may serve this reply from its cache; 0 = not cacheable), and
+   [Batch_reply] carries [now] plus one lease per response. On a v1/v2
+   stream the fields are neither encoded nor decoded — they read back
+   as 0, so older peers simply never cache. *)
+let version = 3
 let min_version = 1
 let magic = "S4WP"
 let header_len = 20
@@ -423,9 +431,14 @@ let payload_of v = function
     w_bool w sync;
     w_req w req;
     Bcodec.contents w
-  | Response { xid = _; resp } ->
+  | Response { xid = _; resp; now; lease } ->
     let w = Bcodec.writer () in
     w_resp w resp;
+    (* Server-clock + lease piggyback only exists in the v3 payload. *)
+    if v >= 3 then begin
+      Bcodec.w_i64 w now;
+      Bcodec.w_i64 w lease
+    end;
     Bcodec.contents w
   | Proto_error { xid = _; message } ->
     let w = Bcodec.writer () in
@@ -449,10 +462,19 @@ let payload_of v = function
     Bcodec.w_int w (Array.length reqs);
     Array.iter (w_req w) reqs;
     Bcodec.contents w
-  | Batch_reply { xid = _; resps } ->
+  | Batch_reply { xid = _; resps; now; leases } ->
     let w = Bcodec.writer () in
     Bcodec.w_int w (Array.length resps);
     Array.iter (w_resp w) resps;
+    if v >= 3 then begin
+      Bcodec.w_i64 w now;
+      (* One lease per response, in order; a short array pads with 0
+         (not cacheable) so the frame shape is always n leases. *)
+      Array.iteri
+        (fun i _ ->
+          Bcodec.w_i64 w (if i < Array.length leases then leases.(i) else 0L))
+        resps
+    end;
     Bcodec.contents w
 
 let encode ?(version = version) frame =
@@ -494,7 +516,11 @@ let parse_payload v kind xid payload : frame =
       let cred = r_cred r in
       let sync = r_bool r in
       Request { xid; cred; sync; req = r_req r }
-    | 3 -> Response { xid; resp = r_resp r }
+    | 3 ->
+      let resp = r_resp r in
+      let now = if v >= 3 then Bcodec.r_i64 r else 0L in
+      let lease = if v >= 3 then Bcodec.r_i64 r else 0L in
+      Response { xid; resp; now; lease }
     | 4 -> Proto_error { xid; message = Bcodec.r_string r }
     | 5 -> Stat { xid }
     | 6 ->
@@ -513,7 +539,10 @@ let parse_payload v kind xid payload : frame =
     | 9 ->
       let n = Bcodec.r_int r in
       checked_count r n;
-      Batch_reply { xid; resps = Array.init n (fun _ -> r_resp r) }
+      let resps = Array.init n (fun _ -> r_resp r) in
+      let now = if v >= 3 then Bcodec.r_i64 r else 0L in
+      let leases = if v >= 3 then Array.init n (fun _ -> Bcodec.r_i64 r) else [||] in
+      Batch_reply { xid; resps; now; leases }
     | k -> fail (Printf.sprintf "bad frame kind %d" k)
   in
   if Bcodec.remaining r <> 0 then

@@ -7,7 +7,7 @@
     {v
       offset size  field
       0      4     magic "S4WP"
-      4      1     protocol version (1 or 2)
+      4      1     protocol version (1, 2 or 3)
       5      1     frame kind
       6      2     reserved (must be zero)
       8      8     xid (request id; 0 for control frames)
@@ -23,7 +23,11 @@
     [Batch_reply] frames (group-commit submission) and a max-batch
     advertisement in [Stat_ack]; both are rejected inside a v1
     stream, and a client negotiated down to v1 falls back to
-    pipelining individual [Request] frames.
+    pipelining individual [Request] frames. Version 3 piggybacks the
+    server clock and client-cache leases on reply frames ([now] /
+    [lease] on [Response], [now] / [leases] on [Batch_reply]); on a
+    v1/v2 stream the fields are absent and decode as 0, so an older
+    peer simply never caches.
 
     Decoding is strict and bounded: a declared payload longer than the
     decoder's [max_frame] is rejected {e before} any payload arrives
@@ -40,7 +44,11 @@ type frame =
           connection and echoes it in {!Hello_ack} *)
   | Hello_ack of { version : int; identity : int; now : int64 }
   | Request of { xid : int64; cred : S4.Rpc.credential; sync : bool; req : S4.Rpc.req }
-  | Response of { xid : int64; resp : S4.Rpc.resp }
+  | Response of { xid : int64; resp : S4.Rpc.resp; now : int64; lease : int64 }
+      (** [now] is the server's clock when the reply was made; [lease]
+          the absolute server-time instant until which the client may
+          serve this reply from its cache (0 = not cacheable). Both 0
+          on a v1/v2 session. *)
   | Proto_error of { xid : int64; message : string }
       (** protocol-level rejection (bad frame, limit exceeded); the
           sender closes the connection after emitting one *)
@@ -53,11 +61,14 @@ type frame =
       { xid : int64; cred : S4.Rpc.credential; sync : bool; reqs : S4.Rpc.req array }
       (** v2: one vectored submission; [sync] asks for a single
           group-commit barrier after the last request *)
-  | Batch_reply of { xid : int64; resps : S4.Rpc.resp array }
-      (** v2: positional responses to a [Batch] *)
+  | Batch_reply of
+      { xid : int64; resps : S4.Rpc.resp array; now : int64; leases : int64 array }
+      (** v2: positional responses to a [Batch]. v3 adds the server
+          clock and one lease per response ([0L] = not cacheable);
+          [leases] is empty on a v1/v2 session. *)
 
 val version : int
-(** Best protocol version this build speaks (2). *)
+(** Best protocol version this build speaks (3). *)
 
 val min_version : int
 (** Oldest version still accepted on the wire (1). *)

@@ -8,6 +8,13 @@ let incr ?(by = 1) name =
   | Some r -> r := !r + by
   | None -> Hashtbl.replace counters_tbl name (ref by)
 
+(* Gauge semantics: overwrite instead of accumulate (e.g. a decaying
+   per-client byte counter exported on each refresh). *)
+let set name v =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some r -> r := v
+  | None -> Hashtbl.replace counters_tbl name (ref v)
+
 let observe name v =
   let h =
     match Hashtbl.find_opt histograms_tbl name with

@@ -14,6 +14,12 @@
 val incr : ?by:int -> string -> unit
 (** Bump the named counter, creating it at zero on first use. *)
 
+val set : string -> int -> unit
+(** Overwrite the named counter (gauge semantics), creating it on
+    first use — for values that are a snapshot of live state rather
+    than an accumulation, e.g. the throttle's decaying per-client
+    counters. *)
+
 val observe : string -> float -> unit
 (** Add a sample to the named histogram, creating it on first use. *)
 

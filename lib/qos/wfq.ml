@@ -1,0 +1,145 @@
+(* Virtual-time weighted fair queueing.
+
+   Each item gets a finish tag F = max (V, F_last client) + cost / w
+   where V is the scheduler's virtual time and F_last is the finish tag
+   of the client's previously enqueued item. pop serves the smallest F
+   and advances V to it. V only moves forward, and a client that idles
+   re-enters at the current V rather than banking credit from its idle
+   period (start tags never predate V), which is what bounds how far a
+   returning client can burst ahead of the others. *)
+
+let weight_floor = 0.01
+(* A fully-penalized client still drains at 1% share; WFQ shapes, it
+   never starves outright. *)
+
+type 'a item = {
+  payload : 'a;
+  finish : float;
+  cost : float;
+  seq : int; (* global enqueue order; tie-break so sorting is total *)
+  client : int;
+}
+
+type client_state = {
+  mutable last_finish : float;
+  mutable queued : int;
+  mutable served_cost : float;
+}
+
+type 'a t = {
+  weight_of : int -> float;
+  clients : (int, client_state) Hashtbl.t;
+  (* One binary heap over every pending item, keyed by (finish, seq).
+     Per-client FIFO holds because a client's finish tags are strictly
+     increasing in enqueue order. *)
+  mutable heap : 'a item array;
+  mutable size : int;
+  mutable vtime : float;
+  mutable seq : int;
+}
+
+let create ?(weight_of = fun _ -> 1.0) () =
+  {
+    weight_of;
+    clients = Hashtbl.create 16;
+    heap = [||];
+    size = 0;
+    vtime = 0.0;
+    seq = 0;
+  }
+
+let state t client =
+  match Hashtbl.find_opt t.clients client with
+  | Some s -> s
+  | None ->
+    let s = { last_finish = 0.0; queued = 0; served_cost = 0.0 } in
+    Hashtbl.add t.clients client s;
+    s
+
+let before a b = a.finish < b.finish || (a.finish = b.finish && a.seq < b.seq)
+
+let heap_push t item =
+  if t.size = Array.length t.heap then begin
+    let cap = max 16 (2 * t.size) in
+    let bigger = Array.make cap item in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- item;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    before t.heap.(!i) t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let heap_pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.heap.(!smallest) in
+          t.heap.(!smallest) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some top
+  end
+
+let enqueue t ~client ~cost payload =
+  let cost = if cost < 1.0 then 1.0 else cost in
+  let w =
+    let w = t.weight_of client in
+    if Float.is_nan w || w < weight_floor then weight_floor else w
+  in
+  let s = state t client in
+  let start = Float.max t.vtime s.last_finish in
+  let finish = start +. (cost /. w) in
+  s.last_finish <- finish;
+  s.queued <- s.queued + 1;
+  let item = { payload; finish; cost; seq = t.seq; client } in
+  t.seq <- t.seq + 1;
+  heap_push t item
+
+let pop t =
+  match heap_pop t with
+  | None -> None
+  | Some item ->
+    let s = state t item.client in
+    s.queued <- s.queued - 1;
+    if item.finish > t.vtime then t.vtime <- item.finish;
+    s.served_cost <- s.served_cost +. item.cost;
+    Some item.payload
+
+let peek_client t = if t.size = 0 then None else Some t.heap.(0).client
+let length t = t.size
+let pending t ~client = match Hashtbl.find_opt t.clients client with None -> 0 | Some s -> s.queued
+let virtual_time t = t.vtime
+
+let served t ~client =
+  match Hashtbl.find_opt t.clients client with None -> 0.0 | Some s -> s.served_cost
+
+let clients t = Hashtbl.fold (fun c _ acc -> c :: acc) t.clients [] |> List.sort compare

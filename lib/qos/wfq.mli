@@ -1,0 +1,53 @@
+(** Weighted fair queueing over per-client work queues.
+
+    The scheduler implements classic virtual-time WFQ: each enqueued
+    item carries a cost (e.g. estimated bytes or request count) and the
+    client it belongs to; the item's finish tag is
+    [max (virtual_time, last_finish client) + cost / weight client],
+    and {!pop} always returns the pending item with the smallest finish
+    tag. A client with weight [w] therefore receives a [w / sum-of-active-
+    weights] share of service in cost units, regardless of how fast it
+    floods its own queue — one hog cannot starve the rest.
+
+    Weights are looked up through a callback at enqueue time, so a
+    dynamic penalty source (the drive's history-pool throttle, say) can
+    lower a client's weight while it misbehaves and restore it as the
+    penalty decays. The structure is not thread-safe; callers serialize
+    access (the network server holds its own lock). *)
+
+type 'a t
+
+val create : ?weight_of:(int -> float) -> unit -> 'a t
+(** [create ~weight_of ()] makes an empty scheduler. [weight_of client]
+    is sampled each time that client enqueues; values are clamped to a
+    small positive floor so a fully-penalized client still drains.
+    Default weight is [1.0] for every client. *)
+
+val enqueue : 'a t -> client:int -> cost:float -> 'a -> unit
+(** Add an item for [client]. [cost] must be positive; it is clamped to
+    a minimum of [1.0] so zero-cost floods cannot capture the head of
+    the queue. Items from one client stay FIFO relative to each other. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the pending item with the smallest finish tag, or
+    [None] when the scheduler is empty. Ties break on enqueue order, so
+    equal-weight clients interleave deterministically. *)
+
+val peek_client : 'a t -> int option
+(** Client id of the item {!pop} would return, without removing it. *)
+
+val length : 'a t -> int
+(** Total items pending across every client. *)
+
+val pending : 'a t -> client:int -> int
+(** Items pending for one client. *)
+
+val virtual_time : 'a t -> float
+(** Current virtual time (monotone; advances as work is served). *)
+
+val served : 'a t -> client:int -> float
+(** Total cost served to [client] since creation — the fairness metric
+    benchmarks assert on. *)
+
+val clients : 'a t -> int list
+(** Clients that have ever enqueued, ascending. *)

@@ -45,6 +45,7 @@ type t = {
   mutable migrated_entries : int;
   mutable migrated_bytes : int;
   mutable trace_tok : int;  (* open router span, or Trace.null *)
+  mutable read_overlap : bool;  (* batch reads charge as parallel work *)
 }
 
 let member_drives = function
@@ -82,6 +83,8 @@ let meta_shard t = t.meta
 let clock t = t.clock
 let ops_handled t = t.ops
 let member t id = (shard t id).sh_member
+let set_read_overlap t v = t.read_overlap <- v
+let read_overlap t = t.read_overlap
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -148,6 +151,7 @@ let create_raw ?vnodes members =
         migrated_entries = 0;
         migrated_bytes = 0;
         trace_tok = Trace.null;
+        read_overlap = false;
       }
     in
     List.iter (fun (id, m) -> ignore (register t id m)) members;
@@ -327,26 +331,61 @@ let catalog_init t =
       Hashtbl.replace t.private_oids g ()
   end
 
+(* The widest detection window any member guarantees: a retained floor
+   for a departed member stays cross-checkable for as long as any
+   surviving drive could still hold in-window history about it. *)
+let array_window t =
+  List.fold_left
+    (fun acc d ->
+      let w = Drive.window d in
+      if Int64.compare w acc > 0 then w else acc)
+    0L (all_drives t)
+
 (* Pin every member's about-to-be-sealed head into the catalog. Runs
    inside the barrier's charge, after chaining all buffered records and
    before the member barriers, so the catalog write is made durable by
    the same barrier whose seals it records. Direct store access: the
    catalog write itself must not generate audit records, or the heads
-   it just recorded would be stale the moment it landed. *)
+   it just recorded would be stale the moment it landed.
+
+   The update is a merge, not a rebuild: a member that is absent this
+   barrier (shard removed, integrity switched off) keeps its last
+   recorded floor — still evidence against a rewrite — until the
+   floor's [at] stamp ages past the detection window, at which point
+   it is pruned like any other expired history. *)
 let update_catalog t =
   match t.catalog_oid with
   | None -> ()
   | Some _ -> (
     try
       List.iter (fun d -> Audit.flush (Drive.audit d)) (all_drives t);
-      let entries =
+      let now = Simclock.now t.clock in
+      let prev =
+        match t.catalog_cache with
+        | Some e -> e
+        | None -> ( match read_catalog t with `Ok e -> e | `No_catalog | `Bad -> [])
+      in
+      let live_heads =
         List.filter_map
           (fun (sid, ri, d) ->
             if Drive.integrity_enabled d && Audit.enabled (Drive.audit d) then
-              Some
-                { Catalog.shard = sid; replica = ri; head = Audit.prospective_head (Drive.audit d) }
+              Some (sid, ri, Audit.prospective_head (Drive.audit d))
             else None)
           (drive_entries t)
+      in
+      let live ~shard ~replica =
+        List.exists (fun (sid, ri, _) -> sid = shard && ri = replica) live_heads
+      in
+      let entries =
+        List.fold_left
+          (fun acc (sid, ri, head) ->
+            match Catalog.find_entry acc ~shard:sid ~replica:ri with
+            (* Unchanged head keeps its stamp, so a quiescent array
+               does not rewrite the catalog at every barrier. *)
+            | Some e when e.Catalog.head = head -> acc
+            | _ -> Catalog.set acc ~shard:sid ~replica:ri ~at:now head)
+          prev live_heads
+        |> Catalog.prune ~now ~window:(array_window t) ~live
       in
       if t.catalog_cache <> Some entries then write_catalog t entries
     with Fault.Read_fault _ | Fault.Write_fault _ | Log.Log_full ->
@@ -405,6 +444,7 @@ let repair_catalog t =
   match read_catalog t with
   | `No_catalog | `Bad -> ()
   | `Ok entries ->
+    let at = Simclock.now t.clock in
     let entries' =
       List.fold_left
         (fun acc (sid, ri, d) ->
@@ -412,16 +452,16 @@ let repair_catalog t =
           else begin
             let member = Audit.sealed_head (Drive.audit d) in
             match Catalog.find acc ~shard:sid ~replica:ri with
-            | None -> Catalog.set acc ~shard:sid ~replica:ri member
+            | None -> Catalog.set acc ~shard:sid ~replica:ri ~at member
             | Some ch -> (
               match Catalog.check ~catalog:ch ~member with
               | Catalog.Consistent -> acc
               | Catalog.Stale_catalog ->
                 if Chain.clean (Audit.verify ~from:ch (Drive.audit d)) then
-                  Catalog.set acc ~shard:sid ~replica:ri member
+                  Catalog.set acc ~shard:sid ~replica:ri ~at member
                 else acc
               | Catalog.Rolled_back when ch.Chain.epoch - member.Chain.epoch <= 1 ->
-                Catalog.set acc ~shard:sid ~replica:ri member
+                Catalog.set acc ~shard:sid ~replica:ri ~at member
               | Catalog.Rolled_back | Catalog.Forked -> acc)
           end)
         entries (drive_entries t)
@@ -660,14 +700,63 @@ let store_of t oid = shard_store (shard t (holder t oid))
 
 let resp_ok = function Rpc.R_error _ -> false | _ -> true
 
+(* Reads routed purely by oid: no global state consulted, no state
+   mutated, so a run of them may execute back-to-back and be charged
+   as concurrent work across the distinct shards (and mirror replicas)
+   they land on. *)
+let routable_read = function
+  | Rpc.Read _ | Rpc.Get_attr _ | Rpc.Get_acl_by_user _ | Rpc.Get_acl_by_index _ -> true
+  | _ -> false
+
+let read_oid = function
+  | Rpc.Read { oid; _ }
+  | Rpc.Get_attr { oid; _ }
+  | Rpc.Get_acl_by_user { oid; _ }
+  | Rpc.Get_acl_by_index { oid; _ } -> oid
+  | _ -> invalid_arg "Router.read_oid: not a routable read"
+
 let submit t cred ?(sync = false) reqs =
   (* Requests run in arrival order through the normal per-request
      dispatch (each charged its own shard's time, exactly as
      sequential submission would), so a batched run is bit-identical
      to an unsynced sequential one; the group-commit win is the single
-     end-of-batch barrier replacing a per-mutation barrier. *)
-  let resps = Array.map (fun req -> handle t cred ~sync:false req) reqs in
-  if sync && (Array.length reqs = 0 || Array.exists resp_ok resps) then
+     end-of-batch barrier replacing a per-mutation barrier.
+
+     With {!set_read_overlap} on, a maximal run of consecutive
+     oid-routed reads is instead charged as ONE parallel fan-out: the
+     run completes when the slowest involved disk does. Responses are
+     unchanged (reads execute in order against immutable versions);
+     only the clock differs, which is why the mode is opt-in. Tracing
+     keeps per-request spans, so an active tracer falls back to
+     sequential charging. *)
+  let n = Array.length reqs in
+  let overlap = t.read_overlap && not (Trace.on ()) in
+  let resps = Array.make n Rpc.R_unit in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    if overlap then while !j < n && routable_read reqs.(!j) do incr j done;
+    if !j - !i >= 2 then begin
+      let idxs = List.init (!j - !i) (fun k -> !i + k) in
+      let involved =
+        List.sort_uniq compare (List.map (fun k -> holder t (read_oid reqs.(k))) idxs)
+        |> List.map (shard t)
+      in
+      charge t involved (fun () ->
+          List.iter
+            (fun k ->
+              t.ops <- t.ops + 1;
+              let sh = shard t (holder t (read_oid reqs.(k))) in
+              resps.(k) <- dispatch t sh cred ~sync:false reqs.(k))
+            idxs);
+      i := !j
+    end
+    else begin
+      resps.(!i) <- handle t cred ~sync:false reqs.(!i);
+      incr i
+    end
+  done;
+  if sync && (n = 0 || Array.exists resp_ok resps) then
     match barrier t with
     | None -> resps
     | Some err ->

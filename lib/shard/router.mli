@@ -51,7 +51,19 @@ val submit :
     bit-identical to an unsynced sequential one), then — when [sync]
     — ONE durability {!barrier} fans out across every member, charged
     as parallel work (slowest member). If the barrier fails,
-    successful responses are rewritten to its error. *)
+    successful responses are rewritten to its error. With
+    {!set_read_overlap} on, maximal runs of consecutive oid-routed
+    reads in a batch are charged as one parallel fan-out instead. *)
+
+val set_read_overlap : t -> bool -> unit
+(** Charge batch read runs as concurrent work across the distinct
+    shards (and mirror replicas) they land on, instead of summing
+    their service times. Responses are unchanged — versions are
+    immutable and the reads still execute in order — only the clock
+    accounting differs, so the mode is opt-in (default off) to keep
+    batched and sequential runs bit-identical, clock included. *)
+
+val read_overlap : t -> bool
 
 val barrier : t -> S4.Rpc.error option
 (** One durability barrier on every member ([Drive.barrier] /

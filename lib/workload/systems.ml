@@ -67,8 +67,8 @@ let s4_nfs_server ?disk_mb ?(drive_config = benchmark_drive_config) () =
   let server = Server.over_net net (Server.of_translator ~name:"S4-NFS" tr) in
   { name = "S4-NFS"; server; clock; disk; drive = Some drive; translator = Some tr; router = None }
 
-let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = false) ~shards ()
-    =
+let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = false)
+    ?(balanced = false) ?(read_overlap = false) ~shards () =
   if shards <= 0 then invalid_arg "Systems.s4_array: need at least one shard";
   let clock = Simclock.create () in
   let geometry =
@@ -79,10 +79,15 @@ let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = fals
   let mk_drive () = Drive.format ~config:drive_config (Sim_disk.create ~geometry clock) in
   let members =
     List.init shards (fun i ->
-        if mirrored then (i, Router.Mirrored (Mirror.create (mk_drive ()) (mk_drive ())))
+        if mirrored then begin
+          let m = Mirror.create (mk_drive ()) (mk_drive ()) in
+          if balanced then Mirror.set_read_policy m Mirror.Balanced;
+          (i, Router.Mirrored m)
+        end
         else (i, Router.Single (mk_drive ())))
   in
   let router = Router.create members in
+  Router.set_read_overlap router read_overlap;
   let tr = Translator.mount (Translator.Backend (Router.backend router)) in
   let name = Printf.sprintf "S4-array-%d%s" shards (if mirrored then "m" else "") in
   let net = Net.create clock in
@@ -113,14 +118,15 @@ let s4_direct ?disk_mb ?(drive_config = benchmark_drive_config) () =
     router = None;
   }
 
-let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) () =
+let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) ?server_config ?client_config
+    () =
   let clock, disk = mk_disk ?disk_mb () in
   let drive = Drive.format ~config:drive_config disk in
-  let srv = Netserver.of_drive drive in
+  let srv = Netserver.of_drive ?config:server_config drive in
   (* Identity 1 matches the translator's default credential client, so
      the connection-derived identity leaves the audit trail identical
      to the in-process deployment. *)
-  let client = Netclient.connect (Nettransport.loopback ~identity:1 srv) in
+  let client = Netclient.connect ?config:client_config (Nettransport.loopback ~identity:1 srv) in
   let keep_data = drive_config.Drive.store.Store.keep_data in
   let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data client)) in
   {

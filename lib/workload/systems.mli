@@ -33,6 +33,8 @@ val s4_array :
   ?disk_mb:int ->
   ?drive_config:S4.Drive.config ->
   ?mirrored:bool ->
+  ?balanced:bool ->
+  ?read_overlap:bool ->
   shards:int ->
   unit ->
   t
@@ -41,7 +43,11 @@ val s4_array :
     [Backend] transport so it is driven exactly like the
     single-drive systems. All member disks share one clock and run in
     phantom mode (parallel-device accounting). [mirrored] makes every
-    shard a two-drive {!S4_multi.Mirror}. *)
+    shard a two-drive {!S4_multi.Mirror}; [balanced] additionally
+    serves mirrored reads from either replica
+    ([Mirror.set_read_policy Balanced]); [read_overlap] charges batch
+    read runs as concurrent cross-shard work
+    ([Router.set_read_overlap]). *)
 
 val s4_direct :
   ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
@@ -50,11 +56,18 @@ val s4_direct :
     networked-equivalence tests and the net bench. *)
 
 val s4_loopback :
-  ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t
+  ?disk_mb:int ->
+  ?drive_config:S4.Drive.config ->
+  ?server_config:S4_net.Server.config ->
+  ?client_config:S4_net.Client.config ->
+  unit ->
+  t
 (** Like {!s4_direct} but every S4 RPC is encoded through the
     {!S4_net.Wire} codec and executed by a {!S4_net.Server.Session}
     over the deterministic in-memory loopback transport. Adds no
-    simulated time, so it must produce a bit-identical disk image. *)
+    simulated time, so it must produce a bit-identical disk image.
+    [server_config] turns on leases/QoS; [client_config] sizes the
+    lease-backed client cache. *)
 
 val s4_tcp :
   ?disk_mb:int -> ?drive_config:S4.Drive.config -> unit -> t * (unit -> unit)

@@ -319,7 +319,9 @@ let run_networked_pair ops =
       List.map disk_digest (member_disks sys) )
   in
   let d_out, d_snap, d_clock, d_digests = run (mk Systems.s4_direct) in
-  let l_out, l_snap, l_clock, l_digests = run (mk Systems.s4_loopback) in
+  let l_out, l_snap, l_clock, l_digests =
+    run (mk (fun ?disk_mb ?drive_config () -> Systems.s4_loopback ?disk_mb ?drive_config ()))
+  in
   check (Alcotest.list Alcotest.string) "networked: same op outcomes" d_out l_out;
   check (Alcotest.list Alcotest.string) "networked: same final namespace" d_snap l_snap;
   check Alcotest.int64 "networked: identical final simulated clock" d_clock l_clock;
@@ -668,6 +670,153 @@ let test_batched_trace_checker () =
   check Alcotest.bool "audit records matched to spans" true (r.Check.audit_matched > 0);
   Trace.clear ()
 
+(* --- Read-path scale-out is observationally invisible ------------------ *)
+
+(* The readscale subsystem's safety contract: serving reads from either
+   replica (with batch read runs charged concurrently) and answering
+   reads from the client's lease cache must both be invisible at the
+   NFS surface — same per-op outcomes, same final namespace, and the
+   same audit evidence. For replica balancing the TOTAL audit count
+   across both replicas is invariant (each read is audited exactly once
+   on whichever replica served it; mutations land on both). For the
+   lease cache every hit is exactly one drive request that never
+   happened, so uncached_audit = cached_audit + hits — the cache can
+   hide work from the wire, never from the audit trail's accounting.
+   Clocks and disk images legitimately differ (that is the point), so
+   unlike the groups above we do NOT compare them. *)
+
+module Translator = S4_nfs.Translator
+module Mirror = S4_multi.Mirror
+module Cache = S4_net.Cache
+
+let audit_total drives =
+  List.fold_left (fun n d -> n + List.length (Audit.records (Drive.audit d) ())) 0 drives
+
+let readscale_ops =
+  (* Repeated reads of the same files make the lease cache earn hits;
+     interleaved mutations force invalidations. *)
+  trace_free_ops
+  @ [ Aread (1, 2); Aread (1, 2); Awrite (1, 2, 0, 64, 'd'); Aread (1, 2); Aread (1, 2) ]
+
+let run_balanced_equivalence ops =
+  let mk ~balanced () =
+    Systems.s4_array ~disk_mb:64 ~drive_config:Systems.content_drive_config ~shards:2
+      ~mirrored:true ~balanced ~read_overlap:balanced ()
+  in
+  let run sys =
+    let dirs = setup sys in
+    let out = List.map (apply sys dirs) ops in
+    let snap = snapshot sys dirs in
+    let router = Option.get sys.Systems.router in
+    (out, snap, audit_total (Router.all_drives router), router)
+  in
+  let p_out, p_snap, p_audit, _ = run (mk ~balanced:false ()) in
+  let b_out, b_snap, b_audit, b_router = run (mk ~balanced:true ()) in
+  if b_out <> p_out then
+    QCheck.Test.fail_reportf "balanced array diverged in outcomes:\n%s\nvs\n%s"
+      (String.concat ";" b_out) (String.concat ";" p_out);
+  if b_snap <> p_snap then
+    QCheck.Test.fail_reportf "balanced array diverged in final state:\n%s\nvs\n%s"
+      (String.concat "\n" b_snap) (String.concat "\n" p_snap);
+  if b_audit <> p_audit then
+    QCheck.Test.fail_reportf "audit total %d (balanced) vs %d (primary-only)" b_audit p_audit;
+  (* How split the balancing was (the fixed test asserts it happened). *)
+  List.fold_left
+    (fun (p, s) id ->
+      match Router.member b_router id with
+      | Router.Mirrored m ->
+        let mp, ms = Mirror.read_counts m in
+        (p + mp, s + ms)
+      | Router.Single _ -> (p, s))
+    (0, 0) (Router.shard_ids b_router)
+
+let mk_cached_loopback () =
+  let clock = Simclock.create () in
+  let disk =
+    Sim_disk.create ~geometry:(Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(64 * 1024 * 1024)) clock
+  in
+  let drive = Drive.format ~config:Systems.content_drive_config disk in
+  let server_config =
+    { Netserver.default_config with Netserver.lease_ns = 3_600_000_000_000L }
+  in
+  let srv = Netserver.of_drive ~config:server_config drive in
+  let client_config =
+    { Netclient.default_config with Netclient.cache_budget = 1 lsl 20; cache_journal = true }
+  in
+  let client = Netclient.connect ~config:client_config (Nettransport.loopback ~identity:1 srv) in
+  let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data:true client)) in
+  let sys =
+    {
+      Systems.name = "S4-cached";
+      server = Server.of_translator ~name:"S4-cached" tr;
+      clock;
+      disk;
+      drive = Some drive;
+      translator = Some tr;
+      router = None;
+    }
+  in
+  (sys, client)
+
+let run_cached_equivalence ops =
+  let run sys =
+    let dirs = setup sys in
+    let out = List.map (apply sys dirs) ops in
+    let snap = snapshot sys dirs in
+    (out, snap, audit_total [ Option.get sys.Systems.drive ])
+  in
+  let d_sys = Systems.s4_direct ~disk_mb:64 ~drive_config:Systems.content_drive_config () in
+  let d_out, d_snap, d_audit = run d_sys in
+  let c_sys, client = mk_cached_loopback () in
+  let c_out, c_snap, c_audit = run c_sys in
+  if c_out <> d_out then
+    QCheck.Test.fail_reportf "cached client diverged in outcomes:\n%s\nvs\n%s"
+      (String.concat ";" c_out) (String.concat ";" d_out);
+  if c_snap <> d_snap then
+    QCheck.Test.fail_reportf "cached client diverged in final state:\n%s\nvs\n%s"
+      (String.concat "\n" c_snap) (String.concat "\n" d_snap);
+  let cache = Option.get (Netclient.cache client) in
+  let hits = Cache.hits cache in
+  if d_audit <> c_audit + hits then begin
+    let ops_of sys =
+      List.map
+        (fun (r : Audit.record) -> Printf.sprintf "%s(%Ld)" r.Audit.op r.Audit.oid)
+        (Audit.records (Drive.audit (Option.get sys.Systems.drive)) ())
+    in
+    QCheck.Test.fail_reportf
+      "audit accounting: %d uncached <> %d cached + %d hits\nuncached: %s\ncached:   %s"
+      d_audit c_audit hits
+      (String.concat " " (ops_of d_sys))
+      (String.concat " " (ops_of c_sys))
+  end;
+  (* The lease safety rule: the journal proves no reply was ever served
+     from cache after its lease expired or was invalidated. *)
+  (match Cache.check cache with
+  | Ok () -> ()
+  | Error e -> QCheck.Test.fail_reportf "lease checker: %s" e);
+  hits
+
+let test_readscale_balanced_fixed () =
+  let _, s = run_balanced_equivalence readscale_ops in
+  check Alcotest.bool "secondary replicas actually served reads" true (s > 0)
+
+let test_readscale_cached_fixed () =
+  let hits = run_cached_equivalence readscale_ops in
+  check Alcotest.bool "cache actually served hits" true (hits > 0)
+
+let prop_readscale_balanced =
+  QCheck.Test.make ~name:"replica-balanced reads are observationally invisible" ~count:10
+    arb_ops
+    (fun ops ->
+      ignore (run_balanced_equivalence ops);
+      true)
+
+let prop_readscale_cached =
+  QCheck.Test.make ~name:"lease-cached reads are observationally invisible" ~count:10 arb_ops
+    (fun ops ->
+      ignore (run_cached_equivalence ops);
+      true)
+
 let () =
   Alcotest.run "s4_equivalence"
     [
@@ -696,5 +845,13 @@ let () =
           Alcotest.test_case "trace checker over a batched workload" `Quick
             test_batched_trace_checker;
           qtest prop_batched_equals_sequential;
+        ] );
+      ( "readscale",
+        [
+          Alcotest.test_case "balanced mirrored array (fixed)" `Quick
+            test_readscale_balanced_fixed;
+          Alcotest.test_case "lease-cached client (fixed)" `Quick test_readscale_cached_fixed;
+          qtest prop_readscale_balanced;
+          qtest prop_readscale_cached;
         ] );
     ]

@@ -222,7 +222,10 @@ let test_rollback_detected () =
 
 let gen_entry =
   QCheck.Gen.(
-    map3 (fun shard replica head -> { Catalog.shard; replica; head }) (0 -- 64) (0 -- 3) gen_head)
+    map2
+      (fun (shard, replica, head) at -> { Catalog.shard; replica; head; at })
+      (map3 (fun s r h -> (s, r, h)) (0 -- 64) (0 -- 3) gen_head)
+      (map Int64.of_int (0 -- 1_000_000)))
 
 let prop_catalog_roundtrip =
   QCheck.Test.make ~name:"catalog codec round-trips" ~count:200
@@ -232,7 +235,7 @@ let prop_catalog_roundtrip =
 let test_catalog_reject_garbage () =
   check Alcotest.bool "empty" true (Catalog.decode Bytes.empty = None);
   check Alcotest.bool "noise" true (Catalog.decode (Bytes.make 64 '\xAB') = None);
-  let good = Catalog.encode [ { Catalog.shard = 1; replica = 0; head = Chain.genesis } ] in
+  let good = Catalog.encode [ { Catalog.shard = 1; replica = 0; head = Chain.genesis; at = 7L } ] in
   let torn = Bytes.sub good 0 (Bytes.length good - 3) in
   check Alcotest.bool "torn" true (Catalog.decode torn = None)
 
@@ -250,12 +253,50 @@ let test_catalog_check_statuses () =
     (Catalog.check ~catalog:cat ~member:(h 5 100 "d") = Catalog.Forked)
 
 let test_catalog_find_set () =
-  let e = Catalog.set [] ~shard:2 ~replica:1 Chain.genesis in
+  let e = Catalog.set [] ~shard:2 ~replica:1 ~at:10L Chain.genesis in
   let h2 = { Chain.epoch = 3; records = 9; hash = Chain.genesis_hash } in
-  let e = Catalog.set e ~shard:2 ~replica:1 h2 in
+  let e = Catalog.set e ~shard:2 ~replica:1 ~at:20L h2 in
   check Alcotest.int "replace not append" 1 (List.length e);
   check Alcotest.bool "find updated" true (Catalog.find e ~shard:2 ~replica:1 = Some h2);
+  check Alcotest.bool "stamp updated" true
+    ((Catalog.find_entry e ~shard:2 ~replica:1 |> Option.get).Catalog.at = 20L);
   check Alcotest.bool "miss" true (Catalog.find e ~shard:0 ~replica:0 = None)
+
+let test_catalog_v1_decode () =
+  (* A pre-[at] catalog (codec v1) must still decode: entries surface
+     with [at = 0], i.e. "age unknown, from the beginning of time". *)
+  let w = S4_util.Bcodec.writer () in
+  S4_util.Bcodec.w_u16 w 0x5343;
+  S4_util.Bcodec.w_u8 w 1;
+  S4_util.Bcodec.w_int w 1;
+  S4_util.Bcodec.w_int w 3;
+  S4_util.Bcodec.w_int w 0;
+  Chain.write_head w Chain.genesis;
+  match Catalog.decode (S4_util.Bcodec.contents w) with
+  | Some [ e ] ->
+    check Alcotest.int "shard" 3 e.Catalog.shard;
+    check Alcotest.int "replica" 0 e.Catalog.replica;
+    check Alcotest.bool "at defaults to 0" true (Int64.equal e.Catalog.at 0L)
+  | _ -> Alcotest.fail "v1 catalog did not decode"
+
+let test_catalog_prune_ages_floors () =
+  (* Floors for departed members age out of the detection window;
+     live members' floors survive any age. *)
+  let h tag = { Chain.epoch = 1; records = 4; hash = S4_util.Sha256.digest_string tag } in
+  let e =
+    Catalog.set
+      (Catalog.set (Catalog.set [] ~shard:0 ~replica:0 ~at:100L (h "live-old")) ~shard:1 ~replica:0
+         ~at:100L (h "gone-old"))
+      ~shard:2 ~replica:0 ~at:900L (h "gone-new")
+  in
+  let live ~shard ~replica = shard = 0 && replica = 0 in
+  let pruned = Catalog.prune e ~now:1000L ~window:500L ~live in
+  check Alcotest.bool "old live floor kept" true
+    (Catalog.find pruned ~shard:0 ~replica:0 <> None);
+  check Alcotest.bool "old departed floor pruned" true
+    (Catalog.find pruned ~shard:1 ~replica:0 = None);
+  check Alcotest.bool "in-window departed floor kept" true
+    (Catalog.find pruned ~shard:2 ~replica:0 <> None)
 
 (* --- tamper injection on a real drive -------------------------------- *)
 
@@ -296,6 +337,8 @@ let () =
           Alcotest.test_case "garbage rejected" `Quick test_catalog_reject_garbage;
           Alcotest.test_case "check statuses" `Quick test_catalog_check_statuses;
           Alcotest.test_case "find/set" `Quick test_catalog_find_set;
+          Alcotest.test_case "v1 layout decodes (at = 0)" `Quick test_catalog_v1_decode;
+          Alcotest.test_case "pruning ages departed floors" `Quick test_catalog_prune_ages_floors;
         ] );
       ( "tamper",
         [

@@ -160,6 +160,123 @@ let test_mirror_parallel_write_cost () =
   check Alcotest.bool "no double disk charge" true
     (Int64.to_float mirrored < 2.5 *. Int64.to_float solo)
 
+(* --- Balanced read routing --------------------------------------------- *)
+
+module Fault = S4_disk.Fault
+module Rng = S4_util.Rng
+module Store = S4_store.Obj_store
+
+let mk_balanced ?mb () =
+  let clock, m = mk_mirror ?mb () in
+  Mirror.set_read_policy m Mirror.Balanced;
+  (clock, m)
+
+let test_balanced_alternates () =
+  let _, m = mk_balanced () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "either replica";
+  for _ = 1 to 4 do
+    check Alcotest.string "balanced read" "either replica" (read_str m oid)
+  done;
+  let p, s = Mirror.read_counts m in
+  check Alcotest.int "primary served half" 2 p;
+  check Alcotest.int "secondary served half" 2 s
+
+let test_balanced_freshness_mid_resync () =
+  (* While the missed-op journal is non-empty, a read that a journalled
+     mutation could change must route to the authoritative replica;
+     reads the journal cannot affect keep balancing. *)
+  let _, m = mk_balanced () in
+  let stable = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m stable "stable";
+  let fresh = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m fresh "fresh-v1";
+  Mirror.set_failed m Mirror.Secondary true;
+  write m fresh "fresh-v2";
+  (* Replica repaired but NOT yet resynced: both live, journal pending. *)
+  Mirror.set_failed m Mirror.Secondary false;
+  check Alcotest.bool "journal pending" true (Mirror.lag m > 0);
+  let _, s0 = Mirror.read_counts m in
+  for _ = 1 to 3 do
+    check Alcotest.string "stale oid served fresh" "fresh-v2" (read_str m fresh)
+  done;
+  let _, s1 = Mirror.read_counts m in
+  check Alcotest.int "journalled oid never hits the lagging replica" s0 s1;
+  (* An oid the journal does not touch still balances. *)
+  check Alcotest.string "untouched oid" "stable" (read_str m stable);
+  check Alcotest.string "untouched oid" "stable" (read_str m stable);
+  let _, s2 = Mirror.read_counts m in
+  check Alcotest.bool "untouched oid reached the lagging replica" true (s2 > s1);
+  (* After resync the stale oid balances again — and serves v2 from
+     both replicas. *)
+  (match Mirror.resync m with Ok n -> check Alcotest.bool "replayed" true (n > 0) | Error e -> Alcotest.fail e);
+  let _, s3 = Mirror.read_counts m in
+  check Alcotest.string "post-resync" "fresh-v2" (read_str m fresh);
+  check Alcotest.string "post-resync" "fresh-v2" (read_str m fresh);
+  let _, s4 = Mirror.read_counts m in
+  check Alcotest.bool "stale oid balances after resync" true (s4 > s3)
+
+let test_balanced_read_born_degraded () =
+  (* An object created while a replica was down exists only on the
+     authoritative copy until resync; the freshness rule must keep
+     every balanced read on that copy (a misroute would Not_found). *)
+  let _, m = mk_balanced () in
+  Mirror.set_failed m Mirror.Secondary true;
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "born degraded";
+  Mirror.set_failed m Mirror.Secondary false;
+  for _ = 1 to 4 do
+    check Alcotest.string "mid-resync read" "born degraded" (read_str m oid)
+  done;
+  let _, s = Mirror.read_counts m in
+  check Alcotest.int "secondary never asked for an object it lacks" 0 s;
+  (match Mirror.resync m with Ok _ -> () | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "converged" [] (Mirror.divergence m)
+
+let test_balanced_read_fault_failover () =
+  (* A permanent media fault on the replica serving a balanced read
+     fails it over and the read is answered by the survivor. *)
+  let _, m = mk_balanced () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "survives faults";
+  expect_unit (Mirror.handle m alice Rpc.Sync);
+  let sdisk = S4_seglog.Log.disk (Drive.log (Mirror.drive m Mirror.Secondary)) in
+  let policy =
+    Fault.create ~config:{ Fault.quiet with Fault.read_fault_rate = 1.0 } (Rng.create ~seed:11)
+  in
+  Sim_disk.set_fault sdisk (Some policy);
+  (* Cold caches so reads actually touch the media. *)
+  List.iter
+    (fun r -> Store.drop_caches (Drive.store (Mirror.drive m r)))
+    [ Mirror.Primary; Mirror.Secondary ];
+  (* First read hits the primary, second is routed to the faulty
+     secondary — and must still come back with the data. *)
+  check Alcotest.string "read 1" "survives faults" (read_str m oid);
+  check Alcotest.string "read across the fault" "survives faults" (read_str m oid);
+  check Alcotest.bool "faulty replica failed over" true (Mirror.is_failed m Mirror.Secondary);
+  Sim_disk.set_fault sdisk None;
+  (* Reads keep flowing from the survivor while degraded. *)
+  check Alcotest.string "degraded read" "survives faults" (read_str m oid);
+  Mirror.set_failed m Mirror.Secondary false;
+  (match Mirror.resync m with Ok _ -> () | Error e -> Alcotest.fail e);
+  check (Alcotest.list Alcotest.string) "converged after repair" [] (Mirror.divergence m)
+
+let test_balanced_audit_reads_authoritative () =
+  (* Audit-trail reads never balance: each replica audits only the
+     reads it served, so Read_audit must see the authoritative log. *)
+  let _, m = mk_balanced () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "audited";
+  ignore (read_str m oid);
+  ignore (read_str m oid);
+  let p0, s0 = Mirror.read_counts m in
+  (match Mirror.handle m Rpc.admin_cred (Rpc.Read_audit { since = 0L; until = Int64.max_int }) with
+  | Rpc.R_audit rs -> check Alcotest.bool "audit non-empty" true (rs <> [])
+  | r -> Alcotest.failf "read_audit: %a" Rpc.pp_resp r);
+  let p1, s1 = Mirror.read_counts m in
+  check Alcotest.int "audit read went to the primary" (p0 + 1) p1;
+  check Alcotest.int "audit read skipped the secondary" s0 s1
+
 (* --- Snapshots analysis ------------------------------------------------- *)
 
 let test_capture_probability () =
@@ -208,6 +325,16 @@ let () =
           Alcotest.test_case "both failed" `Quick test_mirror_both_failed;
           Alcotest.test_case "divergence detected" `Quick test_mirror_divergence_detected;
           Alcotest.test_case "parallel write cost" `Quick test_mirror_parallel_write_cost;
+        ] );
+      ( "balanced reads",
+        [
+          Alcotest.test_case "reads alternate across replicas" `Quick test_balanced_alternates;
+          Alcotest.test_case "freshness rule mid-resync" `Quick
+            test_balanced_freshness_mid_resync;
+          Alcotest.test_case "object born degraded" `Quick test_balanced_read_born_degraded;
+          Alcotest.test_case "read fault fails over" `Quick test_balanced_read_fault_failover;
+          Alcotest.test_case "audit reads stay authoritative" `Quick
+            test_balanced_audit_reads_authoritative;
         ] );
       ( "snapshots",
         [

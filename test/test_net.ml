@@ -160,8 +160,9 @@ let gen_frame =
           let* xid = xid and* cred = gen_cred and* sync = bool and* req = gen_req in
           return (Wire.Request { xid; cred; sync; req }) );
         ( 6,
-          let* xid = xid and* resp = gen_resp in
-          return (Wire.Response { xid; resp }) );
+          let* xid = xid and* resp = gen_resp and* now = gen_time
+          and* lease = gen_time in
+          return (Wire.Response { xid; resp; now; lease }) );
         ( 1,
           let* xid = xid and* message = gen_name in
           return (Wire.Proto_error { xid; message }) );
@@ -176,8 +177,11 @@ let gen_frame =
           and* reqs = list_size (0 -- 4) gen_req in
           return (Wire.Batch { xid; cred; sync; reqs = Array.of_list reqs }) );
         ( 2,
-          let* xid = xid and* resps = list_size (0 -- 4) gen_resp in
-          return (Wire.Batch_reply { xid; resps = Array.of_list resps }) );
+          let* xid = xid and* cells = list_size (0 -- 4) (pair gen_resp gen_time)
+          and* now = gen_time in
+          let resps = Array.of_list (List.map fst cells) in
+          let leases = Array.of_list (List.map snd cells) in
+          return (Wire.Batch_reply { xid; resps; now; leases }) );
       ])
 
 let print_frame f = Wire.frame_name f
@@ -576,7 +580,8 @@ let test_loopback_batch_submit () =
       | 1, Rpc.R_data b -> check Alcotest.bytes "batched read" payload b
       | _ -> Alcotest.failf "slot %d: %a" i Rpc.pp_resp r)
     resps;
-  check Alcotest.int "session stayed at v2" 2 (Netclient.version client);
+  check Alcotest.int "session negotiated the best version" Wire.version
+    (Netclient.version client);
   (* An empty batch with sync is a pure barrier. *)
   let none = Netclient.submit client cred ~sync:true [||] in
   check Alcotest.int "empty batch" 0 (Array.length none);
@@ -665,6 +670,145 @@ let test_oversized_batch_rejected () =
   | [ Wire.Proto_error _ ] -> ()
   | fs -> Alcotest.failf "expected Proto_error, got %d frames" (List.length fs)
 
+(* --- leases and the client cache -------------------------------------- *)
+
+module Cache = S4_net.Cache
+module Simclock' = Simclock
+
+let lease_server ?(lease_ns = 60_000_000_000L) () =
+  let drive = mk_drive () in
+  let config = { Netserver.default_config with Netserver.lease_ns } in
+  (drive, Netserver.of_drive ~config drive)
+
+let cached_client ?(advertise_version = Wire.version) srv =
+  let config =
+    {
+      Netclient.default_config with
+      Netclient.advertise_version;
+      cache_budget = 1 lsl 20;
+      cache_journal = true;
+    }
+  in
+  Netclient.connect ~config (Nettransport.loopback srv)
+
+let test_v2_encoding_carries_no_lease () =
+  (* The lease fields are v3 payload: encoded at v2 they simply do not
+     travel, so a downgraded session degrades to lease-free replies
+     rather than corrupting the frame. *)
+  let f = Wire.Response { xid = 5L; resp = Rpc.R_unit; now = 777L; lease = 999L } in
+  let b = Wire.encode ~version:2 f in
+  (match Wire.decode b ~pos:0 ~avail:(Bytes.length b) with
+  | Wire.Frame (Wire.Response { xid = 5L; resp = Rpc.R_unit; now = 0L; lease = 0L }, _) -> ()
+  | Wire.Frame (g, _) -> Alcotest.failf "unexpected v2 decode: %s" (Wire.frame_name g)
+  | _ -> Alcotest.fail "v2 response did not decode");
+  let f =
+    Wire.Batch_reply { xid = 6L; resps = [| Rpc.R_unit |]; now = 777L; leases = [| 999L |] }
+  in
+  let b = Wire.encode ~version:2 f in
+  match Wire.decode b ~pos:0 ~avail:(Bytes.length b) with
+  | Wire.Frame (Wire.Batch_reply { now = 0L; leases = [||]; _ }, _) -> ()
+  | Wire.Frame (g, _) -> Alcotest.failf "unexpected v2 decode: %s" (Wire.frame_name g)
+  | _ -> Alcotest.fail "v2 batch reply did not decode"
+
+let test_lease_cache_hit_and_invalidate () =
+  let drive, srv = lease_server () in
+  ignore drive;
+  let client = cached_client srv in
+  let oid = create_object (Netclient.handle client) in
+  let payload = Bytes.of_string "leased bytes" in
+  let wr () =
+    match
+      Netclient.handle client cred
+        (Rpc.Write { oid; off = 0; len = Bytes.length payload; data = Some payload })
+    with
+    | Rpc.R_unit -> ()
+    | r -> Alcotest.failf "write: %a" Rpc.pp_resp r
+  in
+  let rd () =
+    match
+      Netclient.handle client cred
+        (Rpc.Read { oid; off = 0; len = Bytes.length payload; at = None })
+    with
+    | Rpc.R_data b -> check Alcotest.bytes "read" payload b
+    | r -> Alcotest.failf "read: %a" Rpc.pp_resp r
+  in
+  wr ();
+  let frames_at f = Metrics.counter "net/frames_in" - f in
+  rd ();
+  let cache = Option.get (Netclient.cache client) in
+  check Alcotest.int "first read missed" 0 (Cache.hits cache);
+  let f0 = Metrics.counter "net/frames_in" in
+  rd ();
+  rd ();
+  check Alcotest.int "repeat reads hit" 2 (Cache.hits cache);
+  check Alcotest.int "hits never touched the wire" 0 (frames_at f0);
+  check Alcotest.bool "server clock observed" true (Netclient.server_now client > 0L);
+  (* The client's own mutation invalidates its cached entries. *)
+  wr ();
+  rd ();
+  check Alcotest.int "read after mutation missed" 2 (Cache.hits cache);
+  (match Cache.check cache with Ok () -> () | Error e -> Alcotest.failf "lease checker: %s" e);
+  Netclient.close client
+
+let test_lease_expiry_never_served () =
+  let lease_ns = 1_000_000_000L in
+  let drive, srv = lease_server ~lease_ns () in
+  let client = cached_client srv in
+  let oid = create_object (Netclient.handle client) in
+  let payload = Bytes.of_string "expiring" in
+  ignore
+    (Netclient.handle client cred
+       (Rpc.Write { oid; off = 0; len = Bytes.length payload; data = Some payload }));
+  let rd () =
+    Netclient.handle client cred (Rpc.Read { oid; off = 0; len = Bytes.length payload; at = None })
+  in
+  ignore (rd ());
+  let cache = Option.get (Netclient.cache client) in
+  ignore (rd ());
+  check Alcotest.int "lease live: served locally" 1 (Cache.hits cache);
+  (* Let the lease lapse; the client learns the server clock from the
+     next reply frame (a Sync here), after which the stale entry must
+     never be served again. *)
+  Simclock'.advance (Drive.clock drive) (Int64.mul 2L lease_ns);
+  ignore (Netclient.handle client cred Rpc.Sync);
+  ignore (rd ());
+  check Alcotest.int "expired lease not served" 1 (Cache.hits cache);
+  (* The re-read re-armed a fresh lease. *)
+  ignore (rd ());
+  check Alcotest.int "fresh lease serves again" 2 (Cache.hits cache);
+  (match Cache.check cache with Ok () -> () | Error e -> Alcotest.failf "lease checker: %s" e);
+  Netclient.close client
+
+let test_v2_peer_gets_no_leases () =
+  (* A cache-enabled client negotiated down to v2 sees lease-free
+     replies: the cache stays empty and every read crosses the wire. *)
+  let _, srv = lease_server () in
+  let client = cached_client ~advertise_version:2 srv in
+  let oid = create_object (Netclient.handle client) in
+  check Alcotest.int "negotiated v2" 2 (Netclient.version client);
+  for _ = 1 to 3 do
+    ignore (Netclient.handle client cred (Rpc.Read { oid; off = 0; len = 16; at = None }))
+  done;
+  let cache = Option.get (Netclient.cache client) in
+  check Alcotest.int "no hits without leases" 0 (Cache.hits cache);
+  check Alcotest.int "nothing cached without leases" 0 (Cache.length cache);
+  Netclient.close client
+
+let test_no_lease_term_no_cache () =
+  (* lease_ns = 0 (the default): a v3 session that simply grants no
+     leases leaves the cache empty too. *)
+  let drive = mk_drive () in
+  let srv = Netserver.of_drive drive in
+  let client = cached_client srv in
+  let oid = create_object (Netclient.handle client) in
+  for _ = 1 to 3 do
+    ignore (Netclient.handle client cred (Rpc.Read { oid; off = 0; len = 16; at = None }))
+  done;
+  let cache = Option.get (Netclient.cache client) in
+  check Alcotest.int "zero-term leases cache nothing" 0 (Cache.length cache);
+  check Alcotest.int "no hits" 0 (Cache.hits cache);
+  Netclient.close client
+
 (* --- live-session fuzz ------------------------------------------------ *)
 
 (* Arbitrary byte streams against a live session: the server must never
@@ -737,6 +881,18 @@ let () =
           Alcotest.test_case "batch frame refused on a v1 session" `Quick
             test_batch_frame_on_v1_session_rejected;
           Alcotest.test_case "over-limit batch refused" `Quick test_oversized_batch_rejected;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "v2 encoding carries no lease" `Quick
+            test_v2_encoding_carries_no_lease;
+          Alcotest.test_case "cache hit, wire silence, invalidation" `Quick
+            test_lease_cache_hit_and_invalidate;
+          Alcotest.test_case "expired lease never served" `Quick
+            test_lease_expiry_never_served;
+          Alcotest.test_case "v2 peer gets no leases" `Quick test_v2_peer_gets_no_leases;
+          Alcotest.test_case "zero lease term caches nothing" `Quick
+            test_no_lease_term_no_cache;
         ] );
       ( "tcp",
         [

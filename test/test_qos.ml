@@ -1,0 +1,282 @@
+(* The read-path scale-out primitives: the weighted-fair-queueing
+   scheduler (lib/qos) and the lease-based client cache's safety rule
+   (lib/net/cache), both property-tested. *)
+
+module Wfq = S4_qos.Wfq
+module Cache = S4_net.Cache
+module Rpc = S4.Rpc
+
+let check = Alcotest.check
+let qtest = Qseed.qtest
+
+(* --- WFQ --------------------------------------------------------------- *)
+
+let gen_jobs =
+  QCheck.Gen.(list_size (1 -- 60) (pair (0 -- 3) (1 -- 5)))
+
+let arb_jobs =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";" (List.map (fun (c, k) -> Printf.sprintf "%d:%d" c k) l))
+    gen_jobs
+
+(* Items from one client come back in the order that client enqueued
+   them, whatever the interleaving with other clients. *)
+let prop_wfq_fifo_per_client =
+  QCheck.Test.make ~name:"wfq keeps per-client FIFO order" ~count:200 arb_jobs (fun jobs ->
+      let q = Wfq.create () in
+      List.iteri
+        (fun seq (client, cost) -> Wfq.enqueue q ~client ~cost:(float_of_int cost) (client, seq))
+        jobs;
+      let last = Hashtbl.create 8 in
+      let rec drain () =
+        match Wfq.pop q with
+        | None -> true
+        | Some (client, seq) ->
+          let prev = try Hashtbl.find last client with Not_found -> -1 in
+          if seq <= prev then
+            QCheck.Test.fail_reportf "client %d served %d after %d" client seq prev;
+          Hashtbl.replace last client seq;
+          drain ()
+      in
+      drain ())
+
+(* Every enqueued item comes back exactly once; length tracks. *)
+let prop_wfq_conservation =
+  QCheck.Test.make ~name:"wfq loses and invents nothing" ~count:200 arb_jobs (fun jobs ->
+      let q = Wfq.create () in
+      List.iteri
+        (fun seq (client, cost) -> Wfq.enqueue q ~client ~cost:(float_of_int cost) seq)
+        jobs;
+      if Wfq.length q <> List.length jobs then
+        QCheck.Test.fail_reportf "length %d after %d enqueues" (Wfq.length q) (List.length jobs);
+      let seen = Hashtbl.create 64 in
+      let rec drain () =
+        match Wfq.pop q with
+        | None -> ()
+        | Some seq ->
+          if Hashtbl.mem seen seq then QCheck.Test.fail_reportf "item %d served twice" seq;
+          Hashtbl.add seen seq ();
+          drain ()
+      in
+      drain ();
+      Hashtbl.length seen = List.length jobs && Wfq.pop q = None)
+
+(* Virtual time never goes backwards, whatever the op interleaving. *)
+let prop_wfq_vtime_monotone =
+  QCheck.Test.make ~name:"wfq virtual time is monotone" ~count:200
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+       QCheck.Gen.(list_size (1 -- 80) (0 -- 8)))
+    (fun ops ->
+      (* op 0-5: enqueue for client op/2; 6-8: pop. *)
+      let q = Wfq.create () in
+      let v = ref (Wfq.virtual_time q) in
+      List.for_all
+        (fun op ->
+          if op <= 5 then Wfq.enqueue q ~client:(op / 2) ~cost:1.0 op
+          else ignore (Wfq.pop q);
+          let v' = Wfq.virtual_time q in
+          let ok = v' >= !v in
+          v := v';
+          ok)
+        ops)
+
+let test_wfq_hog_cannot_starve () =
+  (* A hog floods 50 items before an honest client enqueues one; the
+     honest item is served almost immediately, not after the flood. *)
+  let q = Wfq.create () in
+  for i = 1 to 50 do
+    Wfq.enqueue q ~client:7 ~cost:1.0 (`Hog i)
+  done;
+  Wfq.enqueue q ~client:8 ~cost:1.0 `Honest;
+  let position = ref None in
+  (try
+     for i = 1 to 51 do
+       match Wfq.pop q with
+       | Some `Honest ->
+         position := Some i;
+         raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  match !position with
+  | Some p -> check Alcotest.bool "honest item served within the first 2 pops" true (p <= 2)
+  | None -> Alcotest.fail "honest item never served"
+
+let test_wfq_weighted_share () =
+  (* Both clients backlogged with equal-cost work: service divides by
+     weight. *)
+  let weight_of c = if c = 0 then 3.0 else 1.0 in
+  let q = Wfq.create ~weight_of () in
+  for i = 1 to 60 do
+    Wfq.enqueue q ~client:0 ~cost:1.0 i;
+    Wfq.enqueue q ~client:1 ~cost:1.0 i
+  done;
+  for _ = 1 to 40 do
+    ignore (Wfq.pop q)
+  done;
+  let s0 = Wfq.served q ~client:0 and s1 = Wfq.served q ~client:1 in
+  check Alcotest.bool
+    (Printf.sprintf "3:1 weights give ~3:1 service (got %.0f:%.0f)" s0 s1)
+    true
+    (s1 > 0.0 && s0 /. s1 >= 2.5 && s0 /. s1 <= 3.5)
+
+let test_wfq_penalized_client_still_drains () =
+  (* A fully-penalized client (weight 0) is clamped to the floor, not
+     starved forever. *)
+  let q = Wfq.create ~weight_of:(fun _ -> 0.0) () in
+  for i = 1 to 5 do
+    Wfq.enqueue q ~client:3 ~cost:4.0 i
+  done;
+  let drained = ref 0 in
+  let rec go () =
+    match Wfq.pop q with
+    | Some _ ->
+      incr drained;
+      go ()
+    | None -> ()
+  in
+  go ();
+  check Alcotest.int "all items served despite zero weight" 5 !drained;
+  check Alcotest.bool "service accounted" true (Wfq.served q ~client:3 > 0.0)
+
+let test_wfq_observability () =
+  let q = Wfq.create () in
+  Wfq.enqueue q ~client:2 ~cost:1.0 ();
+  Wfq.enqueue q ~client:5 ~cost:1.0 ();
+  check (Alcotest.list Alcotest.int) "clients listed ascending" [ 2; 5 ] (Wfq.clients q);
+  check (Alcotest.option Alcotest.int) "peek matches pop" (Some 2) (Wfq.peek_client q);
+  check Alcotest.int "pending per client" 1 (Wfq.pending q ~client:5);
+  ignore (Wfq.pop q);
+  check Alcotest.int "pending drops after pop" 0 (Wfq.pending q ~client:2)
+
+(* --- Cache safety ------------------------------------------------------ *)
+
+(* Random interleavings of grants, reads, invalidations and observed
+   clock advances: the journal replay must always prove the safety
+   rule (no hit after expiry or invalidation) — i.e. the cache's
+   run-time behaviour and the checker's offline rule agree. *)
+
+type cop =
+  | Cstore of int * int  (* oid index, lease term *)
+  | Cfind of int
+  | Cinval of int
+  | Cadvance of int
+
+let gen_cop =
+  QCheck.Gen.(
+    let oid = 0 -- 2 in
+    oneof
+      [
+        map2 (fun o l -> Cstore (o, l)) oid (0 -- 120);
+        map (fun o -> Cfind o) oid;
+        map (fun o -> Cinval o) oid;
+        map (fun dt -> Cadvance dt) (1 -- 60);
+      ])
+
+let pp_cop = function
+  | Cstore (o, l) -> Printf.sprintf "store(%d,+%d)" o l
+  | Cfind o -> Printf.sprintf "find(%d)" o
+  | Cinval o -> Printf.sprintf "inval(%d)" o
+  | Cadvance dt -> Printf.sprintf "advance(%d)" dt
+
+let arb_cops =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map pp_cop l))
+    QCheck.Gen.(list_size (1 -- 60) gen_cop)
+
+let read_req o = Rpc.Read { oid = Int64.of_int o; off = 0; len = 8; at = None }
+let data_resp o = Rpc.R_data (Bytes.make 8 (Char.chr (Char.code 'a' + o)))
+
+let prop_cache_journal_always_checks =
+  QCheck.Test.make ~name:"cache journal replay proves the lease rule" ~count:300 arb_cops
+    (fun ops ->
+      let c = Cache.create ~journal:true ~budget:4096 () in
+      let now = ref 0L in
+      List.iter
+        (fun op ->
+          match op with
+          | Cstore (o, l) ->
+            Cache.store c (read_req o) (data_resp o) ~lease:(Int64.add !now (Int64.of_int l))
+          | Cfind o -> (
+            match Cache.find c (read_req o) with
+            | Some (Rpc.R_data b) ->
+              (* A served reply is the one stored for that oid. *)
+              if Bytes.get b 0 <> Char.chr (Char.code 'a' + o) then
+                QCheck.Test.fail_reportf "cache served another oid's bytes"
+            | Some _ -> QCheck.Test.fail_reportf "cache served a non-data reply"
+            | None -> ())
+          | Cinval o -> Cache.invalidate_req c (Rpc.Delete { oid = Int64.of_int o })
+          | Cadvance dt ->
+            now := Int64.add !now (Int64.of_int dt);
+            Cache.observe_now c !now)
+        ops;
+      match Cache.check c with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_reportf "lease checker: %s" e)
+
+let test_cache_expiry_boundary () =
+  let c = Cache.create ~journal:true ~budget:4096 () in
+  Cache.observe_now c 10L;
+  Cache.store c (read_req 0) (data_resp 0) ~lease:100L;
+  Cache.observe_now c 99L;
+  check Alcotest.bool "live at 99" true (Cache.find c (read_req 0) <> None);
+  Cache.observe_now c 100L;
+  check Alcotest.bool "dead at expiry instant" true (Cache.find c (read_req 0) = None);
+  check Alcotest.int "one hit" 1 (Cache.hits c);
+  check Alcotest.int "expired find counted as miss" 1 (Cache.misses c);
+  (match Cache.check c with Ok () -> () | Error e -> Alcotest.failf "checker: %s" e)
+
+let test_cache_expired_lease_stores_nothing () =
+  let c = Cache.create ~budget:4096 () in
+  Cache.observe_now c 50L;
+  Cache.store c (read_req 0) (data_resp 0) ~lease:50L;
+  Cache.store c (read_req 1) (data_resp 1) ~lease:0L;
+  check Alcotest.int "nothing stored" 0 (Cache.length c)
+
+let test_cache_errors_never_cached () =
+  let c = Cache.create ~budget:4096 () in
+  Cache.observe_now c 1L;
+  Cache.store c (read_req 0) (Rpc.R_error Rpc.Not_found) ~lease:1000L;
+  check Alcotest.int "error reply not cached" 0 (Cache.length c)
+
+let test_cache_invalidation_is_per_oid () =
+  let c = Cache.create ~journal:true ~budget:4096 () in
+  Cache.observe_now c 1L;
+  Cache.store c (read_req 0) (data_resp 0) ~lease:1000L;
+  Cache.store c (read_req 1) (data_resp 1) ~lease:1000L;
+  Cache.invalidate_req c
+    (Rpc.Write { oid = 0L; off = 0; len = 1; data = Some (Bytes.make 1 'z') });
+  check Alcotest.bool "mutated oid dropped" true (Cache.find c (read_req 0) = None);
+  check Alcotest.bool "other oid survives" true (Cache.find c (read_req 1) <> None);
+  (* History-pruning ops have no per-oid footprint: everything goes. *)
+  Cache.invalidate_req c (Rpc.Flush { until = 5L });
+  check Alcotest.int "flush clears the cache" 0 (Cache.length c);
+  (match Cache.check c with Ok () -> () | Error e -> Alcotest.failf "checker: %s" e)
+
+let () =
+  Alcotest.run "s4_qos"
+    [
+      ( "wfq",
+        [
+          qtest prop_wfq_fifo_per_client;
+          qtest prop_wfq_conservation;
+          qtest prop_wfq_vtime_monotone;
+          Alcotest.test_case "hog cannot starve" `Quick test_wfq_hog_cannot_starve;
+          Alcotest.test_case "weighted share" `Quick test_wfq_weighted_share;
+          Alcotest.test_case "penalized client still drains" `Quick
+            test_wfq_penalized_client_still_drains;
+          Alcotest.test_case "observability accessors" `Quick test_wfq_observability;
+        ] );
+      ( "cache",
+        [
+          qtest prop_cache_journal_always_checks;
+          Alcotest.test_case "expiry boundary" `Quick test_cache_expiry_boundary;
+          Alcotest.test_case "expired lease stores nothing" `Quick
+            test_cache_expired_lease_stores_nothing;
+          Alcotest.test_case "errors never cached" `Quick test_cache_errors_never_cached;
+          Alcotest.test_case "invalidation per oid; flush clears" `Quick
+            test_cache_invalidation_is_per_oid;
+        ] );
+    ]

@@ -468,6 +468,50 @@ let prop_ring_remove_only_remaps_removed =
         (fun (k, old) -> old = victim || Ring.owner ring k = old)
         before)
 
+(* --- integrity-catalog aging ----------------------------------------- *)
+
+module Catalog = S4_integrity.Catalog
+
+let read_raw_catalog d =
+  match Drive.named_oid d ".s4/integrity" with
+  | None -> Alcotest.fail "meta drive has no catalog object"
+  | Some oid ->
+    let st = Drive.store d in
+    (match Catalog.decode (Store.read st oid ~off:0 ~len:(Store.size st oid)) with
+     | Some entries -> entries
+     | None -> Alcotest.fail "catalog undecodable")
+
+let test_catalog_ages_departed_floor () =
+  (* A member that leaves the array keeps its catalog floor — still
+     evidence against a rewritten chain — until the floor ages out of
+     the detection window; live members' floors never age out. *)
+  let clock = Simclock.create () in
+  let d0 = mk_drive clock and d1 = mk_drive clock and d2 = mk_drive clock in
+  let r =
+    Router.create [ (0, Router.Single d0); (1, Router.Single d1); (2, Router.Single d2) ]
+  in
+  let oid = create r in
+  write r oid "catalogued";
+  Router.sync_all r;
+  check Alcotest.bool "departed member pinned while present" true
+    (Catalog.find (read_raw_catalog d0) ~shard:2 ~replica:0 <> None);
+  (* Reattach without shard 2 (its disk was lost/pulled). *)
+  let r = Router.attach [ (0, Router.Single d0); (1, Router.Single d1) ] in
+  Router.sync_all r;
+  check Alcotest.bool "departed floor retained inside the window" true
+    (Catalog.find (read_raw_catalog d0) ~shard:2 ~replica:0 <> None);
+  (* Age past every member's detection window: the floor is pruned on
+     the next admin barrier, the live members' entries are not. *)
+  let day = 86_400_000_000_000L in
+  Simclock.advance clock (Int64.mul 8L day);
+  Router.sync_all r;
+  let entries = read_raw_catalog d0 in
+  check Alcotest.bool "departed floor pruned after the window" true
+    (Catalog.find entries ~shard:2 ~replica:0 = None);
+  check Alcotest.bool "live floors survive" true
+    (Catalog.find entries ~shard:0 ~replica:0 <> None
+    && Catalog.find entries ~shard:1 ~replica:0 <> None)
+
 (* --- trace checker over a mid-rebalance crash ----------------------- *)
 
 module Trace = S4_obs.Trace
@@ -497,6 +541,8 @@ let () =
         [
           Alcotest.test_case "single shard == bare drive" `Quick test_single_shard_matches_bare_drive;
           Alcotest.test_case "fan-out admin + audit merge" `Quick test_fanout_admin_and_audit;
+          Alcotest.test_case "catalog ages departed floors" `Quick
+            test_catalog_ages_departed_floor;
         ] );
       ( "degraded",
         [
