@@ -1,4 +1,5 @@
 module Rpc = S4.Rpc
+module Audit = S4.Audit
 module Drive = S4.Drive
 module Store = S4_store.Obj_store
 module Sim_disk = S4_disk.Sim_disk
@@ -128,6 +129,32 @@ let agree (a : Rpc.resp) (b : Rpc.resp) =
   | Rpc.R_audit _, Rpc.R_audit _ -> true  (* timestamps differ benignly *)
   | _ -> a = b
 
+(* Audit records of these ops live only on the replica that served
+   them — exactly the balanceable read class. Mutations and admin
+   commands are audited on every live replica and must not be
+   double-counted when merging. *)
+let served_read_ops =
+  [ "read"; "getattr"; "getacl_user"; "getacl_index"; "plist"; "pmount" ]
+
+(* Forensic completeness under balancing: a [Read_audit] answered by
+   the authoritative replica alone would miss the reads the peer
+   served, so merge the peer's read-class records into the answer
+   (both logs are chronological; so is the merge). The peer is
+   consulted directly — a forensic sweep of its log is not a balanced
+   data read and does not move the read counters. *)
+let merge_read_audit t cred sync req ~target resp =
+  match (req, resp) with
+  | Rpc.Read_audit _, Rpc.R_audit auth_recs when not (is_failed t (other target)) -> (
+    match Drive.handle (drive t (other target)) cred ~sync req with
+    | Rpc.R_audit peer_recs ->
+      let extra =
+        List.filter (fun r -> List.mem r.Audit.op served_read_ops) peer_recs
+      in
+      Rpc.R_audit
+        (List.merge (fun a b -> compare a.Audit.at b.Audit.at) auth_recs extra)
+    | _ -> resp)
+  | _ -> resp
+
 (* Journal a mutation the [lagger] missed, keyed to the oid the live
    replica resolved (so a missed [Create] replays onto the same id). *)
 let journal t lagger cred sync req resp =
@@ -179,6 +206,15 @@ let handle t cred ?(sync = false) req =
        | Secondary -> t.secondary_reads <- t.secondary_reads + 1);
       Drive.handle (drive t r) cred ~sync req
     in
+    (* A lone live replica that happens to be the lagging one (repair
+       without resync, then the peer died) must not silently answer a
+       read the journal could change. *)
+    let serve_sole r =
+      if t.lagging = Some r && t.missed <> [] && read_is_stale t req then
+        Rpc.R_error
+          (Rpc.Io_error "mirror: only live replica lags on this read (resync required)")
+      else serve r
+    in
     match (t.primary_failed, t.secondary_failed) with
     | false, false ->
       let target =
@@ -195,14 +231,21 @@ let handle t cred ?(sync = false) req =
       in
       let resp = serve target in
       if is_io_error resp then begin
-        (* Read fault on the serving replica: fail it over. *)
+        (* Read fault on the serving replica: fail it over. The
+           failover must re-check the freshness rule — when the read
+           was routed here precisely because the survivor's missed-op
+           journal touches what it observes, answering from the
+           survivor would silently serve stale data; surface the fault
+           instead and let the operator resync. *)
         set_failed t target true;
         if t.lagging = None then t.lagging <- Some target;
-        serve (other target)
+        let survivor = other target in
+        if t.lagging = Some survivor && t.missed <> [] && read_is_stale t req then resp
+        else serve survivor
       end
-      else resp
-    | false, true -> serve Primary
-    | true, false -> serve Secondary
+      else merge_read_audit t cred sync req ~target resp
+    | false, true -> serve_sole Primary
+    | true, false -> serve_sole Secondary
     | true, true -> Rpc.R_error (Rpc.Bad_request "mirror: no live replica")
   end
 

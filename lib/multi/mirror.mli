@@ -30,9 +30,19 @@ type read_policy =
           mutation that could change what it observes: a journalled op
           on the same oid, a journalled namespace op for [P_list]/
           [P_mount], or any journalled [Sync]/[Flush]/[Set_window].
-          Audit-trail reads ([Read_audit], [Verify_log]) always go to
-          the authoritative replica, since each replica audits only the
-          reads it served. *)
+          The rule survives faults: a read failing over from a faulted
+          replica re-checks it against the survivor, and reads whose
+          only live replica lags answer with an error rather than
+          stale data.
+
+          Audit-trail reads are served by the authoritative replica,
+          but since each replica audits only the reads it itself
+          served, a [Read_audit] answer merges the peer's read-class
+          records into the authoritative log — the forensic trail is
+          complete even though reads were split. [Verify_log] stays
+          strictly per-replica: each replica's hash chain covers its
+          own log, so verifying the pair means verifying each
+          replica's drive directly. *)
 
 val create : S4.Drive.t -> S4.Drive.t -> t
 (** Both drives must be freshly formatted with identical

@@ -2,9 +2,19 @@ module Rpc = S4.Rpc
 module Lru = S4_store.Lru
 module Metrics = S4_obs.Metrics
 
+(* The credential is part of the key: the server ACL-checks per
+   (user, admin), so a reply earned by one principal must never be
+   replayed to another one sharing the connection. *)
 type key =
-  | K_data of { oid : int64; at : int64 option; off : int; len : int }
-  | K_attr of { oid : int64; at : int64 option }
+  | K_data of {
+      user : int;
+      admin : bool;
+      oid : int64;
+      at : int64 option;
+      off : int;
+      len : int;
+    }
+  | K_attr of { user : int; admin : bool; oid : int64; at : int64 option }
 
 type event =
   | Grant of { key : key; expiry : int64; now : int64 }
@@ -42,13 +52,15 @@ let now t = t.observed_now
 
 let key_oid = function K_data { oid; _ } -> oid | K_attr { oid; _ } -> oid
 
-let key_of_req = function
-  | Rpc.Read { oid; off; len; at } -> Some (K_data { oid; at; off; len })
-  | Rpc.Get_attr { oid; at } -> Some (K_attr { oid; at })
+let key_of_req (cred : Rpc.credential) = function
+  | Rpc.Read { oid; off; len; at } ->
+    Some (K_data { user = cred.Rpc.user; admin = cred.Rpc.admin; oid; at; off; len })
+  | Rpc.Get_attr { oid; at } ->
+    Some (K_attr { user = cred.Rpc.user; admin = cred.Rpc.admin; oid; at })
   | _ -> None
 
-let find t req =
-  match key_of_req req with
+let find t cred req =
+  match key_of_req cred req with
   | None -> None
   | Some key -> (
     match Lru.find t.lru key with
@@ -76,9 +88,9 @@ let cost_of = function
   | Rpc.R_attr b -> 32 + Bytes.length b
   | _ -> 32
 
-let store t req resp ~lease =
+let store t cred req resp ~lease =
   if lease > t.observed_now && cacheable_resp resp then
-    match key_of_req req with
+    match key_of_req cred req with
     | None -> ()
     | Some key ->
       record t (Grant { key; expiry = lease; now = t.observed_now });
@@ -117,8 +129,9 @@ let length t = Lru.length t.lru
 let events t = List.rev t.events
 
 let pp_key () = function
-  | K_data { oid; off; len; _ } -> Printf.sprintf "data(%Ld,%d,%d)" oid off len
-  | K_attr { oid; _ } -> Printf.sprintf "attr(%Ld)" oid
+  | K_data { user; oid; off; len; _ } ->
+    Printf.sprintf "data(u%d,%Ld,%d,%d)" user oid off len
+  | K_attr { user; oid; _ } -> Printf.sprintf "attr(u%d,%Ld)" user oid
 
 let check t =
   let grants : (key, int64) Hashtbl.t = Hashtbl.create 64 in

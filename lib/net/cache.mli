@@ -1,13 +1,20 @@
 (** Lease-based client-side read cache.
 
-    Holds attribute and data read replies keyed by (oid, version
-    instant, range), each guarded by a server-granted lease: an
-    absolute server-clock instant piggybacked on v3 reply frames until
-    which the client may answer the same read locally. A cached reply
-    is dropped the moment the client sends any mutation touching its
-    oid (the client's own writes are the only coherence events it can
-    cause; other clients' writes are bounded by the lease term), and
-    the whole cache is dropped on history-pruning operations
+    Holds attribute and data read replies keyed by (credential, oid,
+    version instant, range), each guarded by a server-granted lease:
+    an absolute server-clock instant piggybacked on v3 reply frames
+    until which the client may answer the same read locally. The
+    credential (user + admin flag) is part of the key because the
+    server ACL-checks every request per credential: a reply earned by
+    one principal is never replayed to another, so a user the object's
+    ACL denies still gets [Permission_denied] from the server — the
+    cache cannot be used to launder access across principals sharing
+    one connection. A cached reply is dropped the moment the client
+    sends any mutation touching its oid (the client's own writes are
+    the only coherence events it can cause; other clients' writes are
+    fenced by the server, which delays a conflicting mutation until
+    every other client's lease on the object has expired), and the
+    whole cache is dropped on history-pruning operations
     ([Flush]/[Set_window]) whose effect is not per-oid.
 
     The drive never trusts this cache: it is a client-local
@@ -22,8 +29,15 @@
 module Rpc := S4.Rpc
 
 type key =
-  | K_data of { oid : int64; at : int64 option; off : int; len : int }
-  | K_attr of { oid : int64; at : int64 option }
+  | K_data of {
+      user : int;
+      admin : bool;
+      oid : int64;
+      at : int64 option;
+      off : int;
+      len : int;
+    }
+  | K_attr of { user : int; admin : bool; oid : int64; at : int64 option }
 
 type event =
   | Grant of { key : key; expiry : int64; now : int64 }
@@ -43,16 +57,20 @@ val observe_now : t -> int64 -> unit
 
 val now : t -> int64
 
-val key_of_req : Rpc.req -> key option
-(** The cache key for a cacheable read ([Read]/[Get_attr]), [None] for
-    everything else. *)
+val key_of_req : Rpc.credential -> Rpc.req -> key option
+(** The cache key for a cacheable read ([Read]/[Get_attr]) issued
+    under [cred], [None] for everything else. The credential's [user]
+    and [admin] fields key the entry; [client] does not — the server
+    overwrites it with the connection identity, which is constant for
+    all requests through one client. *)
 
-val find : t -> Rpc.req -> Rpc.resp option
-(** Serve [req] locally if a fresh, unexpired entry exists. An entry
-    whose lease has expired (against the observed server clock) is
-    discarded, never returned. Counts hits/misses. *)
+val find : t -> Rpc.credential -> Rpc.req -> Rpc.resp option
+(** Serve [req] locally if a fresh, unexpired entry exists {e for this
+    credential}. An entry whose lease has expired (against the
+    observed server clock) is discarded, never returned. Counts
+    hits/misses. *)
 
-val store : t -> Rpc.req -> Rpc.resp -> lease:int64 -> unit
+val store : t -> Rpc.credential -> Rpc.req -> Rpc.resp -> lease:int64 -> unit
 (** Remember a server reply under its lease ([lease] is the absolute
     expiry instant; 0 or an already-past instant stores nothing).
     Error responses are never cached. *)

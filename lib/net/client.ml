@@ -241,14 +241,14 @@ let handle t cred ?(sync = false) req : Rpc.resp =
   match t.c_cache with
   | None -> fst (handle_wire t cred ~sync req)
   | Some cache -> (
-    match Cache.find cache req with
+    match Cache.find cache cred req with
     | Some resp ->
       Metrics.incr "net/cache_served";
       resp
     | None ->
       let resp, lease = handle_wire t cred ~sync req in
       if Rpc.is_mutation req then Cache.invalidate_req cache req
-      else Cache.store cache req resp ~lease;
+      else Cache.store cache cred req resp ~lease;
       resp)
 
 let pipeline t cred ?(sync = false) reqs : Rpc.resp list =
@@ -439,7 +439,7 @@ let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
       (fun i req ->
         if Rpc.is_mutation req then dirty := true
         else if not !dirty then
-          match Cache.find cache req with
+          match Cache.find cache cred req with
           | Some resp ->
             Metrics.incr "net/cache_served";
             out.(i) <- Some resp
@@ -458,7 +458,7 @@ let submit t cred ?(sync = false) (reqs : Rpc.req array) : Rpc.resp array =
           let req = reqs.(i) and resp = resps.(j) in
           out.(i) <- Some resp;
           if Rpc.is_mutation req then Cache.invalidate_req cache req
-          else Cache.store cache req resp ~lease:leases.(j))
+          else Cache.store cache cred req resp ~lease:leases.(j))
         miss_idx
     end;
     Array.map (function Some r -> r | None -> Rpc.R_error (Rpc.Io_error "not executed")) out

@@ -51,6 +51,10 @@ type t = {
   sched : (unit -> unit) S4_qos.Wfq.t option;
       (** [qos] mode: one WFQ over every session's pending work; items
           are execute-and-reply thunks, guarded by [lock] *)
+  leases : (int64, (int * bool, int64) Hashtbl.t) Hashtbl.t;
+      (** live client-cache leases, by oid: (holder connection
+          identity, current-version?) -> absolute expiry. Guarded by
+          [lock]. *)
 }
 
 let create ?(config = default_config) ?audit_garbage ?weight_of backend =
@@ -61,6 +65,7 @@ let create ?(config = default_config) ?audit_garbage ?weight_of backend =
     cfg = config;
     lock = Mutex.create ();
     sched = (if config.qos then Some (S4_qos.Wfq.create ?weight_of ()) else None);
+    leases = Hashtbl.create 64;
   }
 
 (* A drive-backed server schedules clients by the drive's own DoS
@@ -86,6 +91,67 @@ let scheduler t = t.sched
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Client-cache lease registry                                         *)
+
+(* Leases follow the classic write-through discipline: a mutation that
+   could change what an outstanding lease's holder observes may not
+   apply until that lease has expired. The protocol has no callback
+   channel to recall a lease, so the "recall" is a wait — the server
+   advances the clock to the conflicting expiry before executing the
+   mutation (bounded by [lease_ns], which is why the term should stay
+   small). A client's own mutations never wait for its own leases: the
+   client invalidates its cache the moment it sends one. This is what
+   makes cached reads linearizable across clients — a cached serve
+   orders before any conflicting write, because that write only
+   committed after the lease died. *)
+
+let record_lease t ~oid ~holder ~current ~expiry ~now =
+  let tbl =
+    match Hashtbl.find_opt t.leases oid with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.add t.leases oid tbl;
+      tbl
+  in
+  (* Drop this oid's dead grants while we are here, keeping the
+     registry bounded by live leases. *)
+  let dead =
+    Hashtbl.fold (fun k e acc -> if e <= now then k :: acc else acc) tbl []
+  in
+  List.iter (Hashtbl.remove tbl) dead;
+  match Hashtbl.find_opt tbl (holder, current) with
+  | Some e when e >= expiry -> ()
+  | _ -> Hashtbl.replace tbl (holder, current) expiry
+
+(* Latest expiry among leases [req] from [holder] conflicts with (0 =
+   none). Current-version leases conflict with any mutation of their
+   object; explicit-version leases name immutable history and conflict
+   only with pruning ([Flush]/[Flush_object]/[Set_window]), which can
+   retire the very version they cache. *)
+let conflicting_lease_expiry t ~holder ~now req =
+  let scan ~all oid acc =
+    match Hashtbl.find_opt t.leases oid with
+    | None -> acc
+    | Some tbl ->
+      Hashtbl.fold
+        (fun (h, current) e acc ->
+          if e <= now || h = holder || not (all || current) then acc else max acc e)
+        tbl acc
+  in
+  match req with
+  | Rpc.Delete { oid }
+  | Rpc.Write { oid; _ }
+  | Rpc.Append { oid; _ }
+  | Rpc.Truncate { oid; _ }
+  | Rpc.Set_attr { oid; _ }
+  | Rpc.Set_acl { oid; _ } -> scan ~all:false oid 0L
+  | Rpc.Flush_object { oid; _ } -> scan ~all:true oid 0L
+  | Rpc.Flush _ | Rpc.Set_window _ ->
+    Hashtbl.fold (fun oid _ acc -> scan ~all:true oid acc) t.leases 0L
+  | _ -> 0L
 
 (* ------------------------------------------------------------------ *)
 (* Sans-IO protocol session                                            *)
@@ -215,6 +281,21 @@ module Session = struct
         else Trace.null
       in
       let sub = Array.map snd valid in
+      (* Lease fence: wait out every other client's lease this batch's
+         mutations conflict with before any of it executes. *)
+      let fence =
+        Array.fold_left
+          (fun acc req ->
+            if Rpc.is_mutation req then
+              max acc
+                (conflicting_lease_expiry s.srv ~holder:s.s_identity ~now:(now s) req)
+            else acc)
+          0L sub
+      in
+      if fence > now s then begin
+        Metrics.incr "net/lease_wait";
+        Simclock.set s.srv.backend.Backend.clock fence
+      end;
       let out =
         try s.srv.backend.Backend.submit cred ~sync sub
         with exn ->
@@ -241,14 +322,21 @@ module Session = struct
      serve this answer from its cache, as an absolute expiry on the
      server's clock. Only granted on v3 sessions, only for plain
      object reads — never for errors, and never for audit-trail reads
-     (whose answers must always come from the drive). *)
+     (whose answers must always come from the drive). Every grant is
+     recorded in the server's registry so conflicting mutations from
+     other clients wait it out (the lease fence above). *)
   let lease_for s (req : Rpc.req) (resp : Rpc.resp) =
     let term = s.srv.cfg.lease_ns in
     if s.s_version < 3 || Int64.compare term 0L <= 0 then 0L
     else
       match (req, resp) with
-      | (Rpc.Read _ | Rpc.Get_attr _), (Rpc.R_data _ | Rpc.R_attr _) ->
-        Int64.add (now s) term
+      | (Rpc.Read { oid; at; _ } | Rpc.Get_attr { oid; at }), (Rpc.R_data _ | Rpc.R_attr _)
+        ->
+        let n = now s in
+        let expiry = Int64.add n term in
+        record_lease s.srv ~oid ~holder:s.s_identity ~current:(at = None) ~expiry
+          ~now:n;
+        expiry
       | _ -> 0L
 
   (* Execute one unit of queued work and emit its reply; the caller

@@ -39,7 +39,13 @@ type config = {
       (** client-cache lease term: every successful [Read]/[Get_attr]
           reply on a v3 session carries an absolute expiry of
           [now + lease_ns], authorizing the client to serve that
-          answer from its cache until then. 0 grants no leases. *)
+          answer from its cache until then. The server honours the
+          classic lease discipline in return: a mutation that could
+          change what another client's live lease observes is delayed
+          (the clock advances, counted under [net/lease_wait]) until
+          that lease expires, so a cached read is never superseded
+          while servable — which also bounds mutation latency by
+          [lease_ns]; keep the term small. 0 grants no leases. *)
   qos : bool;
       (** serve queued work in weighted-fair order across {e every}
           session instead of per-session FIFO, so one flooding client

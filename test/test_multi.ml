@@ -165,6 +165,7 @@ let test_mirror_parallel_write_cost () =
 module Fault = S4_disk.Fault
 module Rng = S4_util.Rng
 module Store = S4_store.Obj_store
+module Audit = S4.Audit
 
 let mk_balanced ?mb () =
   let clock, m = mk_mirror ?mb () in
@@ -262,8 +263,10 @@ let test_balanced_read_fault_failover () =
   check (Alcotest.list Alcotest.string) "converged after repair" [] (Mirror.divergence m)
 
 let test_balanced_audit_reads_authoritative () =
-  (* Audit-trail reads never balance: each replica audits only the
-     reads it served, so Read_audit must see the authoritative log. *)
+  (* Audit-trail reads never balance — Read_audit is served by the
+     authoritative replica — but since each replica audits only the
+     reads it itself served, the answer merges the peer's read-class
+     records so the forensic trail covers BOTH halves of the split. *)
   let _, m = mk_balanced () in
   let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
   write m oid "audited";
@@ -271,11 +274,72 @@ let test_balanced_audit_reads_authoritative () =
   ignore (read_str m oid);
   let p0, s0 = Mirror.read_counts m in
   (match Mirror.handle m Rpc.admin_cred (Rpc.Read_audit { since = 0L; until = Int64.max_int }) with
-  | Rpc.R_audit rs -> check Alcotest.bool "audit non-empty" true (rs <> [])
+  | Rpc.R_audit rs ->
+    check Alcotest.bool "audit non-empty" true (rs <> []);
+    (* Both balanced reads appear, even though one was served by the
+       secondary and only mutations replicate to both audit logs. *)
+    let reads =
+      List.length (List.filter (fun r -> r.Audit.op = "read" && r.Audit.oid = oid) rs)
+    in
+    check Alcotest.int "merged trail holds every balanced read" 2 reads;
+    (* Mutations are audited on both replicas; the merge must not
+       double-count them. *)
+    let writes =
+      List.length (List.filter (fun r -> r.Audit.op = "write" && r.Audit.oid = oid) rs)
+    in
+    check Alcotest.int "mutations not double-counted" 1 writes;
+    check Alcotest.bool "timestamps ordered" true
+      (let rec sorted = function
+         | a :: (b :: _ as tl) -> a.Audit.at <= b.Audit.at && sorted tl
+         | _ -> true
+       in
+       sorted rs)
   | r -> Alcotest.failf "read_audit: %a" Rpc.pp_resp r);
   let p1, s1 = Mirror.read_counts m in
   check Alcotest.int "audit read went to the primary" (p0 + 1) p1;
   check Alcotest.int "audit read skipped the secondary" s0 s1
+
+let test_balanced_failover_never_serves_stale () =
+  (* A read that fails over from a faulted replica must re-check the
+     freshness rule against the survivor: if the survivor is the
+     lagging replica and the journal touches the oid, answering would
+     silently serve pre-failure data. The mirror returns the fault's
+     error instead. *)
+  let _, m = mk_balanced () in
+  let oid = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  let stable = expect_oid (Mirror.handle m alice (Rpc.Create { acl = [] })) in
+  write m oid "v1";
+  write m stable "steady";
+  expect_unit (Mirror.handle m alice Rpc.Sync);
+  (* Secondary misses the v2 write: it is now the lagging replica. *)
+  Mirror.set_failed m Mirror.Secondary true;
+  write m oid "v2";
+  Mirror.set_failed m Mirror.Secondary false;
+  (* Fault the authoritative primary's media and cool the caches so
+     reads really touch the disk. *)
+  let pdisk = S4_seglog.Log.disk (Drive.log (Mirror.drive m Mirror.Primary)) in
+  let policy =
+    Fault.create ~config:{ Fault.quiet with Fault.read_fault_rate = 1.0 } (Rng.create ~seed:7)
+  in
+  Sim_disk.set_fault pdisk (Some policy);
+  List.iter
+    (fun r -> Store.drop_caches (Drive.store (Mirror.drive m r)))
+    [ Mirror.Primary; Mirror.Secondary ];
+  (* The journalled oid routes to the primary (freshness rule), the
+     fault fails it over — and the survivor is stale for this oid, so
+     the read must error rather than answer "v1". *)
+  (match Mirror.handle m alice (Rpc.Read { oid; off = 0; len = 2; at = None }) with
+  | Rpc.R_error _ -> ()
+  | Rpc.R_data b -> Alcotest.failf "stale data served after failover: %s" (Bytes.to_string b)
+  | r -> Alcotest.failf "failover read: %a" Rpc.pp_resp r);
+  check Alcotest.bool "faulty primary failed over" true (Mirror.is_failed m Mirror.Primary);
+  (* While degraded, the same oid keeps erroring (sole live replica
+     lags on it)... *)
+  (match Mirror.handle m alice (Rpc.Read { oid; off = 0; len = 2; at = None }) with
+  | Rpc.R_error _ -> ()
+  | r -> Alcotest.failf "degraded stale read: %a" Rpc.pp_resp r);
+  (* ...but an oid the journal does not touch still serves. *)
+  check Alcotest.string "untouched oid serves from survivor" "steady" (read_str m stable)
 
 (* --- Snapshots analysis ------------------------------------------------- *)
 
@@ -335,6 +399,8 @@ let () =
           Alcotest.test_case "read fault fails over" `Quick test_balanced_read_fault_failover;
           Alcotest.test_case "audit reads stay authoritative" `Quick
             test_balanced_audit_reads_authoritative;
+          Alcotest.test_case "failover never serves stale" `Quick
+            test_balanced_failover_never_serves_stale;
         ] );
       ( "snapshots",
         [

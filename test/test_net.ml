@@ -809,6 +809,114 @@ let test_no_lease_term_no_cache () =
   check Alcotest.int "no hits" 0 (Cache.hits cache);
   Netclient.close client
 
+let test_cache_never_crosses_credentials () =
+  (* One client carrying two principals: the owner's cached reply must
+     not leak to a user the object's ACL denies — every principal's
+     request is keyed (and so ACL-checked and read-audited) under its
+     own credential. *)
+  let drive, srv = lease_server () in
+  let client = cached_client srv in
+  let oid = create_object (Netclient.handle client) in
+  let payload = Bytes.of_string "owner eyes only" in
+  ignore
+    (Netclient.handle client cred
+       (Rpc.Write { oid; off = 0; len = Bytes.length payload; data = Some payload }));
+  let rd c = Netclient.handle client c (Rpc.Read { oid; off = 0; len = Bytes.length payload; at = None }) in
+  (match rd cred with
+  | Rpc.R_data b -> check Alcotest.bytes "owner reads" payload b
+  | r -> Alcotest.failf "owner read: %a" Rpc.pp_resp r);
+  let cache = Option.get (Netclient.cache client) in
+  (match rd cred with
+  | Rpc.R_data _ -> check Alcotest.int "owner re-read served locally" 1 (Cache.hits cache)
+  | r -> Alcotest.failf "owner re-read: %a" Rpc.pp_resp r);
+  (* The denied user must hit the server and be refused, even though
+     the same client holds a fresh leased reply for the same bytes. *)
+  let intruder = Rpc.user_cred ~user:2 ~client:1 in
+  let audits_before = Audit.record_count (Drive.audit drive) in
+  (match rd intruder with
+  | Rpc.R_error Rpc.Permission_denied -> ()
+  | r -> Alcotest.failf "denied user got: %a" Rpc.pp_resp r);
+  check Alcotest.int "denied probe stayed a miss" 1 (Cache.hits cache);
+  check Alcotest.bool "denied probe reached the read audit" true
+    (Audit.record_count (Drive.audit drive) > audits_before);
+  (match Cache.check cache with Ok () -> () | Error e -> Alcotest.failf "lease checker: %s" e);
+  Netclient.close client
+
+let test_mutation_waits_out_peer_lease () =
+  (* The server-side half of the lease contract: a mutation from one
+     client may not apply while another client holds a live lease it
+     would invalidate — the server waits the lease out (clock advance),
+     so a cached reply is never superseded while still servable. *)
+  let lease_ns = 5_000_000_000L in
+  let drive, srv = lease_server ~lease_ns () in
+  let reader = cached_client srv in
+  let writer =
+    Netclient.connect
+      ~config:{ Netclient.default_config with Netclient.claim_client = 2 }
+      (Nettransport.loopback ~identity:2 srv)
+  in
+  let oid = create_object (Netclient.handle reader) in
+  let payload = Bytes.of_string "v1-leased" in
+  ignore
+    (Netclient.handle reader cred
+       (Rpc.Write { oid; off = 0; len = Bytes.length payload; data = Some payload }));
+  let rd () =
+    Netclient.handle reader cred
+      (Rpc.Read { oid; off = 0; len = Bytes.length payload; at = None })
+  in
+  ignore (rd ());
+  let granted_at = Simclock'.now (Drive.clock drive) in
+  let waits_before = Metrics.counter "net/lease_wait" in
+  (* Another client overwrites: the server must stall the write past
+     the reader's lease expiry before applying it. *)
+  let v2 = Bytes.of_string "v2-leased" in
+  (match
+     Netclient.handle writer (Rpc.user_cred ~user:1 ~client:2)
+       (Rpc.Write { oid; off = 0; len = Bytes.length v2; data = Some v2 })
+   with
+  | Rpc.R_unit -> ()
+  | r -> Alcotest.failf "conflicting write: %a" Rpc.pp_resp r);
+  check Alcotest.bool "write waited for the lease" true
+    (Simclock'.now (Drive.clock drive) >= Int64.add granted_at lease_ns);
+  check Alcotest.bool "wait was counted" true (Metrics.counter "net/lease_wait" > waits_before);
+  (* By the time the reader can observe the write's effects (any reply
+     carries the post-wait clock), its lease is dead: the next read
+     refetches and sees v2, never a stale local answer. *)
+  ignore (Netclient.handle reader cred Rpc.Sync);
+  (match rd () with
+  | Rpc.R_data b -> check Alcotest.bytes "reader sees the new bytes" v2 b
+  | r -> Alcotest.failf "post-write read: %a" Rpc.pp_resp r);
+  let cache = Option.get (Netclient.cache reader) in
+  (match Cache.check cache with Ok () -> () | Error e -> Alcotest.failf "lease checker: %s" e);
+  Netclient.close reader;
+  Netclient.close writer
+
+let test_own_lease_never_stalls_holder () =
+  (* A client's own leases never fence its own mutations — it
+     invalidates its cache on send, so there is nothing to protect and
+     nothing to wait for. *)
+  let lease_ns = 60_000_000_000L in
+  let drive, srv = lease_server ~lease_ns () in
+  let client = cached_client srv in
+  let oid = create_object (Netclient.handle client) in
+  let payload = Bytes.of_string "self-owned" in
+  let wr () =
+    ignore
+      (Netclient.handle client cred
+         (Rpc.Write { oid; off = 0; len = Bytes.length payload; data = Some payload }))
+  in
+  wr ();
+  ignore
+    (Netclient.handle client cred
+       (Rpc.Read { oid; off = 0; len = Bytes.length payload; at = None }));
+  let waits_before = Metrics.counter "net/lease_wait" in
+  let t0 = Simclock'.now (Drive.clock drive) in
+  wr ();
+  check Alcotest.bool "write applied well within the lease term" true
+    (Int64.sub (Simclock'.now (Drive.clock drive)) t0 < lease_ns);
+  check Alcotest.int "no lease wait" waits_before (Metrics.counter "net/lease_wait");
+  Netclient.close client
+
 (* --- live-session fuzz ------------------------------------------------ *)
 
 (* Arbitrary byte streams against a live session: the server must never
@@ -893,6 +1001,12 @@ let () =
           Alcotest.test_case "v2 peer gets no leases" `Quick test_v2_peer_gets_no_leases;
           Alcotest.test_case "zero lease term caches nothing" `Quick
             test_no_lease_term_no_cache;
+          Alcotest.test_case "cache never crosses credentials" `Quick
+            test_cache_never_crosses_credentials;
+          Alcotest.test_case "mutation waits out peer lease" `Quick
+            test_mutation_waits_out_peer_lease;
+          Alcotest.test_case "own lease never stalls holder" `Quick
+            test_own_lease_never_stalls_holder;
         ] );
       ( "tcp",
         [

@@ -188,6 +188,7 @@ let arb_cops =
 
 let read_req o = Rpc.Read { oid = Int64.of_int o; off = 0; len = 8; at = None }
 let data_resp o = Rpc.R_data (Bytes.make 8 (Char.chr (Char.code 'a' + o)))
+let ccred = Rpc.user_cred ~user:1 ~client:1
 
 let prop_cache_journal_always_checks =
   QCheck.Test.make ~name:"cache journal replay proves the lease rule" ~count:300 arb_cops
@@ -198,9 +199,9 @@ let prop_cache_journal_always_checks =
         (fun op ->
           match op with
           | Cstore (o, l) ->
-            Cache.store c (read_req o) (data_resp o) ~lease:(Int64.add !now (Int64.of_int l))
+            Cache.store c ccred (read_req o) (data_resp o) ~lease:(Int64.add !now (Int64.of_int l))
           | Cfind o -> (
-            match Cache.find c (read_req o) with
+            match Cache.find c ccred (read_req o) with
             | Some (Rpc.R_data b) ->
               (* A served reply is the one stored for that oid. *)
               if Bytes.get b 0 <> Char.chr (Char.code 'a' + o) then
@@ -219,11 +220,11 @@ let prop_cache_journal_always_checks =
 let test_cache_expiry_boundary () =
   let c = Cache.create ~journal:true ~budget:4096 () in
   Cache.observe_now c 10L;
-  Cache.store c (read_req 0) (data_resp 0) ~lease:100L;
+  Cache.store c ccred (read_req 0) (data_resp 0) ~lease:100L;
   Cache.observe_now c 99L;
-  check Alcotest.bool "live at 99" true (Cache.find c (read_req 0) <> None);
+  check Alcotest.bool "live at 99" true (Cache.find c ccred (read_req 0) <> None);
   Cache.observe_now c 100L;
-  check Alcotest.bool "dead at expiry instant" true (Cache.find c (read_req 0) = None);
+  check Alcotest.bool "dead at expiry instant" true (Cache.find c ccred (read_req 0) = None);
   check Alcotest.int "one hit" 1 (Cache.hits c);
   check Alcotest.int "expired find counted as miss" 1 (Cache.misses c);
   (match Cache.check c with Ok () -> () | Error e -> Alcotest.failf "checker: %s" e)
@@ -231,28 +232,49 @@ let test_cache_expiry_boundary () =
 let test_cache_expired_lease_stores_nothing () =
   let c = Cache.create ~budget:4096 () in
   Cache.observe_now c 50L;
-  Cache.store c (read_req 0) (data_resp 0) ~lease:50L;
-  Cache.store c (read_req 1) (data_resp 1) ~lease:0L;
+  Cache.store c ccred (read_req 0) (data_resp 0) ~lease:50L;
+  Cache.store c ccred (read_req 1) (data_resp 1) ~lease:0L;
   check Alcotest.int "nothing stored" 0 (Cache.length c)
 
 let test_cache_errors_never_cached () =
   let c = Cache.create ~budget:4096 () in
   Cache.observe_now c 1L;
-  Cache.store c (read_req 0) (Rpc.R_error Rpc.Not_found) ~lease:1000L;
+  Cache.store c ccred (read_req 0) (Rpc.R_error Rpc.Not_found) ~lease:1000L;
   check Alcotest.int "error reply not cached" 0 (Cache.length c)
 
 let test_cache_invalidation_is_per_oid () =
   let c = Cache.create ~journal:true ~budget:4096 () in
   Cache.observe_now c 1L;
-  Cache.store c (read_req 0) (data_resp 0) ~lease:1000L;
-  Cache.store c (read_req 1) (data_resp 1) ~lease:1000L;
+  Cache.store c ccred (read_req 0) (data_resp 0) ~lease:1000L;
+  Cache.store c ccred (read_req 1) (data_resp 1) ~lease:1000L;
   Cache.invalidate_req c
     (Rpc.Write { oid = 0L; off = 0; len = 1; data = Some (Bytes.make 1 'z') });
-  check Alcotest.bool "mutated oid dropped" true (Cache.find c (read_req 0) = None);
-  check Alcotest.bool "other oid survives" true (Cache.find c (read_req 1) <> None);
+  check Alcotest.bool "mutated oid dropped" true (Cache.find c ccred (read_req 0) = None);
+  check Alcotest.bool "other oid survives" true (Cache.find c ccred (read_req 1) <> None);
   (* History-pruning ops have no per-oid footprint: everything goes. *)
   Cache.invalidate_req c (Rpc.Flush { until = 5L });
   check Alcotest.int "flush clears the cache" 0 (Cache.length c);
+  (match Cache.check c with Ok () -> () | Error e -> Alcotest.failf "checker: %s" e)
+
+let test_cache_keys_are_per_credential () =
+  (* The server ACL-checks per credential, so a reply cached for one
+     principal must never be replayed to another sharing the client:
+     the cache key carries (user, admin). *)
+  let c = Cache.create ~journal:true ~budget:4096 () in
+  Cache.observe_now c 1L;
+  Cache.store c ccred (read_req 0) (data_resp 0) ~lease:1000L;
+  check Alcotest.bool "another user misses" true
+    (Cache.find c (Rpc.user_cred ~user:2 ~client:1) (read_req 0) = None);
+  check Alcotest.bool "admin misses" true (Cache.find c Rpc.admin_cred (read_req 0) = None);
+  check Alcotest.bool "the caching user hits" true (Cache.find c ccred (read_req 0) <> None);
+  (* The connection names the client machine server-side, so the
+     client field is NOT part of the key. *)
+  check Alcotest.bool "same user, other claimed client still hits" true
+    (Cache.find c (Rpc.user_cred ~user:1 ~client:9) (read_req 0) <> None);
+  (* Invalidation by oid drops every principal's entries. *)
+  Cache.store c (Rpc.user_cred ~user:2 ~client:1) (read_req 0) (data_resp 0) ~lease:1000L;
+  Cache.invalidate_req c (Rpc.Delete { oid = 0L });
+  check Alcotest.int "all principals' entries dropped" 0 (Cache.length c);
   (match Cache.check c with Ok () -> () | Error e -> Alcotest.failf "checker: %s" e)
 
 let () =
@@ -278,5 +300,7 @@ let () =
           Alcotest.test_case "errors never cached" `Quick test_cache_errors_never_cached;
           Alcotest.test_case "invalidation per oid; flush clears" `Quick
             test_cache_invalidation_is_per_oid;
+          Alcotest.test_case "keys are per credential" `Quick
+            test_cache_keys_are_per_credential;
         ] );
     ]
