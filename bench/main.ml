@@ -265,7 +265,11 @@ let fig5_rows () =
         cleaner_max_segments = 16;
       }
     in
-    let sys = Systems.s4_nfs_server ~disk_mb ~drive_config () in
+    let sys =
+      Systems.s4_nfs_server
+        ~config:{ Systems.Config.default with disk_mb = Some disk_mb; drive_config }
+        ()
+    in
     (match sys.Systems.drive with
      | Some d -> Cleaner.set_mode (Drive.cleaner d) mode
      | None -> ());
@@ -354,7 +358,7 @@ let fig6 () =
   Printf.printf "files=%d in 10 directories\n\n" files;
   let run audit =
     let drive_config = { Systems.benchmark_drive_config with Drive.audit_enabled = audit } in
-    let sys = Systems.s4_nfs_server ~drive_config () in
+    let sys = Systems.s4_nfs_server ~config:{ Systems.Config.default with drive_config } () in
     Microbench.run ~config:{ Microbench.default with Microbench.files } sys
   in
   let off = run false in
@@ -399,7 +403,8 @@ let audit_macro () =
   let config = pm_seeded { Postmark.default with Postmark.files = 1000; transactions = 5000 } in
   let run audit =
     let drive_config = { Systems.benchmark_drive_config with Drive.audit_enabled = audit } in
-    Postmark.run ~config (Systems.s4_nfs_server ~drive_config ())
+    Postmark.run ~config
+      (Systems.s4_nfs_server ~config:{ Systems.Config.default with drive_config } ())
   in
   let off = run false and on = run true in
   let t r = r.Postmark.creation_seconds +. r.Postmark.transaction_seconds in
@@ -536,7 +541,7 @@ let ablation () =
   Report.heading "Ablations: S4 design-parameter sensitivity (small PostMark / microbench)";
   let pm_config = pm_seeded { Postmark.default with Postmark.files = 500; transactions = 2_500 } in
   let run_pm drive_config =
-    let sys = Systems.s4_nfs_server ~drive_config () in
+    let sys = Systems.s4_nfs_server ~config:{ Systems.Config.default with drive_config } () in
     (Postmark.run ~config:pm_config sys).Postmark.transactions_per_second
   in
   print_endline "(a) block (buffer) cache size - the Figure 5 knee:";
@@ -560,7 +565,11 @@ let ablation () =
              Drive.store =
                { Systems.benchmark_drive_config.Drive.store with Store.readahead_blocks = ra } }
          in
-         let sys = Systems.s4_nfs_server ~drive_config:dc () in
+         let sys =
+           Systems.s4_nfs_server
+             ~config:{ Systems.Config.default with drive_config = dc }
+             ()
+         in
          let r = Microbench.run ~config:{ Microbench.default with Microbench.files = 2000 } sys in
          [ string_of_int ra; Printf.sprintf "%.2f" r.Microbench.read_seconds ])
        [ 1; 8; 32; 64 ]);
@@ -573,7 +582,11 @@ let ablation () =
              Drive.store =
                { Systems.benchmark_drive_config.Drive.store with Store.checkpoint_interval = iv } }
          in
-         let sys = Systems.s4_nfs_server ~drive_config:dc () in
+         let sys =
+           Systems.s4_nfs_server
+             ~config:{ Systems.Config.default with drive_config = dc }
+             ()
+         in
          let tps = (Postmark.run ~config:pm_config sys).Postmark.transactions_per_second in
          let ckpt =
            match sys.Systems.drive with
@@ -675,10 +688,11 @@ let faults () =
     Sim_disk.set_fault disk (Some policy);
     let cred = Rpc.user_cred ~user:1 ~client:1 in
     let oids =
-      List.init 8 (fun _ ->
-          match Drive.handle drive cred (Rpc.Create { acl = [] }) with
-          | Rpc.R_oid o -> o
-          | r -> failwith (Format.asprintf "create: %a" Rpc.pp_resp r))
+      Drive.submit drive cred (Array.init 8 (fun _ -> Rpc.Create { acl = [] }))
+      |> Array.to_list
+      |> List.map (function
+           | Rpc.R_oid o -> o
+           | r -> failwith (Format.asprintf "create: %a" Rpc.pp_resp r))
     in
     let completed = ref 0 and errors = ref 0 in
     for i = 0 to ops - 1 do
@@ -772,11 +786,12 @@ let scale () =
   let rows =
     List.map
       (fun shards ->
-        let pm = Postmark.run ~config:pm_config (Systems.s4_array ~shards ~drive_config ()) in
+        let cfg = { Systems.Config.serial with drive_config } in
+        let pm = Postmark.run ~config:pm_config (Systems.s4_array ~config:cfg ~shards ()) in
         let mb =
           Microbench.run
             ~config:{ Microbench.default with Microbench.files = mb_files }
-            (Systems.s4_array ~shards ~drive_config ())
+            (Systems.s4_array ~config:cfg ~shards ())
         in
         (shards, pm, mb))
       counts
@@ -820,6 +835,105 @@ let scale () =
          (Printf.sprintf "%d shard%s (txn/s)" n (if n = 1 then "" else "s"),
           pm.Postmark.transactions_per_second))
        rows);
+  (* Per-shard worker domains: the same PostMark-shaped object mix,
+     submitted as vectored batches straight at the router, serial vs
+     one worker domain per shard. Two honest columns per row: the
+     simulated clock (the model's parallel charge — a batch window
+     spanning k shards costs the slowest lane instead of the sum) and
+     host wall-clock (true parallelism, bounded by the cores actually
+     available — on a single-core host the wall column shows no
+     speedup by construction, and the [cores] field says so). *)
+  print_newline ();
+  Report.heading "Scale: per-shard worker domains (vectored object workload)";
+  let cores = Domain.recommended_domain_count () in
+  let files = if !full_scale then 1024 else 256 in
+  let batches = if !full_scale then 400 else 120 in
+  let batch = 64 in
+  Printf.printf "host cores: %d%s; %d objects, %d batches x %d requests\n\n" cores
+    (if cores < 2 then " (wall-clock parallelism unavailable on this host)" else "")
+    files batches batch;
+  let payload = Bytes.make 4096 'd' in
+  let run_mode ~shards ~domains =
+    let clock = Simclock.create () in
+    let members =
+      List.init shards (fun i ->
+          ( i,
+            Router.Single
+              (Drive.format ~config:drive_config
+                 (Sim_disk.create ~geometry:Geometry.cheetah_9gb clock)) ))
+    in
+    let router = Router.create members in
+    Router.set_domains router domains;
+    let cred = Rpc.user_cred ~user:1 ~client:1 in
+    let oids =
+      Router.submit router cred
+        (Array.init files (fun _ -> Rpc.Create { acl = S4.Acl.default ~owner:1 }))
+      |> Array.map (function
+           | Rpc.R_oid oid -> oid
+           | r -> Format.kasprintf failwith "scale domains: create: %a" Rpc.pp_resp r)
+    in
+    ignore
+      (Router.submit router cred ~sync:true
+         (Array.map
+            (fun oid -> Rpc.Write { oid; off = 0; len = 4096; data = Some payload })
+            oids));
+    let rng = Rng.create ~seed:(rng_seed 424) in
+    let sim0 = Simclock.now clock and wall0 = Unix.gettimeofday () in
+    for _ = 1 to batches do
+      let reqs =
+        Array.init batch (fun _ ->
+            let oid = oids.(Rng.int rng files) in
+            match Rng.int rng 4 with
+            | 0 | 1 -> Rpc.Read { oid; off = 4096 * Rng.int rng 4; len = 4096; at = None }
+            | 2 -> Rpc.Write { oid; off = 4096 * Rng.int rng 4; len = 4096; data = Some payload }
+            | _ -> Rpc.Append { oid; len = 1024; data = Some (Bytes.sub payload 0 1024) })
+      in
+      ignore (Router.submit router cred ~sync:true reqs)
+    done;
+    let wall = Unix.gettimeofday () -. wall0 in
+    let sim = Int64.to_float (Int64.sub (Simclock.now clock) sim0) /. 1e9 in
+    Router.close_domains router;
+    let ops = float_of_int (batches * batch) in
+    (ops /. sim, ops /. wall)
+  in
+  let domain_rows =
+    List.map
+      (fun shards ->
+        let s_sim, s_wall = run_mode ~shards ~domains:1 in
+        let d_sim, d_wall = run_mode ~shards ~domains:shards in
+        Report.record ~experiment:"scale_domains"
+          [
+            ("shards", float_of_int shards);
+            ("cores", float_of_int cores);
+            ("ops", float_of_int (batches * batch));
+            ("sim_tps_serial", s_sim);
+            ("sim_tps_domains", d_sim);
+            ("sim_speedup", d_sim /. s_sim);
+            ("wall_tps_serial", s_wall);
+            ("wall_tps_domains", d_wall);
+            ("wall_speedup", d_wall /. s_wall);
+          ];
+        (shards, s_sim, d_sim, s_wall, d_wall))
+      counts
+  in
+  Report.table
+    ~header:
+      [
+        "shards"; "sim txn/s serial"; "sim txn/s domains"; "sim speedup";
+        "wall txn/s serial"; "wall txn/s domains"; "wall speedup";
+      ]
+    (List.map
+       (fun (shards, s_sim, d_sim, s_wall, d_wall) ->
+         [
+           string_of_int shards;
+           Printf.sprintf "%.0f" s_sim;
+           Printf.sprintf "%.0f" d_sim;
+           Printf.sprintf "%.2fx" (d_sim /. s_sim);
+           Printf.sprintf "%.0f" s_wall;
+           Printf.sprintf "%.0f" d_wall;
+           Printf.sprintf "%.2fx" (d_wall /. s_wall);
+         ])
+       domain_rows);
   (* Online rebalance cost: populate a 2-shard array, then add a third
      drive to the live array and drain the migration queue. Default
      caches here — the constrained caches above exist to make the
@@ -865,7 +979,8 @@ let scale () =
       ("errors", float_of_int (List.length errors));
       ("fsck_issues", float_of_int (List.length issues));
     ];
-  Report.write_json ~experiments:[ "scale"; "scale_rebalance" ] "BENCH_scale.json";
+  Report.write_json ~experiments:[ "scale"; "scale_domains"; "scale_rebalance" ]
+    "BENCH_scale.json";
   Report.note "wrote BENCH_scale.json"
 
 (* ------------------------------------------------------------------ *)
@@ -1651,20 +1766,30 @@ let readscale () =
   in
   let read_rate ~balanced clients =
     let sys =
-      Systems.s4_array ~shards:4 ~mirrored:true ~balanced ~read_overlap:true
-        ~drive_config:mirror_drive_config ()
+      Systems.s4_array
+        ~config:
+          {
+            Systems.Config.default with
+            mirrored = true;
+            balanced;
+            read_overlap = true;
+            drive_config = mirror_drive_config;
+          }
+        ~shards:4 ()
     in
     let router = Option.get sys.Systems.router in
     let oids =
-      Array.init objects (fun i ->
-          match Router.handle router cred (Rpc.Create { acl = S4.Acl.default ~owner:1 }) with
-          | Rpc.R_oid oid ->
-            ignore
-              (Router.handle router cred
-                 (Rpc.Write { oid; off = 0; len = obj_bytes; data = Some payload }));
-            oid
-          | r -> Format.kasprintf failwith "readscale: create %d failed: %a" i Rpc.pp_resp r)
+      Router.submit router cred
+        (Array.init objects (fun _ -> Rpc.Create { acl = S4.Acl.default ~owner:1 }))
+      |> Array.mapi (fun i -> function
+           | Rpc.R_oid oid -> oid
+           | r -> Format.kasprintf failwith "readscale: create %d failed: %a" i Rpc.pp_resp r)
     in
+    ignore
+      (Router.submit router cred
+         (Array.map
+            (fun oid -> Rpc.Write { oid; off = 0; len = obj_bytes; data = Some payload })
+            oids));
     Router.sync_all router;
     let rng = Rng.create ~seed:(rng_seed 1811) in
     let idx = Array.init objects (fun i -> i) in

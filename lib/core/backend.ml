@@ -1,15 +1,19 @@
+type concurrency = Serial | Domain_safe
+
 type t = {
   clock : S4_util.Simclock.t;
   keep_data : bool;
   capacity : unit -> int * int;
+  concurrency : concurrency;
   submit : Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array;
   close : unit -> unit;
 }
 
 let handle t cred ?(sync = false) req = (t.submit cred ~sync [| req |]).(0)
 
-let make ~clock ~keep_data ~capacity ?(close = fun () -> ()) submit =
-  { clock; keep_data; capacity; submit; close }
+let make ~clock ~keep_data ~capacity ?(concurrency = Serial)
+    ?(close = fun () -> ()) submit =
+  { clock; keep_data; capacity; concurrency; submit; close }
 
 let of_handle ~clock ~keep_data ~capacity ?(close = fun () -> ())
     (h : Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp) =
@@ -28,4 +32,4 @@ let of_handle ~clock ~keep_data ~capacity ?(close = fun () -> ())
         (fun i req -> h cred ~sync:(sync && i = n - 1) req)
         reqs
   in
-  { clock; keep_data; capacity; submit; close }
+  { clock; keep_data; capacity; concurrency = Serial; submit; close }

@@ -19,7 +19,41 @@
     If the end-of-batch barrier itself fails, every response that
     reported success is rewritten to the barrier's [Io_error] — the
     caller must not believe un-persisted mutations are stable, exactly
-    as with single-request [sync]. *)
+    as with single-request [sync].
+
+    {2 Threading model}
+
+    Concurrency is part of the contract, not a comment. Every backend
+    declares a {!concurrency} capability:
+
+    - [Serial] — the producer's state is confined to one domain (or
+      one systhread at a time). Callers that share the backend across
+      threads or domains must serialize every {!submit}/{!handle}/
+      [close] themselves; {!Net.Server} does this with its global
+      backend lock. The bare drive stack ([Drive], [Mirror], the
+      modelled and wire clients) is [Serial].
+    - [Domain_safe] — concurrent {!submit} calls from different
+      domains are safe. The producer provides its own internal
+      synchronization and may execute independent work in parallel
+      (the sharded array dispatches disjoint shards onto per-shard
+      worker domains; see [Shard_domain] and the DESIGN threading
+      section). Two guarantees survive the concurrency: requests of a
+      {e single} [submit] batch still execute in array order with one
+      end-of-batch barrier, and per-object state transitions remain
+      linearizable because each object lives on exactly one shard,
+      owned by exactly one domain. Ordering {e between} concurrent
+      batches from different callers is whatever the interleaving
+      gives — per-session ordering is the caller's job (the server
+      keeps it by pinning a session's batches to one thread at a
+      time).
+
+    Whatever the capability, [clock], [keep_data] and [capacity] are
+    safe to read from any domain; [close] must be called exactly once,
+    after all in-flight submits have returned. *)
+
+type concurrency =
+  | Serial  (** caller must serialize all access *)
+  | Domain_safe  (** concurrent [submit] from multiple domains is safe *)
 
 type t = {
   clock : S4_util.Simclock.t;  (** the clock every request charges *)
@@ -28,6 +62,8 @@ type t = {
           systems) or only sizes (timing-only benchmark config) *)
   capacity : unit -> int * int;
       (** (total bytes, free bytes) of the backing store *)
+  concurrency : concurrency;
+      (** the producer's threading contract; see the module docs *)
   submit : Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array;
       (** Execute a batch in order; one durability barrier at batch
           end when [sync]. Response [i] answers request [i]. An empty
@@ -46,9 +82,12 @@ val make :
   clock:S4_util.Simclock.t ->
   keep_data:bool ->
   capacity:(unit -> int * int) ->
+  ?concurrency:concurrency ->
   ?close:(unit -> unit) ->
   (Rpc.credential -> ?sync:bool -> Rpc.req array -> Rpc.resp array) ->
   t
+(** Build a backend. [concurrency] defaults to [Serial]; only declare
+    [Domain_safe] when every entry point really is. *)
 
 val of_handle :
   clock:S4_util.Simclock.t ->
@@ -57,8 +96,13 @@ val of_handle :
   ?close:(unit -> unit) ->
   (Rpc.credential -> ?sync:bool -> Rpc.req -> Rpc.resp) ->
   t
+  [@@ocaml.deprecated
+    "use Backend.make with a native vectored submit; of_handle cannot group-commit"]
 (** Wrap a legacy single-request handler that has no native group
     commit: the batch runs one request at a time with [sync:false]
     and, when [sync], the barrier is a trailing [Rpc.Sync] request.
-    Producers with a real group-commit path (drive, router, wire
-    client) should implement [submit] natively instead. *)
+
+    @deprecated Every in-repo producer now implements [submit]
+    natively (drive, mirror, router, wire client, modelled client);
+    new producers should too. The wrapper survives one more release
+    for out-of-tree callers and then goes away. *)

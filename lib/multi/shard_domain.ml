@@ -1,0 +1,120 @@
+(* Per-shard worker domains.
+
+   A pool owns N OCaml 5 domains, each looping on its own bounded
+   MPSC channel (mutex + condition, capacity-bounded so a runaway
+   producer blocks instead of ballooning the queue). Work is pinned by
+   slot: [run] sends job [slot] to worker [slot mod size], so a given
+   shard always executes on the same domain — that domain owns the
+   shard's drive stack exclusively for the duration of the dispatch
+   and no shard state is ever touched by two domains at once.
+
+   Domains are spawned lazily on first use: a pool that is created but
+   never dispatched to (domains knob left at 1) costs nothing. *)
+
+type task = unit -> unit
+
+type worker = {
+  mutable dom : unit Domain.t option;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+  q : task Queue.t;
+  mutable stop : bool;
+}
+
+type t = { workers : worker array; bound : int }
+
+let make_worker () =
+  {
+    dom = None;
+    m = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+    q = Queue.create ();
+    stop = false;
+  }
+
+let create n =
+  if n < 1 then invalid_arg "Shard_domain.create: need at least one worker";
+  { workers = Array.init n (fun _ -> make_worker ()); bound = 64 }
+
+let size t = Array.length t.workers
+
+let rec worker_loop w =
+  Mutex.lock w.m;
+  while Queue.is_empty w.q && not w.stop do
+    Condition.wait w.nonempty w.m
+  done;
+  if Queue.is_empty w.q then Mutex.unlock w.m (* stop, queue drained *)
+  else begin
+    let task = Queue.pop w.q in
+    Condition.signal w.nonfull;
+    Mutex.unlock w.m;
+    task ();
+    worker_loop w
+  end
+
+let enqueue t w task =
+  Mutex.lock w.m;
+  if w.stop then begin
+    Mutex.unlock w.m;
+    invalid_arg "Shard_domain: pool is closed"
+  end;
+  while Queue.length w.q >= t.bound do
+    Condition.wait w.nonfull w.m
+  done;
+  Queue.push task w.q;
+  if w.dom = None then w.dom <- Some (Domain.spawn (fun () -> worker_loop w));
+  Condition.signal w.nonempty;
+  Mutex.unlock w.m
+
+let run t jobs =
+  match jobs with
+  | [] -> ()
+  | [ (_, f) ] -> f () (* one job: no cross-domain hop needed *)
+  | jobs ->
+    let lm = Mutex.create () in
+    let done_ = Condition.create () in
+    let remaining = ref (List.length jobs) in
+    let failure = ref None in
+    List.iter
+      (fun (slot, f) ->
+        let wrapped () =
+          (try f ()
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock lm;
+             if !failure = None then failure := Some (e, bt);
+             Mutex.unlock lm);
+          Mutex.lock lm;
+          decr remaining;
+          if !remaining = 0 then Condition.signal done_;
+          Mutex.unlock lm
+        in
+        enqueue t t.workers.(slot mod Array.length t.workers) wrapped)
+      jobs;
+    Mutex.lock lm;
+    while !remaining > 0 do
+      Condition.wait done_ lm
+    done;
+    Mutex.unlock lm;
+    match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+
+let close t =
+  Array.iter
+    (fun w ->
+      Mutex.lock w.m;
+      w.stop <- true;
+      Condition.broadcast w.nonempty;
+      Mutex.unlock w.m)
+    t.workers;
+  Array.iter
+    (fun w ->
+      match w.dom with
+      | Some d ->
+        Domain.join d;
+        w.dom <- None
+      | None -> ())
+    t.workers

@@ -1,0 +1,32 @@
+(** Per-shard worker domains.
+
+    A pool of OCaml 5 domains, one bounded MPSC channel each, used by
+    the shard router to execute disjoint sub-batches of a request
+    batch in parallel. Jobs are pinned by slot — [run] executes job
+    [slot] on worker [slot mod size] — so the same shard always lands
+    on the same domain and its drive stack is owned by exactly one
+    domain at a time.
+
+    The pool itself must be driven from one domain at a time (the
+    router's backend mutex guarantees this); only the workers run
+    concurrently. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes a pool of [n] workers. Domains are spawned
+    lazily, on the first job each worker receives. *)
+
+val size : t -> int
+
+val run : t -> (int * (unit -> unit)) list -> unit
+(** [run t jobs] executes every [(slot, job)] — job on worker
+    [slot mod size t] — and waits for all of them. Jobs with distinct
+    slots run in parallel; jobs sharing a worker run in slot
+    submission order. If any job raises, the first exception is
+    re-raised here after all jobs finish. A single-job list runs
+    inline on the caller. *)
+
+val close : t -> unit
+(** Stop and join every worker domain. Queued jobs are drained first;
+    submitting after [close] raises. *)

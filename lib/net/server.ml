@@ -47,7 +47,11 @@ type t = {
   backend : Backend.t;
   audit_garbage : audit_garbage option;
   cfg : config;
-  lock : Mutex.t;  (** serializes backend calls: the drive stack is not thread-safe *)
+  lock : Mutex.t;
+      (** serializes backend calls when the backend is [Serial] (the
+          drive stack is single-owner), and guards [sched]/[leases]
+          whenever those features are on; bypassed entirely for a
+          [Domain_safe] backend with neither — see [direct] *)
   sched : (unit -> unit) S4_qos.Wfq.t option;
       (** [qos] mode: one WFQ over every session's pending work; items
           are execute-and-reply thunks, guarded by [lock] *)
@@ -91,6 +95,23 @@ let scheduler t = t.sched
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* When the backend declares itself [Domain_safe] and neither the
+   shared WFQ scheduler nor the lease registry is in play, sessions
+   skip the server lock entirely: every connection calls straight into
+   the backend, which serializes (or parallelizes) internally.
+   Per-session ordering is untouched — a session still drains its own
+   FIFO on its own thread — but independent sessions no longer
+   serialize on this mutex. With [qos] the lock is what makes the
+   shared queue's arbitration atomic, and with leases it guards the
+   registry and the fence's clock wait, so either feature keeps the
+   lock. *)
+let direct t =
+  t.backend.Backend.concurrency = Backend.Domain_safe
+  && Option.is_none t.sched
+  && Int64.compare t.cfg.lease_ns 0L <= 0
+
+let with_backend t f = if direct t then f () else with_lock t f
 
 (* ------------------------------------------------------------------ *)
 (* Client-cache lease registry                                         *)
@@ -394,7 +415,7 @@ module Session = struct
              s.srv.cfg.max_batch)
       else enqueue s (W_batch (xid, cred, sync, reqs))
     | Wire.Stat { xid } ->
-      let total, free = with_lock s.srv (fun () -> s.srv.backend.Backend.capacity ()) in
+      let total, free = with_backend s.srv (fun () -> s.srv.backend.Backend.capacity ()) in
       emit s
         (Wire.Stat_ack { xid; total; free; now = now s; batch = s.srv.cfg.max_batch })
     | Wire.Goodbye -> s.s_closing <- true
@@ -455,7 +476,7 @@ module Session = struct
       match Queue.take_opt s.pending with
       | None -> false
       | Some w ->
-        with_lock s.srv (fun () -> finish_work s w);
+        with_backend s.srv (fun () -> finish_work s w);
         true)
     | Some sched ->
       with_lock s.srv (fun () ->

@@ -66,11 +66,22 @@ val create :
   S4.Backend.t ->
   t
 (** Serve any backend — a drive, a shard router, a mirrored pair.
-    Backend calls are serialized under an internal lock, so one server
-    can safely carry many concurrent connections to a single
-    (thread-oblivious) drive stack. [weight_of] is the per-client
-    weight source sampled by the [qos] scheduler (default: everyone
-    weighs 1.0). *)
+
+    {b Threading model.} A {!S4.Backend.Serial} backend (a bare drive)
+    is guarded by an internal server lock, so one server safely
+    carries many concurrent connections to a single (single-owner)
+    drive stack. When the backend declares itself
+    {!S4.Backend.Domain_safe} (the shard router) and neither [qos] nor
+    leases ([lease_ns = 0]) are enabled, that lock is bypassed:
+    connections call straight into the backend, which handles its own
+    synchronization — per-session request order is unchanged (each
+    session drains its own FIFO), but independent sessions stop
+    serializing at the server. Enabling [qos] or leases reinstates the
+    lock, which then also guards the shared fair queue and the lease
+    registry.
+
+    [weight_of] is the per-client weight source sampled by the [qos]
+    scheduler (default: everyone weighs 1.0). *)
 
 val of_drive : ?config:config -> ?weight_of:(int -> float) -> S4.Drive.t -> t
 (** [create] over {!S4.Drive.backend} with the drive's garbage-audit
@@ -106,7 +117,8 @@ module Session : sig
   val step : s -> bool
   (** Execute one queued request — or one whole queued batch, as ONE
       vectored backend submission with a single group-commit barrier —
-      under the server lock, and queue its response bytes. False if
+      under the server lock (or lock-free against a [Domain_safe]
+      backend, see {!create}), and queue its response bytes. False if
       nothing was pending. *)
 
   val run : s -> unit

@@ -1,44 +1,72 @@
 module Histogram = S4_util.Histogram
 
-let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+(* Domain-safe registry. Counters are [Atomic.t] cells so concurrent
+   [incr]s from server threads or shard worker domains never lose an
+   update (the old [int ref] read-modify-write did); the tables and
+   histogram buffers are guarded by one registry mutex, taken only on
+   first-use registration and on the (rare, report-time) read paths.
+   The hot path — bumping an existing counter — is one Hashtbl lookup
+   plus one [Atomic.fetch_and_add], no lock. That lock-free lookup is
+   safe because counters are never removed except by [reset], which is
+   documented as quiescent-only. *)
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counters_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 64
 let histograms_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 64
 
-let incr ?(by = 1) name =
+let counter_cell name =
   match Hashtbl.find_opt counters_tbl name with
-  | Some r -> r := !r + by
-  | None -> Hashtbl.replace counters_tbl name (ref by)
+  | Some c -> c
+  | None ->
+    locked (fun () ->
+        match Hashtbl.find_opt counters_tbl name with
+        | Some c -> c
+        | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.replace counters_tbl name c;
+          c)
+
+let incr ?(by = 1) name = ignore (Atomic.fetch_and_add (counter_cell name) by)
 
 (* Gauge semantics: overwrite instead of accumulate (e.g. a decaying
    per-client byte counter exported on each refresh). *)
-let set name v =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some r -> r := v
-  | None -> Hashtbl.replace counters_tbl name (ref v)
+let set name v = Atomic.set (counter_cell name) v
 
 let observe name v =
-  let h =
-    match Hashtbl.find_opt histograms_tbl name with
-    | Some h -> h
-    | None ->
-      let h = Histogram.create () in
-      Hashtbl.replace histograms_tbl name h;
-      h
-  in
-  Histogram.add h v
+  locked (fun () ->
+      let h =
+        match Hashtbl.find_opt histograms_tbl name with
+        | Some h -> h
+        | None ->
+          let h = Histogram.create () in
+          Hashtbl.replace histograms_tbl name h;
+          h
+      in
+      Histogram.add h v)
 
-let counter name = match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
-let histogram name = Hashtbl.find_opt histograms_tbl name
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let histogram name = locked (fun () -> Hashtbl.find_opt histograms_tbl name)
 
 let sorted_bindings tbl f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters () = sorted_bindings counters_tbl (fun r -> !r)
-let histograms () = sorted_bindings histograms_tbl Fun.id
+let counters () = locked (fun () -> sorted_bindings counters_tbl Atomic.get)
+let histograms () = locked (fun () -> sorted_bindings histograms_tbl Fun.id)
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset histograms_tbl
+  locked (fun () ->
+      Hashtbl.reset counters_tbl;
+      Hashtbl.reset histograms_tbl)
 
 let pp ppf () =
   let cs = counters () and hs = histograms () in

@@ -9,7 +9,13 @@
 
     Everything here is observationally free: the registry never reads
     or advances a {!S4_util.Simclock}, so recording a metric cannot
-    perturb a simulation. *)
+    perturb a simulation.
+
+    The registry is domain-safe: counters are atomic cells (concurrent
+    {!incr}s from server threads or shard worker domains cannot lose
+    updates) and the tables are mutex-guarded. Only {!reset} requires
+    quiescence — call it between runs, not while another domain is
+    recording. *)
 
 val incr : ?by:int -> string -> unit
 (** Bump the named counter, creating it at zero on first use. *)
@@ -36,7 +42,8 @@ val histograms : unit -> (string * S4_util.Histogram.t) list
 (** All histograms, sorted by name. *)
 
 val reset : unit -> unit
-(** Drop every counter and histogram. *)
+(** Drop every counter and histogram. Not safe concurrently with
+    recording — quiesce first. *)
 
 val pp : Format.formatter -> unit -> unit
 (** Render the whole registry, counters then histogram summaries. *)

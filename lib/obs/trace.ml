@@ -35,23 +35,43 @@ let unset = Int64.min_int
 let null = -1
 
 (* Growable span store; ids are array indices, so parent lookups are
-   O(1) and a snapshot is a single Array.sub. *)
-let enabled = ref false
+   O(1) and a snapshot is a single Array.sub.
+
+   Domain-safety: allocation (id assignment + push) and snapshot are
+   serialized by one registry mutex; each domain keeps its own
+   open-span stack in domain-local storage, so parenting follows the
+   domain that actually executes the work (a span opened on a shard
+   worker domain roots its own tree there). Field mutation needs no
+   lock — a span is written only by the domain that opened it until it
+   finishes, and snapshots are taken at quiescence. The enabled flag
+   is atomic so [on] stays one plain load on the hot path. *)
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let buf : span array ref = ref [||]
 let len = ref 0
-let stack : int list ref = ref []
 
-let on () = !enabled
-let enable () = enabled := true
-let disable () = enabled := false
+let stack_slot : int list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let my_stack () = Domain.DLS.get stack_slot
+
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
 
 let clear () =
-  buf := [||];
-  len := 0;
-  stack := []
+  locked (fun () ->
+      buf := [||];
+      len := 0);
+  my_stack () := []
 
-let count () = !len
-let spans () = Array.sub !buf 0 !len
+let count () = locked (fun () -> !len)
+let spans () = locked (fun () -> Array.sub !buf 0 !len)
 
 let grow () =
   let cap = Array.length !buf in
@@ -113,19 +133,26 @@ let fresh ~parent layer ~kind ~start_ns =
     err = "";
   }
 
-let current_parent () = match !stack with [] -> -1 | p :: _ -> p
+let current_parent () = match !(my_stack ()) with [] -> -1 | p :: _ -> p
 
 let enter layer ~kind ~now =
-  if not !enabled then null
+  if not (on ()) then null
   else begin
-    let s = fresh ~parent:(current_parent ()) layer ~kind ~start_ns:now in
-    let id = s.id in
-    push s;
-    stack := id :: !stack;
+    let parent = current_parent () in
+    let id =
+      locked (fun () ->
+          let s = fresh ~parent layer ~kind ~start_ns:now in
+          push s;
+          s.id)
+    in
+    let st = my_stack () in
+    st := id :: !st;
     id
   end
 
-let span_of tok = !buf.(tok)
+(* The record itself is stable once pushed; only the backing array may
+   be swapped by a concurrent [grow], hence the locked fetch. *)
+let span_of tok = locked (fun () -> !buf.(tok))
 
 let record_metrics s =
   let name = layer_name s.layer ^ "/" ^ s.kind in
@@ -154,6 +181,7 @@ let close_one id ~now ~abandoned =
    parent finishes were unwound by an exception through a frame with
    no instrumentation — close them at the same instant. *)
 let rec unwind tok ~now =
+  let stack = my_stack () in
   match !stack with
   | [] -> ()
   | top :: rest ->
@@ -175,12 +203,17 @@ let abort tok ~now =
   end
 
 let emit layer ~kind ~start_ns ~stop_ns ?(bytes = 0) ?(disk_ns = unset) () =
-  if !enabled then begin
-    let s = fresh ~parent:(current_parent ()) layer ~kind ~start_ns in
-    s.stop_ns <- stop_ns;
-    s.bytes <- bytes;
-    s.disk_ns <- disk_ns;
-    push s;
+  if on () then begin
+    let parent = current_parent () in
+    let s =
+      locked (fun () ->
+          let s = fresh ~parent layer ~kind ~start_ns in
+          s.stop_ns <- stop_ns;
+          s.bytes <- bytes;
+          s.disk_ns <- disk_ns;
+          push s;
+          s)
+    in
     record_metrics s
   end
 

@@ -15,7 +15,14 @@
 
     {b Observationally free.} No function in this module reads or
     advances a clock, touches a disk, or mutates anything outside the
-    tracer's own buffers; callers pass [~now] in explicitly. *)
+    tracer's own buffers; callers pass [~now] in explicitly.
+
+    {b Domain-safe.} Span allocation and snapshots are serialized on a
+    registry mutex; each domain keeps its own open-span stack in
+    domain-local storage, so spans opened on a shard worker domain
+    nest within that domain's call structure and root their own tree.
+    A span's fields are written only by the domain that opened it;
+    take {!spans} at quiescence. {!on} remains one atomic load. *)
 
 type layer = Nfs | Net | Router | Drive | Store | Seglog | Disk
 

@@ -10,6 +10,7 @@ module Sim_disk = S4_disk.Sim_disk
 module Log = S4_seglog.Log
 module Simclock = S4_util.Simclock
 module Mirror = S4_multi.Mirror
+module Shard_domain = S4_multi.Shard_domain
 module Trace = S4_obs.Trace
 
 type member = Single of Drive.t | Mirrored of Mirror.t
@@ -46,6 +47,8 @@ type t = {
   mutable migrated_bytes : int;
   mutable trace_tok : int;  (* open router span, or Trace.null *)
   mutable read_overlap : bool;  (* batch reads charge as parallel work *)
+  mutable domains : int;  (* worker-domain knob; <= 1 means serial *)
+  mutable pool : Shard_domain.t option;  (* lazily built worker pool *)
 }
 
 let member_drives = function
@@ -85,6 +88,40 @@ let ops_handled t = t.ops
 let member t id = (shard t id).sh_member
 let set_read_overlap t v = t.read_overlap <- v
 let read_overlap t = t.read_overlap
+
+(* --- per-shard worker domains ------------------------------------- *)
+
+let close_domains t =
+  match t.pool with
+  | Some p ->
+    Shard_domain.close p;
+    t.pool <- None
+  | None -> ()
+
+let set_domains t n =
+  let n = max 1 n in
+  if n <> t.domains then begin
+    (* Pool size depends on the knob; rebuild lazily at next dispatch. *)
+    close_domains t;
+    t.domains <- n
+  end
+
+let domains t = t.domains
+
+(* The pool that parallel dispatch should use right now, if any. Built
+   on first use so a router whose knob stays at 1 never spawns a
+   domain. One worker per shard up to the knob; shard [id] is pinned
+   to worker [id mod size], so each shard's drive stack is only ever
+   touched by one domain. *)
+let active_pool t =
+  if t.domains <= 1 || List.length t.order <= 1 then None
+  else
+    match t.pool with
+    | Some p -> Some p
+    | None ->
+      let p = Shard_domain.create (min t.domains (List.length t.order)) in
+      t.pool <- Some p;
+      Some p
 
 (* ------------------------------------------------------------------ *)
 (* Construction                                                        *)
@@ -152,6 +189,8 @@ let create_raw ?vnodes members =
         migrated_bytes = 0;
         trace_tok = Trace.null;
         read_overlap = false;
+        domains = 1;
+        pool = None;
       }
     in
     List.iter (fun (id, m) -> ignore (register t id m)) members;
@@ -715,6 +754,86 @@ let read_oid = function
   | Rpc.Get_acl_by_index { oid; _ } -> oid
   | _ -> invalid_arg "Router.read_oid: not a routable read"
 
+(* Requests routed purely by oid, mutations included: the whole
+   per-request effect (store mutation, audit record, degraded marks,
+   time charge) is confined to the holder shard, so a run of them may
+   be partitioned by holder and executed on per-shard worker domains.
+   Everything else (Create's oid allocation, partition ops, fan-outs)
+   consults or mutates router-global state and stays on the
+   dispatching domain. *)
+let routed_oid = function
+  | Rpc.Delete { oid }
+  | Rpc.Read { oid; _ }
+  | Rpc.Write { oid; _ }
+  | Rpc.Append { oid; _ }
+  | Rpc.Truncate { oid; _ }
+  | Rpc.Get_attr { oid; _ }
+  | Rpc.Set_attr { oid; _ }
+  | Rpc.Get_acl_by_user { oid; _ }
+  | Rpc.Get_acl_by_index { oid; _ }
+  | Rpc.Set_acl { oid; _ }
+  | Rpc.Flush_object { oid; _ } -> Some oid
+  | _ -> None
+
+(* Execute the maximal run of oid-routed requests starting at [i] on
+   the worker pool, one sub-batch per holder shard. Returns how many
+   requests were consumed (0 when the run is too small or lands on a
+   single shard — the caller falls back to the serial path).
+
+   Each worker charges time to a domain-local clock lane forked at the
+   shared [now]; after the join the shared clock advances by the
+   slowest lane — the same slowest-member rule [charge] applies to
+   phantom disks, lifted one level up to whole shards. Audit records
+   written by a shard carry its lane time, which is deterministic
+   (each shard's sub-batch is a fixed sequence from a fixed start), so
+   a multi-domain run is reproducible regardless of how the host
+   schedules the domains. Responses are positionally identical to
+   serial execution; only time accounting differs, exactly as with
+   {!set_read_overlap}. *)
+let parallel_run t pool cred reqs resps i =
+  let n = Array.length reqs in
+  let j = ref i in
+  while !j < n && routed_oid reqs.(!j) <> None do incr j done;
+  if !j - i < 2 then 0
+  else begin
+    let groups : (int, (shard * int list ref)) Hashtbl.t = Hashtbl.create 8 in
+    for k = !j - 1 downto i do
+      let sid = holder t (Option.get (routed_oid reqs.(k))) in
+      match Hashtbl.find_opt groups sid with
+      | Some (_, idxs) -> idxs := k :: !idxs
+      | None -> Hashtbl.replace groups sid (shard t sid, ref [ k ])
+    done;
+    if Hashtbl.length groups < 2 then 0
+    else begin
+      t.ops <- t.ops + (!j - i);
+      let start = Simclock.now t.clock in
+      let jobs =
+        Hashtbl.fold (fun sid (sh, idxs) acc -> (sid, sh, !idxs) :: acc) groups []
+        |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+      in
+      let elapsed = Array.make (List.length jobs) 0L in
+      Shard_domain.run pool
+        (List.mapi
+           (fun w (sid, sh, idxs) ->
+             ( sid,
+               fun () ->
+                 Simclock.fork_lane t.clock ~at:start;
+                 Fun.protect
+                   ~finally:(fun () -> elapsed.(w) <- Simclock.join_lane t.clock)
+                   (fun () ->
+                     List.iter
+                       (fun k ->
+                         resps.(k) <-
+                           charge t [ sh ] (fun () ->
+                               dispatch t sh cred ~sync:false reqs.(k)))
+                       idxs) ))
+           jobs);
+      let worst = Array.fold_left (fun acc e -> if Int64.compare e acc > 0 then e else acc) 0L elapsed in
+      if Int64.compare worst 0L > 0 then Simclock.advance t.clock worst;
+      !j - i
+    end
+  end
+
 let submit t cred ?(sync = false) reqs =
   (* Requests run in arrival order through the normal per-request
      dispatch (each charged its own shard's time, exactly as
@@ -728,12 +847,30 @@ let submit t cred ?(sync = false) reqs =
      unchanged (reads execute in order against immutable versions);
      only the clock differs, which is why the mode is opt-in. Tracing
      keeps per-request spans, so an active tracer falls back to
-     sequential charging. *)
+     sequential charging.
+
+     With the domains knob above 1, a maximal run of consecutive
+     oid-routed requests — mutations included — is partitioned by
+     holder shard and executed on per-shard worker domains (see
+     {!parallel_run}); runs that land on a single shard, and
+     everything that consults router-global state, keep the serial
+     path. Tracing again forces serial execution: spans record the
+     per-request charge sequence, which the parallel charge rule
+     replaces wholesale. *)
   let n = Array.length reqs in
-  let overlap = t.read_overlap && not (Trace.on ()) in
+  let tracing = Trace.on () in
+  let overlap = t.read_overlap && not tracing in
+  let pool = if tracing then None else active_pool t in
   let resps = Array.make n Rpc.R_unit in
   let i = ref 0 in
   while !i < n do
+    let consumed =
+      match pool with
+      | Some p -> parallel_run t p cred reqs resps !i
+      | None -> 0
+    in
+    if consumed > 0 then i := !i + consumed
+    else begin
     let j = ref !i in
     if overlap then while !j < n && routable_read reqs.(!j) do incr j done;
     if !j - !i >= 2 then begin
@@ -754,6 +891,7 @@ let submit t cred ?(sync = false) reqs =
     else begin
       resps.(!i) <- handle t cred ~sync:false reqs.(!i);
       incr i
+    end
     end
   done;
   if sync && (n = 0 || Array.exists resp_ok resps) then
@@ -1096,14 +1234,29 @@ let pp_stats ppf t =
        Printf.sprintf " [DEGRADED shards: %s]" (String.concat "," (List.map string_of_int ds)))
 
 let backend t =
+  (* The array backend is [Domain_safe]: one internal mutex makes
+     concurrent submits from different domains linearize at the router
+     (per-batch atomicity of the router-global state: oid allocation,
+     forwarding, the trace token), while the parallelism lives one
+     level down — inside a batch, {!parallel_run} fans disjoint shards
+     out to worker domains. [Net.Server] uses the capability to drop
+     its own global backend lock. *)
+  let m = Mutex.create () in
+  let locked f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
   S4.Backend.make ~clock:t.clock
     ~keep_data:
       (S4_store.Obj_store.config (Drive.store (List.hd (all_drives t))))
         .S4_store.Obj_store.keep_data
     ~capacity:(fun () ->
-      List.fold_left
-        (fun (total, free) d ->
-          let dt, df = Drive.capacity d in
-          (total + dt, free + df))
-        (0, 0) (all_drives t))
-    (submit t)
+      locked (fun () ->
+          List.fold_left
+            (fun (total, free) d ->
+              let dt, df = Drive.capacity d in
+              (total + dt, free + df))
+            (0, 0) (all_drives t)))
+    ~concurrency:S4.Backend.Domain_safe
+    ~close:(fun () -> locked (fun () -> close_domains t))
+    (fun cred ?sync reqs -> locked (fun () -> submit t cred ?sync reqs))

@@ -65,6 +65,27 @@ val set_read_overlap : t -> bool -> unit
 
 val read_overlap : t -> bool
 
+val set_domains : t -> int -> unit
+(** Set the worker-domain knob. Above 1, {!submit} partitions maximal
+    runs of consecutive oid-routed requests — mutations included — by
+    holder shard and executes the sub-batches on per-shard OCaml
+    domains (at most [min knob shards] workers, spawned lazily; shard
+    [id] is pinned to worker [id mod workers], so each shard's drive
+    stack stays owned by exactly one domain). The shared clock
+    advances by the slowest shard's domain-local time lane, the same
+    slowest-member rule {!set_read_overlap} applies to disks.
+    Responses are positionally identical to serial execution and a
+    given knob value is fully deterministic, but time accounting (and
+    thus attribute timestamps) differs from serial; at 1 — the
+    default — dispatch is bit-identical to the serial implementation,
+    clock included. Tracing forces the serial path. Changing the knob
+    tears the old pool down; {!close_domains} does so explicitly. *)
+
+val domains : t -> int
+val close_domains : t -> unit
+(** Stop and join the worker domains, if any were spawned. The knob is
+    unchanged; a later {!submit} rebuilds the pool on demand. *)
+
 val barrier : t -> S4.Rpc.error option
 (** One durability barrier on every member ([Drive.barrier] /
     [Mirror.barrier]), charged slowest-member. A member whose barrier

@@ -125,8 +125,14 @@ let build cfg =
     }
   | Array { shards; mirrored } ->
     let s =
-      Systems.s4_array ~disk_mb:cfg.disk_mb ~drive_config:Systems.content_drive_config
-        ~mirrored ~shards ()
+      Systems.s4_array
+        ~config:
+          {
+            Systems.Config.content with
+            disk_mb = Some cfg.disk_mb;
+            mirrored;
+          }
+        ~shards ()
     in
     let router = Option.get s.Systems.router in
     let backend = S4_shard.Router.backend router in

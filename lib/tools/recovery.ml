@@ -28,6 +28,20 @@ let unit_exn t req =
   | Rpc.R_error e -> raise (Fail (Format.asprintf "%s: %a" (Rpc.op_name req) Rpc.pp_error e))
   | _ -> raise (Fail "unexpected response")
 
+(* A run of independent repair requests goes down as one vectored
+   submission (same per-request execution order, one round trip). *)
+let submit_exn t reqs =
+  match reqs with
+  | [] -> ()
+  | _ ->
+    let arr = Array.of_list reqs in
+    Array.iteri
+      (fun i -> function
+        | Rpc.R_error e ->
+          raise (Fail (Format.asprintf "%s: %a" (Rpc.op_name arr.(i)) Rpc.pp_error e))
+        | _ -> ())
+      (Target.submit t.target t.cred arr)
+
 (* An entry that grants nothing: [Set_acl] can only overwrite slots,
    never shorten the list, so entries added since [at] are blanked
    with this instead of removed. *)
@@ -42,11 +56,12 @@ let restore_acl t ~at fh =
   let now_raw = Store.current_acl_raw st fh in
   if not (Bytes.equal old_raw now_raw) then begin
     let old_acl = Acl.decode old_raw in
+    let old_len = List.length old_acl in
     let now_len = List.length (Acl.decode now_raw) in
-    List.iteri (fun index entry -> unit_exn t (Rpc.Set_acl { oid = fh; index; entry })) old_acl;
-    for index = List.length old_acl to now_len - 1 do
-      unit_exn t (Rpc.Set_acl { oid = fh; index; entry = inert_entry })
-    done
+    submit_exn t
+      (List.mapi (fun index entry -> Rpc.Set_acl { oid = fh; index; entry }) old_acl
+      @ List.init (max 0 (now_len - old_len)) (fun k ->
+            Rpc.Set_acl { oid = fh; index = old_len + k; entry = inert_entry }))
   end
 
 let restore_file t ~at fh =
@@ -57,10 +72,12 @@ let restore_file t ~at fh =
      | Error e -> Error e
      | Ok data ->
        (try
-          unit_exn t (Rpc.Truncate { oid = fh; size = 0 });
-          if Bytes.length data > 0 then
-            unit_exn t (Rpc.Write { oid = fh; off = 0; len = Bytes.length data; data = Some data });
-          unit_exn t (Rpc.Set_attr { oid = fh; attr = N.encode_attr old_attr });
+          submit_exn t
+            ((Rpc.Truncate { oid = fh; size = 0 }
+             :: (if Bytes.length data > 0 then
+                   [ Rpc.Write { oid = fh; off = 0; len = Bytes.length data; data = Some data } ]
+                 else []))
+            @ [ Rpc.Set_attr { oid = fh; attr = N.encode_attr old_attr } ]);
           restore_acl t ~at fh;
           unit_exn t Rpc.Sync;
           Ok (Bytes.length data)
@@ -86,12 +103,17 @@ let restore_tree t ~at ~path =
      their state at [at], corrected for the rebuilt size. *)
   let write_dir_slots dir (wanted : (N.dirent * N.attr) list) =
     let data = N.encode_dir (List.map fst wanted) in
-    unit_exn t (Rpc.Truncate { oid = dir; size = 0 });
-    if Bytes.length data > 0 then
-      unit_exn t (Rpc.Write { oid = dir; off = 0; len = Bytes.length data; data = Some data });
-    (match History.stat t.hist ~at dir with
-     | Ok attr -> unit_exn t (Rpc.Set_attr { oid = dir; attr = N.encode_attr { attr with N.size = Bytes.length data } })
-     | Error m -> raise (Fail m))
+    let attr =
+      match History.stat t.hist ~at dir with
+      | Ok attr -> attr
+      | Error m -> raise (Fail m)
+    in
+    submit_exn t
+      ((Rpc.Truncate { oid = dir; size = 0 }
+       :: (if Bytes.length data > 0 then
+             [ Rpc.Write { oid = dir; off = 0; len = Bytes.length data; data = Some data } ]
+           else []))
+      @ [ Rpc.Set_attr { oid = dir; attr = N.encode_attr { attr with N.size = Bytes.length data } } ])
   in
   (* Rebuild a deleted object (file or whole subtree) as of [at] into
      fresh objects — dead ObjectIDs cannot accept new writes. *)
@@ -100,9 +122,8 @@ let restore_tree t ~at ~path =
     (* Carry the original object's ACL over so ownership and the
        Recovery flag survive resurrection. *)
     (let old_acl = Acl.decode (Store.get_acl_raw (Target.store_of t.target e.N.fh) ~at e.N.fh) in
-     List.iteri
-       (fun index entry -> unit_exn t (Rpc.Set_acl { oid = fresh; index; entry }))
-       old_acl);
+     submit_exn t
+       (List.mapi (fun index entry -> Rpc.Set_acl { oid = fresh; index; entry }) old_acl));
     (match a.N.ftype with
      | N.Fdir ->
        (match History.ls t.hist ~at e.N.fh with

@@ -16,6 +16,11 @@ let handle t cred req =
   | Drive d -> Drive.handle d cred req
   | Array r -> Router.handle r cred req
 
+let submit t cred ?sync reqs =
+  match t with
+  | Drive d -> Drive.submit d cred ?sync reqs
+  | Array r -> Router.submit r cred ?sync reqs
+
 let clock = function Drive d -> Drive.clock d | Array r -> Router.clock r
 let ops_handled = function Drive d -> Drive.ops_handled d | Array r -> Router.ops_handled r
 let fsck = function Drive d -> Drive.fsck d | Array r -> Router.fsck r

@@ -15,6 +15,15 @@ val of_drive : S4.Drive.t -> t
 val of_router : S4_shard.Router.t -> t
 
 val handle : t -> S4.Rpc.credential -> S4.Rpc.req -> S4.Rpc.resp
+
+val submit :
+  t -> S4.Rpc.credential -> ?sync:bool -> S4.Rpc.req array -> S4.Rpc.resp array
+(** Vectored {!handle} — the native submission surface of both targets
+    ({!S4.Drive.submit}, {!S4_shard.Router.submit}). Tools that issue
+    runs of independent requests (ACL slot rewrites, a file's restore
+    sequence) go through this so a whole run is one submission and —
+    when [sync] — pays a single group-commit barrier. *)
+
 val clock : t -> S4_util.Simclock.t
 val ops_handled : t -> int
 val fsck : t -> string list

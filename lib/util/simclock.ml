@@ -1,12 +1,55 @@
 type ns = int64
 type t = { mutable now : ns }
 
+(* Domain-local time lanes.
+
+   A worker domain that has been handed exclusive ownership of a slice
+   of the array (one shard per worker, see Shard_domain) charges its
+   CPU, penalty and disk time to a private lane instead of the shared
+   clock, so that concurrent shards do not serialize on [now]. The
+   parent forks a lane at the shared [now], the worker runs with the
+   lane active, and the parent joins the lanes back by advancing the
+   shared clock by the *maximum* elapsed lane time — the slowest
+   member defines batch latency, exactly like the phantom-disk charge
+   rule. Lane routing is keyed on the clock instance, so a domain with
+   a lane for clock A still sees clock B directly. Serial code never
+   forks a lane and is bit-for-bit unaffected. *)
+type lane = { owner : t; start : ns; mutable local : ns }
+
+let lane_slot : lane option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let lane_for t =
+  let r = Domain.DLS.get lane_slot in
+  match !r with Some l when l.owner == t -> Some l | _ -> None
+
+let fork_lane t ~at =
+  let r = Domain.DLS.get lane_slot in
+  (match !r with
+  | Some _ -> invalid_arg "Simclock.fork_lane: lane already active"
+  | None -> ());
+  r := Some { owner = t; start = at; local = at }
+
+let join_lane t =
+  let r = Domain.DLS.get lane_slot in
+  match !r with
+  | Some l when l.owner == t ->
+      r := None;
+      Int64.sub l.local l.start
+  | _ -> invalid_arg "Simclock.join_lane: no lane for this clock"
+
+let in_lane t = lane_for t <> None
+
 let create () = { now = 0L }
-let now t = t.now
+
+let now t =
+  match lane_for t with Some l -> l.local | None -> t.now
 
 let advance t d =
   if Int64.compare d 0L < 0 then invalid_arg "Simclock.advance: negative";
-  t.now <- Int64.add t.now d
+  match lane_for t with
+  | Some l -> l.local <- Int64.add l.local d
+  | None -> t.now <- Int64.add t.now d
 
 let of_seconds s = Int64.of_float (s *. 1e9)
 let to_seconds ns = Int64.to_float ns /. 1e9
@@ -15,10 +58,16 @@ let of_us us = Int64.of_float (us *. 1e3)
 let advance_s t s = advance t (of_seconds s)
 
 let set t abs =
-  if Int64.compare abs t.now < 0 then invalid_arg "Simclock.set: backward";
-  t.now <- abs
+  match lane_for t with
+  | Some l ->
+      if Int64.compare abs l.local < 0 then
+        invalid_arg "Simclock.set: backward";
+      l.local <- abs
+  | None ->
+      if Int64.compare abs t.now < 0 then invalid_arg "Simclock.set: backward";
+      t.now <- abs
 
-let seconds t = to_seconds t.now
+let seconds t = to_seconds (now t)
 
 let pp_duration ppf ns =
   let f = Int64.to_float ns in

@@ -29,6 +29,30 @@ val set : t -> ns -> unit
 val seconds : t -> float
 (** Current time in seconds. *)
 
+(** {2 Domain-local lanes}
+
+    A worker domain that owns a slice of the array during a parallel
+    fan-out charges time to a private {e lane} instead of the shared
+    clock. The dispatching domain forks one lane per worker at the
+    shared [now]; while a lane is active on a domain, {!now},
+    {!advance} and {!set} for that clock operate on the lane; the
+    dispatcher then joins the lanes and advances the shared clock by
+    the maximum elapsed lane time (slowest member defines batch
+    latency). Lanes are keyed per (domain, clock) pair, and code that
+    never forks a lane observes the shared clock unchanged. *)
+
+val fork_lane : t -> at:ns -> unit
+(** Activate a lane for [t] on the calling domain, starting at [at]
+    (normally the shared [now]). Raises if a lane is already active. *)
+
+val join_lane : t -> ns
+(** Deactivate the calling domain's lane for [t] and return the
+    elapsed lane time since {!fork_lane}. Raises if no lane is
+    active. *)
+
+val in_lane : t -> bool
+(** Whether the calling domain currently has a lane for [t]. *)
+
 val of_seconds : float -> ns
 val to_seconds : ns -> float
 val of_ms : float -> ns

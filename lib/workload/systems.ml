@@ -34,18 +34,56 @@ let benchmark_drive_config =
 let content_drive_config =
   { benchmark_drive_config with store = { Store.default_config with keep_data = true } }
 
-let mk_disk ?disk_mb () =
+module Config = struct
+  type sys = t
+
+  type t = {
+    disk_mb : int option;
+    drive_config : Drive.config;
+    mirrored : bool;
+    balanced : bool;
+    read_overlap : bool;
+    domains : int;
+    server_config : Netserver.config option;
+    client_config : Netclient.config option;
+  }
+
+  let domains_from_env () =
+    match Sys.getenv_opt "S4_DOMAINS" with
+    | None -> 1
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+
+  let default =
+    {
+      disk_mb = None;
+      drive_config = benchmark_drive_config;
+      mirrored = false;
+      balanced = false;
+      read_overlap = false;
+      domains = domains_from_env ();
+      server_config = None;
+      client_config = None;
+    }
+
+  let serial = { default with domains = 1 }
+  let content = { default with drive_config = content_drive_config }
+end
+
+let mk_disk config () =
   let clock = Simclock.create () in
   let geometry =
-    match disk_mb with
+    match config.Config.disk_mb with
     | None -> Geometry.cheetah_9gb
     | Some mb -> Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
   in
   (clock, Sim_disk.create ~geometry clock)
 
-let s4_remote ?disk_mb ?(drive_config = benchmark_drive_config) () =
-  let clock, disk = mk_disk ?disk_mb () in
-  let drive = Drive.format ~config:drive_config disk in
+let s4_remote ?(config = Config.default) () =
+  let clock, disk = mk_disk config () in
+  let drive = Drive.format ~config:config.Config.drive_config disk in
   let net = Net.create clock in
   let client = Client.connect net drive in
   let tr = Translator.mount (Translator.Remote client) in
@@ -59,37 +97,41 @@ let s4_remote ?disk_mb ?(drive_config = benchmark_drive_config) () =
     router = None;
   }
 
-let s4_nfs_server ?disk_mb ?(drive_config = benchmark_drive_config) () =
-  let clock, disk = mk_disk ?disk_mb () in
-  let drive = Drive.format ~config:drive_config disk in
+let s4_nfs_server ?(config = Config.default) () =
+  let clock, disk = mk_disk config () in
+  let drive = Drive.format ~config:config.Config.drive_config disk in
   let tr = Translator.mount (Translator.Local drive) in
   let net = Net.create clock in
   let server = Server.over_net net (Server.of_translator ~name:"S4-NFS" tr) in
   { name = "S4-NFS"; server; clock; disk; drive = Some drive; translator = Some tr; router = None }
 
-let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = false)
-    ?(balanced = false) ?(read_overlap = false) ~shards () =
+let s4_array ?(config = Config.default) ~shards () =
   if shards <= 0 then invalid_arg "Systems.s4_array: need at least one shard";
   let clock = Simclock.create () in
   let geometry =
-    match disk_mb with
+    match config.Config.disk_mb with
     | None -> Geometry.cheetah_9gb
     | Some mb -> Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
   in
-  let mk_drive () = Drive.format ~config:drive_config (Sim_disk.create ~geometry clock) in
+  let mk_drive () =
+    Drive.format ~config:config.Config.drive_config (Sim_disk.create ~geometry clock)
+  in
   let members =
     List.init shards (fun i ->
-        if mirrored then begin
+        if config.Config.mirrored then begin
           let m = Mirror.create (mk_drive ()) (mk_drive ()) in
-          if balanced then Mirror.set_read_policy m Mirror.Balanced;
+          if config.Config.balanced then Mirror.set_read_policy m Mirror.Balanced;
           (i, Router.Mirrored m)
         end
         else (i, Router.Single (mk_drive ())))
   in
   let router = Router.create members in
-  Router.set_read_overlap router read_overlap;
+  Router.set_read_overlap router config.Config.read_overlap;
+  Router.set_domains router config.Config.domains;
   let tr = Translator.mount (Translator.Backend (Router.backend router)) in
-  let name = Printf.sprintf "S4-array-%d%s" shards (if mirrored then "m" else "") in
+  let name =
+    Printf.sprintf "S4-array-%d%s" shards (if config.Config.mirrored then "m" else "")
+  in
   let net = Net.create clock in
   {
     name;
@@ -104,9 +146,9 @@ let s4_array ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = fals
 (* Networked deployments: the same drive stack served through lib/net's
    wire protocol instead of an in-process call. *)
 
-let s4_direct ?disk_mb ?(drive_config = benchmark_drive_config) () =
-  let clock, disk = mk_disk ?disk_mb () in
-  let drive = Drive.format ~config:drive_config disk in
+let s4_direct ?(config = Config.default) () =
+  let clock, disk = mk_disk config () in
+  let drive = Drive.format ~config:config.Config.drive_config disk in
   let tr = Translator.mount (Translator.Local drive) in
   {
     name = "S4-direct";
@@ -118,16 +160,18 @@ let s4_direct ?disk_mb ?(drive_config = benchmark_drive_config) () =
     router = None;
   }
 
-let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) ?server_config ?client_config
-    () =
-  let clock, disk = mk_disk ?disk_mb () in
-  let drive = Drive.format ~config:drive_config disk in
-  let srv = Netserver.of_drive ?config:server_config drive in
+let s4_loopback ?(config = Config.default) () =
+  let clock, disk = mk_disk config () in
+  let drive = Drive.format ~config:config.Config.drive_config disk in
+  let srv = Netserver.of_drive ?config:config.Config.server_config drive in
   (* Identity 1 matches the translator's default credential client, so
      the connection-derived identity leaves the audit trail identical
      to the in-process deployment. *)
-  let client = Netclient.connect ?config:client_config (Nettransport.loopback ~identity:1 srv) in
-  let keep_data = drive_config.Drive.store.Store.keep_data in
+  let client =
+    Netclient.connect ?config:config.Config.client_config
+      (Nettransport.loopback ~identity:1 srv)
+  in
+  let keep_data = config.Config.drive_config.Drive.store.Store.keep_data in
   let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data client)) in
   {
     name = "S4-loopback";
@@ -139,15 +183,16 @@ let s4_loopback ?disk_mb ?(drive_config = benchmark_drive_config) ?server_config
     router = None;
   }
 
-let s4_tcp ?disk_mb ?(drive_config = benchmark_drive_config) () =
-  let clock, disk = mk_disk ?disk_mb () in
-  let drive = Drive.format ~config:drive_config disk in
-  let srv = Netserver.of_drive drive in
+let s4_tcp ?(config = Config.default) () =
+  let clock, disk = mk_disk config () in
+  let drive = Drive.format ~config:config.Config.drive_config disk in
+  let srv = Netserver.of_drive ?config:config.Config.server_config drive in
   let listener = Netserver.serve_tcp srv in
   let client =
-    Netclient.connect (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
+    Netclient.connect ?config:config.Config.client_config
+      (Nettransport.tcp ~host:"127.0.0.1" ~port:(Netserver.port listener))
   in
-  let keep_data = drive_config.Drive.store.Store.keep_data in
+  let keep_data = config.Config.drive_config.Drive.store.Store.keep_data in
   let tr = Translator.mount (Translator.Backend (Netclient.backend ~clock ~keep_data client)) in
   let sys =
     {
@@ -166,23 +211,62 @@ let s4_tcp ?disk_mb ?(drive_config = benchmark_drive_config) () =
   in
   (sys, stop)
 
-let baseline name cfg ?disk_mb () =
-  let clock, disk = mk_disk ?disk_mb () in
+let baseline name cfg config () =
+  let clock, disk = mk_disk config () in
   let fs = Upfs.create cfg disk in
   let net = Net.create clock in
   let server = Server.over_net net (Upfs.server fs) in
   { name; server; clock; disk; drive = None; translator = None; router = None }
 
-let bsd_ffs ?disk_mb () = baseline "BSD-FFS" Upfs.ffs ?disk_mb ()
-let linux_ext2 ?disk_mb () = baseline "Linux-ext2" Upfs.ext2_sync ?disk_mb ()
+let bsd_ffs ?(config = Config.default) () = baseline "BSD-FFS" Upfs.ffs config ()
+let linux_ext2 ?(config = Config.default) () = baseline "Linux-ext2" Upfs.ext2_sync config ()
 
-let all_four ?disk_mb ?(drive_config = benchmark_drive_config) () =
+let all_four ?(config = Config.default) () =
   [
-    s4_remote ?disk_mb ~drive_config ();
-    s4_nfs_server ?disk_mb ~drive_config ();
-    bsd_ffs ?disk_mb ();
-    linux_ext2 ?disk_mb ();
+    s4_remote ~config ();
+    s4_nfs_server ~config ();
+    bsd_ffs ~config ();
+    linux_ext2 ~config ();
   ]
+
+(* Compat wrappers over the old optional-argument constructors. They
+   survive exactly one release; new code builds a {!Config.t}. *)
+module Legacy = struct
+  let cfg ?disk_mb ?(drive_config = benchmark_drive_config) ?(mirrored = false)
+      ?(balanced = false) ?(read_overlap = false) ?server_config ?client_config () =
+    {
+      Config.default with
+      disk_mb;
+      drive_config;
+      mirrored;
+      balanced;
+      read_overlap;
+      server_config;
+      client_config;
+    }
+
+  let s4_remote ?disk_mb ?drive_config () =
+    s4_remote ~config:(cfg ?disk_mb ?drive_config ()) ()
+
+  let s4_nfs_server ?disk_mb ?drive_config () =
+    s4_nfs_server ~config:(cfg ?disk_mb ?drive_config ()) ()
+
+  let s4_array ?disk_mb ?drive_config ?mirrored ?balanced ?read_overlap ~shards () =
+    s4_array ~config:(cfg ?disk_mb ?drive_config ?mirrored ?balanced ?read_overlap ()) ~shards ()
+
+  let s4_direct ?disk_mb ?drive_config () =
+    s4_direct ~config:(cfg ?disk_mb ?drive_config ()) ()
+
+  let s4_loopback ?disk_mb ?drive_config ?server_config ?client_config () =
+    s4_loopback ~config:(cfg ?disk_mb ?drive_config ?server_config ?client_config ()) ()
+
+  let s4_tcp ?disk_mb ?drive_config () = s4_tcp ~config:(cfg ?disk_mb ?drive_config ()) ()
+  let bsd_ffs ?disk_mb () = bsd_ffs ~config:(cfg ?disk_mb ()) ()
+  let linux_ext2 ?disk_mb () = linux_ext2 ~config:(cfg ?disk_mb ()) ()
+
+  let all_four ?disk_mb ?drive_config () =
+    all_four ~config:(cfg ?disk_mb ?drive_config ()) ()
+end
 
 let elapsed_seconds t thunk =
   let t0 = Simclock.now t.clock in

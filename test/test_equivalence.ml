@@ -12,6 +12,16 @@ module Systems = S4_workload.Systems
 let check = Alcotest.check
 let qtest = Qseed.qtest
 
+(* Content-retaining, serial-pinned config: this suite asserts the
+   serial bit-identity contracts, so the [S4_DOMAINS] environment knob
+   must not leak in (the domains group below opts in explicitly). *)
+let ccfg mb =
+  {
+    Systems.Config.serial with
+    Systems.Config.disk_mb = Some mb;
+    drive_config = Systems.content_drive_config;
+  }
+
 (* Abstract operations over a small fixed namespace. *)
 type aop =
   | Acreate of int * int  (* dir index, file index *)
@@ -135,10 +145,10 @@ let run_equivalence ops =
        single-drive systems at the NFS surface: a 1-shard array is the
        router's identity case, and a 3-shard array additionally
        exercises placement, forwarding and the meta shard. *)
-    Systems.all_four ~disk_mb:128 ~drive_config:Systems.content_drive_config ()
+    Systems.all_four ~config:(ccfg 128) ()
     @ [
-        Systems.s4_array ~disk_mb:128 ~drive_config:Systems.content_drive_config ~shards:1 ();
-        Systems.s4_array ~disk_mb:128 ~drive_config:Systems.content_drive_config ~shards:3 ();
+        Systems.s4_array ~config:(ccfg 128) ~shards:1 ();
+        Systems.s4_array ~config:(ccfg 128) ~shards:3 ();
       ]
   in
   let states =
@@ -271,7 +281,7 @@ let run_traced_pair mk =
 let test_tracing_free_single_drive () =
   let sys =
     run_traced_pair (fun () ->
-        Systems.s4_nfs_server ~disk_mb:64 ~drive_config:Systems.content_drive_config ())
+        Systems.s4_nfs_server ~config:(ccfg 64) ())
   in
   (* The trace and the audit log independently witnessed the same run:
      make them corroborate each other, exhaustively in both
@@ -292,7 +302,7 @@ let test_tracing_free_single_drive () =
 let test_tracing_free_array () =
   let sys =
     run_traced_pair (fun () ->
-        Systems.s4_array ~disk_mb:64 ~drive_config:Systems.content_drive_config ~shards:3 ())
+        Systems.s4_array ~config:(ccfg 64) ~shards:3 ())
   in
   ignore sys;
   let r = Check.run (Trace.spans ()) in
@@ -309,7 +319,7 @@ let test_tracing_free_array () =
    clock and a sector-identical disk image. *)
 
 let run_networked_pair ops =
-  let mk f = f ?disk_mb:(Some 64) ?drive_config:(Some Systems.content_drive_config) () in
+  let mk f = f ?config:(Some (ccfg 64)) () in
   let run sys =
     let dirs = setup sys in
     let out = List.map (apply sys dirs) ops in
@@ -320,7 +330,7 @@ let run_networked_pair ops =
   in
   let d_out, d_snap, d_clock, d_digests = run (mk Systems.s4_direct) in
   let l_out, l_snap, l_clock, l_digests =
-    run (mk (fun ?disk_mb ?drive_config () -> Systems.s4_loopback ?disk_mb ?drive_config ()))
+    run (mk Systems.s4_loopback)
   in
   check (Alcotest.list Alcotest.string) "networked: same op outcomes" d_out l_out;
   check (Alcotest.list Alcotest.string) "networked: same final namespace" d_snap l_snap;
@@ -700,8 +710,9 @@ let readscale_ops =
 
 let run_balanced_equivalence ops =
   let mk ~balanced () =
-    Systems.s4_array ~disk_mb:64 ~drive_config:Systems.content_drive_config ~shards:2
-      ~mirrored:true ~balanced ~read_overlap:balanced ()
+    Systems.s4_array
+      ~config:{ (ccfg 64) with Systems.Config.mirrored = true; balanced; read_overlap = balanced }
+      ~shards:2 ()
   in
   let run sys =
     let dirs = setup sys in
@@ -765,7 +776,7 @@ let run_cached_equivalence ops =
     let snap = snapshot sys dirs in
     (out, snap, audit_total [ Option.get sys.Systems.drive ])
   in
-  let d_sys = Systems.s4_direct ~disk_mb:64 ~drive_config:Systems.content_drive_config () in
+  let d_sys = Systems.s4_direct ~config:(ccfg 64) () in
   let d_out, d_snap, d_audit = run d_sys in
   let c_sys, client = mk_cached_loopback () in
   let c_out, c_snap, c_audit = run c_sys in
@@ -817,6 +828,106 @@ let prop_readscale_cached =
       ignore (run_cached_equivalence ops);
       true)
 
+(* --- Per-shard worker domains ------------------------------------------ *)
+
+(* The multicore contract (ROADMAP item 1): with the knob pinned to 1
+   the router takes the untouched serial dispatch path, so a domains=1
+   run must be bit-identical to a build that never heard of domains —
+   responses, audit count, member disk images, final sim clock.  With
+   the knob above 1 a run is still deterministic (repeatable bit for
+   bit: lanes fork at a common origin and the shared clock advances by
+   the slowest lane, independent of host scheduling) and semantically
+   identical to serial — same responses, same final namespace, same
+   audit accounting.  Only time accounting differs: parallel windows
+   cost the max of their members instead of the sum, so the parallel
+   clock can only be at or ahead of (i.e. ≤) the serial clock, and the
+   on-disk timestamps shift with it, which is why disk digests are
+   deliberately NOT compared across that boundary. *)
+
+let mk_plain4_b () =
+  let clock = Simclock.create () in
+  let members = List.init 4 (fun i -> (i, Router.Single (bmk_drive clock))) in
+  let router = Router.create members in
+  {
+    b_backend = Router.backend router;
+    b_drives = Router.all_drives router;
+    b_cleanup = (fun () -> Router.close_domains router);
+  }
+
+let mk_domains_b n () =
+  let clock = Simclock.create () in
+  let members = List.init 4 (fun i -> (i, Router.Single (bmk_drive clock))) in
+  let router = Router.create members in
+  Router.set_domains router n;
+  {
+    b_backend = Router.backend router;
+    b_drives = Router.all_drives router;
+    b_cleanup = (fun () -> Router.close_domains router);
+  }
+
+(* Four objects (one per shard with high likelihood) and batches of
+   consecutive object-routed requests, so parallel windows actually
+   form. *)
+let domains_ops =
+  [
+    Screate 0; Screate 1; Screate 2; Screate 3;
+    Swrite (0, 0, 2048, 'a'); Swrite (1, 512, 1024, 'b'); Sappend (2, 700, 'c');
+    Swrite (3, 0, 4096, 'd');
+    Sread (0, 0, 2048); Sread (1, 0, 2048); Sread (2, 0, 1024); Sread (3, 0, 4096);
+    Struncate (0, 900); Ssetattr (1, "label"); Sappend (2, 300, 'e'); Swrite (3, 100, 64, 'f');
+    Sgetattr 0; Sdelete 1; Sread (1, 0, 64); Ssync;
+  ]
+
+let run_domains mk (ops, cuts) =
+  let reqs, oids = concrete_reqs mk ops in
+  let inst = mk () in
+  let out = run_batched inst.b_backend (partition cuts reqs) in
+  let st = bstate inst in
+  let ns = probe_slots inst oids in
+  inst.b_cleanup ();
+  (out, st, ns)
+
+let test_domains_pinned_bit_identical () =
+  let case = (domains_ops, [ 4; 8; 8 ]) in
+  let plain = run_domains mk_plain4_b case in
+  let pinned = run_domains (mk_domains_b 1) case in
+  check Alcotest.bool "domains=1 is bit-identical to the serial build" true (plain = pinned)
+
+let test_domains_deterministic () =
+  let case = (domains_ops, [ 4; 8; 8 ]) in
+  let a = run_domains (mk_domains_b 4) case in
+  let b = run_domains (mk_domains_b 4) case in
+  check Alcotest.bool "two domains=4 runs are bit-identical" true (a = b)
+
+let compare_serial_vs_domains n (ops, cuts) =
+  let s_out, (s_audit, _, s_clock), s_ns = run_domains mk_plain4_b (ops, cuts) in
+  let p_out, (p_audit, _, p_clock), p_ns = run_domains (mk_domains_b n) (ops, cuts) in
+  if p_out <> s_out then
+    QCheck.Test.fail_reportf "domains=%d responses diverged:\n%s\nvs serial\n%s" n
+      (String.concat ";" p_out) (String.concat ";" s_out);
+  if p_audit <> s_audit then
+    QCheck.Test.fail_reportf "domains=%d audit count %d vs serial %d" n p_audit s_audit;
+  if p_ns <> s_ns then
+    QCheck.Test.fail_reportf "domains=%d final namespace diverged:\n%s\nvs\n%s" n
+      (String.concat ";" p_ns) (String.concat ";" s_ns);
+  if Int64.compare p_clock s_clock > 0 then
+    QCheck.Test.fail_reportf "domains=%d clock %Ld behind serial %Ld" n p_clock s_clock;
+  (s_clock, p_clock)
+
+let test_domains_semantics_fixed () =
+  let s_clock, p_clock = compare_serial_vs_domains 4 (domains_ops, [ 4; 8; 8 ]) in
+  (* The fixed workload routes consecutive requests to distinct shards,
+     so at least one window must have been charged max-of-lanes. *)
+  check Alcotest.bool "parallel windows actually formed (clock strictly ahead)" true
+    (Int64.compare p_clock s_clock < 0)
+
+let prop_domains_equals_serial =
+  QCheck.Test.make ~name:"multi-domain dispatch is semantically invisible" ~count:15
+    arb_batched_case
+    (fun case ->
+      ignore (compare_serial_vs_domains 4 case);
+      true)
+
 let () =
   Alcotest.run "s4_equivalence"
     [
@@ -853,5 +964,14 @@ let () =
           Alcotest.test_case "lease-cached client (fixed)" `Quick test_readscale_cached_fixed;
           qtest prop_readscale_balanced;
           qtest prop_readscale_cached;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "domains=1 bit-identical to serial" `Quick
+            test_domains_pinned_bit_identical;
+          Alcotest.test_case "domains=4 deterministic" `Quick test_domains_deterministic;
+          Alcotest.test_case "domains=4 semantically invisible (fixed)" `Quick
+            test_domains_semantics_fixed;
+          qtest prop_domains_equals_serial;
         ] );
     ]

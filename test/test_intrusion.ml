@@ -36,7 +36,14 @@ let mk_single ?(mb = 64) () =
 
 let mk_array ?(mb = 48) ?(mirrored = false) ~shards () =
   let s =
-    Systems.s4_array ~disk_mb:mb ~drive_config:Systems.content_drive_config ~mirrored ~shards ()
+    Systems.s4_array
+      ~config:
+        {
+          Systems.Config.content with
+          Systems.Config.disk_mb = Some mb;
+          mirrored;
+        }
+      ~shards ()
   in
   let router = Option.get s.Systems.router in
   (s.Systems.clock, Target.Array router, Option.get s.Systems.translator)

@@ -1,0 +1,355 @@
+(* Multicore tests: domain-local simclock lanes, the per-shard worker
+   pool, atomic metrics, domain-safe tracing, backend concurrency
+   capabilities, and stress runs hammering a Domain_safe array backend
+   from concurrent client domains. The bit-identity contracts
+   (domains=1 ≡ serial, domains=N deterministic) live in
+   test_equivalence's "domains" group; this file covers the
+   concurrency machinery itself. *)
+
+module Simclock = S4_util.Simclock
+module Geometry = S4_disk.Geometry
+module Sim_disk = S4_disk.Sim_disk
+module Drive = S4.Drive
+module Rpc = S4.Rpc
+module Backend = S4.Backend
+module Acl = S4.Acl
+module Audit = S4.Audit
+module Store = S4_store.Obj_store
+module Router = S4_shard.Router
+module Shard_domain = S4_multi.Shard_domain
+module Metrics = S4_obs.Metrics
+module Trace = S4_obs.Trace
+module Check = S4_obs.Check
+
+let check = Alcotest.check
+let alice = Rpc.user_cred ~user:1 ~client:1
+let geom mb = Geometry.with_capacity Geometry.cheetah_9gb ~bytes:(mb * 1024 * 1024)
+
+let content_config =
+  { Drive.default_config with store = { Store.default_config with keep_data = true } }
+
+let mk_drive ?(mb = 64) clock =
+  Drive.format ~config:content_config (Sim_disk.create ~geometry:(geom mb) clock)
+
+let mk_array ?(mb = 64) ?(domains = 1) n =
+  let clock = Simclock.create () in
+  let members = List.init n (fun i -> (i, Router.Single (mk_drive ~mb clock))) in
+  let router = Router.create members in
+  Router.set_domains router domains;
+  (clock, router)
+
+let raises f = match f () with exception _ -> true | _ -> false
+
+(* --- Simclock lanes ----------------------------------------------------- *)
+
+let test_lane_basic () =
+  let c = Simclock.create () in
+  Simclock.advance c 100L;
+  check Alcotest.bool "no lane initially" false (Simclock.in_lane c);
+  Simclock.fork_lane c ~at:(Simclock.now c);
+  check Alcotest.bool "lane active" true (Simclock.in_lane c);
+  Simclock.advance c 40L;
+  check Alcotest.int64 "lane view of now" 140L (Simclock.now c);
+  Simclock.set c 150L;
+  let elapsed = Simclock.join_lane c in
+  check Alcotest.int64 "lane elapsed" 50L elapsed;
+  check Alcotest.bool "lane cleared" false (Simclock.in_lane c);
+  check Alcotest.int64 "shared clock unmoved by lane charges" 100L (Simclock.now c);
+  (* The parent applies the joined elapsed explicitly. *)
+  Simclock.advance c elapsed;
+  check Alcotest.int64 "parent advances by joined elapsed" 150L (Simclock.now c)
+
+let test_lane_errors () =
+  let c = Simclock.create () in
+  check Alcotest.bool "join without fork raises" true
+    (raises (fun () -> ignore (Simclock.join_lane c)));
+  Simclock.fork_lane c ~at:0L;
+  check Alcotest.bool "double fork raises" true
+    (raises (fun () -> Simclock.fork_lane c ~at:0L));
+  ignore (Simclock.join_lane c)
+
+let test_lane_keyed_per_clock () =
+  let a = Simclock.create () and b = Simclock.create () in
+  Simclock.advance b 7L;
+  Simclock.fork_lane a ~at:0L;
+  Simclock.advance a 10L;
+  (* Clock [b] is not the lane owner: reads and charges go straight to
+     its shared state even while a lane for [a] is active. *)
+  check Alcotest.int64 "other clock reads shared state" 7L (Simclock.now b);
+  Simclock.advance b 3L;
+  check Alcotest.int64 "other clock advances shared state" 10L (Simclock.now b);
+  check Alcotest.int64 "lane charge stayed on a's lane" 10L (Simclock.join_lane a);
+  check Alcotest.int64 "a's shared clock untouched" 0L (Simclock.now a)
+
+let test_lanes_isolate_worker_domains () =
+  let c = Simclock.create () in
+  Simclock.advance c 1000L;
+  let start = Simclock.now c in
+  let elapsed = Array.make 4 0L in
+  let doms =
+    Array.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            Simclock.fork_lane c ~at:start;
+            Simclock.advance c (Int64.of_int ((i + 1) * 10));
+            elapsed.(i) <- Simclock.join_lane c))
+  in
+  Array.iter Domain.join doms;
+  check Alcotest.int64 "shared clock untouched by four lanes" 1000L (Simclock.now c);
+  Array.iteri
+    (fun i e -> check Alcotest.int64 "per-domain elapsed" (Int64.of_int ((i + 1) * 10)) e)
+    elapsed
+
+(* --- Shard_domain worker pool ------------------------------------------- *)
+
+let test_pool_runs_jobs () =
+  let pool = Shard_domain.create 3 in
+  check Alcotest.int "pool size" 3 (Shard_domain.size pool);
+  let out = Array.make 8 (-1) in
+  let jobs = List.init 8 (fun slot -> (slot, fun () -> out.(slot) <- slot * slot)) in
+  Shard_domain.run pool jobs;
+  Array.iteri (fun i v -> check Alcotest.int "job executed" (i * i) v) out;
+  (* Reuse across calls, including the single-job inline path. *)
+  Shard_domain.run pool [ (5, fun () -> out.(5) <- 99) ];
+  check Alcotest.int "single job ran inline" 99 out.(5);
+  Shard_domain.run pool [];
+  Shard_domain.close pool
+
+let test_pool_slot_order () =
+  (* Jobs sharing a worker (same slot mod size) run in submission
+     order, so a same-shard sequence keeps its program order. *)
+  let pool = Shard_domain.create 2 in
+  let trail = ref [] in
+  let m = Mutex.create () in
+  let push v = Mutex.lock m; trail := v :: !trail; Mutex.unlock m in
+  (* Slots 0, 2, 4 all map to worker 0 and must run as 0;2;4. *)
+  Shard_domain.run pool [ (0, fun () -> push 0); (2, fun () -> push 2); (4, fun () -> push 4) ];
+  check (Alcotest.list Alcotest.int) "same-worker jobs keep submission order" [ 0; 2; 4 ]
+    (List.rev !trail);
+  Shard_domain.close pool
+
+let test_pool_exception_propagates () =
+  let pool = Shard_domain.create 2 in
+  let ran = ref 0 in
+  let boom = Failure "boom" in
+  check Alcotest.bool "job exception re-raised" true
+    (raises (fun () ->
+         Shard_domain.run pool
+           [ (0, fun () -> incr ran); (1, fun () -> raise boom); (2, fun () -> incr ran) ]));
+  check Alcotest.int "other jobs still completed" 2 !ran;
+  (* The pool survives a failing batch. *)
+  Shard_domain.run pool [ (0, fun () -> incr ran); (1, fun () -> incr ran) ];
+  check Alcotest.int "pool usable after failure" 4 !ran;
+  Shard_domain.close pool
+
+let test_pool_close () =
+  let pool = Shard_domain.create 2 in
+  let hit = ref false in
+  Shard_domain.run pool [ (0, fun () -> hit := true); (1, fun () -> ()) ];
+  Shard_domain.close pool;
+  check Alcotest.bool "work completed before close" true !hit;
+  check Alcotest.bool "run after close raises" true
+    (raises (fun () -> Shard_domain.run pool [ (0, fun () -> ()); (1, fun () -> ()) ]))
+
+(* --- Atomic metrics ------------------------------------------------------ *)
+
+let test_metrics_hammer () =
+  Metrics.reset ();
+  let domains = 4 and per = 50_000 in
+  let doms =
+    Array.init domains (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Metrics.incr "mc.shared";
+              Metrics.incr ~by:2 (Printf.sprintf "mc.domain%d" i)
+            done))
+  in
+  Array.iter Domain.join doms;
+  check Alcotest.int "shared counter exact under contention" (domains * per)
+    (Metrics.counter "mc.shared");
+  for i = 0 to domains - 1 do
+    check Alcotest.int "per-domain counter exact" (2 * per)
+      (Metrics.counter (Printf.sprintf "mc.domain%d" i))
+  done;
+  Metrics.reset ()
+
+(* --- Domain-safe tracing ------------------------------------------------- *)
+
+let test_trace_hammer () =
+  Trace.clear ();
+  Trace.enable ();
+  let domains = 4 and per = 1_000 in
+  Fun.protect ~finally:Trace.disable (fun () ->
+      let doms =
+        Array.init domains (fun i ->
+            Domain.spawn (fun () ->
+                for j = 1 to per do
+                  (* Nested spans exercise the per-domain open-span stack:
+                     the child must resolve its parent within this domain. *)
+                  let outer = Trace.enter Trace.Nfs ~kind:"mc.outer" ~now:0L in
+                  Trace.set_oid outer (Int64.of_int ((i * per) + j));
+                  let inner = Trace.enter Trace.Store ~kind:"mc.inner" ~now:1L in
+                  Trace.finish inner ~now:2L;
+                  Trace.finish outer ~now:3L
+                done))
+      in
+      Array.iter Domain.join doms);
+  let spans = Trace.spans () in
+  check Alcotest.int "every span recorded exactly once" (2 * domains * per)
+    (Array.length spans);
+  let spans = Array.to_list spans in
+  let outers = List.filter (fun (s : Trace.span) -> s.Trace.kind = "mc.outer") spans in
+  check Alcotest.int "outer spans" (domains * per) (List.length outers);
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.kind = "mc.inner" then
+        check Alcotest.bool "inner has a parent from its own domain" true
+          (s.Trace.parent >= 0))
+    spans;
+  Trace.clear ()
+
+(* --- Backend concurrency capabilities ------------------------------------ *)
+
+let test_backend_capabilities () =
+  let clock = Simclock.create () in
+  let drive = mk_drive clock in
+  check Alcotest.bool "bare drive backend is Serial" true
+    ((Drive.backend drive).Backend.concurrency = Backend.Serial);
+  let _, router = mk_array 2 in
+  let b = Router.backend router in
+  check Alcotest.bool "router backend is Domain_safe" true
+    (b.Backend.concurrency = Backend.Domain_safe);
+  b.Backend.close ()
+
+(* --- Concurrent clients against a Domain_safe array ---------------------- *)
+
+let submit b reqs = b.Backend.submit alice ~sync:true (Array.of_list reqs)
+
+let oid_of = function
+  | Rpc.R_oid oid -> oid
+  | r -> Alcotest.failf "expected oid, got %a" Rpc.pp_resp r
+
+(* Each client domain owns a disjoint set of objects: writes race only
+   at the router's mutex, never on an object, so final contents are
+   deterministic per object even though arrival order is not. *)
+let run_client b id =
+  let oids =
+    submit b (List.init 4 (fun _ -> Rpc.Create { acl = Acl.default ~owner:1 }))
+    |> Array.to_list |> List.map oid_of
+  in
+  let fill = Char.chr (Char.code 'a' + id) in
+  for round = 0 to 2 do
+    let ws =
+      List.map
+        (fun oid ->
+          Rpc.Write { oid; off = round * 1024; len = 1024; data = Some (Bytes.make 1024 fill) })
+        oids
+    in
+    let rs = submit b ws in
+    Array.iter
+      (function
+        | Rpc.R_error _ as r -> Alcotest.failf "client %d write: %a" id Rpc.pp_resp r
+        | _ -> ())
+      rs
+  done;
+  ignore (submit b (List.map (fun oid -> Rpc.Read { oid; off = 0; len = 3072; at = None }) oids));
+  (id, oids)
+
+let verify_client b (id, oids) =
+  let fill = Char.chr (Char.code 'a' + id) in
+  List.iter
+    (fun oid ->
+      match Backend.handle b alice (Rpc.Read { oid; off = 0; len = 3072; at = None }) with
+      | Rpc.R_data data ->
+        check Alcotest.int "object size" 3072 (Bytes.length data);
+        check Alcotest.bool "contents are the owner's fill byte" true
+          (Bytes.for_all (fun c -> c = fill) data)
+      | r -> Alcotest.failf "verify client %d oid %Ld: %a" id oid Rpc.pp_resp r)
+    oids
+
+let audit_total router =
+  List.fold_left
+    (fun n d -> n + List.length (Audit.records (Drive.audit d) ()))
+    0
+    (Router.all_drives router)
+
+let test_concurrent_clients_stress () =
+  let _, router = mk_array ~domains:4 4 in
+  let b = Router.backend router in
+  let clients = 4 in
+  let doms = Array.init clients (fun id -> Domain.spawn (fun () -> run_client b id)) in
+  let owned = Array.map Domain.join doms in
+  Array.iter (verify_client b) owned;
+  (* Every drive-level request leaves an audit record: 4 clients x
+     (4 creates + 12 writes + 4 reads) object ops, plus the final
+     verify reads, are all accounted for. *)
+  check Alcotest.bool "audit trail accounted the storm" true
+    (audit_total router >= clients * (4 + 12 + 4));
+  b.Backend.close ()
+
+(* Tracing forces the serial dispatch path inside the router, but the
+   spans themselves are opened and closed from whichever client domain
+   holds the router mutex — so a traced concurrent run exercises the
+   domain-safe tracer end to end, and the whole-run checker (including
+   the positional audit-to-span bijection) must still pass. *)
+let test_concurrent_clients_traced_checker () =
+  Trace.clear ();
+  Trace.enable ();
+  let router =
+    Fun.protect ~finally:Trace.disable (fun () ->
+        let _, router = mk_array ~domains:4 1 in
+        let b = Router.backend router in
+        let doms = Array.init 3 (fun id -> Domain.spawn (fun () -> run_client b id)) in
+        let owned = Array.map Domain.join doms in
+        Array.iter (verify_client b) owned;
+        router)
+  in
+  let audit =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun (r : Audit.record) ->
+            { Check.a_at = r.Audit.at; a_op = r.Audit.op; a_oid = r.Audit.oid; a_ok = r.Audit.ok })
+          (Audit.records (Drive.audit d) ()))
+      (Router.all_drives router)
+  in
+  let r = Check.run ~audit ~complete:true (Trace.spans ()) in
+  if r.Check.violations <> [] then
+    Alcotest.failf "trace checker over concurrent-client run: %s"
+      (String.concat "; " r.Check.violations);
+  check Alcotest.bool "audit records matched to spans" true (r.Check.audit_matched > 0);
+  (Router.backend router).Backend.close ();
+  Trace.clear ()
+
+let () =
+  Alcotest.run "s4_multicore"
+    [
+      ( "simclock-lanes",
+        [
+          Alcotest.test_case "fork, charge, join" `Quick test_lane_basic;
+          Alcotest.test_case "misuse raises" `Quick test_lane_errors;
+          Alcotest.test_case "lane is keyed per clock" `Quick test_lane_keyed_per_clock;
+          Alcotest.test_case "lanes isolate worker domains" `Quick
+            test_lanes_isolate_worker_domains;
+        ] );
+      ( "worker-pool",
+        [
+          Alcotest.test_case "runs jobs by slot" `Quick test_pool_runs_jobs;
+          Alcotest.test_case "same-worker submission order" `Quick test_pool_slot_order;
+          Alcotest.test_case "exceptions propagate" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "close joins workers" `Quick test_pool_close;
+        ] );
+      ( "obs",
+        [
+          Alcotest.test_case "metrics counters are atomic" `Quick test_metrics_hammer;
+          Alcotest.test_case "tracer is domain-safe" `Quick test_trace_hammer;
+        ] );
+      ( "backend",
+        [ Alcotest.test_case "concurrency capabilities" `Quick test_backend_capabilities ] );
+      ( "stress",
+        [
+          Alcotest.test_case "concurrent clients, multi-domain array" `Quick
+            test_concurrent_clients_stress;
+          Alcotest.test_case "traced concurrent run satisfies checker" `Quick
+            test_concurrent_clients_traced_checker;
+        ] );
+    ]

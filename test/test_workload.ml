@@ -12,12 +12,17 @@ module Source_tree = S4_workload.Source_tree
 
 let check = Alcotest.check
 
+(* Workload comparisons assert timing relationships between systems;
+   pin the serial config so the S4_DOMAINS environment knob cannot
+   perturb them. *)
+let sized mb = { Systems.Config.serial with Systems.Config.disk_mb = Some mb }
+
 let small_pm = { Postmark.default with Postmark.files = 100; transactions = 300 }
 
 (* --- Systems factory --------------------------------------------------- *)
 
 let test_all_four_distinct () =
-  let systems = Systems.all_four ~disk_mb:64 () in
+  let systems = Systems.all_four ~config:(sized 64) () in
   check Alcotest.int "four systems" 4 (List.length systems);
   let names = List.map (fun s -> s.Systems.name) systems in
   check Alcotest.int "distinct names" 4 (List.length (List.sort_uniq compare names));
@@ -30,12 +35,12 @@ let test_all_four_distinct () =
 
 let test_s4_systems_expose_drive () =
   check Alcotest.bool "remote has drive" true
-    (Option.is_some (Systems.s4_remote ~disk_mb:64 ()).Systems.drive);
+    (Option.is_some (Systems.s4_remote ~config:(sized 64) ()).Systems.drive);
   check Alcotest.bool "ffs has none" true
-    (Option.is_none (Systems.bsd_ffs ~disk_mb:64 ()).Systems.drive)
+    (Option.is_none (Systems.bsd_ffs ~config:(sized 64) ()).Systems.drive)
 
 let test_elapsed_seconds () =
-  let sys = Systems.bsd_ffs ~disk_mb:64 () in
+  let sys = Systems.bsd_ffs ~config:(sized 64) () in
   let s, v = Systems.elapsed_seconds sys (fun () -> Simclock.advance sys.Systems.clock 2_000_000_000L; 42) in
   check Alcotest.int "value" 42 v;
   check (Alcotest.float 1e-6) "2 seconds" 2.0 s
@@ -54,10 +59,10 @@ let test_postmark_runs_on_all_systems () =
         true (r.Postmark.transaction_seconds > 0.0);
       check Alcotest.bool "ops happened" true
         (r.Postmark.files_read + r.Postmark.files_appended > 0))
-    (Systems.all_four ~disk_mb:256 ())
+    (Systems.all_four ~config:(sized 256) ())
 
 let test_postmark_deterministic () =
-  let run () = Postmark.run ~config:small_pm (Systems.s4_nfs_server ~disk_mb:128 ()) in
+  let run () = Postmark.run ~config:small_pm (Systems.s4_nfs_server ~config:(sized 128) ()) in
   let a = run () and b = run () in
   check (Alcotest.float 1e-12) "same creation" a.Postmark.creation_seconds b.Postmark.creation_seconds;
   check (Alcotest.float 1e-12) "same txn" a.Postmark.transaction_seconds b.Postmark.transaction_seconds;
@@ -66,14 +71,14 @@ let test_postmark_deterministic () =
 let test_postmark_s4_wins_ffs () =
   (* The Figure 3 headline: S4's log batching beats synchronous
      in-place writes. *)
-  let s4 = Postmark.run ~config:small_pm (Systems.s4_nfs_server ~disk_mb:256 ()) in
-  let ffs = Postmark.run ~config:small_pm (Systems.bsd_ffs ~disk_mb:256 ()) in
+  let s4 = Postmark.run ~config:small_pm (Systems.s4_nfs_server ~config:(sized 256) ()) in
+  let ffs = Postmark.run ~config:small_pm (Systems.bsd_ffs ~config:(sized 256) ()) in
   check Alcotest.bool "S4 transactions faster" true
     (s4.Postmark.transaction_seconds < ffs.Postmark.transaction_seconds)
 
 let test_postmark_cleaner_hook () =
   let config = { small_pm with Postmark.cleaner_every = Some 50 } in
-  let sys = Systems.s4_nfs_server ~disk_mb:128 () in
+  let sys = Systems.s4_nfs_server ~config:(sized 128) () in
   let r = Postmark.run ~config sys in
   check Alcotest.bool "completed with cleaner" true (r.Postmark.transaction_seconds > 0.0)
 
@@ -92,12 +97,12 @@ let test_ssh_build_phases () =
       (* Build is CPU-dominated: the largest phase on every system. *)
       check Alcotest.bool (sys.Systems.name ^ " build largest") true
         (r.Ssh_build.build_seconds > r.Ssh_build.unpack_seconds))
-    (Systems.all_four ~disk_mb:256 ())
+    (Systems.all_four ~config:(sized 256) ())
 
 let test_ssh_build_cpu_shared () =
   (* CPU time is charged identically: differences across systems are
      bounded by the I/O, far less than total build time. *)
-  let results = List.map (Ssh_build.run ~config:small_ssh) (Systems.all_four ~disk_mb:256 ()) in
+  let results = List.map (Ssh_build.run ~config:small_ssh) (Systems.all_four ~config:(sized 256) ()) in
   let builds = List.map (fun r -> r.Ssh_build.build_seconds) results in
   let mn = List.fold_left Float.min infinity builds in
   let mx = List.fold_left Float.max 0.0 builds in
@@ -106,8 +111,8 @@ let test_ssh_build_cpu_shared () =
 let test_ssh_ext2_configure_advantage () =
   (* The Figure 4 anomaly: Linux's sync-mount flaw gives it the edge in
      the metadata-heavy configure phase vs FFS. *)
-  let ffs = Ssh_build.run ~config:small_ssh (Systems.bsd_ffs ~disk_mb:256 ()) in
-  let ext2 = Ssh_build.run ~config:small_ssh (Systems.linux_ext2 ~disk_mb:256 ()) in
+  let ffs = Ssh_build.run ~config:small_ssh (Systems.bsd_ffs ~config:(sized 256) ()) in
+  let ext2 = Ssh_build.run ~config:small_ssh (Systems.linux_ext2 ~config:(sized 256) ()) in
   check Alcotest.bool "ext2 configure faster" true
     (ext2.Ssh_build.configure_seconds < ffs.Ssh_build.configure_seconds)
 
@@ -116,7 +121,7 @@ let test_ssh_ext2_configure_advantage () =
 let small_micro = { Microbench.default with Microbench.files = 300 }
 
 let test_microbench_phases () =
-  let sys = Systems.s4_nfs_server ~disk_mb:128 () in
+  let sys = Systems.s4_nfs_server ~config:(sized 128) () in
   let r = Microbench.run ~config:small_micro sys in
   check Alcotest.bool "create>0" true (r.Microbench.create_seconds > 0.0);
   check Alcotest.bool "read>0" true (r.Microbench.read_seconds > 0.0);
@@ -128,7 +133,7 @@ let test_microbench_audit_costs () =
     let config =
       { Systems.benchmark_drive_config with S4.Drive.audit_enabled = audit }
     in
-    let sys = Systems.s4_nfs_server ~disk_mb:256 ~drive_config:config () in
+    let sys = Systems.s4_nfs_server ~config:{ (sized 256) with Systems.Config.drive_config = config } () in
     Microbench.run ~config:{ small_micro with Microbench.files = 1000 } sys
   in
   let on = run true and off = run false in
@@ -137,7 +142,7 @@ let test_microbench_audit_costs () =
     (total on >= total off && total on < 1.3 *. total off)
 
 let test_microbench_cold_read_slower () =
-  let sys () = Systems.s4_nfs_server ~disk_mb:256 () in
+  let sys () = Systems.s4_nfs_server ~config:(sized 256) () in
   let cold = Microbench.run ~config:{ small_micro with Microbench.cold_read = true } (sys ()) in
   let warm = Microbench.run ~config:{ small_micro with Microbench.cold_read = false } (sys ()) in
   check Alcotest.bool "cold read slower" true
@@ -151,7 +156,7 @@ let test_daily_studies () =
     (List.for_all (fun s -> s.Daily.daily_write_bytes <= Daily.nt.Daily.daily_write_bytes) Daily.all)
 
 let test_daily_replay () =
-  let sys = Systems.s4_remote ~disk_mb:512 () in
+  let sys = Systems.s4_remote ~config:(sized 512) () in
   let m = Daily.replay ~scale:0.001 ~days:3 Daily.santry sys in
   check Alcotest.bool "history grows" true (m.Daily.history_bytes_per_day > 0.0);
   check Alcotest.bool "extrapolation scales" true
@@ -162,7 +167,7 @@ let test_daily_replay () =
 let test_daily_replay_requires_s4 () =
   check Alcotest.bool "rejects baseline" true
     (try
-       ignore (Daily.replay ~scale:0.001 ~days:1 Daily.afs (Systems.bsd_ffs ~disk_mb:64 ()));
+       ignore (Daily.replay ~scale:0.001 ~days:1 Daily.afs (Systems.bsd_ffs ~config:(sized 64) ()));
        false
      with Invalid_argument _ -> true)
 
